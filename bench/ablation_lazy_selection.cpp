@@ -1,0 +1,63 @@
+/// \file ablation_lazy_selection.cpp
+/// \brief Extension bench (paper §6 future work: "exploitation of problem
+/// properties such as submodularity"): CELF-style lazy-greedy seed
+/// selection vs the eager argmax of Algorithm 4.
+///
+/// The lazy variant replaces each greedy round's O(n) counter scan with a
+/// heap pop plus occasional refreshes; retirement cost is unchanged.  Both
+/// must return identical seeds; the win grows with n and k.
+#include "bench_common.hpp"
+
+using namespace ripples;
+using namespace ripples::bench;
+
+int main(int argc, char **argv) {
+  CommandLine cli(argc, argv);
+  BenchConfig config = BenchConfig::parse(cli, /*default_scale=*/0.06);
+
+  CsrGraph graph = build_input("soc-LiveJournal1", config,
+                               DiffusionModel::LinearThreshold);
+  print_input_banner("soc-LiveJournal1", graph, config);
+
+  // LT keeps samples small so the argmax (not retirement) dominates —
+  // the regime where laziness matters.
+  std::vector<std::uint64_t> theta_values = {10000, 40000};
+  std::vector<std::uint32_t> ks = {50, 200};
+  if (config.full) {
+    theta_values = {10000, 40000, 160000};
+    ks = {50, 100, 200, 400};
+  }
+
+  Table table("Ablation: lazy-greedy (CELF-style) vs eager argmax selection",
+              {"Theta", "k", "Eager(s)", "Lazy(s)", "Speedup", "SeedsAgree"});
+
+  for (std::uint64_t theta : theta_values) {
+    RRRCollection collection;
+    sample_sequential(graph, DiffusionModel::LinearThreshold, theta,
+                      config.seed, collection);
+    for (std::uint32_t k : ks) {
+      StopWatch eager_watch;
+      SelectionResult eager =
+          select_seeds(graph.num_vertices(), k, collection.sets());
+      double eager_time = eager_watch.elapsed_seconds();
+
+      StopWatch lazy_watch;
+      SelectionResult lazy =
+          select_seeds_lazy(graph.num_vertices(), k, collection.sets());
+      double lazy_time = lazy_watch.elapsed_seconds();
+
+      table.new_row()
+          .add(theta)
+          .add(k)
+          .add(eager_time, 3)
+          .add(lazy_time, 3)
+          .add(eager_time / lazy_time, 2)
+          .add(eager.seeds == lazy.seeds ? "yes" : "NO");
+    }
+  }
+
+  table.emit(config.csv_path);
+  std::printf("\nExpected: identical seeds; lazy wins grow with n and k as\n"
+              "the eager per-round argmax scan is amortized away.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+/// \file bench_common.hpp
+/// \brief Shared plumbing for the table/figure reproduction binaries.
+///
+/// Every bench binary follows the same pattern: build SNAP-surrogate inputs
+/// at a configurable scale, run one or more IMM drivers, and print the rows
+/// the corresponding table or figure in the paper reports (aligned table +
+/// optional CSV via --csv <path>).  Absolute numbers are not comparable to
+/// the paper's (different hardware, scaled-down surrogates); the *shape* —
+/// who wins, how phases decompose, how curves trend — is the reproduction
+/// target, and EXPERIMENTS.md records the comparison.
+///
+/// Common options:
+///   --scale <f>     fraction of the original dataset size (per-bench default)
+///   --seed <n>      experiment seed (default 2019, the paper's year)
+///   --threads <n>   OpenMP threads for _mt drivers (default: hardware)
+///   --snap-dir <d>  directory with genuine SNAP .txt files (optional)
+///   --csv <path>    also write the table as CSV
+///   --full          run the paper's full parameter grid instead of the
+///                   time-budgeted default subset
+#ifndef RIPPLES_BENCH_COMMON_HPP
+#define RIPPLES_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <omp.h>
+#include <string>
+
+#include "ripples/ripples.hpp"
+
+namespace ripples::bench {
+
+/// Options shared by every bench binary, parsed from the command line.
+struct BenchConfig {
+  double scale;
+  std::uint64_t seed;
+  unsigned threads;
+  std::string snap_dir;
+  std::string csv_path;
+  bool full;
+
+  static BenchConfig parse(const CommandLine &cli, double default_scale) {
+    BenchConfig config;
+    config.scale = cli.get("scale", default_scale);
+    config.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{2019}));
+    config.threads = static_cast<unsigned>(cli.get(
+        "threads", static_cast<std::int64_t>(omp_get_max_threads())));
+    config.snap_dir = cli.get("snap-dir", std::string());
+    config.csv_path = cli.get("csv", std::string());
+    config.full = cli.has_flag("full");
+    return config;
+  }
+};
+
+/// Builds the input for one dataset exactly as the paper's experimental
+/// setup prescribes: surrogate (or genuine SNAP file) + uniform [0,1)
+/// weights, LT-renormalized when the LT model is requested.
+inline CsrGraph build_input(const std::string &dataset,
+                            const BenchConfig &config, DiffusionModel model) {
+  CsrGraph graph = materialize(find_dataset(dataset), config.scale,
+                               config.seed, config.snap_dir);
+  assign_uniform_weights(graph, config.seed + 1);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+  return graph;
+}
+
+/// Prints the dataset banner line used by every bench.
+inline void print_input_banner(const std::string &dataset,
+                               const CsrGraph &graph,
+                               const BenchConfig &config) {
+  GraphStats stats = compute_stats(graph);
+  std::printf("[input] %-18s scale=%-6.4f n=%-8u m=%-10llu avg_deg=%.2f\n",
+              dataset.c_str(), config.scale, stats.num_vertices,
+              static_cast<unsigned long long>(stats.num_edges),
+              stats.avg_total_degree);
+}
+
+/// Appends the four phase columns of an ImmResult to a table row (the
+/// decomposition every runtime figure plots).
+inline TableRow &add_phase_columns(TableRow &row, const ImmResult &result) {
+  return row.add(result.timers.total(Phase::EstimateTheta), 3)
+      .add(result.timers.total(Phase::Sample), 3)
+      .add(result.timers.total(Phase::SelectSeeds), 3)
+      .add(result.timers.total(Phase::Other), 3)
+      .add(result.timers.total(), 3);
+}
+
+inline const std::vector<std::string> kPhaseHeader = {
+    "EstimateTheta(s)", "Sample(s)", "SelectSeeds(s)", "Other(s)", "Total(s)"};
+
+} // namespace ripples::bench
+
+#endif // RIPPLES_BENCH_COMMON_HPP

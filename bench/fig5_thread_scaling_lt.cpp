@@ -1,0 +1,9 @@
+/// \file fig5_thread_scaling_lt.cpp
+/// \brief Reproduces Figure 5: multithreaded strong scaling under the
+/// Linear Threshold model (eps=0.5, k=100, up to 20 threads in --full).
+#include "thread_scaling.hpp"
+
+int main(int argc, char **argv) {
+  return ripples::bench::run_thread_scaling(
+      argc, argv, ripples::DiffusionModel::LinearThreshold, "Figure 5");
+}

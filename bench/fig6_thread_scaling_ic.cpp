@@ -1,0 +1,9 @@
+/// \file fig6_thread_scaling_ic.cpp
+/// \brief Reproduces Figure 6: multithreaded strong scaling under the
+/// Independent Cascade model (eps=0.5, k=100, up to 20 threads in --full).
+#include "thread_scaling.hpp"
+
+int main(int argc, char **argv) {
+  return ripples::bench::run_thread_scaling(
+      argc, argv, ripples::DiffusionModel::IndependentCascade, "Figure 6");
+}

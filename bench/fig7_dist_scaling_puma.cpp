@@ -1,0 +1,12 @@
+/// \file fig7_dist_scaling_puma.cpp
+/// \brief Reproduces Figure 7: distributed strong scaling with up to 16
+/// "Puma nodes" (mpsim ranks), IC and LT, on the four largest graphs
+/// (eps=0.13, k=200 with --full).
+#include "dist_scaling.hpp"
+
+int main(int argc, char **argv) {
+  static constexpr int kDefault[] = {2, 4, 8};
+  static constexpr int kFull[] = {2, 4, 6, 8, 10, 12, 14, 16};
+  return ripples::bench::run_dist_scaling(argc, argv, kDefault, kFull,
+                                          "Figure 7 (Puma)", 0.002);
+}

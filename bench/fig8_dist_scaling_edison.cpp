@@ -1,0 +1,13 @@
+/// \file fig8_dist_scaling_edison.cpp
+/// \brief Reproduces Figure 8: distributed strong scaling with 64-1024
+/// "Edison nodes" (mpsim ranks), IC and LT, on the four largest graphs
+/// (eps=0.13, k=200 with --full).  Large rank counts with little per-rank
+/// work expose the collective overheads, as on the real machine.
+#include "dist_scaling.hpp"
+
+int main(int argc, char **argv) {
+  static constexpr int kDefault[] = {64, 128, 256};
+  static constexpr int kFull[] = {64, 128, 256, 512, 1024};
+  return ripples::bench::run_dist_scaling(argc, argv, kDefault, kFull,
+                                          "Figure 8 (Edison)", 0.002);
+}

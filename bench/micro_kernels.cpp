@@ -1,0 +1,141 @@
+/// \file micro_kernels.cpp
+/// \brief google-benchmark microbenchmarks of the library's hot kernels:
+/// RRR generation (IC/LT), membership counting, seed selection, the mpsim
+/// allreduce, CSR construction, and the forward simulators.
+///
+/// These are for regression tracking of the kernels the tables/figures are
+/// built from; the table/figure binaries themselves are the reproduction
+/// harness.
+#include <benchmark/benchmark.h>
+
+#include "ripples/ripples.hpp"
+
+namespace ripples {
+namespace {
+
+const CsrGraph &shared_graph() {
+  static CsrGraph graph = [] {
+    CsrGraph g(barabasi_albert(8192, 4, 1));
+    assign_uniform_weights(g, 2);
+    return g;
+  }();
+  return graph;
+}
+
+const CsrGraph &shared_graph_lt() {
+  static CsrGraph graph = [] {
+    CsrGraph g(barabasi_albert(8192, 4, 1));
+    assign_uniform_weights(g, 2);
+    renormalize_linear_threshold(g);
+    return g;
+  }();
+  return graph;
+}
+
+void BM_GenerateRR_IC(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph();
+  RRRGenerator generator(graph);
+  RRRSet set;
+  std::uint64_t index = 0;
+  std::size_t vertices = 0;
+  for (auto _ : state) {
+    Philox4x32 rng = sample_stream(7, index++);
+    generator.generate_random_root(DiffusionModel::IndependentCascade, rng, set);
+    vertices += set.size();
+    benchmark::DoNotOptimize(set.data());
+  }
+  state.counters["vertices/set"] =
+      static_cast<double>(vertices) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_GenerateRR_IC);
+
+void BM_GenerateRR_LT(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph_lt();
+  RRRGenerator generator(graph);
+  RRRSet set;
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    Philox4x32 rng = sample_stream(7, index++);
+    generator.generate_random_root(DiffusionModel::LinearThreshold, rng, set);
+    benchmark::DoNotOptimize(set.data());
+  }
+}
+BENCHMARK(BM_GenerateRR_LT);
+
+void BM_CountMemberships(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph();
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade,
+                    static_cast<std::uint64_t>(state.range(0)), 7, collection);
+  std::vector<std::uint32_t> counters(graph.num_vertices());
+  for (auto _ : state) {
+    std::fill(counters.begin(), counters.end(), 0);
+    count_memberships(collection.sets(), counters);
+    benchmark::DoNotOptimize(counters.data());
+  }
+}
+BENCHMARK(BM_CountMemberships)->Arg(256)->Arg(1024);
+
+void BM_SelectSeeds(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph();
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 1024, 7,
+                    collection);
+  for (auto _ : state) {
+    SelectionResult result = select_seeds(
+        graph.num_vertices(), static_cast<std::uint32_t>(state.range(0)),
+        collection.sets());
+    benchmark::DoNotOptimize(result.seeds.data());
+  }
+}
+BENCHMARK(BM_SelectSeeds)->Arg(10)->Arg(50);
+
+void BM_Allreduce(benchmark::State &state) {
+  const auto ranks = static_cast<int>(state.range(0));
+  const std::size_t length = 1 << 16;
+  for (auto _ : state) {
+    mpsim::Context::run(ranks, [&](mpsim::Communicator &comm) {
+      std::vector<std::uint32_t> buffer(length, 1);
+      comm.allreduce(std::span<std::uint32_t>(buffer), mpsim::ReduceOp::Sum);
+      benchmark::DoNotOptimize(buffer.data());
+    });
+  }
+}
+BENCHMARK(BM_Allreduce)->Arg(2)->Arg(8);
+
+void BM_CsrConstruction(benchmark::State &state) {
+  EdgeList list = barabasi_albert(4096, 4, 3);
+  for (auto _ : state) {
+    CsrGraph graph(list);
+    benchmark::DoNotOptimize(graph.num_edges());
+  }
+}
+BENCHMARK(BM_CsrConstruction);
+
+void BM_SimulateDiffusion_IC(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph();
+  std::vector<vertex_t> seeds{0, 1, 2, 3, 4};
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    std::size_t activated = simulate_diffusion(
+        graph, seeds, DiffusionModel::IndependentCascade, trial++);
+    benchmark::DoNotOptimize(activated);
+  }
+}
+BENCHMARK(BM_SimulateDiffusion_IC);
+
+void BM_LcgLeapfrogSetup(benchmark::State &state) {
+  Lcg64 base(42);
+  std::uint64_t stream = 0;
+  for (auto _ : state) {
+    Lcg64 sub = base.leapfrog(stream % 1024, 1024);
+    benchmark::DoNotOptimize(sub);
+    ++stream;
+  }
+}
+BENCHMARK(BM_LcgLeapfrogSetup);
+
+} // namespace
+} // namespace ripples
+
+BENCHMARK_MAIN();

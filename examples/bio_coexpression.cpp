@@ -1,0 +1,91 @@
+/// \file bio_coexpression.cpp
+/// \brief Domain example: the Section 5 biology workflow as a user would
+/// run it — infer a co-expression network from (synthetic) multi-omics
+/// data, find the most influential features with IMM, and compare the
+/// result against classical centrality rankings via pathway enrichment.
+///
+/// Usage:
+///   bio_coexpression [--features 800] [--samples 60] [--modules 6]
+///                    [-k 36] [--threads N] [--seed S]
+#include <cstdio>
+#include <set>
+
+#include "ripples/ripples.hpp"
+
+int main(int argc, char **argv) {
+  using namespace ripples;
+  CommandLine cli(argc, argv);
+
+  bio::ExpressionConfig expression;
+  expression.num_features =
+      static_cast<std::uint32_t>(cli.get("features", std::int64_t{800}));
+  expression.num_samples =
+      static_cast<std::uint32_t>(cli.get("samples", std::int64_t{60}));
+  expression.num_modules =
+      static_cast<std::uint32_t>(cli.get("modules", std::int64_t{4}));
+  expression.module_fraction = cli.get("module-fraction", 0.225);
+  expression.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{42}));
+  const auto k = static_cast<std::uint32_t>(cli.get("k", std::int64_t{32}));
+  const auto threads = static_cast<unsigned>(cli.get("threads", std::int64_t{2}));
+
+  // 1. "Measure" abundances: a feature x sample matrix with planted
+  //    co-expression modules (stand-in for the paper's tumor / soil data).
+  bio::ExpressionMatrix matrix = bio::synthesize_expression(expression);
+  std::printf("expression matrix: %u features x %u samples, %u planted modules\n",
+              matrix.num_features(), matrix.num_samples(),
+              expression.num_modules);
+
+  // 2. Infer the co-expression network (GENIE3 stand-in) and calibrate the
+  //    relevance scores into activation probabilities.
+  bio::InferenceConfig inference;
+  inference.edges_per_target = 6;
+  inference.min_abs_correlation = 0.5;
+  CsrGraph graph(bio::infer_coexpression_network(matrix, inference));
+  graph.transform_weights([](float w) { return 0.12f * w; });
+  std::printf("inferred network: %llu weighted regulator->target edges\n",
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  // 3. Influential features by IMM vs classical centrality.
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = k;
+  options.seed = expression.seed + 1;
+  options.num_threads = threads;
+  ImmResult imm = imm_multithreaded(graph, options);
+
+  std::vector<std::uint32_t> degree = degree_centrality(graph);
+  auto degree_top = top_k_by_score(std::span<const std::uint32_t>(degree), k);
+  std::vector<double> betweenness = betweenness_centrality(graph);
+  auto betweenness_top = top_k_by_score(std::span<const double>(betweenness), k);
+
+  // 4. Pathway enrichment of each top-k set (Fisher + BH), against a
+  //    pathway database aligned with the planted modules.
+  bio::PathwayConfig pathway_config;
+  pathway_config.member_fraction = 0.8;
+  pathway_config.num_random_pathways = 20;
+  bio::PathwayDatabase database =
+      bio::synthesize_pathways(matrix, pathway_config);
+
+  Table table("top-" + std::to_string(k) + " feature enrichment by method",
+              {"Method", "SignificantPathways", "BestAdjustedP"});
+  auto report = [&](const char *method, std::span<const vertex_t> picks) {
+    std::vector<std::uint32_t> selected(picks.begin(), picks.end());
+    auto rows = bio::enrich(selected, database, matrix.num_features());
+    table.new_row()
+        .add(method)
+        .add(bio::count_significant(rows, 0.05))
+        .add(rows.empty() ? 1.0 : rows[0].p_adjusted, 4);
+  };
+  report("IMM", imm.seeds);
+  report("degree", degree_top);
+  report("betweenness", betweenness_top);
+  table.emit(cli.get("csv", std::string()));
+
+  std::set<vertex_t> imm_set(imm.seeds.begin(), imm.seeds.end());
+  std::size_t shared = 0;
+  for (vertex_t v : degree_top) shared += imm_set.count(v);
+  std::printf("\nIMM and degree share %zu of their top-%u picks — the\n"
+              "complementarity the paper reports (9/30 on the soil data).\n",
+              shared, k);
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// \file distributed_demo.cpp
+/// \brief Walkthrough of the distributed implementation (Section 3.2):
+/// runs IMM over an increasing number of mpsim ranks, verifies that every
+/// rank count returns the identical seed set (the stream-splitting
+/// guarantee), and prints the communication/computation structure.
+///
+/// Usage:
+///   distributed_demo [--dataset com-YouTube] [--scale 0.002]
+///                    [--epsilon 0.3] [-k 50] [--max-ranks 8]
+///                    [--rng counter|leapfrog]
+#include <cstdio>
+
+#include "ripples/ripples.hpp"
+
+int main(int argc, char **argv) {
+  using namespace ripples;
+  CommandLine cli(argc, argv);
+
+  const std::string dataset = cli.get("dataset", std::string("com-YouTube"));
+  const double scale = cli.get("scale", 0.002);
+  const double epsilon = cli.get("epsilon", 0.3);
+  const auto k = static_cast<std::uint32_t>(cli.get("k", std::int64_t{50}));
+  const int max_ranks = static_cast<int>(cli.get("max-ranks", std::int64_t{8}));
+  const auto seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{3}));
+  const std::string rng = cli.get("rng", std::string("counter"));
+
+  CsrGraph graph = materialize(find_dataset(dataset), scale, seed);
+  assign_uniform_weights(graph, seed + 1);
+  GraphStats stats = compute_stats(graph);
+  std::printf("graph: %u vertices, %llu arcs (replicated on every rank, as\n"
+              "in the paper's layout)\n",
+              stats.num_vertices, static_cast<unsigned long long>(stats.num_edges));
+
+  ImmOptions options;
+  options.epsilon = epsilon;
+  options.k = k;
+  options.seed = seed;
+  options.rng_mode =
+      rng == "leapfrog" ? RngMode::LeapfrogLcg : RngMode::CounterSequence;
+
+  Table table("IMM_dist across rank counts",
+              {"Ranks", "Theta", "Samples/rank", "Total(s)", "SeedsMatchP1"});
+  std::vector<vertex_t> reference;
+  for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
+    options.num_ranks = ranks;
+    ImmResult result = imm_distributed(graph, options);
+    if (ranks == 1) reference = result.seeds;
+    table.new_row()
+        .add(ranks)
+        .add(result.theta)
+        .add(result.num_samples / static_cast<std::uint64_t>(ranks))
+        .add(result.timers.total(), 3)
+        .add(result.seeds == reference ? "yes" : "no");
+  }
+  table.emit(cli.get("csv", std::string()));
+
+  std::printf(
+      "\nStructure per run (Section 3.2): every rank generates theta/p\n"
+      "samples from its own random substream (%s mode), then each of the k\n"
+      "greedy rounds performs one All-Reduce over the %u-entry counter\n"
+      "vector; seed choice and sample purging stay rank-local.\n"
+      "With counter mode the seed set is identical for every rank count;\n"
+      "with leapfrog mode it matches the paper's TRNG discipline (identical\n"
+      "for a fixed p, statistically equivalent across p).\n",
+      rng.c_str(), stats.num_vertices);
+  return 0;
+}

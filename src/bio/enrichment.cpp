@@ -1,0 +1,159 @@
+#include "bio/enrichment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples::bio {
+
+PathwayDatabase synthesize_pathways(const ExpressionMatrix &matrix,
+                                    const PathwayConfig &config) {
+  Xoshiro256 rng(config.seed);
+  PathwayDatabase database;
+
+  // Collect members per planted module.
+  std::uint32_t num_modules = 0;
+  for (std::uint32_t f = 0; f < matrix.num_features(); ++f)
+    if (matrix.module_of(f) != ExpressionMatrix::kBackground)
+      num_modules = std::max(num_modules, matrix.module_of(f) + 1);
+  std::vector<std::vector<std::uint32_t>> module_members(num_modules);
+  for (std::uint32_t f = 0; f < matrix.num_features(); ++f)
+    if (matrix.module_of(f) != ExpressionMatrix::kBackground)
+      module_members[matrix.module_of(f)].push_back(f);
+
+  // Module-aligned pathways: random subsets of one module each.
+  for (std::uint32_t m = 0; m < num_modules; ++m) {
+    const auto &members = module_members[m];
+    if (members.empty()) continue;
+    auto subset_size = static_cast<std::size_t>(
+        std::max(1.0, config.member_fraction * static_cast<double>(members.size())));
+    for (std::uint32_t i = 0; i < config.pathways_per_module; ++i) {
+      std::vector<std::uint32_t> pool = members;
+      // Partial Fisher-Yates: the first subset_size entries are the sample.
+      for (std::size_t j = 0; j < subset_size; ++j) {
+        std::size_t pick = j + uniform_index(rng, pool.size() - j);
+        std::swap(pool[j], pool[pick]);
+      }
+      pool.resize(subset_size);
+      std::sort(pool.begin(), pool.end());
+      database.pathways.push_back(
+          {"module" + std::to_string(m) + "_pathway" + std::to_string(i),
+           std::move(pool)});
+    }
+  }
+
+  // Null pathways: random feature sets, unrelated to any module.
+  for (std::uint32_t i = 0; i < config.num_random_pathways; ++i) {
+    std::unordered_set<std::uint32_t> chosen;
+    while (chosen.size() < config.random_pathway_size &&
+           chosen.size() < matrix.num_features())
+      chosen.insert(
+          static_cast<std::uint32_t>(uniform_index(rng, matrix.num_features())));
+    std::vector<std::uint32_t> members(chosen.begin(), chosen.end());
+    std::sort(members.begin(), members.end());
+    database.pathways.push_back(
+        {"random_pathway" + std::to_string(i), std::move(members)});
+  }
+  return database;
+}
+
+namespace {
+
+double log_choose(std::uint32_t n, std::uint32_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+} // namespace
+
+double fisher_exact_upper_tail(std::uint32_t overlap,
+                               std::uint32_t selected_size,
+                               std::uint32_t pathway_size,
+                               std::uint32_t universe) {
+  RIPPLES_ASSERT(selected_size <= universe && pathway_size <= universe);
+  RIPPLES_ASSERT(overlap <= std::min(selected_size, pathway_size));
+  // P(X >= overlap) with X ~ Hypergeometric(universe, pathway_size,
+  // selected_size), summed in log space for numerical robustness.
+  const double log_denominator = log_choose(universe, selected_size);
+  double tail = 0.0;
+  const std::uint32_t max_overlap = std::min(selected_size, pathway_size);
+  for (std::uint32_t x = overlap; x <= max_overlap; ++x) {
+    if (selected_size - x > universe - pathway_size) continue; // infeasible
+    double log_p = log_choose(pathway_size, x) +
+                   log_choose(universe - pathway_size, selected_size - x) -
+                   log_denominator;
+    tail += std::exp(log_p);
+  }
+  return std::min(1.0, tail);
+}
+
+std::vector<double> benjamini_hochberg(std::span<const double> p_values) {
+  const std::size_t m = p_values.size();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return p_values[a] < p_values[b]; });
+
+  // Adjusted p of the i-th smallest is min over j >= i of p_(j) * m / (j+1).
+  std::vector<double> adjusted(m);
+  double running_min = 1.0;
+  for (std::size_t rank = m; rank-- > 0;) {
+    double candidate = p_values[order[rank]] * static_cast<double>(m) /
+                       static_cast<double>(rank + 1);
+    running_min = std::min(running_min, candidate);
+    adjusted[order[rank]] = std::min(1.0, running_min);
+  }
+  return adjusted;
+}
+
+std::vector<EnrichmentRow> enrich(std::span<const std::uint32_t> selected,
+                                  const PathwayDatabase &database,
+                                  std::uint32_t universe) {
+  std::vector<std::uint32_t> sorted_selected(selected.begin(), selected.end());
+  std::sort(sorted_selected.begin(), sorted_selected.end());
+  sorted_selected.erase(
+      std::unique(sorted_selected.begin(), sorted_selected.end()),
+      sorted_selected.end());
+
+  std::vector<double> p_values;
+  std::vector<EnrichmentRow> rows;
+  p_values.reserve(database.pathways.size());
+  rows.reserve(database.pathways.size());
+  for (std::uint32_t idx = 0; idx < database.pathways.size(); ++idx) {
+    const Pathway &pathway = database.pathways[idx];
+    std::uint32_t overlap = 0;
+    for (std::uint32_t member : pathway.members)
+      if (std::binary_search(sorted_selected.begin(), sorted_selected.end(),
+                             member))
+        ++overlap;
+    double p = fisher_exact_upper_tail(
+        overlap, static_cast<std::uint32_t>(sorted_selected.size()),
+        static_cast<std::uint32_t>(pathway.members.size()), universe);
+    p_values.push_back(p);
+    rows.push_back({idx, overlap, p, 1.0});
+  }
+
+  std::vector<double> adjusted = benjamini_hochberg(p_values);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i].p_adjusted = adjusted[i];
+  std::sort(rows.begin(), rows.end(), [](const EnrichmentRow &a,
+                                         const EnrichmentRow &b) {
+    return a.p_adjusted < b.p_adjusted ||
+           (a.p_adjusted == b.p_adjusted && a.pathway_index < b.pathway_index);
+  });
+  return rows;
+}
+
+std::size_t count_significant(std::span<const EnrichmentRow> rows, double alpha) {
+  std::size_t count = 0;
+  for (const EnrichmentRow &row : rows)
+    if (row.p_adjusted < alpha) ++count;
+  return count;
+}
+
+} // namespace ripples::bio

@@ -1,0 +1,76 @@
+#include "bio/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ripples::bio {
+
+double pearson_correlation(const double *x, const double *y,
+                           std::uint32_t num_samples) {
+  RIPPLES_ASSERT(num_samples >= 2);
+  double mean_x = 0, mean_y = 0;
+  for (std::uint32_t s = 0; s < num_samples; ++s) {
+    mean_x += x[s];
+    mean_y += y[s];
+  }
+  mean_x /= num_samples;
+  mean_y /= num_samples;
+  double cov = 0, var_x = 0, var_y = 0;
+  for (std::uint32_t s = 0; s < num_samples; ++s) {
+    double dx = x[s] - mean_x;
+    double dy = y[s] - mean_y;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+EdgeList infer_coexpression_network(const ExpressionMatrix &matrix,
+                                    const InferenceConfig &config) {
+  RIPPLES_ASSERT(config.edges_per_target >= 1);
+  const std::uint32_t num_features = matrix.num_features();
+  const std::uint32_t num_samples = matrix.num_samples();
+
+  // Per-target predictor lists, filled independently in parallel.
+  std::vector<std::vector<WeightedEdge>> per_target(num_features);
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::int64_t tj = 0; tj < static_cast<std::int64_t>(num_features); ++tj) {
+    const auto j = static_cast<std::uint32_t>(tj);
+    struct Scored {
+      float weight;
+      std::uint32_t predictor;
+    };
+    std::vector<Scored> candidates;
+    for (std::uint32_t i = 0; i < num_features; ++i) {
+      if (i == j) continue;
+      double r = pearson_correlation(matrix.row(i), matrix.row(j), num_samples);
+      double strength = std::abs(r);
+      if (strength < config.min_abs_correlation) continue;
+      candidates.push_back({static_cast<float>(strength), i});
+    }
+    std::size_t keep =
+        std::min<std::size_t>(config.edges_per_target, candidates.size());
+    std::partial_sort(candidates.begin(),
+                      candidates.begin() + static_cast<std::ptrdiff_t>(keep),
+                      candidates.end(), [](const Scored &a, const Scored &b) {
+                        return a.weight > b.weight ||
+                               (a.weight == b.weight && a.predictor < b.predictor);
+                      });
+    candidates.resize(keep);
+    for (const Scored &c : candidates)
+      per_target[j].push_back({c.predictor, j, c.weight});
+  }
+
+  EdgeList list;
+  list.num_vertices = num_features;
+  for (const auto &edges : per_target)
+    list.edges.insert(list.edges.end(), edges.begin(), edges.end());
+  return list;
+}
+
+} // namespace ripples::bio

@@ -1,0 +1,143 @@
+#include "centrality/communities.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+CommunityAssignment label_propagation(const CsrGraph &graph,
+                                      unsigned max_sweeps, std::uint64_t seed) {
+  const vertex_t n = graph.num_vertices();
+  std::vector<std::uint32_t> label(n);
+  std::iota(label.begin(), label.end(), 0u);
+
+  std::vector<vertex_t> order(n);
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  Xoshiro256 rng(seed);
+
+  std::unordered_map<std::uint32_t, std::uint32_t> votes;
+  for (unsigned sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Seeded shuffle: asynchronous updates in random order avoid the
+    // label oscillations of synchronous propagation.
+    for (std::size_t i = n; i > 1; --i)
+      std::swap(order[i - 1], order[uniform_index(rng, i)]);
+
+    bool changed = false;
+    for (vertex_t v : order) {
+      votes.clear();
+      for (const Adjacency &out : graph.out_neighbors(v)) ++votes[label[out.vertex]];
+      for (const Adjacency &in : graph.in_neighbors(v)) ++votes[label[in.vertex]];
+      if (votes.empty()) continue;
+      // Most frequent neighbor label; ties to the numerically smallest so
+      // the result is deterministic given the visit order.
+      std::uint32_t best_label = label[v];
+      std::uint32_t best_votes = 0;
+      for (const auto &[candidate, count] : votes) {
+        if (count > best_votes ||
+            (count == best_votes && candidate < best_label)) {
+          best_label = candidate;
+          best_votes = count;
+        }
+      }
+      if (best_label != label[v]) {
+        label[v] = best_label;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Compact labels to [0, num_communities).
+  CommunityAssignment assignment;
+  assignment.label_of.resize(n);
+  std::unordered_map<std::uint32_t, std::uint32_t> compact;
+  for (vertex_t v = 0; v < n; ++v) {
+    auto [it, inserted] =
+        compact.try_emplace(label[v], assignment.num_communities);
+    if (inserted) {
+      ++assignment.num_communities;
+      assignment.size_of.push_back(0);
+    }
+    assignment.label_of[v] = it->second;
+    ++assignment.size_of[it->second];
+  }
+  return assignment;
+}
+
+std::vector<vertex_t>
+community_proportional_seeds(const CsrGraph &graph,
+                             const CommunityAssignment &communities,
+                             std::uint32_t k, double probability) {
+  const vertex_t n = graph.num_vertices();
+  RIPPLES_ASSERT(k >= 1 && k <= n);
+  RIPPLES_ASSERT(communities.label_of.size() == n);
+
+  // Largest-remainder apportionment of k seeds over communities.
+  const std::uint32_t c = communities.num_communities;
+  std::vector<std::uint32_t> quota(c, 0);
+  std::vector<std::pair<double, std::uint32_t>> remainders(c);
+  std::uint32_t assigned = 0;
+  for (std::uint32_t community = 0; community < c; ++community) {
+    double share = static_cast<double>(k) *
+                   static_cast<double>(communities.size_of[community]) /
+                   static_cast<double>(n);
+    quota[community] = static_cast<std::uint32_t>(share);
+    // A community cannot host more seeds than members.
+    quota[community] =
+        std::min(quota[community], communities.size_of[community]);
+    assigned += quota[community];
+    remainders[community] = {share - static_cast<double>(quota[community]),
+                             community};
+  }
+  std::sort(remainders.begin(), remainders.end(), [](const auto &a, const auto &b) {
+    return a.first > b.first || (a.first == b.first && a.second < b.second);
+  });
+  for (std::size_t i = 0; assigned < k; i = (i + 1) % remainders.size()) {
+    std::uint32_t community = remainders[i].second;
+    if (quota[community] < communities.size_of[community]) {
+      ++quota[community];
+      ++assigned;
+    }
+  }
+
+  // Fill each community's quota by degree discounting restricted to the
+  // community (inter-community edges are ignored — the shortcoming the
+  // paper highlights, preserved deliberately for fidelity).
+  std::vector<double> discounted(n);
+  std::vector<std::uint32_t> selected_neighbors(n, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  for (vertex_t v = 0; v < n; ++v)
+    discounted[v] = static_cast<double>(graph.out_degree(v));
+
+  std::vector<vertex_t> seeds;
+  seeds.reserve(k);
+  for (std::uint32_t community = 0; community < c; ++community) {
+    for (std::uint32_t picked = 0; picked < quota[community]; ++picked) {
+      vertex_t best = n;
+      for (vertex_t v = 0; v < n; ++v) {
+        if (selected[v] || communities.label_of[v] != community) continue;
+        if (best == n || discounted[v] > discounted[best] ||
+            (discounted[v] == discounted[best] && v < best))
+          best = v;
+      }
+      RIPPLES_ASSERT(best < n);
+      selected[best] = 1;
+      seeds.push_back(best);
+      for (const Adjacency &out : graph.out_neighbors(best)) {
+        vertex_t v = out.vertex;
+        if (selected[v] || communities.label_of[v] != community) continue;
+        auto d = static_cast<double>(graph.out_degree(v));
+        auto t = static_cast<double>(++selected_neighbors[v]);
+        discounted[v] = d - 2.0 * t - (d - t) * t * probability;
+      }
+    }
+  }
+  return seeds;
+}
+
+} // namespace ripples

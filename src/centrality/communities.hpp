@@ -1,0 +1,51 @@
+/// \file communities.hpp
+/// \brief Community detection + community-based seed heuristics.
+///
+/// Section 2 of the paper surveys community-based influence maximization
+/// (Wang et al., Chen et al., Halappanavar et al.) and notes its "major
+/// shortcoming": disjoint community subgraphs ignore inter-community
+/// edges.  This module supplies that family as a comparator — asynchronous
+/// label propagation for the communities, and the proportional-allocation
+/// heuristic of Halappanavar et al. (seeds split across communities in
+/// proportion to community size, picked within each community by
+/// discounted degree) — so the benches can demonstrate both its speed and
+/// the quality gap the paper attributes to it.
+#ifndef RIPPLES_CENTRALITY_COMMUNITIES_HPP
+#define RIPPLES_CENTRALITY_COMMUNITIES_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ripples {
+
+struct CommunityAssignment {
+  /// Community label per vertex, compacted to [0, num_communities).
+  std::vector<std::uint32_t> label_of;
+  std::uint32_t num_communities = 0;
+  /// Vertices per community.
+  std::vector<std::uint32_t> size_of;
+};
+
+/// Asynchronous label propagation (Raghavan et al.) over the undirected
+/// view of the graph (an edge in either direction links the endpoints).
+/// Deterministic in \p seed (vertex visit order is a seeded shuffle per
+/// sweep); stops when a sweep changes no label or after \p max_sweeps.
+[[nodiscard]] CommunityAssignment
+label_propagation(const CsrGraph &graph, unsigned max_sweeps,
+                  std::uint64_t seed);
+
+/// Halappanavar et al.'s allocation heuristic: distribute the k seeds over
+/// communities proportionally to community size (largest remainder method),
+/// then fill each community's quota with its highest-degree-discount
+/// vertices.  \p probability is the IC edge probability used by the
+/// discount.
+[[nodiscard]] std::vector<vertex_t>
+community_proportional_seeds(const CsrGraph &graph,
+                             const CommunityAssignment &communities,
+                             std::uint32_t k, double probability);
+
+} // namespace ripples
+
+#endif // RIPPLES_CENTRALITY_COMMUNITIES_HPP

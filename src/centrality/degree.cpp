@@ -1,0 +1,45 @@
+#include "centrality/degree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+std::vector<std::uint32_t> degree_centrality(const CsrGraph &graph) {
+  std::vector<std::uint32_t> degree(graph.num_vertices());
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    degree[v] = static_cast<std::uint32_t>(graph.out_degree(v) + graph.in_degree(v));
+  return degree;
+}
+
+namespace {
+
+template <typename Score>
+std::vector<vertex_t> top_k_impl(std::span<const Score> scores, std::uint32_t k) {
+  RIPPLES_ASSERT(k >= 1 && k <= scores.size());
+  std::vector<vertex_t> order(scores.size());
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](vertex_t a, vertex_t b) {
+                      return scores[a] > scores[b] ||
+                             (scores[a] == scores[b] && a < b);
+                    });
+  order.resize(k);
+  return order;
+}
+
+} // namespace
+
+std::vector<vertex_t> top_k_by_score(std::span<const double> scores,
+                                     std::uint32_t k) {
+  return top_k_impl(scores, k);
+}
+
+std::vector<vertex_t> top_k_by_score(std::span<const std::uint32_t> scores,
+                                     std::uint32_t k) {
+  return top_k_impl(scores, k);
+}
+
+} // namespace ripples

@@ -1,0 +1,30 @@
+/// \file degree.hpp
+/// \brief Degree centrality and top-k ranking.
+///
+/// Section 5 of the paper compares IMM's seed set against vertex rankings
+/// by degree and betweenness centrality; these helpers produce those
+/// rankings with deterministic tie-breaking (smaller id first).
+#ifndef RIPPLES_CENTRALITY_DEGREE_HPP
+#define RIPPLES_CENTRALITY_DEGREE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ripples {
+
+/// Total degree (in + out) per vertex — SNAP's convention for "degree" on
+/// directed graphs, and the measure the case study uses.
+[[nodiscard]] std::vector<std::uint32_t> degree_centrality(const CsrGraph &graph);
+
+/// Indices of the top-k entries of \p scores, descending, ties to smaller
+/// id.  Shared by every centrality ranking.
+[[nodiscard]] std::vector<vertex_t> top_k_by_score(std::span<const double> scores,
+                                                   std::uint32_t k);
+[[nodiscard]] std::vector<vertex_t>
+top_k_by_score(std::span<const std::uint32_t> scores, std::uint32_t k);
+
+} // namespace ripples
+
+#endif // RIPPLES_CENTRALITY_DEGREE_HPP

@@ -1,0 +1,75 @@
+#include "centrality/kcore.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ripples {
+
+std::vector<std::uint32_t> core_numbers(const CsrGraph &graph) {
+  const vertex_t n = graph.num_vertices();
+  std::vector<std::uint32_t> degree(n);
+  std::uint32_t max_degree = 0;
+  for (vertex_t v = 0; v < n; ++v) {
+    degree[v] = static_cast<std::uint32_t>(graph.out_degree(v) + graph.in_degree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // Matula-Beck peeling with bucket sort by current degree.
+  std::vector<std::uint32_t> bucket_start(max_degree + 2, 0);
+  for (vertex_t v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (std::uint32_t d = 1; d <= max_degree + 1; ++d)
+    bucket_start[d] += bucket_start[d - 1];
+
+  std::vector<vertex_t> ordered(n);      // vertices sorted by current degree
+  std::vector<std::uint32_t> position(n); // index of each vertex in `ordered`
+  {
+    std::vector<std::uint32_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (vertex_t v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]];
+      ordered[position[v]] = v;
+      ++cursor[degree[v]];
+    }
+  }
+
+  std::vector<std::uint32_t> core(degree);
+  auto decrease_degree = [&](vertex_t u) {
+    // Swap u to the front of its degree bucket, then shrink its degree.
+    std::uint32_t d = core[u];
+    std::uint32_t front = bucket_start[d];
+    vertex_t front_vertex = ordered[front];
+    std::swap(ordered[position[u]], ordered[front]);
+    std::swap(position[u], position[front_vertex]);
+    ++bucket_start[d];
+    --core[u];
+  };
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    vertex_t v = ordered[i];
+    // core[v] is now final; peel v from its not-yet-peeled neighbors.
+    auto relax = [&](vertex_t u) {
+      if (position[u] > i && core[u] > core[v]) decrease_degree(u);
+    };
+    for (const Adjacency &out : graph.out_neighbors(v)) relax(out.vertex);
+    for (const Adjacency &in : graph.in_neighbors(v)) relax(in.vertex);
+  }
+  return core;
+}
+
+std::vector<vertex_t> k_shell_seeds(const CsrGraph &graph, std::uint32_t k) {
+  std::vector<std::uint32_t> core = core_numbers(graph);
+  std::vector<vertex_t> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](vertex_t a, vertex_t b) {
+                      if (core[a] != core[b]) return core[a] > core[b];
+                      std::size_t da = graph.out_degree(a) + graph.in_degree(a);
+                      std::size_t db = graph.out_degree(b) + graph.in_degree(b);
+                      if (da != db) return da > db;
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+} // namespace ripples

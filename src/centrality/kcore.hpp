@@ -1,0 +1,29 @@
+/// \file kcore.hpp
+/// \brief k-shell (k-core) decomposition.
+///
+/// Wu et al. (cited as [18] in the paper) select seeds from the innermost
+/// k-shells.  The decomposition here is the standard peeling algorithm
+/// over the undirected view (total degree), O(n + m) with bucketed
+/// degrees, and a seed heuristic takes the top-k vertices by core number
+/// (ties by degree, then id).
+#ifndef RIPPLES_CENTRALITY_KCORE_HPP
+#define RIPPLES_CENTRALITY_KCORE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ripples {
+
+/// Core number per vertex (undirected view: in-degree + out-degree).
+[[nodiscard]] std::vector<std::uint32_t> core_numbers(const CsrGraph &graph);
+
+/// The k vertices with the highest core number (ties: higher total degree,
+/// then smaller id) — the k-shell seed heuristic.
+[[nodiscard]] std::vector<vertex_t> k_shell_seeds(const CsrGraph &graph,
+                                                  std::uint32_t k);
+
+} // namespace ripples
+
+#endif // RIPPLES_CENTRALITY_KCORE_HPP

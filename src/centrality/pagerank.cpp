@@ -1,0 +1,47 @@
+#include "centrality/pagerank.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+std::vector<double> pagerank(const CsrGraph &graph,
+                             const PageRankOptions &options) {
+  RIPPLES_ASSERT(options.damping > 0.0 && options.damping < 1.0);
+  const vertex_t n = graph.num_vertices();
+  if (n == 0) return {};
+
+  const double uniform = 1.0 / static_cast<double>(n);
+  std::vector<double> scores(n, uniform);
+  std::vector<double> next(n, 0.0);
+
+  for (std::uint32_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Mass from dangling vertices is spread uniformly.
+    double dangling_mass = 0.0;
+    for (vertex_t v = 0; v < n; ++v)
+      if (graph.out_degree(v) == 0) dangling_mass += scores[v];
+
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * dangling_mass * uniform;
+    std::fill(next.begin(), next.end(), base);
+    // Pull formulation over in-edges keeps the loop write-local.
+    for (vertex_t v = 0; v < n; ++v) {
+      double incoming = 0.0;
+      for (const Adjacency &in : graph.in_neighbors(v))
+        incoming += scores[in.vertex] /
+                    static_cast<double>(graph.out_degree(in.vertex));
+      next[v] += options.damping * incoming;
+    }
+
+    double delta = 0.0;
+    for (vertex_t v = 0; v < n; ++v) delta += std::abs(next[v] - scores[v]);
+    scores.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return scores;
+}
+
+} // namespace ripples

@@ -1,0 +1,32 @@
+#include "diffusion/model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripples {
+
+const char *to_string(DiffusionModel model) {
+  switch (model) {
+  case DiffusionModel::IndependentCascade: return "IC";
+  case DiffusionModel::LinearThreshold: return "LT";
+  }
+  return "?";
+}
+
+DiffusionModel parse_model(const std::string &name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "ic" || lower == "independentcascade" ||
+      lower == "independent-cascade")
+    return DiffusionModel::IndependentCascade;
+  if (lower == "lt" || lower == "linearthreshold" || lower == "linear-threshold")
+    return DiffusionModel::LinearThreshold;
+  std::fprintf(stderr, "ripples: unknown diffusion model '%s' (use IC or LT)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+} // namespace ripples

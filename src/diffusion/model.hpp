@@ -1,0 +1,26 @@
+/// \file model.hpp
+/// \brief The two network diffusion models of the paper (Section 3).
+#ifndef RIPPLES_DIFFUSION_MODEL_HPP
+#define RIPPLES_DIFFUSION_MODEL_HPP
+
+#include <string>
+
+namespace ripples {
+
+/// \li IndependentCascade: an activated vertex u has a one-shot chance to
+///     activate each inactive out-neighbor v, succeeding with p(u->v).
+/// \li LinearThreshold: vertex v activates when the weight of its active
+///     in-neighbors exceeds a uniform random threshold; equivalently (live-
+///     edge formulation) v pre-selects at most one in-edge with probability
+///     equal to its weight.
+enum class DiffusionModel { IndependentCascade, LinearThreshold };
+
+[[nodiscard]] const char *to_string(DiffusionModel model);
+
+/// Parses "IC"/"LT" (and long names, case-insensitive).  Exits with a
+/// diagnostic on anything else — model strings only come from command lines.
+[[nodiscard]] DiffusionModel parse_model(const std::string &name);
+
+} // namespace ripples
+
+#endif // RIPPLES_DIFFUSION_MODEL_HPP

@@ -1,0 +1,133 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+public:
+  explicit DisjointSets(std::uint32_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  std::uint32_t find(std::uint32_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::uint32_t a, std::uint32_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+};
+
+} // namespace
+
+ComponentAssignment weakly_connected_components(const CsrGraph &graph) {
+  const vertex_t n = graph.num_vertices();
+  DisjointSets sets(n);
+  for (vertex_t u = 0; u < n; ++u)
+    for (const Adjacency &out : graph.out_neighbors(u)) sets.unite(u, out.vertex);
+
+  ComponentAssignment assignment;
+  assignment.component_of.resize(n);
+  std::vector<std::uint32_t> compact(n, 0xffffffff);
+  for (vertex_t v = 0; v < n; ++v) {
+    std::uint32_t root = sets.find(v);
+    if (compact[root] == 0xffffffff) {
+      compact[root] = assignment.num_components++;
+      assignment.size_of.push_back(0);
+    }
+    assignment.component_of[v] = compact[root];
+    ++assignment.size_of[compact[root]];
+  }
+  return assignment;
+}
+
+ComponentAssignment strongly_connected_components(const CsrGraph &graph) {
+  const vertex_t n = graph.num_vertices();
+  constexpr std::uint32_t kUnvisited = 0xffffffff;
+
+  ComponentAssignment assignment;
+  assignment.component_of.assign(n, kUnvisited);
+
+  std::vector<std::uint32_t> index_of(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<std::uint8_t> on_stack(n, 0);
+  std::vector<vertex_t> stack; // Tarjan's component stack
+
+  // Explicit DFS frame: the vertex and how many out-edges are consumed.
+  struct Frame {
+    vertex_t vertex;
+    std::uint32_t next_edge;
+  };
+  std::vector<Frame> dfs;
+  std::uint32_t next_index = 0;
+
+  for (vertex_t start = 0; start < n; ++start) {
+    if (index_of[start] != kUnvisited) continue;
+    dfs.push_back({start, 0});
+    while (!dfs.empty()) {
+      Frame &frame = dfs.back();
+      vertex_t v = frame.vertex;
+      if (frame.next_edge == 0) {
+        index_of[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      auto out = graph.out_neighbors(v);
+      bool descended = false;
+      while (frame.next_edge < out.size()) {
+        vertex_t w = out[frame.next_edge++].vertex;
+        if (index_of[w] == kUnvisited) {
+          dfs.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) lowlink[v] = std::min(lowlink[v], index_of[w]);
+      }
+      if (descended) continue;
+
+      // v is finished: pop a component if v is a root, then propagate the
+      // lowlink to the parent.
+      if (lowlink[v] == index_of[v]) {
+        std::uint32_t component = assignment.num_components++;
+        assignment.size_of.push_back(0);
+        for (;;) {
+          vertex_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          assignment.component_of[w] = component;
+          ++assignment.size_of[component];
+          if (w == v) break;
+        }
+      }
+      dfs.pop_back();
+      if (!dfs.empty()) {
+        vertex_t parent = dfs.back().vertex;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  RIPPLES_DEBUG_ASSERT(stack.empty());
+  return assignment;
+}
+
+} // namespace ripples

@@ -1,0 +1,45 @@
+/// \file components.hpp
+/// \brief Connected-component analyses of the input graph.
+///
+/// IMM's behaviour is governed by reachability structure: under IC with
+/// high edge probabilities, RRR sets approach the in-component of the root
+/// within the giant SCC, and theta's lower bound tracks the largest
+/// influence basin.  These analyses let users (and the dataset registry
+/// tests) characterize inputs the way the SNAP dataset pages do — giant
+/// WCC/SCC sizes — and support the case-study diagnostics.
+#ifndef RIPPLES_GRAPH_COMPONENTS_HPP
+#define RIPPLES_GRAPH_COMPONENTS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ripples {
+
+struct ComponentAssignment {
+  /// Component id per vertex, compacted to [0, num_components).
+  std::vector<std::uint32_t> component_of;
+  std::uint32_t num_components = 0;
+  /// Vertices per component.
+  std::vector<std::uint32_t> size_of;
+
+  /// Size of the largest component (0 for an empty graph).
+  [[nodiscard]] std::uint32_t giant_size() const {
+    std::uint32_t giant = 0;
+    for (std::uint32_t size : size_of) giant = std::max(giant, size);
+    return giant;
+  }
+};
+
+/// Weakly connected components (union-find over the undirected view).
+[[nodiscard]] ComponentAssignment weakly_connected_components(const CsrGraph &graph);
+
+/// Strongly connected components (iterative Tarjan — no recursion, safe
+/// for million-vertex chains).  Component ids are in reverse topological
+/// order of the condensation (Tarjan's natural output order).
+[[nodiscard]] ComponentAssignment strongly_connected_components(const CsrGraph &graph);
+
+} // namespace ripples
+
+#endif // RIPPLES_GRAPH_COMPONENTS_HPP

@@ -1,0 +1,114 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ripples {
+
+CsrGraph::CsrGraph(const EdgeList &list) : num_vertices_(list.num_vertices) {
+  for (const WeightedEdge &e : list.edges) {
+    RIPPLES_ASSERT_MSG(e.source < num_vertices_ && e.destination < num_vertices_,
+                       "edge endpoint out of range");
+  }
+
+  // Count non-loop edges per endpoint.
+  std::vector<edge_offset_t> out_count(num_vertices_ + 1, 0);
+  std::vector<edge_offset_t> in_count(num_vertices_ + 1, 0);
+  edge_offset_t kept = 0;
+  for (const WeightedEdge &e : list.edges) {
+    if (e.source == e.destination) continue; // self-loops cannot spread influence
+    ++out_count[e.source + 1];
+    ++in_count[e.destination + 1];
+    ++kept;
+  }
+
+  out_offsets_.assign(num_vertices_ + 1, 0);
+  in_offsets_.assign(num_vertices_ + 1, 0);
+  std::partial_sum(out_count.begin(), out_count.end(), out_offsets_.begin());
+  std::partial_sum(in_count.begin(), in_count.end(), in_offsets_.begin());
+
+  // Fill the out-CSR first, remembering each edge's out slot so the in-CSR
+  // can cross-reference it.
+  out_adjacency_.resize(kept);
+  std::vector<edge_offset_t> cursor(out_offsets_.begin(), out_offsets_.end() - 1);
+  struct InEntry {
+    vertex_t source;
+    float weight;
+    edge_offset_t out_index;
+  };
+  std::vector<InEntry> in_scratch(kept);
+  std::vector<edge_offset_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const WeightedEdge &e : list.edges) {
+    if (e.source == e.destination) continue;
+    edge_offset_t slot = cursor[e.source]++;
+    out_adjacency_[slot] = {e.destination, e.weight};
+    in_scratch[in_cursor[e.destination]++] = {e.source, e.weight, slot};
+  }
+
+  // Sort each out-adjacency list by neighbor id.  The cross-index must track
+  // the permutation, so sort index arrays per bucket.
+  std::vector<edge_offset_t> out_perm(kept); // out slot -> final position
+  {
+    std::vector<edge_offset_t> order;
+    for (vertex_t u = 0; u < num_vertices_; ++u) {
+      edge_offset_t begin = out_offsets_[u], end = out_offsets_[u + 1];
+      order.resize(static_cast<std::size_t>(end - begin));
+      std::iota(order.begin(), order.end(), begin);
+      std::sort(order.begin(), order.end(), [&](edge_offset_t a, edge_offset_t b) {
+        return out_adjacency_[a].vertex < out_adjacency_[b].vertex;
+      });
+      // Apply the permutation out-of-place per bucket (buckets are small).
+      std::vector<Adjacency> sorted(order.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        sorted[i] = out_adjacency_[order[i]];
+        out_perm[order[i]] = begin + i;
+      }
+      std::copy(sorted.begin(), sorted.end(), out_adjacency_.begin() + static_cast<std::ptrdiff_t>(begin));
+    }
+  }
+
+  // Sort each in-adjacency bucket by source id and record the cross-index.
+  in_adjacency_.resize(kept);
+  in_to_out_.resize(kept);
+  for (vertex_t v = 0; v < num_vertices_; ++v) {
+    auto begin = in_scratch.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v]);
+    auto end = in_scratch.begin() + static_cast<std::ptrdiff_t>(in_offsets_[v + 1]);
+    std::sort(begin, end,
+              [](const InEntry &a, const InEntry &b) { return a.source < b.source; });
+    for (auto it = begin; it != end; ++it) {
+      auto i = static_cast<std::size_t>(it - in_scratch.begin());
+      in_adjacency_[i] = {it->source, it->weight};
+      in_to_out_[i] = out_perm[it->out_index];
+    }
+  }
+}
+
+void CsrGraph::propagate_weights_in_to_out() {
+  for (std::size_t i = 0; i < in_adjacency_.size(); ++i)
+    out_adjacency_[in_to_out_[i]].weight = in_adjacency_[i].weight;
+}
+
+void CsrGraph::propagate_weights_out_to_in() {
+  for (std::size_t i = 0; i < in_adjacency_.size(); ++i)
+    in_adjacency_[i].weight = out_adjacency_[in_to_out_[i]].weight;
+}
+
+std::size_t CsrGraph::memory_footprint_bytes() const {
+  return out_offsets_.capacity() * sizeof(edge_offset_t) +
+         in_offsets_.capacity() * sizeof(edge_offset_t) +
+         out_adjacency_.capacity() * sizeof(Adjacency) +
+         in_adjacency_.capacity() * sizeof(Adjacency) +
+         in_to_out_.capacity() * sizeof(edge_offset_t);
+}
+
+EdgeList CsrGraph::to_edge_list() const {
+  EdgeList list;
+  list.num_vertices = num_vertices_;
+  list.edges.reserve(out_adjacency_.size());
+  for (vertex_t u = 0; u < num_vertices_; ++u)
+    for (const Adjacency &adjacent : out_neighbors(u))
+      list.edges.push_back({u, adjacent.vertex, adjacent.weight});
+  return list;
+}
+
+} // namespace ripples

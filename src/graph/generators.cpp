@@ -1,0 +1,273 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Packs an arc into one key for duplicate detection.
+std::uint64_t arc_key(vertex_t s, vertex_t d) {
+  return (static_cast<std::uint64_t>(s) << 32) | d;
+}
+
+} // namespace
+
+EdgeList erdos_renyi(vertex_t num_vertices, edge_offset_t num_edges,
+                     std::uint64_t seed) {
+  RIPPLES_ASSERT(num_vertices >= 2);
+  const auto max_arcs = static_cast<edge_offset_t>(num_vertices) *
+                        (num_vertices - 1);
+  RIPPLES_ASSERT_MSG(num_edges <= max_arcs, "G(n,m) cannot host m arcs");
+
+  Xoshiro256 rng(seed);
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(num_edges);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(num_edges) * 2);
+  while (list.edges.size() < num_edges) {
+    auto s = static_cast<vertex_t>(uniform_index(rng, num_vertices));
+    auto d = static_cast<vertex_t>(uniform_index(rng, num_vertices));
+    if (s == d) continue;
+    if (!seen.insert(arc_key(s, d)).second) continue;
+    list.edges.push_back({s, d, 1.0f});
+  }
+  return list;
+}
+
+EdgeList barabasi_albert(vertex_t num_vertices, unsigned edges_per_vertex,
+                         std::uint64_t seed) {
+  RIPPLES_ASSERT(edges_per_vertex >= 1);
+  RIPPLES_ASSERT(num_vertices > edges_per_vertex);
+
+  Xoshiro256 rng(seed);
+  EdgeList list;
+  list.num_vertices = num_vertices;
+
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is sampling proportionally to degree (the standard BA trick).
+  std::vector<vertex_t> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(num_vertices) *
+                        edges_per_vertex * 2);
+
+  // Seed clique over the first edges_per_vertex+1 vertices keeps early
+  // attachment well-defined.
+  for (vertex_t u = 0; u <= edges_per_vertex; ++u) {
+    for (vertex_t v = 0; v <= edges_per_vertex; ++v) {
+      if (u >= v) continue;
+      list.edges.push_back({u, v, 1.0f});
+      list.edges.push_back({v, u, 1.0f});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+
+  std::vector<vertex_t> chosen;
+  for (vertex_t u = edges_per_vertex + 1; u < num_vertices; ++u) {
+    chosen.clear();
+    while (chosen.size() < edges_per_vertex) {
+      auto idx = static_cast<std::size_t>(uniform_index(rng, endpoint_pool.size()));
+      vertex_t candidate = endpoint_pool[idx];
+      if (std::find(chosen.begin(), chosen.end(), candidate) != chosen.end())
+        continue;
+      chosen.push_back(candidate);
+    }
+    for (vertex_t v : chosen) {
+      list.edges.push_back({u, v, 1.0f});
+      list.edges.push_back({v, u, 1.0f});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return list;
+}
+
+EdgeList watts_strogatz(vertex_t num_vertices, unsigned neighbors_per_side,
+                        double beta, std::uint64_t seed) {
+  RIPPLES_ASSERT(num_vertices > 2 * neighbors_per_side);
+  RIPPLES_ASSERT(beta >= 0.0 && beta <= 1.0);
+
+  Xoshiro256 rng(seed);
+  // Build the undirected ring-lattice edge set with rewiring, then emit both
+  // arc directions.  `seen` prevents rewiring onto an existing edge.
+  std::unordered_set<std::uint64_t> seen;
+  auto undirected_key = [](vertex_t a, vertex_t b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  };
+  std::vector<std::pair<vertex_t, vertex_t>> edges;
+  for (vertex_t u = 0; u < num_vertices; ++u) {
+    for (unsigned j = 1; j <= neighbors_per_side; ++j) {
+      vertex_t v = static_cast<vertex_t>((u + j) % num_vertices);
+      edges.emplace_back(u, v);
+      seen.insert(undirected_key(u, v));
+    }
+  }
+  for (auto &[u, v] : edges) {
+    if (!bernoulli(rng, beta)) continue;
+    // Rewire the far endpoint to a uniform non-neighbor.
+    for (int attempts = 0; attempts < 32; ++attempts) {
+      auto w = static_cast<vertex_t>(uniform_index(rng, num_vertices));
+      if (w == u || w == v) continue;
+      if (!seen.insert(undirected_key(u, w)).second) continue;
+      seen.erase(undirected_key(u, v));
+      v = w;
+      break;
+    }
+  }
+
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  list.edges.reserve(edges.size() * 2);
+  for (auto [u, v] : edges) {
+    list.edges.push_back({u, v, 1.0f});
+    list.edges.push_back({v, u, 1.0f});
+  }
+  return list;
+}
+
+EdgeList rmat(const RmatParams &params, std::uint64_t seed) {
+  RIPPLES_ASSERT(params.scale >= 1 && params.scale <= 31);
+  const double sum = params.a + params.b + params.c + params.d;
+  RIPPLES_ASSERT_MSG(std::abs(sum - 1.0) < 1e-9,
+                     "R-MAT quadrant probabilities must sum to 1");
+
+  const vertex_t n = vertex_t{1} << params.scale;
+  const auto target =
+      static_cast<edge_offset_t>(params.edge_factor * static_cast<double>(n));
+
+  Xoshiro256 rng(seed);
+  EdgeList list;
+  list.num_vertices = n;
+  list.edges.reserve(target);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target) * 2);
+
+  while (list.edges.size() < target) {
+    vertex_t row = 0, col = 0;
+    // Per-edge noisy copy of the quadrant probabilities (smoothed Kronecker).
+    double a = params.a, b = params.b, c = params.c, d = params.d;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      double r = uniform_unit(rng);
+      row <<= 1;
+      col <<= 1;
+      if (r < a) {
+        // top-left: nothing to add
+      } else if (r < a + b) {
+        col |= 1;
+      } else if (r < a + b + c) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+      if (params.noise > 0) {
+        auto jitter = [&](double q) {
+          double u = 1.0 + params.noise * (uniform_unit(rng) - 0.5);
+          return q * u;
+        };
+        a = jitter(a);
+        b = jitter(b);
+        c = jitter(c);
+        d = jitter(d);
+        double s = a + b + c + d;
+        a /= s;
+        b /= s;
+        c /= s;
+        d /= s;
+      }
+    }
+    if (row == col) continue;
+    if (!seen.insert(arc_key(row, col)).second) continue;
+    list.edges.push_back({row, col, 1.0f});
+    if (params.undirected) {
+      if (seen.insert(arc_key(col, row)).second)
+        list.edges.push_back({col, row, 1.0f});
+    }
+  }
+  return list;
+}
+
+EdgeList stochastic_block_model(const std::vector<vertex_t> &block_sizes,
+                                double p_in, double p_out, std::uint64_t seed) {
+  RIPPLES_ASSERT(p_in >= 0.0 && p_in <= 1.0);
+  RIPPLES_ASSERT(p_out >= 0.0 && p_out <= 1.0);
+
+  EdgeList list;
+  std::vector<vertex_t> block_of;
+  for (std::size_t b = 0; b < block_sizes.size(); ++b)
+    for (vertex_t i = 0; i < block_sizes[b]; ++i)
+      block_of.push_back(static_cast<vertex_t>(b));
+  list.num_vertices = static_cast<vertex_t>(block_of.size());
+  RIPPLES_ASSERT(list.num_vertices >= 2);
+
+  // Per-pair Bernoulli draws: O(n^2), intended for the community-study
+  // sizes (thousands of vertices).  Geometric skipping would be the
+  // upgrade path for sparse large instances.
+  Xoshiro256 rng(seed);
+  for (vertex_t u = 0; u < list.num_vertices; ++u) {
+    for (vertex_t v = 0; v < list.num_vertices; ++v) {
+      if (u == v) continue;
+      double p = block_of[u] == block_of[v] ? p_in : p_out;
+      if (bernoulli(rng, p)) list.edges.push_back({u, v, 1.0f});
+    }
+  }
+  return list;
+}
+
+EdgeList grid_2d(vertex_t rows, vertex_t cols) {
+  RIPPLES_ASSERT(rows >= 1 && cols >= 1);
+  EdgeList list;
+  list.num_vertices = rows * cols;
+  auto id = [cols](vertex_t r, vertex_t c) { return r * cols + c; };
+  for (vertex_t r = 0; r < rows; ++r) {
+    for (vertex_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        list.edges.push_back({id(r, c), id(r, c + 1), 1.0f});
+        list.edges.push_back({id(r, c + 1), id(r, c), 1.0f});
+      }
+      if (r + 1 < rows) {
+        list.edges.push_back({id(r, c), id(r + 1, c), 1.0f});
+        list.edges.push_back({id(r + 1, c), id(r, c), 1.0f});
+      }
+    }
+  }
+  return list;
+}
+
+EdgeList path_graph(vertex_t num_vertices) {
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  for (vertex_t u = 0; u + 1 < num_vertices; ++u)
+    list.edges.push_back({u, static_cast<vertex_t>(u + 1), 1.0f});
+  return list;
+}
+
+EdgeList complete_graph(vertex_t num_vertices) {
+  EdgeList list;
+  list.num_vertices = num_vertices;
+  for (vertex_t u = 0; u < num_vertices; ++u)
+    for (vertex_t v = 0; v < num_vertices; ++v)
+      if (u != v) list.edges.push_back({u, v, 1.0f});
+  return list;
+}
+
+EdgeList star_graph(vertex_t num_leaves, bool bidirectional) {
+  EdgeList list;
+  list.num_vertices = num_leaves + 1;
+  for (vertex_t leaf = 1; leaf <= num_leaves; ++leaf) {
+    list.edges.push_back({0, leaf, 1.0f});
+    if (bidirectional) list.edges.push_back({leaf, 0, 1.0f});
+  }
+  return list;
+}
+
+} // namespace ripples

@@ -1,0 +1,81 @@
+/// \file generators.hpp
+/// \brief Synthetic graph generators standing in for the SNAP datasets.
+///
+/// The paper evaluates on eight SNAP graphs that are not redistributable
+/// here.  These generators produce graphs whose structural drivers of IMM
+/// behaviour — size, density, degree skew, directedness — can be matched to
+/// each dataset (see registry.hpp).  All generators are deterministic given
+/// a seed.
+#ifndef RIPPLES_GRAPH_GENERATORS_HPP
+#define RIPPLES_GRAPH_GENERATORS_HPP
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace ripples {
+
+/// Directed Erdős–Rényi G(n, m): m arcs sampled uniformly (self-loops
+/// excluded, duplicates retried so exactly m distinct arcs result).
+[[nodiscard]] EdgeList erdos_renyi(vertex_t num_vertices,
+                                   edge_offset_t num_edges,
+                                   std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// \p edges_per_vertex existing vertices with probability proportional to
+/// degree.  The undirected result is emitted as arcs in both directions
+/// (matching the com-* SNAP graphs, which are undirected).
+[[nodiscard]] EdgeList barabasi_albert(vertex_t num_vertices,
+                                       unsigned edges_per_vertex,
+                                       std::uint64_t seed);
+
+/// Watts–Strogatz small world: ring lattice with \p neighbors_per_side
+/// neighbors on each side, each edge rewired with probability \p beta;
+/// emitted as arcs in both directions.
+[[nodiscard]] EdgeList watts_strogatz(vertex_t num_vertices,
+                                      unsigned neighbors_per_side, double beta,
+                                      std::uint64_t seed);
+
+/// R-MAT / stochastic Kronecker generator (Chakrabarti et al.).  Produces
+/// 2^scale vertices and edge_factor * 2^scale directed arcs with quadrant
+/// probabilities (a, b, c, d); a+b+c+d must sum to 1.  The default
+/// parameters (0.57, 0.19, 0.19, 0.05) reproduce the heavy-tailed degree
+/// distributions of social networks.  Duplicates are removed; `noise` adds
+/// the standard per-level probability smoothing that avoids grid artifacts.
+struct RmatParams {
+  unsigned scale = 14;
+  double edge_factor = 16.0;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  double noise = 0.1;
+  bool undirected = false; ///< emit each edge in both directions
+};
+[[nodiscard]] EdgeList rmat(const RmatParams &params, std::uint64_t seed);
+
+/// Stochastic block model: \p block_sizes communities; an arc u -> v is
+/// present independently with probability p_in when u and v share a block
+/// and p_out otherwise.  The planted-community input for the
+/// community-heuristic comparisons.
+[[nodiscard]] EdgeList
+stochastic_block_model(const std::vector<vertex_t> &block_sizes, double p_in,
+                       double p_out, std::uint64_t seed);
+
+/// Two-dimensional grid with directed arcs both ways between lattice
+/// neighbors — a low-skew, high-diameter stress case for the BFS kernels.
+[[nodiscard]] EdgeList grid_2d(vertex_t rows, vertex_t cols);
+
+/// A directed path 0 -> 1 -> ... -> n-1; closed-form influence values make
+/// it the main correctness oracle in the tests.
+[[nodiscard]] EdgeList path_graph(vertex_t num_vertices);
+
+/// Complete directed graph on n vertices (tiny n only).
+[[nodiscard]] EdgeList complete_graph(vertex_t num_vertices);
+
+/// Star: arcs hub -> leaf for every leaf (and optionally back).
+[[nodiscard]] EdgeList star_graph(vertex_t num_leaves, bool bidirectional);
+
+} // namespace ripples
+
+#endif // RIPPLES_GRAPH_GENERATORS_HPP

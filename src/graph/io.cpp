@@ -1,0 +1,115 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace ripples {
+
+namespace {
+
+constexpr std::uint32_t kBinaryMagic = 0x52504C47; // "RPLG"
+constexpr std::uint32_t kBinaryVersion = 1;
+
+[[noreturn]] void fail(const std::string &what) {
+  throw std::runtime_error("ripples graph io: " + what);
+}
+
+} // namespace
+
+EdgeList read_edge_list_text(std::istream &input, bool compact_ids) {
+  EdgeList list;
+  std::unordered_map<std::uint64_t, vertex_t> compact;
+  auto intern = [&](std::uint64_t raw) -> vertex_t {
+    if (!compact_ids) {
+      auto id = static_cast<vertex_t>(raw);
+      list.num_vertices = std::max(list.num_vertices,
+                                   static_cast<vertex_t>(id + 1));
+      return id;
+    }
+    auto [it, inserted] = compact.try_emplace(raw, list.num_vertices);
+    if (inserted) ++list.num_vertices;
+    return it->second;
+  };
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(input, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t raw_src = 0, raw_dst = 0;
+    if (!(fields >> raw_src >> raw_dst))
+      fail("malformed edge at line " + std::to_string(line_no));
+    float weight = 1.0f;
+    fields >> weight; // optional third column
+    list.edges.push_back({intern(raw_src), intern(raw_dst), weight});
+  }
+  return list;
+}
+
+EdgeList load_edge_list_text(const std::string &path, bool compact_ids) {
+  std::ifstream input(path);
+  if (!input) fail("cannot open '" + path + "'");
+  return read_edge_list_text(input, compact_ids);
+}
+
+void write_edge_list_text(std::ostream &output, const EdgeList &list) {
+  output << "# ripples edge list: " << list.num_vertices << " vertices, "
+         << list.edges.size() << " edges\n";
+  for (const WeightedEdge &e : list.edges)
+    output << e.source << '\t' << e.destination << '\t' << e.weight << '\n';
+}
+
+void save_edge_list_text(const std::string &path, const EdgeList &list) {
+  std::ofstream output(path);
+  if (!output) fail("cannot open '" + path + "' for writing");
+  write_edge_list_text(output, list);
+}
+
+EdgeList load_edge_list_binary(const std::string &path) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) fail("cannot open '" + path + "'");
+
+  std::array<std::uint32_t, 2> magic_version{};
+  std::uint64_t n = 0, m = 0;
+  input.read(reinterpret_cast<char *>(magic_version.data()),
+             sizeof(magic_version));
+  input.read(reinterpret_cast<char *>(&n), sizeof(n));
+  input.read(reinterpret_cast<char *>(&m), sizeof(m));
+  if (!input || magic_version[0] != kBinaryMagic)
+    fail("'" + path + "' is not a ripples binary edge list");
+  if (magic_version[1] != kBinaryVersion)
+    fail("unsupported binary version in '" + path + "'");
+
+  EdgeList list;
+  list.num_vertices = static_cast<vertex_t>(n);
+  list.edges.resize(m);
+  input.read(reinterpret_cast<char *>(list.edges.data()),
+             static_cast<std::streamsize>(m * sizeof(WeightedEdge)));
+  if (!input) fail("truncated payload in '" + path + "'");
+  return list;
+}
+
+void save_edge_list_binary(const std::string &path, const EdgeList &list) {
+  std::ofstream output(path, std::ios::binary);
+  if (!output) fail("cannot open '" + path + "' for writing");
+  const std::array<std::uint32_t, 2> magic_version{kBinaryMagic, kBinaryVersion};
+  const std::uint64_t n = list.num_vertices;
+  const std::uint64_t m = list.edges.size();
+  output.write(reinterpret_cast<const char *>(magic_version.data()),
+               sizeof(magic_version));
+  output.write(reinterpret_cast<const char *>(&n), sizeof(n));
+  output.write(reinterpret_cast<const char *>(&m), sizeof(m));
+  output.write(reinterpret_cast<const char *>(list.edges.data()),
+               static_cast<std::streamsize>(m * sizeof(WeightedEdge)));
+  if (!output) fail("write failure on '" + path + "'");
+}
+
+} // namespace ripples

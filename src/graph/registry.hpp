@@ -1,0 +1,81 @@
+/// \file registry.hpp
+/// \brief The eight evaluation datasets of the paper, as SNAP surrogates.
+///
+/// Table 2 of the paper lists eight SNAP graphs.  Offline we cannot download
+/// them, so each registry entry carries (a) the paper's published statistics
+/// and measurements — used by the bench harness to print paper-vs-measured
+/// comparisons — and (b) a generator recipe whose degree distribution and
+/// directedness match the original.  `materialize` builds the surrogate at a
+/// caller-chosen scale: scale 1.0 approximates the original vertex count;
+/// the benches default to much smaller scales so the whole evaluation runs
+/// on one core.  If a genuine SNAP file is present on disk, `materialize`
+/// loads it instead (path override), making the harness usable unchanged on
+/// a machine with the real data.
+#ifndef RIPPLES_GRAPH_REGISTRY_HPP
+#define RIPPLES_GRAPH_REGISTRY_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace ripples {
+
+/// Reference numbers published in the paper (Table 2; -1 where the paper
+/// prints the ◦ "could not measure" marker).
+struct PaperReference {
+  vertex_t nodes;
+  edge_offset_t edges;
+  double avg_degree;
+  double max_degree;
+  double imm_seconds;      ///< Tang et al. baseline, eps=0.5, k=50
+  double immopt_seconds;   ///< the paper's IMMOPT, eps=0.5, k=50
+  double imm_megabytes;    ///< Massif peak, baseline
+  double immopt_megabytes; ///< Massif peak, IMMOPT
+};
+
+/// Generator recipe for the structural surrogate.
+struct SurrogateRecipe {
+  enum class Kind { Rmat, RmatUndirected, BarabasiAlbert };
+  Kind kind = Kind::Rmat;
+  /// Arcs-per-vertex target (m/n of the original edge list).
+  double edge_factor = 16.0;
+  /// BA attachment count (Kind::BarabasiAlbert only).
+  unsigned ba_edges_per_vertex = 3;
+};
+
+struct DatasetSpec {
+  std::string name;
+  PaperReference paper;
+  SurrogateRecipe recipe;
+};
+
+/// All eight datasets in the paper's Table 2 order.
+[[nodiscard]] std::span<const DatasetSpec> dataset_registry();
+
+/// Lookup by SNAP name ("com-Orkut", case-sensitive).  Terminates with a
+/// listing of valid names if not found — registry names are compiled in, so
+/// a miss is a usage error.
+[[nodiscard]] const DatasetSpec &find_dataset(const std::string &name);
+
+/// The four graphs used in the distributed-scaling figures (com-YouTube,
+/// soc-Pokec, soc-LiveJournal1, com-Orkut).
+[[nodiscard]] std::span<const std::string> large_dataset_names();
+
+/// Builds the surrogate at \p scale (fraction of the original vertex count;
+/// clamped below at 512 vertices).  Weights are NOT assigned; callers apply
+/// a weight model from weights.hpp.  Deterministic in (name, scale, seed).
+[[nodiscard]] CsrGraph materialize(const DatasetSpec &spec, double scale,
+                                   std::uint64_t seed);
+
+/// As above, but if \p snap_dir is non-empty and contains "<name>.txt", the
+/// genuine SNAP edge list is loaded instead of generating a surrogate.
+[[nodiscard]] CsrGraph materialize(const DatasetSpec &spec, double scale,
+                                   std::uint64_t seed,
+                                   const std::string &snap_dir);
+
+} // namespace ripples
+
+#endif // RIPPLES_GRAPH_REGISTRY_HPP

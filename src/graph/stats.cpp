@@ -1,0 +1,42 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace ripples {
+
+GraphStats compute_stats(const CsrGraph &graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  if (stats.num_vertices == 0) return stats;
+
+  std::size_t total_degree_sum = 0;
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u) {
+    std::size_t out = graph.out_degree(u);
+    std::size_t in = graph.in_degree(u);
+    stats.max_out_degree = std::max(stats.max_out_degree, out);
+    stats.max_in_degree = std::max(stats.max_in_degree, in);
+    stats.max_total_degree = std::max(stats.max_total_degree, out + in);
+    total_degree_sum += out + in;
+    if (out + in == 0) ++stats.num_isolated;
+  }
+  stats.avg_out_degree = static_cast<double>(stats.num_edges) /
+                         static_cast<double>(stats.num_vertices);
+  stats.avg_total_degree = static_cast<double>(total_degree_sum) /
+                           static_cast<double>(stats.num_vertices);
+  return stats;
+}
+
+std::vector<std::size_t> out_degree_log_histogram(const CsrGraph &graph) {
+  std::vector<std::size_t> histogram;
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u) {
+    std::size_t degree = graph.out_degree(u);
+    std::size_t bucket = 0;
+    while ((std::size_t{1} << (bucket + 1)) <= degree + 1) ++bucket;
+    if (bucket >= histogram.size()) histogram.resize(bucket + 1, 0);
+    ++histogram[bucket];
+  }
+  return histogram;
+}
+
+} // namespace ripples

@@ -1,0 +1,35 @@
+/// \file stats.hpp
+/// \brief Degree statistics (the columns of Table 2's dataset summary).
+#ifndef RIPPLES_GRAPH_STATS_HPP
+#define RIPPLES_GRAPH_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace ripples {
+
+struct GraphStats {
+  vertex_t num_vertices = 0;
+  edge_offset_t num_edges = 0; ///< arc count
+  double avg_out_degree = 0;   ///< arcs / vertices
+  std::size_t max_out_degree = 0;
+  std::size_t max_in_degree = 0;
+  /// Total degree (in+out) statistics, matching SNAP's reporting convention
+  /// for directed graphs.
+  double avg_total_degree = 0;
+  std::size_t max_total_degree = 0;
+  vertex_t num_isolated = 0; ///< vertices with no arcs in either direction
+};
+
+[[nodiscard]] GraphStats compute_stats(const CsrGraph &graph);
+
+/// Histogram of out-degrees in logarithmic buckets [2^i, 2^{i+1}); useful to
+/// eyeball whether a surrogate matches the heavy tail of its SNAP original.
+[[nodiscard]] std::vector<std::size_t>
+out_degree_log_histogram(const CsrGraph &graph);
+
+} // namespace ripples
+
+#endif // RIPPLES_GRAPH_STATS_HPP

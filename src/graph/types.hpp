@@ -1,0 +1,38 @@
+/// \file types.hpp
+/// \brief Fundamental graph value types shared by the whole library.
+#ifndef RIPPLES_GRAPH_TYPES_HPP
+#define RIPPLES_GRAPH_TYPES_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace ripples {
+
+/// Vertex identifier.  32 bits cover the graph sizes the paper evaluates
+/// (largest: com-Orkut, 3.07M vertices) with headroom to 4.29B.
+using vertex_t = std::uint32_t;
+
+/// Edge-array index; 64-bit because edge counts exceed 2^32 at the upper end
+/// of the paper's ambitions (billion-edge graphs).
+using edge_offset_t = std::uint64_t;
+
+/// A weighted directed edge.  `weight` is the activation probability p(e)
+/// for IC, or the (pre-normalization) influence weight b(e) for LT.
+struct WeightedEdge {
+  vertex_t source;
+  vertex_t destination;
+  float weight = 1.0f;
+
+  friend bool operator==(const WeightedEdge &, const WeightedEdge &) = default;
+};
+
+/// An edge list plus the vertex-count it is defined over.  The intermediate
+/// representation between generators / file loaders and the CSR builder.
+struct EdgeList {
+  vertex_t num_vertices = 0;
+  std::vector<WeightedEdge> edges;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_GRAPH_TYPES_HPP

@@ -1,0 +1,55 @@
+#include "graph/weights.hpp"
+
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+
+void assign_uniform_weights(CsrGraph &graph, std::uint64_t seed, float lo,
+                            float hi) {
+  Xoshiro256 rng(seed);
+  // Draw per in-CSR entry (deterministic order), then mirror to the out-CSR.
+  for (Adjacency &adjacent : graph.mutable_in_adjacency())
+    adjacent.weight = static_cast<float>(uniform_real(rng, lo, hi));
+  graph.propagate_weights_in_to_out();
+}
+
+void assign_constant_weights(CsrGraph &graph, float p) {
+  graph.transform_weights([p](float) { return p; });
+}
+
+void assign_weighted_cascade(CsrGraph &graph) {
+  auto in_adjacency = graph.mutable_in_adjacency();
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    auto begin = graph.in_offsets()[v];
+    auto end = graph.in_offsets()[v + 1];
+    if (begin == end) continue;
+    float p = 1.0f / static_cast<float>(end - begin);
+    for (auto i = begin; i < end; ++i) in_adjacency[i].weight = p;
+  }
+  graph.propagate_weights_in_to_out();
+}
+
+void assign_trivalency_weights(CsrGraph &graph, std::uint64_t seed) {
+  static constexpr float kLevels[3] = {0.1f, 0.01f, 0.001f};
+  Xoshiro256 rng(seed);
+  for (Adjacency &adjacent : graph.mutable_in_adjacency())
+    adjacent.weight = kLevels[uniform_index(rng, 3)];
+  graph.propagate_weights_in_to_out();
+}
+
+void renormalize_linear_threshold(CsrGraph &graph) {
+  auto in_adjacency = graph.mutable_in_adjacency();
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    auto begin = graph.in_offsets()[v];
+    auto end = graph.in_offsets()[v + 1];
+    double sum = 0;
+    for (auto i = begin; i < end; ++i) sum += in_adjacency[i].weight;
+    if (sum <= 1.0) continue;
+    auto scale = static_cast<float>(1.0 / sum);
+    for (auto i = begin; i < end; ++i) in_adjacency[i].weight *= scale;
+  }
+  graph.propagate_weights_in_to_out();
+}
+
+} // namespace ripples

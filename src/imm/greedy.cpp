@@ -1,0 +1,235 @@
+#include "imm/greedy.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "diffusion/simulate.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+thread_local std::uint64_t g_oracle_calls = 0;
+
+double influence_of(const CsrGraph &graph, const std::vector<vertex_t> &seeds,
+                    const GreedyOptions &options) {
+  if (seeds.empty()) return 0.0;
+  ++g_oracle_calls;
+  return estimate_influence(graph, seeds, options.model, options.trials,
+                            options.seed)
+      .mean;
+}
+
+} // namespace
+
+std::uint64_t last_oracle_evaluations() { return g_oracle_calls; }
+
+std::vector<vertex_t> monte_carlo_greedy(const CsrGraph &graph,
+                                         const GreedyOptions &options) {
+  RIPPLES_ASSERT(options.k >= 1 && options.k <= graph.num_vertices());
+  g_oracle_calls = 0;
+  std::vector<vertex_t> seeds;
+  std::vector<std::uint8_t> selected(graph.num_vertices(), 0);
+  double current = 0.0;
+  std::vector<vertex_t> candidate;
+  for (std::uint32_t round = 0; round < options.k; ++round) {
+    vertex_t best = graph.num_vertices();
+    double best_gain = -1.0;
+    for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+      if (selected[v]) continue;
+      candidate = seeds;
+      candidate.push_back(v);
+      double gain = influence_of(graph, candidate, options) - current;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    selected[best] = 1;
+    seeds.push_back(best);
+    current += best_gain;
+  }
+  return seeds;
+}
+
+std::vector<vertex_t> celf_greedy(const CsrGraph &graph,
+                                  const GreedyOptions &options) {
+  RIPPLES_ASSERT(options.k >= 1 && options.k <= graph.num_vertices());
+  g_oracle_calls = 0;
+
+  struct Entry {
+    double gain;
+    vertex_t vertex;
+    std::uint32_t evaluated_at; ///< |S| when `gain` was computed
+  };
+  auto worse = [](const Entry &a, const Entry &b) {
+    // Max-heap by gain; ties to smaller id for determinism.
+    return a.gain < b.gain || (a.gain == b.gain && a.vertex > b.vertex);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+
+  // Initial pass: sigma({v}) for every vertex.
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    std::vector<vertex_t> single{v};
+    heap.push({influence_of(graph, single, options), v, 0});
+  }
+
+  std::vector<vertex_t> seeds;
+  double current = 0.0;
+  std::vector<vertex_t> candidate;
+  while (seeds.size() < options.k) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.evaluated_at == seeds.size()) {
+      // Fresh bound: by submodularity no other vertex can beat it.
+      seeds.push_back(top.vertex);
+      current += top.gain;
+    } else {
+      candidate = seeds;
+      candidate.push_back(top.vertex);
+      top.gain = influence_of(graph, candidate, options) - current;
+      top.evaluated_at = static_cast<std::uint32_t>(seeds.size());
+      heap.push(top);
+    }
+  }
+  return seeds;
+}
+
+std::vector<vertex_t> celf_plus_plus(const CsrGraph &graph,
+                                     const GreedyOptions &options) {
+  RIPPLES_ASSERT(options.k >= 1 && options.k <= graph.num_vertices());
+  g_oracle_calls = 0;
+
+  // Entry caches two marginal gains: mg1 w.r.t. the current seed set S and
+  // mg2 w.r.t. S + prev_best, where prev_best was the best candidate seen
+  // when the entry was evaluated.  If prev_best is selected next, mg2 is
+  // the fresh gain for free (Goyal et al.'s look-ahead).
+  struct Entry {
+    double mg1;
+    double mg2;
+    vertex_t vertex;
+    vertex_t prev_best;
+    std::uint32_t evaluated_at;
+  };
+  auto worse = [](const Entry &a, const Entry &b) {
+    return a.mg1 < b.mg1 || (a.mg1 == b.mg1 && a.vertex > b.vertex);
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(worse)> heap(worse);
+
+  const vertex_t kNone = graph.num_vertices();
+  // Initial pass: sigma({v}) for all v; mg2 w.r.t. the best candidate seen
+  // so far (exact look-ahead would need sigma({best, v}); the standard
+  // implementation evaluates it lazily on first use, which we do too by
+  // marking mg2 unknown via prev_best = kNone when no best existed yet).
+  vertex_t running_best = kNone;
+  double running_best_gain = -1.0;
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    std::vector<vertex_t> single{v};
+    double mg1 = influence_of(graph, single, options);
+    double mg2 = -1.0;
+    vertex_t prev_best = running_best;
+    if (running_best != kNone) {
+      std::vector<vertex_t> pair{running_best, v};
+      double joint = influence_of(graph, pair, options);
+      mg2 = joint - running_best_gain;
+    }
+    heap.push({mg1, mg2, v, prev_best, 0});
+    if (mg1 > running_best_gain) {
+      running_best_gain = mg1;
+      running_best = v;
+    }
+  }
+
+  std::vector<vertex_t> seeds;
+  double current = 0.0;
+  vertex_t last_seed = kNone;
+  std::vector<vertex_t> candidate;
+  while (seeds.size() < options.k) {
+    Entry top = heap.top();
+    heap.pop();
+    if (top.evaluated_at == seeds.size()) {
+      seeds.push_back(top.vertex);
+      current += top.mg1;
+      last_seed = top.vertex;
+      continue;
+    }
+    if (top.prev_best == last_seed && top.evaluated_at + 1 == seeds.size() &&
+        top.mg2 >= 0.0) {
+      // Look-ahead hit: the cached mg2 is exactly the fresh gain.
+      top.mg1 = top.mg2;
+    } else {
+      candidate = seeds;
+      candidate.push_back(top.vertex);
+      top.mg1 = influence_of(graph, candidate, options) - current;
+      // Refresh the look-ahead against the current front-runner, but only
+      // when the front-runner's own gain is fresh for the current S —
+      // otherwise sigma(S + prev_best) below would be stale and the
+      // shortcut could mis-rank later.
+      if (!heap.empty() && heap.top().evaluated_at == seeds.size()) {
+        top.prev_best = heap.top().vertex;
+        candidate = seeds;
+        candidate.push_back(top.prev_best);
+        candidate.push_back(top.vertex);
+        double with_best_gain = heap.top().mg1;
+        top.mg2 = influence_of(graph, candidate, options) -
+                  (current + with_best_gain);
+      } else {
+        top.prev_best = kNone;
+        top.mg2 = -1.0;
+      }
+    }
+    top.evaluated_at = static_cast<std::uint32_t>(seeds.size());
+    heap.push(top);
+  }
+  return seeds;
+}
+
+std::vector<vertex_t> top_degree_seeds(const CsrGraph &graph, std::uint32_t k) {
+  RIPPLES_ASSERT(k >= 1 && k <= graph.num_vertices());
+  std::vector<vertex_t> order(graph.num_vertices());
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) order[v] = v;
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](vertex_t a, vertex_t b) {
+                      std::size_t da = graph.out_degree(a), db = graph.out_degree(b);
+                      return da > db || (da == db && a < b);
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<vertex_t> degree_discount_seeds(const CsrGraph &graph,
+                                            std::uint32_t k, double p) {
+  RIPPLES_ASSERT(k >= 1 && k <= graph.num_vertices());
+  const vertex_t n = graph.num_vertices();
+  std::vector<double> discounted(n);
+  std::vector<std::uint32_t> selected_neighbors(n, 0);
+  std::vector<std::uint8_t> selected(n, 0);
+  for (vertex_t v = 0; v < n; ++v)
+    discounted[v] = static_cast<double>(graph.out_degree(v));
+
+  std::vector<vertex_t> seeds;
+  seeds.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    vertex_t best = n;
+    for (vertex_t v = 0; v < n; ++v) {
+      if (selected[v]) continue;
+      if (best == n || discounted[v] > discounted[best] ||
+          (discounted[v] == discounted[best] && v < best))
+        best = v;
+    }
+    selected[best] = 1;
+    seeds.push_back(best);
+    // Discount the neighbors of the new seed (Chen et al., Alg. DegreeDiscountIC).
+    for (const Adjacency &out : graph.out_neighbors(best)) {
+      vertex_t v = out.vertex;
+      if (selected[v]) continue;
+      auto d = static_cast<double>(graph.out_degree(v));
+      auto t = static_cast<double>(++selected_neighbors[v]);
+      discounted[v] = d - 2.0 * t - (d - t) * t * p;
+    }
+  }
+  return seeds;
+}
+
+} // namespace ripples

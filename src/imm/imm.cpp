@@ -1,0 +1,101 @@
+#include "imm/imm.hpp"
+
+#include "imm/imm_core.hpp"
+#include "imm/sampler.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Fills the fields common to all drivers from the martingale outcome.
+void finalize_result(ImmResult &result, const detail::MartingaleOutcome &outcome) {
+  result.seeds = outcome.selection.seeds;
+  result.theta = outcome.theta;
+  result.num_samples = outcome.num_samples;
+  result.lower_bound = outcome.lower_bound;
+  result.coverage_fraction = outcome.selection.coverage_fraction();
+}
+
+} // namespace
+
+ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
+  ImmResult result;
+  StopWatch total;
+  RRRCollection collection;
+
+  auto extend_to = [&](std::uint64_t target) {
+    sample_sequential(graph, options.model, target, options.seed, collection);
+    result.rrr_peak_bytes =
+        std::max(result.rrr_peak_bytes, collection.footprint_bytes());
+    result.total_associations =
+        std::max(result.total_associations, collection.total_associations());
+  };
+  auto select = [&] {
+    return select_seeds(graph.num_vertices(), options.k, collection.sets());
+  };
+
+  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
+                                            options.epsilon, options.l,
+                                            extend_to, select, result.timers);
+  finalize_result(result, outcome);
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
+                                  const ImmOptions &options) {
+  ImmResult result;
+  StopWatch total;
+  HypergraphCollection collection(graph.num_vertices());
+
+  auto extend_to = [&](std::uint64_t target) {
+    sample_hypergraph(graph, options.model, target, options.seed, collection);
+    result.rrr_peak_bytes =
+        std::max(result.rrr_peak_bytes, collection.footprint_bytes());
+    result.total_associations =
+        std::max(result.total_associations, collection.total_associations());
+  };
+  auto select = [&] {
+    return select_seeds_hypergraph(graph.num_vertices(), options.k, collection);
+  };
+
+  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
+                                            options.epsilon, options.l,
+                                            extend_to, select, result.timers);
+  finalize_result(result, outcome);
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
+  RIPPLES_ASSERT(options.num_threads >= 1);
+  ImmResult result;
+  StopWatch total;
+  RRRCollection collection;
+
+  auto extend_to = [&](std::uint64_t target) {
+    sample_multithreaded(graph, options.model, target, options.seed,
+                         options.num_threads, collection);
+    result.rrr_peak_bytes =
+        std::max(result.rrr_peak_bytes, collection.footprint_bytes());
+    result.total_associations =
+        std::max(result.total_associations, collection.total_associations());
+  };
+  auto select = [&] {
+    return select_seeds_multithreaded(graph.num_vertices(), options.k,
+                                      collection.sets(), options.num_threads);
+  };
+
+  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
+                                            options.epsilon, options.l,
+                                            extend_to, select, result.timers);
+  finalize_result(result, outcome);
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+} // namespace ripples

@@ -1,0 +1,85 @@
+/// \file imm_core.hpp
+/// \brief The martingale skeleton shared by all four drivers (Algs. 1-2).
+///
+/// Drivers differ only in how they extend R and how they select seeds; the
+/// doubling estimation loop, the stopping rule, and the phase accounting
+/// are identical.  This header factors that skeleton as a template over the
+/// two operations.  Phase accounting follows the paper's convention
+/// (Section 4.1): Sample calls made from inside the estimation loop count
+/// toward "EstimateTheta"; only the top-level Sample call after theta is
+/// fixed counts toward "Sample".
+#ifndef RIPPLES_IMM_IMM_CORE_HPP
+#define RIPPLES_IMM_IMM_CORE_HPP
+
+#include <algorithm>
+
+#include "imm/select.hpp"
+#include "imm/theta.hpp"
+#include "support/log.hpp"
+#include "support/timer.hpp"
+
+namespace ripples::detail {
+
+struct MartingaleOutcome {
+  SelectionResult selection;
+  std::uint64_t theta = 0;
+  std::uint64_t num_samples = 0;
+  double lower_bound = 1.0;
+};
+
+/// \param extend_to  void(std::uint64_t target): grow R to `target` samples.
+/// \param select     SelectionResult(): run seed selection over current R.
+template <typename ExtendFn, typename SelectFn>
+MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
+                                     std::uint32_t k, double epsilon, double l,
+                                     ExtendFn &&extend_to, SelectFn &&select,
+                                     PhaseTimers &timers) {
+  ThetaSchedule schedule(num_vertices, k, epsilon, l);
+
+  MartingaleOutcome outcome;
+  bool accepted = false;
+  double last_coverage = 0.0;
+  {
+    ScopedPhase phase(timers, Phase::EstimateTheta);
+    for (std::uint32_t x = 1; x <= schedule.max_iterations(); ++x) {
+      std::uint64_t target = schedule.target_samples(x);
+      outcome.num_samples = std::max(outcome.num_samples, target);
+      extend_to(target);
+      SelectionResult trial = select();
+      last_coverage = trial.coverage_fraction();
+      if (schedule.accept(x, last_coverage, &outcome.lower_bound)) {
+        accepted = true;
+        RIPPLES_LOG_DEBUG("estimation accepted at x=%u: |R|=%llu LB=%.1f", x,
+                          static_cast<unsigned long long>(target),
+                          outcome.lower_bound);
+        break;
+      }
+    }
+  }
+  if (!accepted) {
+    // The doubling schedule is exhausted (possible only on tiny or
+    // pathologically low-influence inputs): fall back to the estimator from
+    // the last iteration, which is still a valid (if loose) lower bound.
+    outcome.lower_bound =
+        std::max(1.0, static_cast<double>(num_vertices) * last_coverage /
+                          (1.0 + schedule.epsilon_prime()));
+    RIPPLES_LOG_DEBUG("estimation exhausted; fallback LB=%.1f",
+                      outcome.lower_bound);
+  }
+
+  outcome.theta = schedule.final_theta(outcome.lower_bound);
+  if (outcome.theta > outcome.num_samples) {
+    ScopedPhase phase(timers, Phase::Sample);
+    extend_to(outcome.theta);
+    outcome.num_samples = outcome.theta;
+  }
+  {
+    ScopedPhase phase(timers, Phase::SelectSeeds);
+    outcome.selection = select();
+  }
+  return outcome;
+}
+
+} // namespace ripples::detail
+
+#endif // RIPPLES_IMM_IMM_CORE_HPP

@@ -1,0 +1,165 @@
+/// \file imm_distributed.cpp
+/// \brief IMM_dist: the hybrid distributed implementation (Section 3.2).
+///
+/// Layout, as in the paper: every rank holds the whole input graph and owns
+/// a partition R_i of the samples; sample generation is evenly split (rank
+/// r produces the global sample indices congruent to r mod p); seed
+/// selection keeps an n-entry counter array per rank, aggregated with an
+/// All-Reduce once per greedy round, after which choosing the seed and
+/// purging the local partition are rank-local operations.  The dominant
+/// communication is therefore the k All-Reduce operations per selection.
+#include "imm/imm.hpp"
+
+#include <algorithm>
+#include <omp.h>
+#include <vector>
+
+#include "imm/imm_core.hpp"
+#include "imm/sampler.hpp"
+#include "mpsim/communicator.hpp"
+#include "rng/lcg.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// First global index >= \p from assigned to \p rank under round-robin
+/// ownership (index i belongs to rank i mod p).
+std::uint64_t first_owned_index(std::uint64_t from, int rank, int p) {
+  auto r = static_cast<std::uint64_t>(rank);
+  auto stride = static_cast<std::uint64_t>(p);
+  std::uint64_t remainder = from % stride;
+  return from + (r >= remainder ? r - remainder : stride - remainder + r);
+}
+
+} // namespace
+
+ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
+  RIPPLES_ASSERT(options.num_ranks >= 1);
+  RIPPLES_ASSERT(options.num_threads >= 1);
+  RIPPLES_ASSERT_MSG(options.rng_mode == RngMode::CounterSequence ||
+                         options.num_threads == 1,
+                     "leap-frog LCG streams are per-rank sequential; use one "
+                     "thread per rank or CounterSequence mode");
+
+  ImmResult result;
+  StopWatch total;
+
+  mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
+    const int p = comm.size();
+    const int rank = comm.rank();
+    const vertex_t n = graph.num_vertices();
+
+    RRRCollection local; // R_rank: this rank's partition of the samples
+    std::uint64_t global_count = 0;
+
+    // The paper's parallel RNG discipline: one global LCG sequence split
+    // leap-frog so rank r consumes subsequence r, r+p, r+2p, ...
+    Lcg64 leapfrog_engine = Lcg64(options.seed).leapfrog(
+        static_cast<std::uint64_t>(rank), static_cast<std::uint64_t>(p));
+    RRRGenerator generator(graph);
+
+    auto extend_to = [&](std::uint64_t target) {
+      if (target <= global_count) return;
+      if (options.rng_mode == RngMode::LeapfrogLcg) {
+        for (std::uint64_t i = first_owned_index(global_count, rank, p);
+             i < target; i += static_cast<std::uint64_t>(p)) {
+          RRRSet set;
+          generator.generate_random_root(options.model, leapfrog_engine, set);
+          local.add(std::move(set));
+        }
+      } else {
+        // Counter mode: per-sample Philox streams keyed by the global index,
+        // so R is independent of p; local generation may additionally use
+        // OpenMP threads (the paper's hybrid MPI+OpenMP configuration).
+        std::vector<std::uint64_t> indices;
+        for (std::uint64_t i = first_owned_index(global_count, rank, p);
+             i < target; i += static_cast<std::uint64_t>(p))
+          indices.push_back(i);
+        std::uint64_t first_slot = local.grow(indices.size());
+        auto &sets = local.mutable_sets();
+#pragma omp parallel num_threads(static_cast<int>(options.num_threads))
+        {
+          RRRGenerator thread_generator(graph);
+#pragma omp for schedule(dynamic, 16)
+          for (std::int64_t j = 0; j < static_cast<std::int64_t>(indices.size());
+               ++j) {
+            Philox4x32 rng =
+                sample_stream(options.seed, indices[static_cast<std::size_t>(j)]);
+            thread_generator.generate_random_root(
+                options.model, rng, sets[first_slot + static_cast<std::uint64_t>(j)]);
+          }
+        }
+      }
+      global_count = target;
+
+      // Aggregate representation footprint across ranks (the paper reports
+      // per-node memory pressure; the sum is the cluster-wide cost).
+      std::uint64_t footprint[2] = {local.footprint_bytes(),
+                                    local.total_associations()};
+      comm.allreduce(std::span<std::uint64_t>(footprint, 2),
+                     mpsim::ReduceOp::Sum);
+      if (rank == 0) {
+        result.rrr_peak_bytes =
+            std::max(result.rrr_peak_bytes, static_cast<std::size_t>(footprint[0]));
+        result.total_associations = std::max(
+            result.total_associations, static_cast<std::size_t>(footprint[1]));
+      }
+    };
+
+    std::vector<std::uint32_t> local_counts(n);
+    std::vector<std::uint32_t> global_counts(n);
+    auto select = [&]() -> SelectionResult {
+      // Local membership counts over R_rank...
+      std::fill(local_counts.begin(), local_counts.end(), 0);
+      count_memberships(local.sets(), local_counts);
+
+      std::vector<std::uint8_t> retired(local.size(), 0);
+      std::vector<std::uint8_t> selected(n, 0);
+
+      SelectionResult selection;
+      std::uint64_t local_covered = 0;
+      for (std::uint32_t i = 0; i < options.k; ++i) {
+        // ...aggregated into global counts with the All-Reduce that
+        // dominates the communication (O(k n lg p) total).
+        std::copy(local_counts.begin(), local_counts.end(),
+                  global_counts.begin());
+        comm.allreduce(std::span<std::uint32_t>(global_counts),
+                       mpsim::ReduceOp::Sum);
+        // Identifying the seed and purging the local partition are strictly
+        // local operations from here on, identical on every rank.
+        vertex_t seed = argmax_counter(global_counts, selected);
+        selected[seed] = 1;
+        selection.seeds.push_back(seed);
+        local_covered += retire_samples_containing(seed, local.sets(),
+                                                   local_counts, retired);
+      }
+
+      std::uint64_t totals[2] = {local_covered, local.size()};
+      comm.allreduce(std::span<std::uint64_t>(totals, 2), mpsim::ReduceOp::Sum);
+      selection.covered_samples = totals[0];
+      selection.total_samples = totals[1];
+      return selection;
+    };
+
+    PhaseTimers timers;
+    auto outcome =
+        detail::run_imm_martingale(n, options.k, options.epsilon, options.l,
+                                   extend_to, select, timers);
+    if (rank == 0) {
+      result.seeds = outcome.selection.seeds;
+      result.theta = outcome.theta;
+      result.num_samples = outcome.num_samples;
+      result.lower_bound = outcome.lower_bound;
+      result.coverage_fraction = outcome.selection.coverage_fraction();
+      result.timers = timers;
+    }
+  });
+
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+} // namespace ripples

@@ -1,0 +1,238 @@
+/// \file imm_partitioned.cpp
+/// \brief Graph-partitioned distributed IMM (the paper's future-work item
+/// "extension to settings where the input graph is also partitioned").
+///
+/// Layout: rank r owns vertices [n*r/p, n*(r+1)/p) and their incoming
+/// edges.  GenerateRR becomes a distributed level-synchronous reverse BFS:
+///
+///   1. every rank derives the sample's root from the shared per-sample
+///      stream (no communication);
+///   2. each level, a rank expands the frontier vertices it owns across
+///      their in-edges (IC: every edge fires independently; LT: at most one
+///      edge per vertex), producing candidate predecessors anywhere in the
+///      graph;
+///   3. candidates are exchanged (allgatherv); each rank claims the ones it
+///      owns, discards already-visited ones, and they form its next local
+///      frontier;
+///   4. a scalar allreduce detects global frontier exhaustion.
+///
+/// Each rank thus accumulates the slice of every RRR set that falls in its
+/// vertex interval — which is exactly the data seed selection needs, since
+/// Algorithm 4 already partitions counter ownership by vertex interval.
+/// Selection reuses the Section 3.2 counter allreduce; sample retirement
+/// additionally needs one theta-length flag broadcast from the selected
+/// seed's owner, because no rank holds whole samples anymore.
+///
+/// Randomness: the draws for the in-edges of vertex v in sample i come from
+/// a Philox stream keyed by (seed, i, v).  Every edge is examined by
+/// exactly one rank (the owner of its head), so the sampled subgraph
+/// distribution is exactly the model's, and the realized experiment is
+/// independent of p.
+#include "imm/imm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "imm/imm_core.hpp"
+#include "imm/rrr.hpp"
+#include "mpsim/communicator.hpp"
+#include "rng/splitmix.hpp"
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Stream for the in-edge draws of vertex \p v in sample \p sample_index.
+Philox4x32 vertex_stream(std::uint64_t seed, std::uint64_t sample_index,
+                         vertex_t v) {
+  // Mix the sample index into the key and use the vertex as the stream so
+  // (sample, vertex) pairs never share a counter block.
+  return Philox4x32(splitmix64_mix(seed ^ (sample_index * 0x9e3779b97f4a7c15ULL)),
+                    v);
+}
+
+} // namespace
+
+ImmResult imm_distributed_partitioned(const CsrGraph &graph,
+                                      const ImmOptions &options) {
+  RIPPLES_ASSERT(options.num_ranks >= 1);
+  RIPPLES_ASSERT_MSG(options.rng_mode == RngMode::CounterSequence,
+                     "the partitioned driver defines randomness per "
+                     "(sample, vertex); leap-frog streams do not apply");
+
+  ImmResult result;
+  StopWatch total;
+
+  mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
+    const auto p = static_cast<std::uint64_t>(comm.size());
+    const auto rank = static_cast<std::uint64_t>(comm.rank());
+    const vertex_t n = graph.num_vertices();
+    const auto vl = static_cast<vertex_t>(n * rank / p);
+    const auto vh = static_cast<vertex_t>(n * (rank + 1) / p);
+    // Owner of v: the unique r with n*r/p <= v < n*(r+1)/p.  Start from the
+    // estimate r = v*p/n and fix up the integer-division boundary cases.
+    auto owner = [&](vertex_t v) -> int {
+      auto r = static_cast<std::uint64_t>(v) * p / n;
+      while (static_cast<std::uint64_t>(v) <
+             static_cast<std::uint64_t>(n) * r / p)
+        --r;
+      while (static_cast<std::uint64_t>(v) >=
+             static_cast<std::uint64_t>(n) * (r + 1) / p)
+        ++r;
+      return static_cast<int>(r);
+    };
+
+    // slices[j] = sorted owned members of sample j.
+    std::vector<std::vector<vertex_t>> slices;
+    BitVector visited(n); // only bits in [vl, vh) are ever set
+
+    std::vector<vertex_t> local_frontier;
+    std::vector<vertex_t> candidates;
+
+    auto generate_sample = [&](std::uint64_t sample_index,
+                               std::vector<vertex_t> &slice) {
+      slice.clear();
+      // Root: same draw on every rank from the shared per-sample stream.
+      Philox4x32 root_stream = sample_stream(options.seed, sample_index);
+      auto root = static_cast<vertex_t>(uniform_index(root_stream, n));
+
+      local_frontier.clear();
+      if (root >= vl && root < vh) {
+        visited.set(root);
+        slice.push_back(root);
+        local_frontier.push_back(root);
+      }
+      std::uint64_t global_frontier = 1;
+      while (global_frontier > 0) {
+        candidates.clear();
+        for (vertex_t v : local_frontier) {
+          Philox4x32 rng = vertex_stream(options.seed, sample_index, v);
+          auto in_neighbors = graph.in_neighbors(v);
+          if (options.model == DiffusionModel::IndependentCascade) {
+            for (const Adjacency &in : in_neighbors)
+              if (bernoulli(rng, in.weight)) candidates.push_back(in.vertex);
+          } else {
+            // LT: at most one incoming live edge per vertex.
+            double x = uniform_unit(rng);
+            double cumulative = 0.0;
+            for (const Adjacency &in : in_neighbors) {
+              cumulative += in.weight;
+              if (x < cumulative) {
+                candidates.push_back(in.vertex);
+                break;
+              }
+            }
+          }
+        }
+        // Exchange candidate predecessors; each rank claims its own.
+        std::vector<vertex_t> all_candidates =
+            comm.allgatherv(std::span<const vertex_t>(candidates));
+        local_frontier.clear();
+        for (vertex_t u : all_candidates) {
+          if (u < vl || u >= vh) continue;
+          if (!visited.test_and_set(u)) continue; // already a member
+          slice.push_back(u);
+          local_frontier.push_back(u);
+        }
+        std::uint64_t frontier_size[1] = {local_frontier.size()};
+        comm.allreduce(std::span<std::uint64_t>(frontier_size, 1),
+                       mpsim::ReduceOp::Sum);
+        global_frontier = frontier_size[0];
+      }
+      for (vertex_t v : slice) visited.clear(v);
+      std::sort(slice.begin(), slice.end());
+    };
+
+    auto extend_to = [&](std::uint64_t target) {
+      std::uint64_t first = slices.size();
+      if (target <= first) return;
+      slices.resize(target);
+      for (std::uint64_t i = first; i < target; ++i)
+        generate_sample(i, slices[i]);
+
+      std::uint64_t footprint[2] = {0, 0};
+      for (const auto &slice : slices) {
+        footprint[0] += slice.capacity() * sizeof(vertex_t) +
+                        sizeof(std::vector<vertex_t>);
+        footprint[1] += slice.size();
+      }
+      comm.allreduce(std::span<std::uint64_t>(footprint, 2),
+                     mpsim::ReduceOp::Sum);
+      if (comm.rank() == 0) {
+        result.rrr_peak_bytes =
+            std::max(result.rrr_peak_bytes, static_cast<std::size_t>(footprint[0]));
+        result.total_associations = std::max(
+            result.total_associations, static_cast<std::size_t>(footprint[1]));
+      }
+    };
+
+    std::vector<std::uint32_t> local_counts(n);
+    std::vector<std::uint32_t> global_counts(n);
+    auto select = [&]() -> SelectionResult {
+      // Count memberships over the owned slices (only indices in [vl, vh)
+      // are ever touched).
+      std::fill(local_counts.begin(), local_counts.end(), 0);
+      for (const auto &slice : slices)
+        for (vertex_t v : slice) ++local_counts[v];
+
+      std::vector<std::uint8_t> retired(slices.size(), 0);
+      std::vector<std::uint8_t> selected(n, 0);
+      std::vector<std::uint8_t> contains(slices.size(), 0);
+
+      SelectionResult selection;
+      selection.total_samples = slices.size();
+      for (std::uint32_t i = 0; i < options.k; ++i) {
+        std::copy(local_counts.begin(), local_counts.end(),
+                  global_counts.begin());
+        comm.allreduce(std::span<std::uint32_t>(global_counts),
+                       mpsim::ReduceOp::Sum);
+        vertex_t seed = argmax_counter(global_counts, selected);
+        selected[seed] = 1;
+        selection.seeds.push_back(seed);
+
+        // Only the seed's owner knows which samples contain it; broadcast
+        // the containment flags (the extra communication graph
+        // partitioning costs: theta bytes per round).
+        const int seed_owner = owner(seed);
+        if (comm.rank() == seed_owner) {
+          for (std::size_t j = 0; j < slices.size(); ++j)
+            contains[j] =
+                !retired[j] &&
+                std::binary_search(slices[j].begin(), slices[j].end(), seed);
+        }
+        comm.broadcast(std::span<std::uint8_t>(contains), seed_owner);
+
+        for (std::size_t j = 0; j < slices.size(); ++j) {
+          if (!contains[j]) continue;
+          retired[j] = 1;
+          ++selection.covered_samples;
+          for (vertex_t u : slices[j]) {
+            RIPPLES_DEBUG_ASSERT(local_counts[u] > 0);
+            --local_counts[u];
+          }
+        }
+      }
+      return selection;
+    };
+
+    PhaseTimers timers;
+    auto outcome =
+        detail::run_imm_martingale(n, options.k, options.epsilon, options.l,
+                                   extend_to, select, timers);
+    if (comm.rank() == 0) {
+      result.seeds = outcome.selection.seeds;
+      result.theta = outcome.theta;
+      result.num_samples = outcome.num_samples;
+      result.lower_bound = outcome.lower_bound;
+      result.coverage_fraction = outcome.selection.coverage_fraction();
+      result.timers = timers;
+    }
+  });
+
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+} // namespace ripples

@@ -1,0 +1,170 @@
+#include "imm/lineage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "imm/sampler.hpp"
+#include "imm/select.hpp"
+#include "imm/theta.hpp"
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// omega(R): the number of edges of G pointing into members of R — the
+/// work a reverse BFS expends on the sample, and the "width" TIM's KPT
+/// estimator is built on.
+std::uint64_t sample_width(const CsrGraph &graph, const RRRSet &sample) {
+  std::uint64_t width = 0;
+  for (vertex_t v : sample) width += graph.in_degree(v);
+  return width;
+}
+
+} // namespace
+
+ImmResult ris_threshold(const CsrGraph &graph, const RisOptions &options) {
+  RIPPLES_ASSERT(options.epsilon > 0 && options.epsilon < 1);
+  RIPPLES_ASSERT(options.k >= 1 && options.k <= graph.num_vertices());
+
+  ImmResult result;
+  StopWatch total;
+
+  const double n = static_cast<double>(graph.num_vertices());
+  const double m = static_cast<double>(graph.num_edges());
+  // Borgs et al.'s budget: Theta((m + n) k log n / eps^3) total traversal
+  // work, constant-free form scaled by budget_scale.
+  const double budget = options.budget_scale * (m + n) *
+                        static_cast<double>(options.k) * std::log(n) /
+                        (options.epsilon * options.epsilon * options.epsilon);
+
+  RRRCollection collection;
+  std::uint64_t work = 0;
+  {
+    ScopedPhase phase(result.timers, Phase::Sample);
+    // Generate in batches; stop once the cumulative width crosses the
+    // budget ("a user-defined threshold defined over the number of
+    // vertices and edges visited", as the paper summarizes RIS).
+    const std::uint64_t batch = 8;
+    while (static_cast<double>(work) < budget) {
+      std::uint64_t target = collection.size() + batch;
+      sample_sequential(graph, options.model, target, options.seed, collection);
+      for (std::uint64_t i = target - batch; i < target; ++i)
+        work += 1 + sample_width(graph, collection.sets()[i]);
+    }
+    result.rrr_peak_bytes = collection.footprint_bytes();
+    result.total_associations = collection.total_associations();
+  }
+
+  SelectionResult selection;
+  {
+    ScopedPhase phase(result.timers, Phase::SelectSeeds);
+    selection = select_seeds(graph.num_vertices(), options.k, collection.sets());
+  }
+  result.seeds = selection.seeds;
+  result.theta = collection.size();
+  result.num_samples = collection.size();
+  result.coverage_fraction = selection.coverage_fraction();
+  result.lower_bound =
+      n * selection.coverage_fraction(); // the unbiased OPT estimator
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+ImmResult tim_plus(const CsrGraph &graph, const TimOptions &options) {
+  RIPPLES_ASSERT(options.epsilon > 0 && options.epsilon < 1);
+  RIPPLES_ASSERT(options.k >= 1 && options.k <= graph.num_vertices());
+
+  ImmResult result;
+  StopWatch total;
+
+  const double n = static_cast<double>(graph.num_vertices());
+  const double m = static_cast<double>(graph.num_edges());
+  const double ln_n = std::log(n);
+  const double log2_n = std::log2(n);
+  const double logcnk = log_binomial(graph.num_vertices(), options.k);
+  const double l = options.l;
+
+  RRRCollection collection;
+  double kpt = 1.0;
+
+  // --- KptEstimation (TIM, Algorithm 2): measure the expected
+  // width-derived weight kappa(R) = 1 - (1 - omega(R)/m)^k over doubling
+  // batches until the average crosses the 1/2^i threshold.
+  {
+    ScopedPhase phase(result.timers, Phase::EstimateTheta);
+    const auto max_iterations =
+        static_cast<std::uint32_t>(std::max(1.0, log2_n - 1.0));
+    for (std::uint32_t i = 1; i <= max_iterations; ++i) {
+      const auto c_i = static_cast<std::uint64_t>(
+          std::ceil((6.0 * l * ln_n + 6.0 * std::log(log2_n)) *
+                    std::exp2(static_cast<double>(i))));
+      std::uint64_t first = collection.size();
+      sample_sequential(graph, options.model, first + c_i, options.seed,
+                        collection);
+      double sum = 0.0;
+      for (std::uint64_t j = first; j < first + c_i; ++j) {
+        double omega =
+            static_cast<double>(sample_width(graph, collection.sets()[j]));
+        sum += 1.0 -
+               std::pow(1.0 - omega / std::max(1.0, m),
+                        static_cast<double>(options.k));
+      }
+      double average = sum / static_cast<double>(c_i);
+      if (average > 1.0 / std::exp2(static_cast<double>(i))) {
+        kpt = n * average / 2.0;
+        break;
+      }
+    }
+
+    // --- RefineKPT (TIM+): run the greedy on a pilot collection and lift
+    // the bound with the coverage-based estimator.
+    const double eps_prime =
+        5.0 * std::cbrt(l * options.epsilon * options.epsilon /
+                        (static_cast<double>(options.k) + l));
+    const double lambda_prime = (2.0 + eps_prime) * l * n * ln_n /
+                                (eps_prime * eps_prime);
+    const auto pilot =
+        static_cast<std::uint64_t>(std::ceil(lambda_prime / kpt));
+    sample_sequential(graph, options.model, std::max(pilot, collection.size()),
+                      options.seed, collection);
+    SelectionResult pilot_selection =
+        select_seeds(graph.num_vertices(), options.k, collection.sets());
+    double kpt_refined =
+        n * pilot_selection.coverage_fraction() / (1.0 + eps_prime);
+    kpt = std::max(kpt, kpt_refined);
+    RIPPLES_LOG_DEBUG("TIM+ KPT*=%.1f (pilot %llu samples)", kpt,
+                      static_cast<unsigned long long>(pilot));
+  }
+
+  // --- Final theta = lambda / KPT* with TIM's lambda.
+  const double lambda = (8.0 + 2.0 * options.epsilon) * n *
+                        (l * ln_n + logcnk + std::log(2.0)) /
+                        (options.epsilon * options.epsilon);
+  const auto theta = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(lambda / std::max(1.0, kpt))));
+  if (theta > collection.size()) {
+    ScopedPhase phase(result.timers, Phase::Sample);
+    sample_sequential(graph, options.model, theta, options.seed, collection);
+  }
+  result.rrr_peak_bytes = collection.footprint_bytes();
+  result.total_associations = collection.total_associations();
+
+  SelectionResult selection;
+  {
+    ScopedPhase phase(result.timers, Phase::SelectSeeds);
+    selection = select_seeds(graph.num_vertices(), options.k, collection.sets());
+  }
+  result.seeds = selection.seeds;
+  result.theta = theta;
+  result.num_samples = collection.size();
+  result.coverage_fraction = selection.coverage_fraction();
+  result.lower_bound = kpt;
+  result.timers.add(Phase::Other,
+                    total.elapsed_seconds() - result.timers.total());
+  return result;
+}
+
+} // namespace ripples

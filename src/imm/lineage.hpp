@@ -1,0 +1,62 @@
+/// \file lineage.hpp
+/// \brief IMM's algorithmic ancestors: RIS (Borgs et al., SODA 2014) and
+/// TIM+ (Tang et al., SIGMOD 2014).
+///
+/// Section 2 of the paper traces the lineage: Borgs et al. introduced
+/// reverse-influence sampling with a *threshold* stopping rule (generate
+/// RRR sets until the total traversal work crosses a budget); Tang et al.'s
+/// TIM/TIM+ made it practical by estimating the number of samples from a
+/// KPT lower bound on OPT; IMM (Tang et al. 2015, the algorithm this paper
+/// parallelizes) replaced KPT with the martingale estimator.  Implementing
+/// the ancestors lets the benches show *why* IMM is the right algorithm to
+/// parallelize: equal guarantees from far fewer samples.
+///
+/// All three share GenerateRR, the storage representation, and the greedy
+/// selection of this library, so the comparison isolates the sample-count
+/// policies.
+#ifndef RIPPLES_IMM_LINEAGE_HPP
+#define RIPPLES_IMM_LINEAGE_HPP
+
+#include "imm/imm.hpp"
+
+namespace ripples {
+
+/// RIS with Borgs et al.'s threshold rule: keep generating RRR sets until
+/// the cumulative number of edges examined by the reverse BFS reaches
+/// beta = C (m + n) log(n) / epsilon^2 (C a quality constant, theory uses
+/// C >= 1; practical runs scale it down).  Returns the standard ImmResult;
+/// `theta` reports the number of samples the budget bought.
+struct RisOptions {
+  double epsilon = 0.5;
+  std::uint32_t k = 50;
+  DiffusionModel model = DiffusionModel::IndependentCascade;
+  std::uint64_t seed = 2019;
+  /// Multiplier on the theoretical budget (1.0 = the SODA'14 constant-free
+  /// form; the authors note practical runs can be far below theory).
+  double budget_scale = 1.0;
+};
+[[nodiscard]] ImmResult ris_threshold(const CsrGraph &graph,
+                                      const RisOptions &options);
+
+/// TIM+ (Tang et al. 2014): theta = lambda / KPT+ with
+/// lambda = (8 + 2 eps) n (l log n + log C(n,k) + log 2) eps^-2.
+/// KPT is estimated by the KptEstimation procedure of the paper: for
+/// i = 1..log2(n)-1, draw c_i = 6 lambda' log n / 2^i samples and measure
+/// their average width-based weight kappa; stop when kappa/c_i > 1/2^i.
+/// This implementation follows the published pseudocode with the same
+/// constants (l = 1) and reuses the library's samplers; the refinement
+/// step of TIM+ (greedy on a pilot collection to lift KPT to KPT+) is
+/// included.
+struct TimOptions {
+  double epsilon = 0.5;
+  std::uint32_t k = 50;
+  DiffusionModel model = DiffusionModel::IndependentCascade;
+  std::uint64_t seed = 2019;
+  double l = 1.0;
+};
+[[nodiscard]] ImmResult tim_plus(const CsrGraph &graph,
+                                 const TimOptions &options);
+
+} // namespace ripples
+
+#endif // RIPPLES_IMM_LINEAGE_HPP

@@ -1,0 +1,25 @@
+#include "imm/rrr.hpp"
+
+#include "rng/lcg.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+
+// Explicit instantiations for the engines the library uses, keeping the
+// template bodies out of every includer's object file.
+template void RRRGenerator::generate<Philox4x32>(vertex_t, DiffusionModel,
+                                                 Philox4x32 &, RRRSet &);
+template void RRRGenerator::generate<Lcg64>(vertex_t, DiffusionModel, Lcg64 &,
+                                            RRRSet &);
+template void RRRGenerator::generate<Xoshiro256>(vertex_t, DiffusionModel,
+                                                 Xoshiro256 &, RRRSet &);
+template void
+RRRGenerator::generate_random_root<Philox4x32>(DiffusionModel, Philox4x32 &,
+                                               RRRSet &);
+template void RRRGenerator::generate_random_root<Lcg64>(DiffusionModel, Lcg64 &,
+                                                        RRRSet &);
+template void
+RRRGenerator::generate_random_root<Xoshiro256>(DiffusionModel, Xoshiro256 &,
+                                               RRRSet &);
+
+} // namespace ripples

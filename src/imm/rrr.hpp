@@ -1,0 +1,155 @@
+/// \file rrr.hpp
+/// \brief GenerateRR: random reverse reachable set construction (Alg. 3).
+///
+/// A random reverse reachable (RRR) set for root v is the set of vertices
+/// that reach v in a graph g sampled from G by the diffusion model
+/// (Definitions 2-3).  As in the paper, g is never materialized: the reverse
+/// BFS decides each incoming edge probabilistically as the traversal
+/// reaches it.  The insertion policy differs per model:
+///
+///  * IC: every incoming edge (u -> v) of a traversed vertex v is live
+///    independently with probability p(u -> v); all live in-neighbors join
+///    the frontier.
+///  * LT: each traversed vertex selects AT MOST ONE incoming edge, edge
+///    (u -> v) with probability b(u -> v) and none with the residual
+///    probability (the live-edge formulation of Linear Threshold); the
+///    reverse walk is therefore a path, which is why the paper observes
+///    "very small RRR sets" under LT.
+///
+/// The returned vertex list is sorted by id — the representation invariant
+/// the seed-selection kernels rely on for binary search and cache-ordered
+/// interval scans (Section 3.1).
+#ifndef RIPPLES_IMM_RRR_HPP
+#define RIPPLES_IMM_RRR_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "diffusion/model.hpp"
+#include "graph/csr.hpp"
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "support/bitvector.hpp"
+
+namespace ripples {
+
+/// One RRR set: sorted, duplicate-free vertex ids, always containing the
+/// root.
+using RRRSet = std::vector<vertex_t>;
+
+/// Reusable GenerateRR kernel.  Holds the visited bitmap and frontier
+/// scratch so repeated calls allocate nothing; one instance per thread.
+class RRRGenerator {
+public:
+  explicit RRRGenerator(const CsrGraph &graph)
+      : graph_(graph), visited_(graph.num_vertices()) {}
+
+  /// Generates the RRR set for \p root into \p out (cleared first).
+  template <typename Engine>
+  void generate(vertex_t root, DiffusionModel model, Engine &rng, RRRSet &out);
+
+  /// Convenience: root chosen uniformly at random, then generate.
+  template <typename Engine>
+  void generate_random_root(DiffusionModel model, Engine &rng, RRRSet &out);
+
+private:
+  template <typename Engine>
+  void reverse_bfs_ic(vertex_t root, Engine &rng, RRRSet &out);
+  template <typename Engine>
+  void reverse_walk_lt(vertex_t root, Engine &rng, RRRSet &out);
+
+  const CsrGraph &graph_;
+  BitVector visited_;
+  std::vector<vertex_t> frontier_;
+  std::vector<vertex_t> next_;
+};
+
+/// The Philox stream for global sample index \p index of an experiment
+/// keyed by \p seed.  Centralized so every sampling engine (sequential,
+/// OpenMP, distributed) draws sample i from the same stream, making the
+/// collection R independent of the degree of parallelism.
+[[nodiscard]] inline Philox4x32 sample_stream(std::uint64_t seed,
+                                              std::uint64_t index) {
+  // counter_hi 0 is reserved for forward simulation; offset by 1.
+  return Philox4x32(seed, index + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+// ---------------------------------------------------------------------------
+
+template <typename Engine>
+void RRRGenerator::generate(vertex_t root, DiffusionModel model, Engine &rng,
+                            RRRSet &out) {
+  RIPPLES_DEBUG_ASSERT(root < graph_.num_vertices());
+  out.clear();
+  if (model == DiffusionModel::IndependentCascade)
+    reverse_bfs_ic(root, rng, out);
+  else
+    reverse_walk_lt(root, rng, out);
+  // Reset only the touched bits: out holds exactly the visited vertices.
+  for (vertex_t v : out) visited_.clear(v);
+  std::sort(out.begin(), out.end());
+}
+
+template <typename Engine>
+void RRRGenerator::generate_random_root(DiffusionModel model, Engine &rng,
+                                        RRRSet &out) {
+  auto root = static_cast<vertex_t>(uniform_index(rng, graph_.num_vertices()));
+  generate(root, model, rng, out);
+}
+
+template <typename Engine>
+void RRRGenerator::reverse_bfs_ic(vertex_t root, Engine &rng, RRRSet &out) {
+  visited_.set(root);
+  out.push_back(root);
+  frontier_.clear();
+  frontier_.push_back(root);
+  while (!frontier_.empty()) {
+    next_.clear();
+    for (vertex_t v : frontier_) {
+      for (const Adjacency &in : graph_.in_neighbors(v)) {
+        if (visited_.test(in.vertex)) continue;
+        if (!bernoulli(rng, in.weight)) continue;
+        visited_.set(in.vertex);
+        out.push_back(in.vertex);
+        next_.push_back(in.vertex);
+      }
+    }
+    frontier_.swap(next_);
+  }
+}
+
+template <typename Engine>
+void RRRGenerator::reverse_walk_lt(vertex_t root, Engine &rng, RRRSet &out) {
+  visited_.set(root);
+  out.push_back(root);
+  vertex_t current = root;
+  for (;;) {
+    auto in_neighbors = graph_.in_neighbors(current);
+    if (in_neighbors.empty()) break;
+    // Select at most one incoming live edge: x lands either inside the
+    // cumulative weight mass of one edge (weights sum to <= 1 after LT
+    // renormalization) or in the residual "no edge" mass.
+    double x = uniform_unit(rng);
+    double cumulative = 0.0;
+    vertex_t selected = current; // sentinel: nothing selected
+    for (const Adjacency &in : in_neighbors) {
+      cumulative += in.weight;
+      if (x < cumulative) {
+        selected = in.vertex;
+        break;
+      }
+    }
+    if (selected == current) break;      // residual mass: walk ends
+    if (visited_.test(selected)) break;  // reached a cycle
+    visited_.set(selected);
+    out.push_back(selected);
+    current = selected;
+  }
+}
+
+} // namespace ripples
+
+#endif // RIPPLES_IMM_RRR_HPP

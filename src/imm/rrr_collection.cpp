@@ -1,0 +1,39 @@
+#include "imm/rrr_collection.hpp"
+
+namespace ripples {
+
+std::size_t RRRCollection::footprint_bytes() const {
+  std::size_t bytes = sets_.capacity() * sizeof(RRRSet);
+  for (const RRRSet &set : sets_) bytes += set.capacity() * sizeof(vertex_t);
+  return bytes;
+}
+
+std::size_t RRRCollection::total_associations() const {
+  std::size_t total = 0;
+  for (const RRRSet &set : sets_) total += set.size();
+  return total;
+}
+
+void HypergraphCollection::add(RRRSet &&set) {
+  auto sample_id = static_cast<std::uint32_t>(sets_.size());
+  for (vertex_t v : set) incidence_[v].push_back(sample_id);
+  sets_.push_back(std::move(set));
+}
+
+std::size_t HypergraphCollection::footprint_bytes() const {
+  std::size_t bytes = sets_.capacity() * sizeof(RRRSet);
+  for (const RRRSet &set : sets_) bytes += set.capacity() * sizeof(vertex_t);
+  bytes += incidence_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto &list : incidence_)
+    bytes += list.capacity() * sizeof(std::uint32_t);
+  return bytes;
+}
+
+std::size_t HypergraphCollection::total_associations() const {
+  std::size_t total = 0;
+  for (const RRRSet &set : sets_) total += set.size();
+  for (const auto &list : incidence_) total += list.size();
+  return total;
+}
+
+} // namespace ripples

@@ -1,0 +1,69 @@
+#include "imm/sampler.hpp"
+
+#include <omp.h>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+void sample_sequential(const CsrGraph &graph, DiffusionModel model,
+                       std::uint64_t target_total, std::uint64_t seed,
+                       RRRCollection &collection) {
+  if (collection.size() >= target_total) return;
+  std::uint64_t first = collection.grow(target_total - collection.size());
+  RRRGenerator generator(graph);
+  auto &sets = collection.mutable_sets();
+  for (std::uint64_t i = first; i < target_total; ++i) {
+    Philox4x32 rng = sample_stream(seed, i);
+    generator.generate_random_root(model, rng, sets[i]);
+  }
+}
+
+void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
+                          std::uint64_t target_total, std::uint64_t seed,
+                          unsigned num_threads, RRRCollection &collection) {
+  RIPPLES_ASSERT(num_threads >= 1);
+  if (collection.size() >= target_total) return;
+  std::uint64_t first = collection.grow(target_total - collection.size());
+  auto &sets = collection.mutable_sets();
+  auto count = static_cast<std::int64_t>(target_total - first);
+#pragma omp parallel num_threads(static_cast<int>(num_threads))
+  {
+    RRRGenerator generator(graph);
+    // Dynamic schedule: RRR-set sizes are heavy-tailed under IC, so static
+    // chunking would leave threads idle behind one giant traversal.
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t offset = 0; offset < count; ++offset) {
+      std::uint64_t i = first + static_cast<std::uint64_t>(offset);
+      Philox4x32 rng = sample_stream(seed, i);
+      generator.generate_random_root(model, rng, sets[i]);
+    }
+  }
+}
+
+void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
+                            std::uint64_t target_total, std::uint64_t seed,
+                            FlatRRRCollection &collection) {
+  RRRGenerator generator(graph);
+  RRRSet scratch;
+  for (std::uint64_t i = collection.size(); i < target_total; ++i) {
+    Philox4x32 rng = sample_stream(seed, i);
+    generator.generate_random_root(model, rng, scratch);
+    collection.append(scratch);
+  }
+}
+
+void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
+                       std::uint64_t target_total, std::uint64_t seed,
+                       HypergraphCollection &collection) {
+  RRRGenerator generator(graph);
+  RRRSet scratch;
+  for (std::uint64_t i = collection.size(); i < target_total; ++i) {
+    Philox4x32 rng = sample_stream(seed, i);
+    generator.generate_random_root(model, rng, scratch);
+    collection.add(std::move(scratch));
+    scratch = {};
+  }
+}
+
+} // namespace ripples

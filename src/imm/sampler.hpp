@@ -1,0 +1,49 @@
+/// \file sampler.hpp
+/// \brief Sample (Alg. 3): batch generation of RRR sets.
+///
+/// All engines share one indexing discipline: RRR set i of an experiment is
+/// drawn from the Philox stream (seed, i) and its root is the stream's first
+/// draw.  The collection R is therefore a pure function of (graph, model,
+/// seed, |R|) — identical whether it was produced sequentially, by any
+/// number of OpenMP threads, or by any number of mpsim ranks.  This is the
+/// property the paper obtains from leap-frog LCG splitting ("accurate
+/// generation of pseudorandom numbers in parallel is critical"), delivered
+/// here with a counter-based generator; the faithful leap-frog LCG variant
+/// lives in imm_distributed.cpp and is compared in ablation_rng_streams.
+#ifndef RIPPLES_IMM_SAMPLER_HPP
+#define RIPPLES_IMM_SAMPLER_HPP
+
+#include <cstdint>
+
+#include "imm/rrr_collection.hpp"
+
+namespace ripples {
+
+/// Appends samples to \p collection until it holds \p target_total sets.
+/// No-op if it already does.
+void sample_sequential(const CsrGraph &graph, DiffusionModel model,
+                       std::uint64_t target_total, std::uint64_t seed,
+                       RRRCollection &collection);
+
+/// OpenMP variant: slots are pre-grown and filled by a dynamic-schedule
+/// parallel for, one RRRGenerator per thread.  Bit-identical to
+/// sample_sequential for every thread count.
+void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
+                          std::uint64_t target_total, std::uint64_t seed,
+                          unsigned num_threads, RRRCollection &collection);
+
+/// Arena variant: same samples, appended into FlatRRRCollection.
+void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
+                            std::uint64_t target_total, std::uint64_t seed,
+                            FlatRRRCollection &collection);
+
+/// Baseline variant: same samples, stored dual-direction (sample list plus
+/// per-vertex incidence), reproducing the Table 2 baseline's footprint and
+/// insertion cost.
+void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
+                       std::uint64_t target_total, std::uint64_t seed,
+                       HypergraphCollection &collection);
+
+} // namespace ripples
+
+#endif // RIPPLES_IMM_SAMPLER_HPP

@@ -1,0 +1,302 @@
+#include "imm/select.hpp"
+
+#include <algorithm>
+#include <omp.h>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// True if the sorted sample contains \p v.
+bool sample_contains(const RRRSet &sample, vertex_t v) {
+  return std::binary_search(sample.begin(), sample.end(), v);
+}
+
+} // namespace
+
+void count_memberships(std::span<const RRRSet> samples,
+                       std::span<std::uint32_t> counters) {
+  for (const RRRSet &sample : samples)
+    for (vertex_t v : sample) {
+      RIPPLES_DEBUG_ASSERT(v < counters.size());
+      ++counters[v];
+    }
+}
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        std::span<const RRRSet> samples,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired) {
+  std::uint64_t retired_count = 0;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    if (retired[j]) continue;
+    if (!sample_contains(samples[j], seed)) continue;
+    retired[j] = 1;
+    ++retired_count;
+    for (vertex_t u : samples[j]) {
+      RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+      --counters[u];
+    }
+  }
+  RIPPLES_DEBUG_ASSERT(counters[seed] == 0);
+  return retired_count;
+}
+
+vertex_t argmax_counter(std::span<const std::uint32_t> counters,
+                        std::span<const std::uint8_t> selected) {
+  vertex_t best = 0;
+  std::uint32_t best_count = 0;
+  bool found = false;
+  for (vertex_t v = 0; v < counters.size(); ++v) {
+    if (selected[v]) continue;
+    if (!found || counters[v] > best_count) {
+      best = v;
+      best_count = counters[v];
+      found = true;
+    }
+  }
+  RIPPLES_ASSERT_MSG(found, "k exceeds the number of vertices");
+  return best;
+}
+
+SelectionResult select_seeds(vertex_t num_vertices, std::uint32_t k,
+                             std::span<const RRRSet> samples) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  count_memberships(samples, counters);
+
+  std::vector<std::uint8_t> retired(samples.size(), 0);
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+
+  SelectionResult result;
+  result.total_samples = samples.size();
+  result.seeds.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    vertex_t seed = argmax_counter(counters, selected);
+    selected[seed] = 1;
+    result.seeds.push_back(seed);
+    result.covered_samples +=
+        retire_samples_containing(seed, samples, counters, retired);
+  }
+  return result;
+}
+
+SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
+                                           std::uint32_t k,
+                                           std::span<const RRRSet> samples,
+                                           unsigned num_threads) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  RIPPLES_ASSERT(num_threads >= 1);
+
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  std::vector<std::uint8_t> retired(samples.size(), 0);
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+
+  SelectionResult result;
+  result.total_samples = samples.size();
+  result.seeds.reserve(k);
+
+  struct Candidate {
+    std::uint32_t count;
+    vertex_t vertex;
+  };
+  std::vector<Candidate> local_best(num_threads);
+  vertex_t chosen = 0;
+  std::uint64_t covered_this_round = 0; // shared reduction target
+
+#pragma omp parallel num_threads(static_cast<int>(num_threads))
+  {
+    const auto t = static_cast<unsigned>(omp_get_thread_num());
+    const auto p = static_cast<unsigned>(omp_get_num_threads());
+    // Vertex interval owned by this thread rank (Alg. 4: vl, vh).
+    const auto vl = static_cast<vertex_t>(
+        (static_cast<std::uint64_t>(num_vertices) * t) / p);
+    const auto vh = static_cast<vertex_t>(
+        (static_cast<std::uint64_t>(num_vertices) * (t + 1)) / p);
+
+    // Counting step: every thread visits all samples but touches only the
+    // counters it owns; the sorted sample lets it binary-search to vl and
+    // scan its slice in cache order (Section 3.1).
+    for (const RRRSet &sample : samples) {
+      auto it = std::lower_bound(sample.begin(), sample.end(), vl);
+      for (; it != sample.end() && *it < vh; ++it) ++counters[*it];
+    }
+#pragma omp barrier
+
+    for (std::uint32_t i = 0; i < k; ++i) {
+      // Parallel argmax reduction: local candidate per interval...
+      Candidate best{0, vh};
+      bool found = false;
+      for (vertex_t v = vl; v < vh; ++v) {
+        if (selected[v]) continue;
+        if (!found || counters[v] > best.count) {
+          best = {counters[v], v};
+          found = true;
+        }
+      }
+      local_best[t] = found ? best : Candidate{0, num_vertices};
+#pragma omp barrier
+      // ...then one thread combines (higher count wins, ties to smaller id).
+#pragma omp single
+      {
+        Candidate global{0, num_vertices};
+        for (const Candidate &c : local_best) {
+          if (c.vertex >= num_vertices) continue;
+          if (global.vertex >= num_vertices || c.count > global.count ||
+              (c.count == global.count && c.vertex < global.vertex))
+            global = c;
+        }
+        RIPPLES_ASSERT_MSG(global.vertex < num_vertices,
+                           "k exceeds the number of vertices");
+        chosen = global.vertex;
+        selected[chosen] = 1;
+        result.seeds.push_back(chosen);
+      } // implicit barrier: `chosen` is visible to all threads
+
+      // Decrement phase: for every live sample containing the seed, each
+      // thread decrements the members inside its own interval — no atomics
+      // (Alg. 4).  `retired` is only read here; it is updated in the next
+      // phase after a barrier, so all threads see a consistent view.
+      for (const RRRSet &sample : samples) {
+        const std::size_t j = static_cast<std::size_t>(&sample - samples.data());
+        if (retired[j]) continue;
+        if (!sample_contains(sample, chosen)) continue;
+        auto it = std::lower_bound(sample.begin(), sample.end(), vl);
+        for (; it != sample.end() && *it < vh; ++it) {
+          RIPPLES_DEBUG_ASSERT(counters[*it] > 0);
+          --counters[*it];
+        }
+      }
+#pragma omp barrier
+
+      // Retirement phase: mark covered samples (disjoint byte writes).
+#pragma omp single
+      covered_this_round = 0;
+      // implicit barrier: reset visible before the reduction accumulates
+#pragma omp for reduction(+ : covered_this_round)
+      for (std::size_t j = 0; j < samples.size(); ++j) {
+        if (retired[j]) continue;
+        if (!sample_contains(samples[j], chosen)) continue;
+        retired[j] = 1;
+        ++covered_this_round;
+      }
+#pragma omp single
+      result.covered_samples += covered_this_round;
+      // implicit barrier after single: next round reads a settled `retired`
+    }
+  }
+  return result;
+}
+
+SelectionResult select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
+                                  const FlatRRRCollection &collection) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  for (std::size_t j = 0; j < collection.size(); ++j)
+    for (vertex_t v : collection.sample(j)) ++counters[v];
+
+  std::vector<std::uint8_t> retired(collection.size(), 0);
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+
+  SelectionResult result;
+  result.total_samples = collection.size();
+  result.seeds.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    vertex_t seed = argmax_counter(counters, selected);
+    selected[seed] = 1;
+    result.seeds.push_back(seed);
+    for (std::size_t j = 0; j < collection.size(); ++j) {
+      if (retired[j]) continue;
+      auto sample = collection.sample(j);
+      if (!std::binary_search(sample.begin(), sample.end(), seed)) continue;
+      retired[j] = 1;
+      ++result.covered_samples;
+      for (vertex_t u : sample) {
+        RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+        --counters[u];
+      }
+    }
+  }
+  return result;
+}
+
+SelectionResult select_seeds_lazy(vertex_t num_vertices, std::uint32_t k,
+                                  std::span<const RRRSet> samples) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  count_memberships(samples, counters);
+
+  // Max-heap of (cached count, vertex), higher count first, ties to the
+  // smaller vertex id so the output matches the eager implementations.
+  struct Entry {
+    std::uint32_t count;
+    vertex_t vertex;
+  };
+  auto lower_priority = [](const Entry &a, const Entry &b) {
+    return a.count < b.count || (a.count == b.count && a.vertex > b.vertex);
+  };
+  std::vector<Entry> heap;
+  heap.reserve(num_vertices);
+  for (vertex_t v = 0; v < num_vertices; ++v) heap.push_back({counters[v], v});
+  std::make_heap(heap.begin(), heap.end(), lower_priority);
+
+  std::vector<std::uint8_t> retired(samples.size(), 0);
+  SelectionResult result;
+  result.total_samples = samples.size();
+  result.seeds.reserve(k);
+  while (result.seeds.size() < k) {
+    RIPPLES_ASSERT_MSG(!heap.empty(), "k exceeds the number of vertices");
+    std::pop_heap(heap.begin(), heap.end(), lower_priority);
+    Entry top = heap.back();
+    heap.pop_back();
+    if (top.count != counters[top.vertex]) {
+      // Stale cache: counters only decrease, so refresh and reinsert.
+      heap.push_back({counters[top.vertex], top.vertex});
+      std::push_heap(heap.begin(), heap.end(), lower_priority);
+      continue;
+    }
+    result.seeds.push_back(top.vertex);
+    result.covered_samples +=
+        retire_samples_containing(top.vertex, samples, counters, retired);
+  }
+  return result;
+}
+
+SelectionResult select_seeds_hypergraph(vertex_t num_vertices, std::uint32_t k,
+                                        const HypergraphCollection &collection) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  // The vertex -> samples index gives the initial counters for free and
+  // makes retirement proportional to the retired samples only — the
+  // selection-speed advantage the paper attributes to the hypergraph
+  // representation (bought with ~2x memory).
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  for (vertex_t v = 0; v < num_vertices; ++v)
+    counters[v] =
+        static_cast<std::uint32_t>(collection.samples_containing(v).size());
+
+  std::vector<std::uint8_t> retired(collection.size(), 0);
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+
+  SelectionResult result;
+  result.total_samples = collection.size();
+  result.seeds.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    vertex_t seed = argmax_counter(counters, selected);
+    selected[seed] = 1;
+    result.seeds.push_back(seed);
+    for (std::uint32_t j : collection.samples_containing(seed)) {
+      if (retired[j]) continue;
+      retired[j] = 1;
+      ++result.covered_samples;
+      for (vertex_t u : collection.sets()[j]) {
+        RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+        --counters[u];
+      }
+    }
+  }
+  return result;
+}
+
+} // namespace ripples

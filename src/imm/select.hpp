@@ -1,0 +1,111 @@
+/// \file select.hpp
+/// \brief SelectSeeds: greedy maximum-coverage over the RRR sets (Alg. 4).
+///
+/// Selecting the k vertices covering the most RRR sets is the max-coverage
+/// greedy: maintain per-vertex counters of sample membership, repeatedly
+/// take the argmax, then retire every sample containing it (those samples
+/// can no longer add influence) and decrement the counters of their members.
+///
+/// Three implementations:
+///  * select_seeds            — sequential reference.
+///  * select_seeds_multithreaded — Algorithm 4: each thread owns the
+///    counters of a vertex interval [vl, vh), so counting and decrementing
+///    need no atomics; sorted samples let a thread binary-search directly to
+///    its interval inside every sample.
+///  * select_seeds_hypergraph  — the baseline's variant that exploits the
+///    vertex -> samples index for cheaper retirement at 2x memory.
+///
+/// The distributed selection (Section 3.2) reuses the counting kernels here
+/// around an allreduce; see imm_distributed.cpp.
+///
+/// Tie-breaking: the smallest vertex id among maxima, in every
+/// implementation — the cross-implementation determinism tests rely on it.
+#ifndef RIPPLES_IMM_SELECT_HPP
+#define RIPPLES_IMM_SELECT_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "imm/rrr_collection.hpp"
+
+namespace ripples {
+
+struct SelectionResult {
+  std::vector<vertex_t> seeds;
+  std::uint64_t covered_samples = 0;
+  std::uint64_t total_samples = 0;
+
+  /// F_R(S): fraction of RRR sets covered by the selected seeds; the input
+  /// to the OPT estimator of the martingale loop.
+  [[nodiscard]] double coverage_fraction() const {
+    return total_samples == 0
+               ? 0.0
+               : static_cast<double>(covered_samples) /
+                     static_cast<double>(total_samples);
+  }
+};
+
+/// Sequential greedy max-coverage over sorted samples.
+[[nodiscard]] SelectionResult select_seeds(vertex_t num_vertices,
+                                           std::uint32_t k,
+                                           std::span<const RRRSet> samples);
+
+/// Algorithm 4: interval-partitioned multithreaded selection.  \p
+/// num_threads <= omp_get_max_threads(); the result is identical to the
+/// sequential version for any thread count.
+[[nodiscard]] SelectionResult
+select_seeds_multithreaded(vertex_t num_vertices, std::uint32_t k,
+                           std::span<const RRRSet> samples,
+                           unsigned num_threads);
+
+/// Baseline selection over dual-direction storage.
+[[nodiscard]] SelectionResult
+select_seeds_hypergraph(vertex_t num_vertices, std::uint32_t k,
+                        const HypergraphCollection &collection);
+
+/// Selection over the arena representation: identical greedy and
+/// tie-breaking, counters and retirement walk the flat payload directly.
+[[nodiscard]] SelectionResult
+select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
+                  const FlatRRRCollection &collection);
+
+/// Lazy-greedy selection (the paper's future-work item "exploitation of
+/// problem properties such as submodularity", realized CELF-style at the
+/// coverage level): a max-heap of cached counter values replaces the O(n)
+/// argmax scan of each greedy round.  Because coverage counters only
+/// decrease as samples retire, a popped entry whose cached value still
+/// matches the live counter is globally maximal; stale entries are
+/// refreshed and reinserted.  Returns exactly the same seeds as
+/// select_seeds (identical tie-breaking).
+[[nodiscard]] SelectionResult
+select_seeds_lazy(vertex_t num_vertices, std::uint32_t k,
+                  std::span<const RRRSet> samples);
+
+// ---------------------------------------------------------------------------
+// Building blocks shared with the distributed implementation.
+// ---------------------------------------------------------------------------
+
+/// Fills \p counters (size n, zeroed by the caller) with the number of
+/// samples containing each vertex.
+void count_memberships(std::span<const RRRSet> samples,
+                       std::span<std::uint32_t> counters);
+
+/// Retires every live sample containing \p seed: marks it in \p retired
+/// (one byte per sample — byte granularity so parallel callers can write
+/// disjoint entries racelessly), decrements the counters of all its
+/// members, and returns how many samples were retired.  `counters[seed]`
+/// ends at 0.
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        std::span<const RRRSet> samples,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired);
+
+/// Smallest-id argmax over the counters, skipping already-selected vertices;
+/// if every unselected counter is zero, returns the smallest unselected id.
+[[nodiscard]] vertex_t argmax_counter(std::span<const std::uint32_t> counters,
+                                      std::span<const std::uint8_t> selected);
+
+} // namespace ripples
+
+#endif // RIPPLES_IMM_SELECT_HPP

@@ -1,0 +1,134 @@
+#include "imm/sketches.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/distributions.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix.hpp"
+#include "rng/xoshiro.hpp"
+#include "support/assert.hpp"
+#include "support/bitvector.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Deterministic liveness of the in-edges of \p v in instance \p instance:
+/// every reverse expansion of v in that instance replays the same stream,
+/// so an edge's liveness is consistent no matter how many pruned searches
+/// touch it.
+Philox4x32 instance_stream(std::uint64_t seed, std::uint32_t instance,
+                           vertex_t v) {
+  return Philox4x32(splitmix64_mix(seed ^ (0xC0FFEEULL + instance)), v);
+}
+
+} // namespace
+
+ReachabilitySketches::ReachabilitySketches(const CsrGraph &graph,
+                                           const SketchOptions &options)
+    : num_instances_(options.num_instances), sketch_size_(options.sketch_size),
+      sketches_(graph.num_vertices()) {
+  RIPPLES_ASSERT(options.num_instances >= 1);
+  RIPPLES_ASSERT(options.sketch_size >= 2);
+  const vertex_t n = graph.num_vertices();
+
+  // Rank every (vertex, instance) pair and process in increasing order.
+  struct RankedPair {
+    float rank;
+    vertex_t vertex;
+    std::uint32_t instance;
+  };
+  std::vector<RankedPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(n) * num_instances_);
+  Xoshiro256 rank_rng(options.seed ^ 0x5eedbeefULL);
+  for (std::uint32_t i = 0; i < num_instances_; ++i)
+    for (vertex_t v = 0; v < n; ++v)
+      pairs.push_back({static_cast<float>(uniform_unit(rank_rng)), v, i});
+  std::sort(pairs.begin(), pairs.end(),
+            [](const RankedPair &a, const RankedPair &b) {
+              return a.rank < b.rank;
+            });
+
+  // Reverse searches in increasing rank order.  A full sketch stops
+  // *inserting* but the search must still expand through the vertex: its
+  // predecessors reach this pair through it and may have sketch space left
+  // (pruning the expansion would starve vertices shadowed by hubs and bias
+  // their estimates down).
+  std::vector<vertex_t> frontier, next;
+  BitVector visited(n);
+  std::vector<vertex_t> touched;
+  for (const RankedPair &pair : pairs) {
+    frontier.clear();
+    touched.clear();
+    auto try_visit = [&](vertex_t u, std::vector<vertex_t> &out) {
+      if (!visited.test_and_set(u)) return;
+      touched.push_back(u);
+      if (sketches_[u].size() < sketch_size_)
+        sketches_[u].push_back(pair.rank); // ranks arrive in ascending order
+      out.push_back(u);
+    };
+    try_visit(pair.vertex, frontier);
+    while (!frontier.empty()) {
+      next.clear();
+      for (vertex_t v : frontier) {
+        Philox4x32 rng = instance_stream(options.seed, pair.instance, v);
+        if (options.model == DiffusionModel::IndependentCascade) {
+          for (const Adjacency &in : graph.in_neighbors(v)) {
+            bool live = bernoulli(rng, in.weight);
+            if (live && !visited.test(in.vertex)) try_visit(in.vertex, next);
+          }
+        } else {
+          // LT live-edge: at most one incoming edge per vertex.
+          double x = uniform_unit(rng);
+          double cumulative = 0.0;
+          for (const Adjacency &in : graph.in_neighbors(v)) {
+            cumulative += in.weight;
+            if (x < cumulative) {
+              if (!visited.test(in.vertex)) try_visit(in.vertex, next);
+              break;
+            }
+          }
+        }
+      }
+      frontier.swap(next);
+    }
+    for (vertex_t u : touched) visited.clear(u);
+  }
+}
+
+double ReachabilitySketches::estimate_influence(vertex_t u) const {
+  const std::vector<float> &sketch = sketches_[u];
+  double total_reachable_pairs;
+  if (sketch.size() < sketch_size_) {
+    // The search never pruned at u: the count is exact.
+    total_reachable_pairs = static_cast<double>(sketch.size());
+  } else {
+    double tau = sketch.back(); // k-th smallest rank
+    total_reachable_pairs = (static_cast<double>(sketch_size_) - 1.0) / tau;
+  }
+  return total_reachable_pairs / static_cast<double>(num_instances_);
+}
+
+std::vector<double> ReachabilitySketches::all_estimates() const {
+  std::vector<double> estimates(sketches_.size());
+  for (vertex_t v = 0; v < sketches_.size(); ++v)
+    estimates[v] = estimate_influence(v);
+  return estimates;
+}
+
+std::vector<vertex_t> ReachabilitySketches::top_seeds(std::uint32_t k) const {
+  RIPPLES_ASSERT(k >= 1 && k <= sketches_.size());
+  std::vector<double> estimates = all_estimates();
+  std::vector<vertex_t> order(sketches_.size());
+  std::iota(order.begin(), order.end(), vertex_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](vertex_t a, vertex_t b) {
+                      return estimates[a] > estimates[b] ||
+                             (estimates[a] == estimates[b] && a < b);
+                    });
+  order.resize(k);
+  return order;
+}
+
+} // namespace ripples

@@ -1,0 +1,73 @@
+#include "imm/theta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+double log_binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  if (k == 0 || k == n) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1) -
+         std::lgamma(static_cast<double>(k) + 1) -
+         std::lgamma(static_cast<double>(n - k) + 1);
+}
+
+ThetaSchedule::ThetaSchedule(std::uint64_t num_vertices, std::uint32_t k,
+                             double epsilon, double l)
+    : num_vertices_(static_cast<double>(num_vertices)), epsilon_(epsilon) {
+  RIPPLES_ASSERT_MSG(num_vertices >= 2, "graph too small for IMM");
+  RIPPLES_ASSERT_MSG(epsilon > 0 && epsilon < 1, "epsilon must be in (0,1)");
+  RIPPLES_ASSERT_MSG(k >= 1 && k <= num_vertices, "invalid seed count");
+
+  const double n = num_vertices_;
+  const double ln_n = std::log(n);
+  const double log2_n = std::log2(n);
+  // Union bound over the two phases (Tang et al., Sec. 4.2): inflate l so
+  // that both the estimation and the final guarantee hold with 1 - 1/n^l.
+  const double l_adjusted = l * (1.0 + std::log(2.0) / ln_n);
+  const double logcnk = log_binomial(num_vertices, k);
+
+  epsilon_prime_ = std::sqrt(2.0) * epsilon;
+  lambda_prime_ = (2.0 + 2.0 / 3.0 * epsilon_prime_) *
+                  (logcnk + l_adjusted * ln_n + std::log(log2_n)) * n /
+                  (epsilon_prime_ * epsilon_prime_);
+
+  const double e = std::exp(1.0);
+  const double alpha = std::sqrt(l_adjusted * ln_n + std::log(2.0));
+  const double beta =
+      std::sqrt((1.0 - 1.0 / e) * (logcnk + l_adjusted * ln_n + std::log(2.0)));
+  const double term = (1.0 - 1.0 / e) * alpha + beta;
+  lambda_star_ = 2.0 * n * term * term / (epsilon * epsilon);
+
+  max_iterations_ = static_cast<std::uint32_t>(std::max(1.0, std::floor(log2_n)));
+}
+
+std::uint64_t ThetaSchedule::target_samples(std::uint32_t x) const {
+  RIPPLES_ASSERT(x >= 1 && x <= max_iterations_);
+  const double divisor = num_vertices_ / std::exp2(static_cast<double>(x));
+  return static_cast<std::uint64_t>(std::ceil(lambda_prime_ / divisor));
+}
+
+bool ThetaSchedule::accept(std::uint32_t x, double coverage_fraction,
+                           double *lower_bound) const {
+  RIPPLES_ASSERT(x >= 1 && x <= max_iterations_);
+  RIPPLES_ASSERT(coverage_fraction >= 0.0 && coverage_fraction <= 1.0);
+  const double estimate = num_vertices_ * coverage_fraction;
+  const double threshold =
+      (1.0 + epsilon_prime_) * num_vertices_ / std::exp2(static_cast<double>(x));
+  if (estimate < threshold) return false;
+  if (lower_bound) *lower_bound = estimate / (1.0 + epsilon_prime_);
+  return true;
+}
+
+std::uint64_t ThetaSchedule::final_theta(double lower_bound) const {
+  RIPPLES_ASSERT(lower_bound >= 1.0);
+  return static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(lambda_star_ / lower_bound)));
+}
+
+} // namespace ripples

@@ -1,0 +1,73 @@
+/// \file theta.hpp
+/// \brief The IMM sample-size estimation (Algorithm 2's mathematics).
+///
+/// IMM removes RIS's user-supplied sample threshold by *estimating* theta,
+/// the number of RRR sets needed for the (1 - 1/e - eps) guarantee.
+/// Algorithm 2 of the paper is a compressed presentation of the martingale
+/// scheme of Tang et al. (SIGMOD 2015), which this module implements with
+/// the published constants:
+///
+///   eps' = sqrt(2) * eps
+///   lambda' = (2 + 2/3 eps') * (ln C(n,k) + l ln n + ln log2 n) * n / eps'^2
+///   theta_x = lambda' / (n / 2^x)            for x = 1 .. log2(n)
+///   accept when n * F_R(S) >= (1 + eps') * (n / 2^x),
+///     yielding LB = n * F_R(S) / (1 + eps')
+///   alpha = sqrt(l ln n + ln 2)
+///   beta  = sqrt((1 - 1/e) (ln C(n,k) + l ln n + ln 2))
+///   lambda* = 2 n ((1 - 1/e) alpha + beta)^2 / eps^2
+///   theta = lambda* / LB
+///
+/// F_R(S) is the fraction of RRR sets covered by the greedy seed set S, and
+/// n * F_R(S) is the unbiased OPT estimator the paper cites.  l is inflated
+/// by (1 + ln 2 / ln n) exactly as Tang et al. do, so the union bound over
+/// the estimation and selection phases still yields failure probability
+/// <= 1/n^l overall.
+#ifndef RIPPLES_IMM_THETA_HPP
+#define RIPPLES_IMM_THETA_HPP
+
+#include <cstdint>
+
+namespace ripples {
+
+/// ln C(n, k) computed with log-gamma — exact enough for n up to billions.
+[[nodiscard]] double log_binomial(std::uint64_t n, std::uint64_t k);
+
+/// The schedule of sample-count targets used by the estimation loop, plus
+/// the final theta computation.  Pure math: no state about R.
+class ThetaSchedule {
+public:
+  ThetaSchedule(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
+                double l = 1.0);
+
+  /// Number of doubling iterations available: log2(n) (x in [1, count]).
+  [[nodiscard]] std::uint32_t max_iterations() const { return max_iterations_; }
+
+  /// theta_x, the sample-count target of estimation iteration x (1-based).
+  [[nodiscard]] std::uint64_t target_samples(std::uint32_t x) const;
+
+  /// Tests the stopping rule for iteration x given the coverage fraction
+  /// F_R(S) returned by seed selection.  On success stores the derived
+  /// lower bound on OPT.
+  [[nodiscard]] bool accept(std::uint32_t x, double coverage_fraction,
+                            double *lower_bound) const;
+
+  /// Final sample count theta = lambda* / LB (at least 1).
+  [[nodiscard]] std::uint64_t final_theta(double lower_bound) const;
+
+  [[nodiscard]] double epsilon() const { return epsilon_; }
+  [[nodiscard]] double epsilon_prime() const { return epsilon_prime_; }
+  [[nodiscard]] double lambda_prime() const { return lambda_prime_; }
+  [[nodiscard]] double lambda_star() const { return lambda_star_; }
+
+private:
+  double num_vertices_;
+  double epsilon_;
+  double epsilon_prime_;
+  double lambda_prime_;
+  double lambda_star_;
+  std::uint32_t max_iterations_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_IMM_THETA_HPP

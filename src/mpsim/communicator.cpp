@@ -1,0 +1,128 @@
+#include "mpsim/communicator.hpp"
+
+#include <barrier>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace ripples::mpsim {
+
+namespace detail {
+
+/// Rendezvous channel for one (source, destination) pair: the sender posts
+/// a pointer and blocks until the receiver has copied the payload.
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  const void *data = nullptr;
+  std::size_t bytes = 0;
+  bool posted = false;
+};
+
+struct SharedState {
+  explicit SharedState(int num_ranks)
+      : pointers(static_cast<std::size_t>(num_ranks), nullptr),
+        sizes(static_cast<std::size_t>(num_ranks), 0),
+        mailboxes(static_cast<std::size_t>(num_ranks) *
+                  static_cast<std::size_t>(num_ranks)),
+        sync(num_ranks) {}
+
+  Mailbox &mailbox(int source, int destination, int num_ranks) {
+    return mailboxes[static_cast<std::size_t>(source) *
+                         static_cast<std::size_t>(num_ranks) +
+                     static_cast<std::size_t>(destination)];
+  }
+
+  std::vector<const void *> pointers;
+  std::vector<std::size_t> sizes;
+  std::vector<Mailbox> mailboxes;
+  std::barrier<> sync;
+};
+
+} // namespace detail
+
+void Communicator::barrier() { shared_.sync.arrive_and_wait(); }
+
+void Communicator::post_pointer(const void *data, std::size_t bytes) {
+  shared_.pointers[static_cast<std::size_t>(rank_)] = data;
+  shared_.sizes[static_cast<std::size_t>(rank_)] = bytes;
+}
+
+const void *Communicator::peer_pointer(int peer) const {
+  RIPPLES_DEBUG_ASSERT(peer >= 0 && peer < size_);
+  return shared_.pointers[static_cast<std::size_t>(peer)];
+}
+
+std::size_t Communicator::peer_size(int peer) const {
+  RIPPLES_DEBUG_ASSERT(peer >= 0 && peer < size_);
+  return shared_.sizes[static_cast<std::size_t>(peer)];
+}
+
+void Communicator::send_bytes(const void *data, std::size_t bytes,
+                              int destination) {
+  RIPPLES_ASSERT(destination >= 0 && destination < size_);
+  RIPPLES_ASSERT_MSG(destination != rank_, "self-send would deadlock");
+  detail::Mailbox &box = shared_.mailbox(rank_, destination, size_);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  // Wait for the previous message on this channel to be consumed.
+  box.cv.wait(lock, [&] { return !box.posted; });
+  box.data = data;
+  box.bytes = bytes;
+  box.posted = true;
+  box.cv.notify_all();
+  // Rendezvous: return only after the receiver copied the payload.
+  box.cv.wait(lock, [&] { return !box.posted; });
+}
+
+void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
+  RIPPLES_ASSERT(source >= 0 && source < size_);
+  RIPPLES_ASSERT_MSG(source != rank_, "self-receive would deadlock");
+  detail::Mailbox &box = shared_.mailbox(source, rank_, size_);
+  std::unique_lock<std::mutex> lock(box.mutex);
+  box.cv.wait(lock, [&] { return box.posted; });
+  RIPPLES_ASSERT_MSG(box.bytes == bytes,
+                     "recv buffer size must match the sent payload");
+  std::memcpy(buffer, box.data, bytes);
+  box.posted = false;
+  box.data = nullptr;
+  box.cv.notify_all();
+}
+
+void Context::run(int num_ranks,
+                  const std::function<void(Communicator &)> &rank_main) {
+  RIPPLES_ASSERT(num_ranks >= 1);
+  detail::SharedState shared(num_ranks);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto rank_body = [&](int rank) {
+    Communicator comm(rank, num_ranks, shared);
+    try {
+      rank_main(comm);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // A dead rank would deadlock peers blocked in a collective; there is
+      // no clean recovery from a rank failure mid-collective (true of MPI as
+      // well), so the contract is: rank functions may only throw outside
+      // collectives, and all ranks see collectives in the same order.  We
+      // keep participating in barriers until peers finish naturally only in
+      // the trivial single-rank case; otherwise the error surfaces when the
+      // program is correct enough for all ranks to throw symmetrically.
+    }
+  };
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(num_ranks) - 1);
+  for (int r = 1; r < num_ranks; ++r) ranks.emplace_back(rank_body, r);
+  rank_body(0);
+  for (std::thread &t : ranks) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+} // namespace ripples::mpsim

@@ -1,0 +1,248 @@
+/// \file communicator.hpp
+/// \brief In-process message-passing runtime with MPI collective semantics.
+///
+/// The paper's distributed implementation is hybrid MPI+OpenMP.  No MPI
+/// library is available in this environment, so `mpsim` substitutes an
+/// in-process runtime: every rank is a std::thread executing the same
+/// program, each owning rank-private data by convention (its partition R_i
+/// of the samples, its counter arrays), and communicating exclusively
+/// through the collectives below, which follow MPI semantics:
+///
+///  * `allreduce`  — MPI_Allreduce: element-wise reduction of equal-length
+///    buffers, result visible to every rank (the paper's dominant
+///    communication, one n-length Sum allreduce per selected seed);
+///  * `reduce`     — MPI_Reduce (root only);
+///  * `broadcast`  — MPI_Bcast from a root rank;
+///  * `allgather`  — MPI_Allgather of one value per rank;
+///  * `allgatherv` — MPI_Allgatherv of variable-length per-rank vectors;
+///  * `barrier`    — MPI_Barrier.
+///
+/// Every collective must be called by all ranks of the communicator in the
+/// same order (exactly MPI's contract).  Element types must be trivially
+/// copyable, mirroring MPI datatypes.
+///
+/// Because ranks share one address space, the input graph is naturally
+/// shared read-only; under real MPI each rank holds a private copy (§3.2 of
+/// the paper).  This changes memory cost, not algorithm behaviour — every
+/// rank still treats the graph as immutable input.
+#ifndef RIPPLES_MPSIM_COMMUNICATOR_HPP
+#define RIPPLES_MPSIM_COMMUNICATOR_HPP
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ripples::mpsim {
+
+enum class ReduceOp { Sum, Max, Min };
+
+namespace detail {
+
+template <typename T> T combine(ReduceOp op, T a, T b) {
+  switch (op) {
+  case ReduceOp::Sum: return static_cast<T>(a + b);
+  case ReduceOp::Max: return a < b ? b : a;
+  case ReduceOp::Min: return b < a ? b : a;
+  }
+  return a;
+}
+
+/// Runtime state shared by the ranks of one communicator.  Type-erased:
+/// collectives exchange raw pointers plus byte counts.
+struct SharedState;
+
+} // namespace detail
+
+/// Per-rank handle; passed to the rank function by Context::run.
+class Communicator {
+public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return size_; }
+
+  void barrier();
+
+  /// MPI_Allreduce(MPI_IN_PLACE): every rank passes a buffer of identical
+  /// length; afterwards every buffer holds the element-wise reduction.
+  template <typename T> void allreduce(std::span<T> buffer, ReduceOp op) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post_pointer(buffer.data(), buffer.size() * sizeof(T));
+    barrier();
+    combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
+    barrier();
+  }
+
+  /// MPI_Reduce: as allreduce, but only \p root's buffer receives the result;
+  /// other ranks' buffers are left untouched.
+  template <typename T> void reduce(std::span<T> buffer, ReduceOp op, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RIPPLES_ASSERT(root >= 0 && root < size_);
+    post_pointer(buffer.data(), buffer.size() * sizeof(T));
+    barrier();
+    combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
+    barrier();
+  }
+
+  /// MPI_Bcast: copies \p root's buffer into every rank's buffer.
+  template <typename T> void broadcast(std::span<T> buffer, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RIPPLES_ASSERT(root >= 0 && root < size_);
+    post_pointer(buffer.data(), buffer.size() * sizeof(T));
+    barrier();
+    if (rank_ != root) {
+      const void *src = peer_pointer(root);
+      std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
+    }
+    barrier();
+  }
+
+  /// MPI_Allgather of a single value per rank; returns the values indexed by
+  /// rank.
+  template <typename T> std::vector<T> allgather(const T &value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post_pointer(&value, sizeof(T));
+    barrier();
+    std::vector<T> gathered(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r)
+      std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r), sizeof(T));
+    barrier();
+    return gathered;
+  }
+
+  /// MPI_Gather of one value per rank: root receives the values in rank
+  /// order; other ranks receive an empty vector.
+  template <typename T> std::vector<T> gather(const T &value, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RIPPLES_ASSERT(root >= 0 && root < size_);
+    post_pointer(&value, sizeof(T));
+    barrier();
+    std::vector<T> gathered;
+    if (rank_ == root) {
+      gathered.resize(static_cast<std::size_t>(size_));
+      for (int r = 0; r < size_; ++r)
+        std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r),
+                    sizeof(T));
+    }
+    barrier();
+    return gathered;
+  }
+
+  /// MPI_Scatter: root provides size() values; every rank receives the one
+  /// at its own index.  Non-root ranks may pass an empty span.
+  template <typename T> T scatter(std::span<const T> values, int root) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    RIPPLES_ASSERT(root >= 0 && root < size_);
+    if (rank_ == root)
+      RIPPLES_ASSERT_MSG(values.size() == static_cast<std::size_t>(size_),
+                         "scatter requires one value per rank at the root");
+    post_pointer(values.data(), values.size() * sizeof(T));
+    barrier();
+    T mine;
+    std::memcpy(&mine,
+                static_cast<const T *>(peer_pointer(root)) + rank_, sizeof(T));
+    barrier();
+    return mine;
+  }
+
+  /// MPI_Send (rendezvous semantics): blocks until the matching recv has
+  /// copied the payload.  Messages between one (source, destination) pair
+  /// are delivered in order; mismatched send/recv sequences deadlock,
+  /// exactly like unbuffered MPI.
+  template <typename T> void send(std::span<const T> data, int destination) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(data.data(), data.size() * sizeof(T), destination);
+  }
+
+  /// MPI_Recv: blocks until the matching send arrives, then copies it into
+  /// \p buffer.  The payload byte count must match the buffer exactly
+  /// (checked), mirroring a typed MPI receive.
+  template <typename T> void recv(std::span<T> buffer, int source) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(buffer.data(), buffer.size() * sizeof(T), source);
+  }
+
+  /// MPI_Allgatherv: concatenates the per-rank vectors in rank order.
+  template <typename T>
+  std::vector<T> allgatherv(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    post_pointer(local.data(), local.size() * sizeof(T));
+    barrier();
+    std::vector<T> gathered;
+    for (int r = 0; r < size_; ++r) {
+      std::size_t bytes = peer_size(r);
+      std::size_t count = bytes / sizeof(T);
+      std::size_t offset = gathered.size();
+      gathered.resize(offset + count);
+      if (count > 0)
+        std::memcpy(gathered.data() + offset, peer_pointer(r), bytes);
+    }
+    barrier();
+    return gathered;
+  }
+
+private:
+  friend class Context;
+  Communicator(int rank, int size, detail::SharedState &shared)
+      : rank_(rank), size_(size), shared_(shared) {}
+
+  void post_pointer(const void *data, std::size_t bytes);
+  [[nodiscard]] const void *peer_pointer(int peer) const;
+  [[nodiscard]] std::size_t peer_size(int peer) const;
+  void send_bytes(const void *data, std::size_t bytes, int destination);
+  void recv_bytes(void *buffer, std::size_t bytes, int source);
+
+  /// Each rank reduces a disjoint slice of the index space across all rank
+  /// buffers and writes the result into the receiving buffers.  Safe without
+  /// locks: slices are disjoint and a barrier precedes/follows.
+  template <typename T>
+  void combine_slices(std::span<T> buffer, ReduceOp op, bool all_ranks_receive,
+                      int root = 0) {
+    const std::size_t len = buffer.size();
+    const auto p = static_cast<std::size_t>(size_);
+    const std::size_t begin = len * static_cast<std::size_t>(rank_) / p;
+    const std::size_t end = len * (static_cast<std::size_t>(rank_) + 1) / p;
+    if (begin == end) return;
+
+    std::vector<const T *> sources(p);
+    for (int r = 0; r < size_; ++r) {
+      RIPPLES_ASSERT_MSG(peer_size(r) == len * sizeof(T),
+                         "collective called with mismatched buffer lengths");
+      sources[static_cast<std::size_t>(r)] = static_cast<const T *>(peer_pointer(r));
+    }
+
+    for (std::size_t i = begin; i < end; ++i) {
+      T acc = sources[0][i];
+      for (std::size_t r = 1; r < p; ++r)
+        acc = detail::combine(op, acc, sources[r][i]);
+      if (all_ranks_receive) {
+        for (std::size_t r = 0; r < p; ++r)
+          const_cast<T *>(sources[r])[i] = acc;
+      } else {
+        const_cast<T *>(sources[static_cast<std::size_t>(root)])[i] = acc;
+      }
+    }
+  }
+
+  int rank_;
+  int size_;
+  detail::SharedState &shared_;
+};
+
+/// Launches and joins rank teams.
+class Context {
+public:
+  /// Runs \p rank_main as `num_ranks` concurrent ranks and joins them.  The
+  /// first exception thrown by any rank is rethrown here after all ranks
+  /// have been joined.  Reentrant but not nestable from inside a rank.
+  static void run(int num_ranks,
+                  const std::function<void(Communicator &)> &rank_main);
+};
+
+} // namespace ripples::mpsim
+
+#endif // RIPPLES_MPSIM_COMMUNICATOR_HPP

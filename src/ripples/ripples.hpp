@@ -1,0 +1,76 @@
+/// \file ripples.hpp
+/// \brief Umbrella header: the full public API of the library.
+///
+/// Reproduction of "Fast and Scalable Implementations of Influence
+/// Maximization Algorithms" (Minutoli et al., IEEE CLUSTER 2019).  The
+/// typical flow mirrors Algorithm 1 of the paper:
+///
+/// \code
+///   using namespace ripples;
+///   CsrGraph graph = materialize(find_dataset("cit-HepTh"), 0.1, 1);
+///   assign_uniform_weights(graph, 1);           // IC probabilities
+///   ImmOptions options{.epsilon = 0.5, .k = 50};
+///   ImmResult result = imm_multithreaded(graph, options);
+///   auto influence = estimate_influence(graph, result.seeds,
+///                                       options.model, 10000, 7);
+/// \endcode
+#ifndef RIPPLES_RIPPLES_HPP
+#define RIPPLES_RIPPLES_HPP
+
+// Support
+#include "support/assert.hpp"
+#include "support/bitvector.hpp"
+#include "support/cli.hpp"
+#include "support/log.hpp"
+#include "support/memory.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+// Pseudorandom number generation
+#include "rng/distributions.hpp"
+#include "rng/lcg.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix.hpp"
+#include "rng/xoshiro.hpp"
+
+// Graphs
+#include "graph/components.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/registry.hpp"
+#include "graph/stats.hpp"
+#include "graph/types.hpp"
+#include "graph/weights.hpp"
+
+// Message-passing runtime
+#include "mpsim/communicator.hpp"
+
+// Diffusion models
+#include "diffusion/model.hpp"
+#include "diffusion/simulate.hpp"
+
+// Influence maximization (the paper's core contribution)
+#include "imm/greedy.hpp"
+#include "imm/imm.hpp"
+#include "imm/lineage.hpp"
+#include "imm/rrr.hpp"
+#include "imm/rrr_collection.hpp"
+#include "imm/sampler.hpp"
+#include "imm/select.hpp"
+#include "imm/sketches.hpp"
+#include "imm/theta.hpp"
+
+// Centrality (case-study reference measures)
+#include "centrality/betweenness.hpp"
+#include "centrality/communities.hpp"
+#include "centrality/degree.hpp"
+#include "centrality/kcore.hpp"
+#include "centrality/pagerank.hpp"
+
+// Biology case study
+#include "bio/enrichment.hpp"
+#include "bio/expression.hpp"
+#include "bio/inference.hpp"
+
+#endif // RIPPLES_RIPPLES_HPP

@@ -1,0 +1,55 @@
+/// \file distributions.hpp
+/// \brief Uniform/Bernoulli draws with engine-independent semantics.
+///
+/// The standard library's distributions are implementation-defined, which
+/// would make results differ across standard libraries.  These helpers pin
+/// down the exact mapping from raw 64-bit draws to values, so a seed fully
+/// determines an experiment on any platform.
+#ifndef RIPPLES_RNG_DISTRIBUTIONS_HPP
+#define RIPPLES_RNG_DISTRIBUTIONS_HPP
+
+#include <cstdint>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+/// Uniform double in [0, 1) from the top 53 bits of one 64-bit draw.
+template <typename Engine> [[nodiscard]] double uniform_unit(Engine &engine) {
+  return static_cast<double>(engine() >> 11) * 0x1.0p-53;
+}
+
+/// Uniform double in [lo, hi).
+template <typename Engine>
+[[nodiscard]] double uniform_real(Engine &engine, double lo, double hi) {
+  return lo + (hi - lo) * uniform_unit(engine);
+}
+
+/// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+/// method — unbiased and division-free on the fast path.
+template <typename Engine>
+[[nodiscard]] std::uint64_t uniform_index(Engine &engine, std::uint64_t bound) {
+  RIPPLES_DEBUG_ASSERT(bound > 0);
+  std::uint64_t x = engine();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = engine();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+/// Bernoulli trial with success probability \p p.
+template <typename Engine>
+[[nodiscard]] bool bernoulli(Engine &engine, double p) {
+  return uniform_unit(engine) < p;
+}
+
+} // namespace ripples
+
+#endif // RIPPLES_RNG_DISTRIBUTIONS_HPP

@@ -1,0 +1,45 @@
+#include "rng/lcg.hpp"
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+LcgTransition Lcg64::power(LcgTransition base, std::uint64_t steps) {
+  // Iterated squaring over affine-map composition: the classic O(lg n)
+  // LCG jump-ahead (Brown, "Random number generation with arbitrary strides").
+  LcgTransition result; // identity
+  while (steps != 0) {
+    if (steps & 1) result = compose(base, result);
+    base = compose(base, base);
+    steps >>= 1;
+  }
+  return result;
+}
+
+namespace {
+
+/// Multiplicative inverse of an odd 64-bit integer modulo 2^64 via
+/// Newton-Hensel lifting; each iteration doubles the number of correct bits.
+std::uint64_t inverse_pow2(std::uint64_t a) {
+  RIPPLES_ASSERT_MSG(a & 1, "only odd multipliers are invertible mod 2^64");
+  std::uint64_t x = a; // correct to 3 bits
+  for (int i = 0; i < 5; ++i) x *= 2 - a * x;
+  return x;
+}
+
+} // namespace
+
+Lcg64 Lcg64::leapfrog(std::uint64_t stream, std::uint64_t num_streams) const {
+  RIPPLES_ASSERT(num_streams > 0);
+  RIPPLES_ASSERT(stream < num_streams);
+  // The substream steps by num_streams base steps at a time.
+  LcgTransition stride = power(step_, num_streams);
+  // Its first output must be X_{stream+1}; seed the substream at the state
+  // Y with stride(Y) == X_{stream+1}, i.e. Y = stride^{-1}(X_{stream+1}).
+  std::uint64_t first_output = power(step_, stream + 1).apply(state_);
+  std::uint64_t inv_mult = inverse_pow2(stride.mult);
+  std::uint64_t y = inv_mult * (first_output - stride.add);
+  return Lcg64{y, stride};
+}
+
+} // namespace ripples

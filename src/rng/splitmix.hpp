@@ -1,0 +1,45 @@
+/// \file splitmix.hpp
+/// \brief SplitMix64 — the standard seeding/mixing generator.
+///
+/// Used to expand a single user seed into the independent seeds of other
+/// generators (xoshiro state words, per-dataset seeds), and as a cheap
+/// stateless hash for deterministic per-item randomness.
+#ifndef RIPPLES_RNG_SPLITMIX_HPP
+#define RIPPLES_RNG_SPLITMIX_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace ripples {
+
+/// Finalizing mixer of SplitMix64; bijective on 64-bit integers.
+[[nodiscard]] constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// SplitMix64 sequential generator (Steele, Lea, Flood 2014).
+class SplitMix64 {
+public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return splitmix64_mix(state_);
+  }
+
+private:
+  std::uint64_t state_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_RNG_SPLITMIX_HPP

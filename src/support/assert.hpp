@@ -1,0 +1,40 @@
+/// \file assert.hpp
+/// \brief Always-on invariant checks.
+///
+/// The algorithms in this library rely on structural invariants (sorted RRR
+/// sets, CSR offset monotonicity, disjoint vertex intervals).  Violations are
+/// programming errors, not recoverable conditions, so the check macro aborts
+/// with a source location instead of throwing.  Checks guarding hot inner
+/// loops use RIPPLES_DEBUG_ASSERT, which compiles away in release builds.
+#ifndef RIPPLES_SUPPORT_ASSERT_HPP
+#define RIPPLES_SUPPORT_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripples::detail {
+
+[[noreturn]] inline void assert_fail(const char *expr, const char *file,
+                                     int line, const char *msg) {
+  std::fprintf(stderr, "ripples: assertion `%s` failed at %s:%d%s%s\n", expr,
+               file, line, msg ? ": " : "", msg ? msg : "");
+  std::abort();
+}
+
+} // namespace ripples::detail
+
+#define RIPPLES_ASSERT(expr)                                                   \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::ripples::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define RIPPLES_ASSERT_MSG(expr, msg)                                          \
+  ((expr) ? static_cast<void>(0)                                              \
+          : ::ripples::detail::assert_fail(#expr, __FILE__, __LINE__, msg))
+
+#ifndef NDEBUG
+#define RIPPLES_DEBUG_ASSERT(expr) RIPPLES_ASSERT(expr)
+#else
+#define RIPPLES_DEBUG_ASSERT(expr) static_cast<void>(0)
+#endif
+
+#endif // RIPPLES_SUPPORT_ASSERT_HPP

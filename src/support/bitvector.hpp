@@ -1,0 +1,77 @@
+/// \file bitvector.hpp
+/// \brief Compact dynamic bit set used as the "visited" structure of the
+/// probabilistic BFS kernels.
+///
+/// std::vector<bool> would work, but the BFS kernels want a cheap bulk
+/// reset and an explicit word representation; this class keeps both obvious
+/// and avoids the proxy-reference pitfalls of vector<bool> in hot loops.
+#ifndef RIPPLES_SUPPORT_BITVECTOR_HPP
+#define RIPPLES_SUPPORT_BITVECTOR_HPP
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(std::size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return num_bits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    RIPPLES_DEBUG_ASSERT(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  void set(std::size_t i) {
+    RIPPLES_DEBUG_ASSERT(i < num_bits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+
+  void clear(std::size_t i) {
+    RIPPLES_DEBUG_ASSERT(i < num_bits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+
+  /// Sets bit i and reports whether it was previously clear.  This is the
+  /// BFS "try to visit" primitive.
+  bool test_and_set(std::size_t i) {
+    RIPPLES_DEBUG_ASSERT(i < num_bits_);
+    std::uint64_t &word = words_[i >> 6];
+    std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    bool was_set = (word & mask) != 0;
+    word |= mask;
+    return !was_set;
+  }
+
+  /// Clears every bit; O(words).
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const {
+    std::size_t total = 0;
+    for (std::uint64_t w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// Resizes to \p num_bits, clearing all content.
+  void assign(std::size_t num_bits) {
+    num_bits_ = num_bits;
+    words_.assign((num_bits + 63) / 64, 0);
+  }
+
+private:
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_BITVECTOR_HPP

@@ -1,0 +1,65 @@
+/// \file cli.hpp
+/// \brief Minimal command-line option parsing for examples and benches.
+///
+/// All executables in this repository share the same option conventions
+/// (--epsilon, -k, --model, --dataset, --scale, --threads, --ranks, ...), so
+/// a small shared parser keeps them consistent.  Options take the forms
+/// `--name value`, `--name=value`, and `--flag`.  Because `--name value` is
+/// supported, a bare flag absorbs a following non-option token as its value;
+/// place positional arguments before the options (or write `--flag=true`).
+#ifndef RIPPLES_SUPPORT_CLI_HPP
+#define RIPPLES_SUPPORT_CLI_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ripples {
+
+/// Parses argv once and answers typed lookups.  Unknown options are
+/// collected so a program can reject typos.
+class CommandLine {
+public:
+  CommandLine(int argc, const char *const *argv);
+
+  /// Declares an option (for --help and unknown-option detection) and
+  /// returns its value if present.
+  [[nodiscard]] std::optional<std::string>
+  value_of(const std::string &name) const;
+
+  /// True if `--name` appears (with or without a value).
+  [[nodiscard]] bool has_flag(const std::string &name) const;
+
+  /// Typed getters with defaults.  Malformed numbers terminate with a
+  /// diagnostic; silently misparsing an experiment parameter would corrupt a
+  /// whole benchmark run.
+  [[nodiscard]] std::string get(const std::string &name,
+                                const std::string &fallback) const;
+  [[nodiscard]] double get(const std::string &name, double fallback) const;
+  [[nodiscard]] std::int64_t get(const std::string &name,
+                                 std::int64_t fallback) const;
+  [[nodiscard]] bool get(const std::string &name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order of appearance.
+  [[nodiscard]] const std::vector<std::string> &positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string &program_name() const { return program_; }
+
+private:
+  struct Option {
+    std::string name;
+    std::string value;
+    bool has_value = false;
+  };
+
+  std::string program_;
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_CLI_HPP

@@ -1,0 +1,53 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ripples {
+
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char *env = std::getenv("RIPPLES_LOG");
+  if (!env) return static_cast<int>(LogLevel::Info);
+  if (std::strcmp(env, "error") == 0) return static_cast<int>(LogLevel::Error);
+  if (std::strcmp(env, "warn") == 0) return static_cast<int>(LogLevel::Warn);
+  if (std::strcmp(env, "debug") == 0) return static_cast<int>(LogLevel::Debug);
+  return static_cast<int>(LogLevel::Info);
+}()};
+
+const char *level_tag(LogLevel level) {
+  switch (level) {
+  case LogLevel::Error: return "ERROR";
+  case LogLevel::Warn: return "WARN ";
+  case LogLevel::Info: return "INFO ";
+  case LogLevel::Debug: return "DEBUG";
+  }
+  return "?";
+}
+
+} // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void log(LogLevel level, const char *fmt, ...) {
+  if (static_cast<int>(level) > g_level.load(std::memory_order_relaxed)) return;
+  char line[1024];
+  int offset = std::snprintf(line, sizeof(line), "[ripples %s] ", level_tag(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line + offset, sizeof(line) - static_cast<std::size_t>(offset),
+                 fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "%s\n", line);
+}
+
+} // namespace ripples

@@ -1,0 +1,33 @@
+/// \file log.hpp
+/// \brief Leveled diagnostic logging to stderr.
+///
+/// Benchmarks print their results through Table; this logger carries
+/// progress and diagnostics (dataset generation, theta estimates, rank
+/// lifecycles) that should not pollute the tabular output.
+#ifndef RIPPLES_SUPPORT_LOG_HPP
+#define RIPPLES_SUPPORT_LOG_HPP
+
+#include <cstdarg>
+
+namespace ripples {
+
+enum class LogLevel : int { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Sets the process-wide verbosity (default Info; RIPPLES_LOG env overrides:
+/// "error", "warn", "info", "debug").
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging; a line is emitted only if \p level is enabled.
+/// Thread-safe (one write per line).
+void log(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define RIPPLES_LOG_ERROR(...) ::ripples::log(::ripples::LogLevel::Error, __VA_ARGS__)
+#define RIPPLES_LOG_WARN(...) ::ripples::log(::ripples::LogLevel::Warn, __VA_ARGS__)
+#define RIPPLES_LOG_INFO(...) ::ripples::log(::ripples::LogLevel::Info, __VA_ARGS__)
+#define RIPPLES_LOG_DEBUG(...) ::ripples::log(::ripples::LogLevel::Debug, __VA_ARGS__)
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_LOG_HPP

@@ -1,0 +1,56 @@
+#include "support/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ripples {
+
+MemoryTracker &MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+namespace {
+
+/// Reads one "<Key>:  <value> kB" line from /proc/self/status.
+std::size_t read_status_kb(const char *key) {
+  std::FILE *f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len + 1, "%llu", &value) == 1)
+        kb = static_cast<std::size_t>(value);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+} // namespace
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS") * 1024; }
+
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM") * 1024; }
+
+std::string format_bytes(std::size_t bytes) {
+  static const char *units[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[48];
+  if (unit == 0)
+    std::snprintf(buf, sizeof(buf), "%zu %s", bytes, units[unit]);
+  else
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
+  return buf;
+}
+
+} // namespace ripples

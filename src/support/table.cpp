@@ -1,0 +1,84 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+TableRow &TableRow::add(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return add(std::string(buf));
+}
+
+TableRow &TableRow::add(std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+  return add(std::string(buf));
+}
+
+TableRow &TableRow::add(std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return add(std::string(buf));
+}
+
+void Table::print(std::ostream &os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const TableRow &row : rows_) {
+    RIPPLES_ASSERT_MSG(row.cells().size() == header_.size(),
+                       "row arity must match the header");
+    for (std::size_t c = 0; c < row.cells().size(); ++c)
+      width[c] = std::max(width[c], row.cells()[c].size());
+  }
+
+  auto print_row = [&](const std::vector<std::string> &cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  print_row(header_);
+  std::size_t rule = header_.empty() ? 0 : 2 * (header_.size() - 1);
+  for (std::size_t w : width) rule += w;
+  for (std::size_t i = 0; i < rule; ++i) os << '-';
+  os << '\n';
+  for (const TableRow &row : rows_) print_row(row.cells());
+  os.flush();
+}
+
+void Table::write_csv(std::ostream &os) const {
+  auto write_row = [&](const std::vector<std::string> &cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const TableRow &row : rows_) write_row(row.cells());
+}
+
+void Table::emit(const std::string &csv_path) const {
+  print(std::cout);
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::cerr << "ripples: cannot open " << csv_path << " for writing\n";
+      return;
+    }
+    write_csv(out);
+    std::cout << "[csv written to " << csv_path << "]\n";
+  }
+}
+
+} // namespace ripples

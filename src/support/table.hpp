@@ -1,0 +1,70 @@
+/// \file table.hpp
+/// \brief Aligned-table and CSV emission for the benchmark harness.
+///
+/// Every bench binary regenerates one table or figure from the paper.  It
+/// builds a Table with the same columns the paper reports, prints it aligned
+/// for a human reader, and optionally dumps CSV for plotting.
+#ifndef RIPPLES_SUPPORT_TABLE_HPP
+#define RIPPLES_SUPPORT_TABLE_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ripples {
+
+/// A cell is stored as preformatted text; typed add_* helpers format numbers
+/// consistently (fixed precision for seconds, thousands grouping for counts).
+class TableRow {
+public:
+  TableRow &add(std::string text) {
+    cells_.push_back(std::move(text));
+    return *this;
+  }
+  TableRow &add(const char *text) { return add(std::string(text)); }
+  TableRow &add(double value, int precision = 3);
+  TableRow &add(std::uint64_t value);
+  TableRow &add(std::int64_t value);
+  TableRow &add(int value) { return add(static_cast<std::int64_t>(value)); }
+  TableRow &add(unsigned value) { return add(static_cast<std::uint64_t>(value)); }
+
+  [[nodiscard]] const std::vector<std::string> &cells() const { return cells_; }
+
+private:
+  std::vector<std::string> cells_;
+};
+
+/// A titled table with a header row and homogeneous columns.
+class Table {
+public:
+  Table(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  /// Starts a new row; fill it through the returned reference.
+  TableRow &new_row() { return rows_.emplace_back(); }
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string &title() const { return title_; }
+
+  /// Prints the table with aligned columns and a rule under the header.
+  void print(std::ostream &os) const;
+
+  /// Emits the header and rows as RFC-4180-ish CSV (no quoting needed for
+  /// our numeric/identifier content).
+  void write_csv(std::ostream &os) const;
+
+  /// Convenience: print to stdout and, if \p csv_path is non-empty, also
+  /// write the CSV file.
+  void emit(const std::string &csv_path = "") const;
+
+private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<TableRow> rows_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_TABLE_HPP

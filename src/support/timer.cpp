@@ -1,0 +1,26 @@
+#include "support/timer.hpp"
+
+#include <cstdio>
+
+namespace ripples {
+
+const char *to_string(Phase phase) {
+  switch (phase) {
+  case Phase::EstimateTheta: return "EstimateTheta";
+  case Phase::Sample: return "Sample";
+  case Phase::SelectSeeds: return "SelectSeeds";
+  case Phase::Other: return "Other";
+  }
+  return "?";
+}
+
+std::string PhaseTimers::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "EstimateTheta=%.3fs Sample=%.3fs SelectSeeds=%.3fs Other=%.3fs",
+                total(Phase::EstimateTheta), total(Phase::Sample),
+                total(Phase::SelectSeeds), total(Phase::Other));
+  return buf;
+}
+
+} // namespace ripples

@@ -1,0 +1,107 @@
+/// \file timer.hpp
+/// \brief Wall-clock stopwatches and the per-phase runtime breakdown.
+///
+/// Every runtime figure in the paper (Figs. 3-8) decomposes the execution of
+/// Algorithm 1 into four phases: EstimateTheta (Alg. 2, including the Sample
+/// calls it makes internally), Sample (Alg. 3 invoked from the algorithm
+/// skeleton only), SelectSeeds (Alg. 4), and Other.  PhaseTimers implements
+/// exactly that accounting; the IMM drivers fill one in and the benchmark
+/// harness prints it.
+#ifndef RIPPLES_SUPPORT_TIMER_HPP
+#define RIPPLES_SUPPORT_TIMER_HPP
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace ripples {
+
+/// Monotonic wall-clock stopwatch with microsecond-or-better resolution.
+class StopWatch {
+public:
+  using clock = std::chrono::steady_clock;
+
+  /// Creates a stopwatch that is already running.
+  StopWatch() : start_(clock::now()) {}
+
+  /// Restarts the measurement from now.
+  void restart() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  clock::time_point start_;
+};
+
+/// The four phases of Algorithm 1 as reported in the paper's figures.
+enum class Phase : std::size_t {
+  EstimateTheta = 0, ///< Alg. 2, inclusive of its internal Sample calls.
+  Sample = 1,        ///< Alg. 3 called from the top-level skeleton.
+  SelectSeeds = 2,   ///< Alg. 4, the final seed selection.
+  Other = 3,         ///< Everything else (I/O, setup, reductions).
+};
+
+inline constexpr std::size_t kNumPhases = 4;
+
+/// Human-readable name matching the legend used in the paper's figures.
+[[nodiscard]] const char *to_string(Phase phase);
+
+/// Accumulates wall-clock seconds per phase.  Not thread-safe by design: the
+/// drivers record phases from the orchestrating thread only.
+class PhaseTimers {
+public:
+  /// Adds \p seconds to the accumulated time of \p phase.
+  void add(Phase phase, double seconds) {
+    seconds_[static_cast<std::size_t>(phase)] += seconds;
+  }
+
+  /// Accumulated seconds for one phase.
+  [[nodiscard]] double total(Phase phase) const {
+    return seconds_[static_cast<std::size_t>(phase)];
+  }
+
+  /// Accumulated seconds across all phases.
+  [[nodiscard]] double total() const {
+    double sum = 0;
+    for (double s : seconds_) sum += s;
+    return sum;
+  }
+
+  /// Merges another breakdown into this one (used when a driver runs the
+  /// martingale loop several times and reports one aggregate).
+  void merge(const PhaseTimers &other) {
+    for (std::size_t i = 0; i < kNumPhases; ++i) seconds_[i] += other.seconds_[i];
+  }
+
+  void reset() { seconds_.fill(0.0); }
+
+  /// One-line summary such as
+  /// "EstimateTheta=1.23s Sample=4.56s SelectSeeds=0.78s Other=0.01s".
+  [[nodiscard]] std::string summary() const;
+
+private:
+  std::array<double, kNumPhases> seconds_{};
+};
+
+/// RAII guard: measures the lifetime of a scope into a PhaseTimers slot.
+class ScopedPhase {
+public:
+  ScopedPhase(PhaseTimers &timers, Phase phase)
+      : timers_(timers), phase_(phase) {}
+  ScopedPhase(const ScopedPhase &) = delete;
+  ScopedPhase &operator=(const ScopedPhase &) = delete;
+  ~ScopedPhase() { timers_.add(phase_, watch_.elapsed_seconds()); }
+
+private:
+  PhaseTimers &timers_;
+  Phase phase_;
+  StopWatch watch_;
+};
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_TIMER_HPP

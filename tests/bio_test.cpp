@@ -1,0 +1,240 @@
+// Tests for the biology case-study substrate: expression synthesis,
+// correlation-network inference, Fisher's exact test, and BH adjustment.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "bio/enrichment.hpp"
+#include "bio/expression.hpp"
+#include "bio/inference.hpp"
+#include "graph/csr.hpp"
+
+namespace ripples::bio {
+namespace {
+
+ExpressionConfig small_config() {
+  ExpressionConfig config;
+  config.num_features = 200;
+  config.num_samples = 50;
+  config.num_modules = 4;
+  config.module_fraction = 0.6;
+  config.module_correlation = 0.8;
+  config.seed = 5;
+  return config;
+}
+
+TEST(Expression, ShapeAndModuleAssignment) {
+  ExpressionConfig config = small_config();
+  ExpressionMatrix matrix = synthesize_expression(config);
+  EXPECT_EQ(matrix.num_features(), 200u);
+  EXPECT_EQ(matrix.num_samples(), 50u);
+
+  std::map<std::uint32_t, int> module_sizes;
+  int background = 0;
+  for (std::uint32_t f = 0; f < matrix.num_features(); ++f) {
+    if (matrix.module_of(f) == ExpressionMatrix::kBackground)
+      ++background;
+    else
+      ++module_sizes[matrix.module_of(f)];
+  }
+  EXPECT_EQ(module_sizes.size(), 4u);
+  EXPECT_EQ(background, 80); // 40% of 200
+  for (const auto &[module, size] : module_sizes) EXPECT_EQ(size, 30);
+}
+
+TEST(Expression, DeterministicInSeed) {
+  ExpressionMatrix a = synthesize_expression(small_config());
+  ExpressionMatrix b = synthesize_expression(small_config());
+  for (std::uint32_t f = 0; f < a.num_features(); f += 17)
+    for (std::uint32_t s = 0; s < a.num_samples(); s += 7)
+      EXPECT_DOUBLE_EQ(a.at(f, s), b.at(f, s));
+}
+
+TEST(Expression, ModuleMembersCorrelateMoreThanBackground) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  // Two members of module 0 with equal sign loading: 0 and 8 (both even
+  // layer).  A background pair: 150 and 151.
+  double within = std::abs(
+      pearson_correlation(matrix.row(0), matrix.row(8), matrix.num_samples()));
+  double background = std::abs(pearson_correlation(
+      matrix.row(150), matrix.row(151), matrix.num_samples()));
+  EXPECT_GT(within, 0.4);
+  EXPECT_LT(background, 0.45);
+  EXPECT_GT(within, background);
+}
+
+TEST(PearsonCorrelation, KnownValues) {
+  double x[] = {1, 2, 3, 4, 5};
+  double y[] = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson_correlation(x, y, 5), 1.0, 1e-12);
+  double z[] = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson_correlation(x, z, 5), -1.0, 1e-12);
+  double constant[] = {3, 3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, constant, 5), 0.0);
+}
+
+TEST(Inference, EdgesLinkModuleMembers) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  InferenceConfig inference;
+  inference.edges_per_target = 5;
+  inference.min_abs_correlation = 0.4;
+  EdgeList network = infer_coexpression_network(matrix, inference);
+  EXPECT_EQ(network.num_vertices, matrix.num_features());
+  ASSERT_GT(network.edges.size(), 0u);
+
+  // The overwhelming majority of inferred edges must connect members of the
+  // same planted module.
+  std::size_t same_module = 0;
+  for (const WeightedEdge &e : network.edges) {
+    EXPECT_GE(e.weight, inference.min_abs_correlation);
+    EXPECT_LE(e.weight, 1.0f);
+    if (matrix.module_of(e.source) == matrix.module_of(e.destination) &&
+        matrix.module_of(e.source) != ExpressionMatrix::kBackground)
+      ++same_module;
+  }
+  EXPECT_GT(static_cast<double>(same_module),
+            0.9 * static_cast<double>(network.edges.size()));
+}
+
+TEST(Inference, RespectsEdgesPerTargetCap) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  InferenceConfig inference;
+  inference.edges_per_target = 3;
+  inference.min_abs_correlation = 0.2;
+  EdgeList network = infer_coexpression_network(matrix, inference);
+  std::vector<int> in_count(matrix.num_features(), 0);
+  for (const WeightedEdge &e : network.edges) ++in_count[e.destination];
+  for (int count : in_count) EXPECT_LE(count, 3);
+}
+
+TEST(Inference, NetworkIsLoadableAsCsr) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  EdgeList network = infer_coexpression_network(matrix, {});
+  CsrGraph graph(network);
+  EXPECT_EQ(graph.num_vertices(), matrix.num_features());
+}
+
+// --- Fisher's exact test -----------------------------------------------------------
+
+TEST(FisherExact, MatchesHandComputedHypergeometric) {
+  // Universe 10, pathway 4, selection 5.  P(X >= 4) = C(4,4)C(6,1)/C(10,5)
+  // = 6/252.
+  EXPECT_NEAR(fisher_exact_upper_tail(4, 5, 4, 10), 6.0 / 252.0, 1e-12);
+  // P(X >= 0) = 1 (up to the log-space summation's rounding).
+  EXPECT_NEAR(fisher_exact_upper_tail(0, 5, 4, 10), 1.0, 1e-12);
+}
+
+TEST(FisherExact, SmallOverlapIsNotSignificant) {
+  // Expected overlap of a random 50-selection with a 40-pathway in a
+  // 1000-universe is 2; observing 2 is unremarkable.
+  double p = fisher_exact_upper_tail(2, 50, 40, 1000);
+  EXPECT_GT(p, 0.3);
+}
+
+TEST(FisherExact, LargeOverlapIsHighlySignificant) {
+  double p = fisher_exact_upper_tail(20, 50, 40, 1000);
+  EXPECT_LT(p, 1e-10);
+}
+
+TEST(FisherExact, MonotoneInOverlap) {
+  double previous = 1.1;
+  for (std::uint32_t overlap = 0; overlap <= 30; overlap += 5) {
+    double p = fisher_exact_upper_tail(overlap, 50, 40, 1000);
+    EXPECT_LT(p, previous);
+    previous = p;
+  }
+}
+
+// --- Benjamini-Hochberg -------------------------------------------------------------
+
+TEST(BenjaminiHochberg, KnownExample) {
+  // Classic worked example: p = {0.01, 0.04, 0.03, 0.005} (m = 4).
+  std::vector<double> p{0.01, 0.04, 0.03, 0.005};
+  std::vector<double> adjusted = benjamini_hochberg(p);
+  // sorted: 0.005 (x4/1=0.02), 0.01 (x4/2=0.02), 0.03 (x4/3=0.04), 0.04 (x4/4=0.04)
+  EXPECT_NEAR(adjusted[3], 0.02, 1e-12);
+  EXPECT_NEAR(adjusted[0], 0.02, 1e-12);
+  EXPECT_NEAR(adjusted[2], 0.04, 1e-12);
+  EXPECT_NEAR(adjusted[1], 0.04, 1e-12);
+}
+
+TEST(BenjaminiHochberg, MonotoneAndCapped) {
+  std::vector<double> p{0.9, 0.5, 0.999, 0.001};
+  std::vector<double> adjusted = benjamini_hochberg(p);
+  for (double a : adjusted) {
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+  }
+  // Adjusted values never fall below raw values.
+  for (std::size_t i = 0; i < p.size(); ++i) EXPECT_GE(adjusted[i], p[i] - 1e-15);
+}
+
+TEST(BenjaminiHochberg, EmptyInput) {
+  EXPECT_TRUE(benjamini_hochberg(std::vector<double>{}).empty());
+}
+
+// --- pathway synthesis + enrichment end to end ---------------------------------------
+
+TEST(Pathways, SynthesizedDatabaseHasExpectedShape) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  PathwayConfig config;
+  config.pathways_per_module = 2;
+  config.num_random_pathways = 10;
+  PathwayDatabase database = synthesize_pathways(matrix, config);
+  EXPECT_EQ(database.pathways.size(), 4u * 2 + 10);
+  for (const Pathway &pathway : database.pathways) {
+    EXPECT_FALSE(pathway.members.empty());
+    EXPECT_TRUE(std::is_sorted(pathway.members.begin(), pathway.members.end()));
+  }
+}
+
+TEST(Enrichment, ModuleSelectionEnrichesItsOwnPathways) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  PathwayConfig pathway_config;
+  PathwayDatabase database = synthesize_pathways(matrix, pathway_config);
+
+  // Select exactly the members of module 0.
+  std::vector<std::uint32_t> selected;
+  for (std::uint32_t f = 0; f < matrix.num_features(); ++f)
+    if (matrix.module_of(f) == 0) selected.push_back(f);
+
+  std::vector<EnrichmentRow> rows =
+      enrich(selected, database, matrix.num_features());
+  ASSERT_FALSE(rows.empty());
+
+  // The top hits must be module-0 pathways, strongly significant.
+  for (std::size_t i = 0; i < pathway_config.pathways_per_module; ++i) {
+    const Pathway &pathway = database.pathways[rows[i].pathway_index];
+    EXPECT_EQ(pathway.name.find("module0_"), 0u) << pathway.name;
+    EXPECT_LT(rows[i].p_adjusted, 1e-6);
+  }
+  // Random pathways stay insignificant.
+  std::size_t significant = count_significant(rows, 0.05);
+  EXPECT_GE(significant, pathway_config.pathways_per_module);
+  EXPECT_LE(significant, pathway_config.pathways_per_module + 2);
+}
+
+TEST(Enrichment, RandomSelectionEnrichesAlmostNothing) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  PathwayDatabase database = synthesize_pathways(matrix, {});
+  std::vector<std::uint32_t> selected;
+  for (std::uint32_t f = 3; selected.size() < 30; f = (f + 37) % 200)
+    selected.push_back(f);
+  std::vector<EnrichmentRow> rows =
+      enrich(selected, database, matrix.num_features());
+  EXPECT_LE(count_significant(rows, 0.05), 2u);
+}
+
+TEST(Enrichment, DeduplicatesSelection) {
+  ExpressionMatrix matrix = synthesize_expression(small_config());
+  PathwayDatabase database = synthesize_pathways(matrix, {});
+  std::vector<std::uint32_t> selected{1, 1, 1, 2, 2, 3};
+  std::vector<EnrichmentRow> rows =
+      enrich(selected, database, matrix.num_features());
+  // With only 3 distinct features selected, overlap can never exceed 3.
+  for (const EnrichmentRow &row : rows) EXPECT_LE(row.overlap, 3u);
+}
+
+} // namespace
+} // namespace ripples::bio

@@ -1,0 +1,132 @@
+// Tests for weakly/strongly connected components and the stochastic block
+// model generator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(WeaklyConnected, SingleComponentOnConnectedGraph) {
+  CsrGraph graph(grid_2d(4, 5));
+  ComponentAssignment wcc = weakly_connected_components(graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+  EXPECT_EQ(wcc.giant_size(), 20u);
+}
+
+TEST(WeaklyConnected, CountsIsolatedVertices) {
+  EdgeList list;
+  list.num_vertices = 7;
+  list.edges = {{0, 1, 1.0f}, {2, 3, 1.0f}};
+  ComponentAssignment wcc = weakly_connected_components(CsrGraph(list));
+  EXPECT_EQ(wcc.num_components, 5u); // {0,1}, {2,3}, {4}, {5}, {6}
+  EXPECT_EQ(wcc.giant_size(), 2u);
+  std::uint32_t total = 0;
+  for (std::uint32_t size : wcc.size_of) total += size;
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(WeaklyConnected, DirectionDoesNotMatter) {
+  // A directed path is weakly connected regardless of arc directions.
+  CsrGraph graph(path_graph(10));
+  ComponentAssignment wcc = weakly_connected_components(graph);
+  EXPECT_EQ(wcc.num_components, 1u);
+}
+
+TEST(StronglyConnected, DirectedPathIsAllSingletons) {
+  CsrGraph graph(path_graph(10));
+  ComponentAssignment scc = strongly_connected_components(graph);
+  EXPECT_EQ(scc.num_components, 10u);
+  EXPECT_EQ(scc.giant_size(), 1u);
+}
+
+TEST(StronglyConnected, CycleIsOneComponent) {
+  EdgeList list;
+  list.num_vertices = 6;
+  for (vertex_t v = 0; v < 6; ++v)
+    list.edges.push_back({v, static_cast<vertex_t>((v + 1) % 6), 1.0f});
+  ComponentAssignment scc = strongly_connected_components(CsrGraph(list));
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.giant_size(), 6u);
+}
+
+TEST(StronglyConnected, TwoCyclesWithOneWayBridge) {
+  // Cycle {0,1,2} -> bridge -> cycle {3,4,5}: two SCCs of size 3.
+  EdgeList list;
+  list.num_vertices = 6;
+  list.edges = {{0, 1, 1}, {1, 2, 1}, {2, 0, 1}, {3, 4, 1}, {4, 5, 1},
+                {5, 3, 1}, {2, 3, 1}};
+  ComponentAssignment scc = strongly_connected_components(CsrGraph(list));
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_EQ(scc.component_of[0], scc.component_of[1]);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_EQ(scc.component_of[3], scc.component_of[4]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[3]);
+  // Tarjan emits components in reverse topological order: the sink SCC
+  // {3,4,5} gets the smaller id.
+  EXPECT_LT(scc.component_of[3], scc.component_of[0]);
+}
+
+TEST(StronglyConnected, DeepChainDoesNotOverflowStack) {
+  // 200k-vertex chain: a recursive Tarjan would blow the call stack.
+  CsrGraph graph(path_graph(200000));
+  ComponentAssignment scc = strongly_connected_components(graph);
+  EXPECT_EQ(scc.num_components, 200000u);
+}
+
+TEST(StronglyConnected, BidirectionalGraphMatchesWcc) {
+  // With every edge present in both directions, SCC == WCC.
+  CsrGraph graph(barabasi_albert(300, 3, 5));
+  ComponentAssignment scc = strongly_connected_components(graph);
+  ComponentAssignment wcc = weakly_connected_components(graph);
+  EXPECT_EQ(scc.num_components, wcc.num_components);
+  EXPECT_EQ(scc.giant_size(), wcc.giant_size());
+}
+
+TEST(StronglyConnected, SizesPartitionTheVertexSet) {
+  CsrGraph graph(erdos_renyi(500, 1500, 9));
+  ComponentAssignment scc = strongly_connected_components(graph);
+  std::uint32_t total = 0;
+  for (std::uint32_t size : scc.size_of) total += size;
+  EXPECT_EQ(total, 500u);
+  for (std::uint32_t label : scc.component_of)
+    EXPECT_LT(label, scc.num_components);
+}
+
+// --- stochastic block model ---------------------------------------------------------
+
+TEST(StochasticBlockModel, DensityMatchesParameters) {
+  std::vector<vertex_t> blocks = {100, 100};
+  EdgeList list = stochastic_block_model(blocks, 0.2, 0.01, 3);
+  EXPECT_EQ(list.num_vertices, 200u);
+  std::size_t within = 0, across = 0;
+  for (const WeightedEdge &e : list.edges) {
+    bool same = (e.source < 100) == (e.destination < 100);
+    (same ? within : across) += 1;
+  }
+  // Expected: within ~ 2 * 100*99*0.2 = 3960; across ~ 2*100*100*0.01 = 200.
+  EXPECT_NEAR(static_cast<double>(within), 3960.0, 400.0);
+  EXPECT_NEAR(static_cast<double>(across), 200.0, 80.0);
+}
+
+TEST(StochasticBlockModel, ZeroInterBlockGivesDisconnectedCommunities) {
+  std::vector<vertex_t> blocks = {50, 50, 50};
+  EdgeList list = stochastic_block_model(blocks, 0.3, 0.0, 7);
+  ComponentAssignment wcc = weakly_connected_components(CsrGraph(list));
+  // Dense blocks are internally connected: exactly 3 components.
+  EXPECT_EQ(wcc.num_components, 3u);
+}
+
+TEST(StochasticBlockModel, DeterministicInSeed) {
+  std::vector<vertex_t> blocks = {40, 40};
+  EXPECT_EQ(stochastic_block_model(blocks, 0.1, 0.01, 5).edges,
+            stochastic_block_model(blocks, 0.1, 0.01, 5).edges);
+  EXPECT_NE(stochastic_block_model(blocks, 0.1, 0.01, 5).edges,
+            stochastic_block_model(blocks, 0.1, 0.01, 6).edges);
+}
+
+} // namespace
+} // namespace ripples

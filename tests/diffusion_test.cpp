@@ -1,0 +1,190 @@
+// Tests for the forward diffusion simulators: determinism, structural
+// invariants, and agreement with closed-form influence values on small
+// topologies where E[|I(S)|] can be computed by hand.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/simulate.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(ParseModel, AcceptsStandardSpellings) {
+  EXPECT_EQ(parse_model("IC"), DiffusionModel::IndependentCascade);
+  EXPECT_EQ(parse_model("ic"), DiffusionModel::IndependentCascade);
+  EXPECT_EQ(parse_model("independent-cascade"), DiffusionModel::IndependentCascade);
+  EXPECT_EQ(parse_model("LT"), DiffusionModel::LinearThreshold);
+  EXPECT_EQ(parse_model("LinearThreshold"), DiffusionModel::LinearThreshold);
+  EXPECT_STREQ(to_string(DiffusionModel::IndependentCascade), "IC");
+  EXPECT_STREQ(to_string(DiffusionModel::LinearThreshold), "LT");
+}
+
+TEST(SimulateDiffusion, SeedsAreAlwaysActive) {
+  CsrGraph graph(erdos_renyi(100, 400, 1));
+  assign_constant_weights(graph, 0.0f); // nothing can spread
+  std::vector<vertex_t> seeds{3, 17, 42};
+  for (auto model : {DiffusionModel::IndependentCascade,
+                     DiffusionModel::LinearThreshold})
+    EXPECT_EQ(simulate_diffusion(graph, seeds, model, 5), 3u);
+}
+
+TEST(SimulateDiffusion, DuplicateSeedsCountOnce) {
+  CsrGraph graph(erdos_renyi(50, 100, 2));
+  assign_constant_weights(graph, 0.0f);
+  std::vector<vertex_t> seeds{7, 7, 7};
+  EXPECT_EQ(simulate_diffusion(graph, seeds,
+                               DiffusionModel::IndependentCascade, 5),
+            1u);
+}
+
+TEST(SimulateDiffusion, FullProbabilityActivatesReachableSet) {
+  // Path 0 -> 1 -> 2 -> 3 -> 4 with p = 1: seeding 2 activates {2, 3, 4}.
+  CsrGraph graph(path_graph(5));
+  assign_constant_weights(graph, 1.0f);
+  std::vector<vertex_t> seeds{2};
+  for (int trial = 0; trial < 10; ++trial)
+    EXPECT_EQ(simulate_diffusion(graph, seeds,
+                                 DiffusionModel::IndependentCascade,
+                                 static_cast<std::uint64_t>(trial)),
+              3u);
+}
+
+TEST(SimulateDiffusion, DeterministicInSeed) {
+  CsrGraph graph(barabasi_albert(300, 3, 4));
+  assign_uniform_weights(graph, 9);
+  std::vector<vertex_t> seeds{0, 5};
+  for (auto model : {DiffusionModel::IndependentCascade,
+                     DiffusionModel::LinearThreshold}) {
+    std::size_t a = simulate_diffusion(graph, seeds, model, 77);
+    std::size_t b = simulate_diffusion(graph, seeds, model, 77);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(SimulateDiffusion, ActivationBoundedByGraphSize) {
+  CsrGraph graph(erdos_renyi(200, 3000, 6));
+  assign_uniform_weights(graph, 10);
+  std::vector<vertex_t> seeds{0};
+  for (std::uint64_t s = 0; s < 20; ++s) {
+    std::size_t size = simulate_diffusion(
+        graph, seeds, DiffusionModel::IndependentCascade, s);
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 200u);
+  }
+}
+
+// --- closed-form agreement ------------------------------------------------------
+
+TEST(EstimateInfluence, SingleEdgeMatchesBernoulliMean) {
+  // 0 -> 1 with p = 0.3: E[|I({0})|] = 1 + 0.3.
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, 0.3f}};
+  CsrGraph graph(list);
+  std::vector<vertex_t> seeds{0};
+  InfluenceEstimate estimate = estimate_influence(
+      graph, seeds, DiffusionModel::IndependentCascade, 40000, 3);
+  EXPECT_NEAR(estimate.mean, 1.3, 0.02);
+  EXPECT_GT(estimate.std_error, 0.0);
+}
+
+TEST(EstimateInfluence, PathMatchesGeometricSum) {
+  // Path 0 -> 1 -> 2 -> 3 with p = 0.5 everywhere:
+  // E = 1 + 0.5 + 0.25 + 0.125 = 1.875.
+  CsrGraph graph(path_graph(4));
+  assign_constant_weights(graph, 0.5f);
+  std::vector<vertex_t> seeds{0};
+  InfluenceEstimate estimate = estimate_influence(
+      graph, seeds, DiffusionModel::IndependentCascade, 40000, 5);
+  EXPECT_NEAR(estimate.mean, 1.875, 0.03);
+}
+
+TEST(EstimateInfluence, StarWithUniformP) {
+  // Star hub -> 10 leaves with p = 0.2: E[|I({hub})|] = 1 + 10 * 0.2 = 3.
+  CsrGraph graph(star_graph(10, false));
+  assign_constant_weights(graph, 0.2f);
+  std::vector<vertex_t> seeds{0};
+  InfluenceEstimate estimate = estimate_influence(
+      graph, seeds, DiffusionModel::IndependentCascade, 40000, 7);
+  EXPECT_NEAR(estimate.mean, 3.0, 0.05);
+}
+
+TEST(EstimateInfluence, LtSingleInEdgeMatchesWeight) {
+  // LT live-edge view: vertex 1 picks its only in-edge (0 -> 1, b = 0.4)
+  // with probability 0.4, so E[|I({0})|] = 1.4.
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, 0.4f}};
+  CsrGraph graph(list);
+  std::vector<vertex_t> seeds{0};
+  InfluenceEstimate estimate = estimate_influence(
+      graph, seeds, DiffusionModel::LinearThreshold, 40000, 9);
+  EXPECT_NEAR(estimate.mean, 1.4, 0.02);
+}
+
+TEST(EstimateInfluence, LtPathCompounds) {
+  // LT path 0 -> 1 -> 2 with b = 0.5: E = 1 + 0.5 + 0.25 = 1.75.
+  CsrGraph graph(path_graph(3));
+  assign_constant_weights(graph, 0.5f);
+  std::vector<vertex_t> seeds{0};
+  InfluenceEstimate estimate = estimate_influence(
+      graph, seeds, DiffusionModel::LinearThreshold, 40000, 11);
+  EXPECT_NEAR(estimate.mean, 1.75, 0.03);
+}
+
+TEST(EstimateInfluence, MonotoneInSeedSet) {
+  CsrGraph graph(barabasi_albert(400, 3, 8));
+  assign_uniform_weights(graph, 12);
+  std::vector<vertex_t> small{0};
+  std::vector<vertex_t> large{0, 1, 2, 3, 4};
+  double sigma_small = estimate_influence(graph, small,
+                                          DiffusionModel::IndependentCascade,
+                                          2000, 13)
+                           .mean;
+  double sigma_large = estimate_influence(graph, large,
+                                          DiffusionModel::IndependentCascade,
+                                          2000, 13)
+                           .mean;
+  EXPECT_GE(sigma_large, sigma_small);
+}
+
+TEST(EstimateInfluence, DeterministicAcrossCalls) {
+  // Philox-per-trial makes the estimator exactly reproducible, including
+  // under OpenMP scheduling differences.
+  CsrGraph graph(erdos_renyi(300, 2500, 14));
+  assign_uniform_weights(graph, 15);
+  std::vector<vertex_t> seeds{1, 2, 3};
+  InfluenceEstimate a = estimate_influence(
+      graph, seeds, DiffusionModel::IndependentCascade, 500, 21);
+  InfluenceEstimate b = estimate_influence(
+      graph, seeds, DiffusionModel::IndependentCascade, 500, 21);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.std_error, b.std_error);
+}
+
+TEST(EstimateInfluence, LtDominatesIcWithSharedWeights) {
+  // With identical edge weights, LT activation probability given active
+  // in-neighbors {u_i} is sum(w_i) while IC's is 1 - prod(1 - w_i), so LT
+  // spread weakly dominates IC.  Deterministic instance: 0 and 1 both point
+  // to 2 with weight 0.5 — LT activates 2 surely (threshold <= 1.0), IC with
+  // probability 0.75.
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 2, 0.5f}, {1, 2, 0.5f}};
+  CsrGraph graph(list);
+  std::vector<vertex_t> seeds{0, 1};
+  double lt = estimate_influence(graph, seeds, DiffusionModel::LinearThreshold,
+                                 40000, 23)
+                  .mean;
+  double ic = estimate_influence(graph, seeds,
+                                 DiffusionModel::IndependentCascade, 40000, 23)
+                  .mean;
+  EXPECT_NEAR(lt, 3.0, 0.01);
+  EXPECT_NEAR(ic, 2.75, 0.02);
+}
+
+} // namespace
+} // namespace ripples

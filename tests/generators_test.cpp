@@ -1,0 +1,247 @@
+// Tests for the synthetic graph generators and the SNAP-surrogate registry.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.hpp"
+#include "graph/registry.hpp"
+#include "graph/stats.hpp"
+
+namespace ripples {
+namespace {
+
+bool has_self_loop(const EdgeList &list) {
+  for (const WeightedEdge &e : list.edges)
+    if (e.source == e.destination) return true;
+  return false;
+}
+
+bool endpoints_in_range(const EdgeList &list) {
+  for (const WeightedEdge &e : list.edges)
+    if (e.source >= list.num_vertices || e.destination >= list.num_vertices)
+      return false;
+  return true;
+}
+
+std::size_t duplicate_arcs(const EdgeList &list) {
+  std::set<std::pair<vertex_t, vertex_t>> seen;
+  std::size_t duplicates = 0;
+  for (const WeightedEdge &e : list.edges)
+    if (!seen.insert({e.source, e.destination}).second) ++duplicates;
+  return duplicates;
+}
+
+// --- Erdos-Renyi -----------------------------------------------------------------
+
+TEST(ErdosRenyi, ProducesExactEdgeCount) {
+  EdgeList list = erdos_renyi(500, 4000, 1);
+  EXPECT_EQ(list.num_vertices, 500u);
+  EXPECT_EQ(list.edges.size(), 4000u);
+  EXPECT_TRUE(endpoints_in_range(list));
+  EXPECT_FALSE(has_self_loop(list));
+  EXPECT_EQ(duplicate_arcs(list), 0u);
+}
+
+TEST(ErdosRenyi, DeterministicInSeed) {
+  EdgeList a = erdos_renyi(100, 500, 7);
+  EdgeList b = erdos_renyi(100, 500, 7);
+  EXPECT_EQ(a.edges, b.edges);
+  EdgeList c = erdos_renyi(100, 500, 8);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(ErdosRenyi, SaturatedGraphIsComplete) {
+  EdgeList list = erdos_renyi(10, 90, 3); // n(n-1) = 90 arcs: all of them
+  EXPECT_EQ(list.edges.size(), 90u);
+  EXPECT_EQ(duplicate_arcs(list), 0u);
+}
+
+// --- Barabasi-Albert ---------------------------------------------------------------
+
+TEST(BarabasiAlbert, EmitsBothDirectionsAndExpectedDensity) {
+  EdgeList list = barabasi_albert(1000, 3, 2);
+  EXPECT_TRUE(endpoints_in_range(list));
+  EXPECT_FALSE(has_self_loop(list));
+  // Arc count ~ 2 * (seed clique + 3 per subsequent vertex).
+  std::size_t expected_undirected = 6 + (1000 - 4) * 3;
+  EXPECT_EQ(list.edges.size(), 2 * expected_undirected);
+
+  // Every arc must have its reverse (undirected emission).
+  std::set<std::pair<vertex_t, vertex_t>> arcs;
+  for (const WeightedEdge &e : list.edges) arcs.insert({e.source, e.destination});
+  for (const WeightedEdge &e : list.edges)
+    EXPECT_TRUE(arcs.count({e.destination, e.source}));
+}
+
+TEST(BarabasiAlbert, ProducesSkewedDegrees) {
+  CsrGraph graph(barabasi_albert(2000, 3, 9));
+  GraphStats stats = compute_stats(graph);
+  // Preferential attachment: the hub degree dwarfs the average.
+  EXPECT_GT(static_cast<double>(stats.max_out_degree),
+            5.0 * stats.avg_out_degree);
+}
+
+// --- Watts-Strogatz ---------------------------------------------------------------
+
+TEST(WattsStrogatz, KeepsDegreeMassAndBidirectionality) {
+  EdgeList list = watts_strogatz(400, 4, 0.1, 11);
+  EXPECT_TRUE(endpoints_in_range(list));
+  EXPECT_FALSE(has_self_loop(list));
+  // Ring with 4 per side: 400*4 undirected edges, two arcs each.
+  EXPECT_EQ(list.edges.size(), 2u * 400 * 4);
+}
+
+TEST(WattsStrogatz, BetaZeroIsPureLattice) {
+  EdgeList list = watts_strogatz(50, 2, 0.0, 3);
+  CsrGraph graph(list);
+  for (vertex_t v = 0; v < 50; ++v) EXPECT_EQ(graph.out_degree(v), 4u);
+}
+
+// --- R-MAT -------------------------------------------------------------------------
+
+TEST(Rmat, ProducesRequestedScaleAndFactor) {
+  RmatParams params;
+  params.scale = 10;
+  params.edge_factor = 8;
+  EdgeList list = rmat(params, 17);
+  EXPECT_EQ(list.num_vertices, 1024u);
+  EXPECT_EQ(list.edges.size(), 8u * 1024);
+  EXPECT_TRUE(endpoints_in_range(list));
+  EXPECT_FALSE(has_self_loop(list));
+  EXPECT_EQ(duplicate_arcs(list), 0u);
+}
+
+TEST(Rmat, SkewedQuadrantsYieldHeavyTail) {
+  RmatParams params;
+  params.scale = 12;
+  params.edge_factor = 12;
+  CsrGraph graph(rmat(params, 23));
+  GraphStats stats = compute_stats(graph);
+  EXPECT_GT(static_cast<double>(stats.max_total_degree),
+            10.0 * stats.avg_total_degree);
+}
+
+TEST(Rmat, UndirectedEmitsReverseArcs) {
+  RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 4;
+  params.undirected = true;
+  EdgeList list = rmat(params, 29);
+  std::set<std::pair<vertex_t, vertex_t>> arcs;
+  for (const WeightedEdge &e : list.edges) arcs.insert({e.source, e.destination});
+  std::size_t with_reverse = 0;
+  for (const WeightedEdge &e : list.edges)
+    if (arcs.count({e.destination, e.source})) ++with_reverse;
+  // The generator inserts the reverse arc unless it collides with an
+  // existing one; near-all arcs must be paired.
+  EXPECT_GT(static_cast<double>(with_reverse),
+            0.95 * static_cast<double>(list.edges.size()));
+}
+
+TEST(Rmat, DeterministicInSeed) {
+  RmatParams params;
+  params.scale = 9;
+  EXPECT_EQ(rmat(params, 5).edges, rmat(params, 5).edges);
+  EXPECT_NE(rmat(params, 5).edges, rmat(params, 6).edges);
+}
+
+// --- deterministic small topologies ---------------------------------------------
+
+TEST(FixedTopologies, PathGraph) {
+  CsrGraph graph(path_graph(5));
+  EXPECT_EQ(graph.num_edges(), 4u);
+  EXPECT_EQ(graph.out_degree(0), 1u);
+  EXPECT_EQ(graph.out_degree(4), 0u);
+  EXPECT_EQ(graph.in_degree(0), 0u);
+}
+
+TEST(FixedTopologies, CompleteGraph) {
+  CsrGraph graph(complete_graph(6));
+  EXPECT_EQ(graph.num_edges(), 30u);
+  for (vertex_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(graph.out_degree(v), 5u);
+    EXPECT_EQ(graph.in_degree(v), 5u);
+  }
+}
+
+TEST(FixedTopologies, StarGraph) {
+  CsrGraph one_way(star_graph(8, false));
+  EXPECT_EQ(one_way.out_degree(0), 8u);
+  EXPECT_EQ(one_way.in_degree(0), 0u);
+  CsrGraph two_way(star_graph(8, true));
+  EXPECT_EQ(two_way.in_degree(0), 8u);
+}
+
+TEST(FixedTopologies, Grid2d) {
+  CsrGraph graph(grid_2d(3, 4));
+  EXPECT_EQ(graph.num_vertices(), 12u);
+  // 3*3 horizontal + 2*4 vertical undirected edges, two arcs each.
+  EXPECT_EQ(graph.num_edges(), 2u * (3 * 3 + 2 * 4));
+}
+
+// --- registry ----------------------------------------------------------------------
+
+TEST(Registry, ContainsTheEightPaperDatasets) {
+  auto registry = dataset_registry();
+  ASSERT_EQ(registry.size(), 8u);
+  EXPECT_EQ(registry[0].name, "cit-HepTh");
+  EXPECT_EQ(registry[7].name, "com-Orkut");
+  EXPECT_EQ(registry[7].paper.nodes, 3072441u);
+  EXPECT_EQ(registry[7].paper.edges, 117185083u);
+}
+
+TEST(Registry, FindDatasetReturnsMatchingSpec) {
+  const DatasetSpec &spec = find_dataset("soc-Pokec");
+  EXPECT_EQ(spec.paper.nodes, 1632803u);
+  EXPECT_DOUBLE_EQ(spec.paper.imm_seconds, 5552.37);
+}
+
+TEST(Registry, LargeDatasetsAreTheFourScalingGraphs) {
+  auto names = large_dataset_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "com-YouTube");
+  EXPECT_EQ(names[3], "com-Orkut");
+}
+
+class RegistryMaterialize : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(RegistryMaterialize, SurrogateHasPlausibleShape) {
+  const DatasetSpec &spec = find_dataset(GetParam());
+  CsrGraph graph = materialize(spec, 0.02, 1);
+  EXPECT_GE(graph.num_vertices(), 512u);
+  GraphStats stats = compute_stats(graph);
+  // Density within a factor of ~3 of the original's arcs-per-vertex.
+  double target = spec.recipe.kind == SurrogateRecipe::Kind::BarabasiAlbert
+                      ? 2.0 * spec.recipe.ba_edges_per_vertex
+                      : spec.recipe.edge_factor;
+  EXPECT_GT(stats.avg_out_degree, target / 3.0);
+  EXPECT_LT(stats.avg_out_degree, target * 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, RegistryMaterialize,
+                         ::testing::Values("cit-HepTh", "soc-Epinions1",
+                                           "com-Amazon", "com-DBLP",
+                                           "com-YouTube", "soc-Pokec",
+                                           "soc-LiveJournal1", "com-Orkut"));
+
+TEST(Registry, MaterializeIsDeterministic) {
+  const DatasetSpec &spec = find_dataset("cit-HepTh");
+  CsrGraph a = materialize(spec, 0.05, 3);
+  CsrGraph b = materialize(spec, 0.05, 3);
+  EXPECT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  CsrGraph c = materialize(spec, 0.05, 4);
+  EXPECT_TRUE(a.num_edges() != c.num_edges() ||
+              a.to_edge_list().edges != c.to_edge_list().edges);
+}
+
+TEST(Registry, DifferentDatasetsDifferUnderSameSeed) {
+  CsrGraph a = materialize(find_dataset("soc-Pokec"), 0.001, 3);
+  CsrGraph b = materialize(find_dataset("soc-LiveJournal1"), 0.001, 3);
+  EXPECT_TRUE(a.num_vertices() != b.num_vertices() ||
+              a.num_edges() != b.num_edges() ||
+              a.to_edge_list().edges != b.to_edge_list().edges);
+}
+
+} // namespace
+} // namespace ripples

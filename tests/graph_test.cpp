@@ -1,0 +1,267 @@
+// Tests for the CSR graph: construction invariants, dual-direction
+// consistency, weight assignment/propagation, and round-tripping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+#include "graph/weights.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+namespace {
+
+EdgeList tiny_graph() {
+  // 0 -> 1 (0.5), 0 -> 2 (0.25), 2 -> 1 (1.0), 1 -> 3 (0.75), 3 -> 0 (0.1)
+  EdgeList list;
+  list.num_vertices = 4;
+  list.edges = {{0, 1, 0.5f}, {0, 2, 0.25f}, {2, 1, 1.0f}, {1, 3, 0.75f},
+                {3, 0, 0.1f}};
+  return list;
+}
+
+TEST(CsrGraph, BuildsOutAdjacency) {
+  CsrGraph graph(tiny_graph());
+  ASSERT_EQ(graph.num_vertices(), 4u);
+  ASSERT_EQ(graph.num_edges(), 5u);
+
+  auto out0 = graph.out_neighbors(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(out0[0].vertex, 1u);
+  EXPECT_FLOAT_EQ(out0[0].weight, 0.5f);
+  EXPECT_EQ(out0[1].vertex, 2u);
+  EXPECT_FLOAT_EQ(out0[1].weight, 0.25f);
+
+  EXPECT_EQ(graph.out_degree(1), 1u);
+  EXPECT_EQ(graph.out_degree(3), 1u);
+}
+
+TEST(CsrGraph, BuildsInAdjacency) {
+  CsrGraph graph(tiny_graph());
+  auto in1 = graph.in_neighbors(1);
+  ASSERT_EQ(in1.size(), 2u);
+  // Sorted by source id: 0 then 2.
+  EXPECT_EQ(in1[0].vertex, 0u);
+  EXPECT_FLOAT_EQ(in1[0].weight, 0.5f);
+  EXPECT_EQ(in1[1].vertex, 2u);
+  EXPECT_FLOAT_EQ(in1[1].weight, 1.0f);
+  EXPECT_EQ(graph.in_degree(0), 1u);
+  EXPECT_EQ(graph.in_degree(3), 1u);
+}
+
+TEST(CsrGraph, DropsSelfLoops) {
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 0, 1.0f}, {0, 1, 1.0f}, {1, 1, 1.0f}, {1, 2, 1.0f}};
+  CsrGraph graph(list);
+  EXPECT_EQ(graph.num_edges(), 2u);
+}
+
+TEST(CsrGraph, KeepsMultiArcs) {
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, 0.1f}, {0, 1, 0.2f}};
+  CsrGraph graph(list);
+  EXPECT_EQ(graph.num_edges(), 2u);
+  EXPECT_EQ(graph.out_degree(0), 2u);
+  EXPECT_EQ(graph.in_degree(1), 2u);
+}
+
+TEST(CsrGraph, EmptyGraph) {
+  EdgeList list;
+  list.num_vertices = 5;
+  CsrGraph graph(list);
+  EXPECT_EQ(graph.num_vertices(), 5u);
+  EXPECT_EQ(graph.num_edges(), 0u);
+  for (vertex_t v = 0; v < 5; ++v) {
+    EXPECT_TRUE(graph.out_neighbors(v).empty());
+    EXPECT_TRUE(graph.in_neighbors(v).empty());
+  }
+}
+
+TEST(CsrGraph, ToEdgeListRoundTrips) {
+  CsrGraph graph(tiny_graph());
+  EdgeList round = graph.to_edge_list();
+  EXPECT_EQ(round.num_vertices, 4u);
+  ASSERT_EQ(round.edges.size(), 5u);
+  CsrGraph rebuilt(round);
+  for (vertex_t v = 0; v < 4; ++v) {
+    auto a = graph.out_neighbors(v);
+    auto b = rebuilt.out_neighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].vertex, b[i].vertex);
+      EXPECT_FLOAT_EQ(a[i].weight, b[i].weight);
+    }
+  }
+}
+
+// Property test: on random graphs both CSR directions describe the same
+// weighted edge multiset, offsets are consistent, adjacency sorted.
+class CsrInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrInvariants, DirectionsAgreeOnRandomGraphs) {
+  EdgeList list = erdos_renyi(200, 2000, GetParam());
+  // Give edges distinct-ish weights so mismatches are detectable.
+  Xoshiro256 rng(GetParam() ^ 0xabc);
+  for (WeightedEdge &e : list.edges)
+    e.weight = static_cast<float>(uniform_unit(rng));
+  CsrGraph graph(list);
+
+  std::multimap<std::pair<vertex_t, vertex_t>, float> from_out, from_in;
+  std::size_t out_total = 0, in_total = 0;
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u) {
+    vertex_t previous = 0;
+    bool first = true;
+    for (const Adjacency &adjacent : graph.out_neighbors(u)) {
+      from_out.insert({{u, adjacent.vertex}, adjacent.weight});
+      ++out_total;
+      if (!first) EXPECT_LE(previous, adjacent.vertex) << "out list unsorted";
+      previous = adjacent.vertex;
+      first = false;
+    }
+  }
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    vertex_t previous = 0;
+    bool first = true;
+    for (const Adjacency &adjacent : graph.in_neighbors(v)) {
+      from_in.insert({{adjacent.vertex, v}, adjacent.weight});
+      ++in_total;
+      if (!first) EXPECT_LE(previous, adjacent.vertex) << "in list unsorted";
+      previous = adjacent.vertex;
+      first = false;
+    }
+  }
+  EXPECT_EQ(out_total, graph.num_edges());
+  EXPECT_EQ(in_total, graph.num_edges());
+  EXPECT_EQ(from_out, from_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrInvariants,
+                         ::testing::Values(1, 2, 3, 42, 99));
+
+// --- weight assigners -----------------------------------------------------------
+
+TEST(Weights, UniformAssignsInRangeAndConsistently) {
+  CsrGraph graph(erdos_renyi(100, 800, 7));
+  assign_uniform_weights(graph, 11, 0.2f, 0.8f);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (const Adjacency &in : graph.in_neighbors(v)) {
+      EXPECT_GE(in.weight, 0.2f);
+      EXPECT_LT(in.weight, 0.8f);
+    }
+  // Directions must agree after propagation.
+  std::multimap<std::pair<vertex_t, vertex_t>, float> from_out, from_in;
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u)
+    for (const Adjacency &a : graph.out_neighbors(u))
+      from_out.insert({{u, a.vertex}, a.weight});
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (const Adjacency &a : graph.in_neighbors(v))
+      from_in.insert({{a.vertex, v}, a.weight});
+  EXPECT_EQ(from_out, from_in);
+}
+
+TEST(Weights, UniformIsDeterministicInSeed) {
+  CsrGraph a(erdos_renyi(50, 300, 7));
+  CsrGraph b(erdos_renyi(50, 300, 7));
+  assign_uniform_weights(a, 5);
+  assign_uniform_weights(b, 5);
+  for (vertex_t v = 0; v < a.num_vertices(); ++v) {
+    auto in_a = a.in_neighbors(v);
+    auto in_b = b.in_neighbors(v);
+    ASSERT_EQ(in_a.size(), in_b.size());
+    for (std::size_t i = 0; i < in_a.size(); ++i)
+      EXPECT_FLOAT_EQ(in_a[i].weight, in_b[i].weight);
+  }
+}
+
+TEST(Weights, ConstantSetsEveryEdge) {
+  CsrGraph graph(erdos_renyi(60, 400, 3));
+  assign_constant_weights(graph, 0.1f);
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u)
+    for (const Adjacency &a : graph.out_neighbors(u))
+      EXPECT_FLOAT_EQ(a.weight, 0.1f);
+}
+
+TEST(Weights, WeightedCascadeSumsToOnePerVertex) {
+  CsrGraph graph(erdos_renyi(80, 600, 9));
+  assign_weighted_cascade(graph);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    auto in = graph.in_neighbors(v);
+    if (in.empty()) continue;
+    double sum = 0;
+    for (const Adjacency &a : in) sum += a.weight;
+    EXPECT_NEAR(sum, 1.0, 1e-4);
+  }
+}
+
+TEST(Weights, TrivalencyUsesOnlyThreeLevels) {
+  CsrGraph graph(erdos_renyi(60, 500, 13));
+  assign_trivalency_weights(graph, 21);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (const Adjacency &a : graph.in_neighbors(v))
+      EXPECT_TRUE(a.weight == 0.1f || a.weight == 0.01f || a.weight == 0.001f)
+          << a.weight;
+}
+
+TEST(Weights, LtRenormalizationCapsIncomingMass) {
+  CsrGraph graph(erdos_renyi(100, 1500, 17));
+  assign_uniform_weights(graph, 23); // sums typically exceed 1
+  renormalize_linear_threshold(graph);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    double sum = 0;
+    for (const Adjacency &a : graph.in_neighbors(v)) sum += a.weight;
+    EXPECT_LE(sum, 1.0 + 1e-4);
+  }
+}
+
+TEST(Weights, LtRenormalizationIsIdempotent) {
+  CsrGraph graph(erdos_renyi(50, 700, 19));
+  assign_uniform_weights(graph, 29);
+  renormalize_linear_threshold(graph);
+  std::vector<float> before;
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (const Adjacency &a : graph.in_neighbors(v)) before.push_back(a.weight);
+  renormalize_linear_threshold(graph);
+  std::size_t i = 0;
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (const Adjacency &a : graph.in_neighbors(v))
+      EXPECT_NEAR(a.weight, before[i++], 1e-5);
+}
+
+// --- stats ----------------------------------------------------------------------
+
+TEST(Stats, MatchesHandComputedValues) {
+  CsrGraph graph(tiny_graph());
+  GraphStats stats = compute_stats(graph);
+  EXPECT_EQ(stats.num_vertices, 4u);
+  EXPECT_EQ(stats.num_edges, 5u);
+  EXPECT_DOUBLE_EQ(stats.avg_out_degree, 1.25);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_total_degree, 2.5);
+  EXPECT_EQ(stats.num_isolated, 0u);
+}
+
+TEST(Stats, CountsIsolatedVertices) {
+  EdgeList list;
+  list.num_vertices = 10;
+  list.edges = {{0, 1, 1.0f}};
+  GraphStats stats = compute_stats(CsrGraph(list));
+  EXPECT_EQ(stats.num_isolated, 8u);
+}
+
+TEST(Stats, LogHistogramCoversAllVertices) {
+  CsrGraph graph(barabasi_albert(500, 3, 5));
+  auto histogram = out_degree_log_histogram(graph);
+  std::size_t total = 0;
+  for (std::size_t count : histogram) total += count;
+  EXPECT_EQ(total, graph.num_vertices());
+}
+
+} // namespace
+} // namespace ripples

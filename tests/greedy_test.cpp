@@ -1,0 +1,209 @@
+// Tests for the pre-RIS baselines: Monte-Carlo greedy, CELF, and the degree
+// heuristics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "diffusion/simulate.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/greedy.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(MonteCarloGreedy, PicksTheDominantHub) {
+  // Star with strong hub edges: the hub is the unique best single seed.
+  CsrGraph graph(star_graph(20, false));
+  assign_constant_weights(graph, 0.9f);
+  GreedyOptions options;
+  options.k = 1;
+  options.trials = 200;
+  std::vector<vertex_t> seeds = monte_carlo_greedy(graph, options);
+  ASSERT_EQ(seeds.size(), 1u);
+  EXPECT_EQ(seeds[0], 0u);
+}
+
+TEST(MonteCarloGreedy, ReturnsDistinctSeeds) {
+  CsrGraph graph(erdos_renyi(40, 200, 3));
+  assign_constant_weights(graph, 0.1f);
+  GreedyOptions options;
+  options.k = 5;
+  options.trials = 100;
+  std::vector<vertex_t> seeds = monte_carlo_greedy(graph, options);
+  std::set<vertex_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(CelfGreedy, MatchesPlainGreedyOutput) {
+  // CELF is an exact acceleration: with the same oracle it must select the
+  // same seeds as the plain greedy.
+  CsrGraph graph(barabasi_albert(60, 2, 7));
+  assign_constant_weights(graph, 0.2f);
+  GreedyOptions options;
+  options.k = 4;
+  options.trials = 400;
+  options.seed = 13;
+  std::vector<vertex_t> plain = monte_carlo_greedy(graph, options);
+  std::vector<vertex_t> lazy = celf_greedy(graph, options);
+  EXPECT_EQ(plain, lazy);
+}
+
+TEST(CelfGreedy, HubFirstOnTwoStars) {
+  // Two stars, hubs 0 (big) and 10 (small): CELF must take hub 0 first,
+  // hub 10 second.
+  EdgeList list;
+  list.num_vertices = 18;
+  for (vertex_t leaf = 1; leaf <= 9; ++leaf) list.edges.push_back({0, leaf, 1.0f});
+  for (vertex_t leaf = 11; leaf <= 17; ++leaf)
+    list.edges.push_back({10, leaf, 1.0f});
+  CsrGraph graph(list);
+  GreedyOptions options;
+  options.k = 2;
+  options.trials = 50;
+  std::vector<vertex_t> seeds = celf_greedy(graph, options);
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0], 0u);
+  EXPECT_EQ(seeds[1], 10u);
+}
+
+TEST(CelfPlusPlus, MatchesCelfOutput) {
+  // CELF++ is an exact acceleration of CELF: identical seeds under the
+  // same deterministic oracle.
+  CsrGraph graph(barabasi_albert(60, 2, 7));
+  assign_constant_weights(graph, 0.2f);
+  GreedyOptions options;
+  options.k = 4;
+  options.trials = 400;
+  options.seed = 13;
+  std::vector<vertex_t> lazy = celf_greedy(graph, options);
+  std::vector<vertex_t> look_ahead = celf_plus_plus(graph, options);
+  EXPECT_EQ(lazy, look_ahead);
+}
+
+TEST(CelfPlusPlus, MatchesCelfOnRandomGraphs) {
+  for (std::uint64_t seed : {3u, 9u, 21u}) {
+    CsrGraph graph(erdos_renyi(50, 250, seed));
+    assign_constant_weights(graph, 0.15f);
+    GreedyOptions options;
+    options.k = 5;
+    options.trials = 200;
+    options.seed = seed;
+    EXPECT_EQ(celf_greedy(graph, options), celf_plus_plus(graph, options))
+        << "seed " << seed;
+  }
+}
+
+TEST(OracleEvaluations, CelfNeverExceedsPlainGreedy) {
+  CsrGraph graph(barabasi_albert(50, 2, 11));
+  assign_constant_weights(graph, 0.1f);
+  GreedyOptions options;
+  options.k = 5;
+  options.trials = 100;
+  (void)monte_carlo_greedy(graph, options);
+  std::uint64_t greedy_calls = last_oracle_evaluations();
+  (void)celf_greedy(graph, options);
+  std::uint64_t celf_calls = last_oracle_evaluations();
+  EXPECT_LE(celf_calls, greedy_calls);
+  // Plain greedy evaluates every remaining vertex every round.
+  EXPECT_GE(greedy_calls, 5u * 46u);
+}
+
+TEST(OracleEvaluations, CelfPlusPlusPaysDoubleInitialPass) {
+  CsrGraph graph(barabasi_albert(50, 2, 11));
+  assign_constant_weights(graph, 0.1f);
+  GreedyOptions options;
+  options.k = 3;
+  options.trials = 100;
+  (void)celf_plus_plus(graph, options);
+  std::uint64_t calls = last_oracle_evaluations();
+  // Initial pass: sigma({v}) for all 50 plus sigma({best, v}) for 49.
+  EXPECT_GE(calls, 99u);
+}
+
+TEST(TopDegree, RanksByOutDegree) {
+  EdgeList list;
+  list.num_vertices = 5;
+  // out-degrees: 0 -> 3, 1 -> 2, 2 -> 1, 3 -> 0, 4 -> 0
+  list.edges = {{0, 1, 1}, {0, 2, 1}, {0, 3, 1}, {1, 2, 1},
+                {1, 3, 1}, {2, 3, 1}};
+  CsrGraph graph(list);
+  std::vector<vertex_t> top = top_degree_seeds(graph, 3);
+  EXPECT_EQ(top, (std::vector<vertex_t>{0, 1, 2}));
+}
+
+TEST(TopDegree, TieBreaksToSmallerId) {
+  CsrGraph graph(complete_graph(6)); // all degrees equal
+  std::vector<vertex_t> top = top_degree_seeds(graph, 3);
+  EXPECT_EQ(top, (std::vector<vertex_t>{0, 1, 2}));
+}
+
+TEST(DegreeDiscount, FirstPickIsMaxDegree) {
+  CsrGraph graph(barabasi_albert(200, 3, 9));
+  std::vector<vertex_t> dd = degree_discount_seeds(graph, 1, 0.1);
+  std::vector<vertex_t> top = top_degree_seeds(graph, 1);
+  EXPECT_EQ(dd[0], top[0]);
+}
+
+TEST(DegreeDiscount, AvoidsClusteredSeeds) {
+  // Clique of high-degree vertices vs a spread of independent mid-degree
+  // stars: after the first clique pick, discounting must prefer the stars
+  // over a second clique member.
+  EdgeList list;
+  list.num_vertices = 30;
+  // Clique on 0..4 (degree 4 each within clique) plus two extra leaves each
+  // to give them top degree 6.
+  for (vertex_t u = 0; u < 5; ++u)
+    for (vertex_t v = 0; v < 5; ++v)
+      if (u != v) list.edges.push_back({u, v, 1.0f});
+  vertex_t leaf = 5;
+  for (vertex_t u = 0; u < 5; ++u) {
+    list.edges.push_back({u, leaf++, 1.0f});
+    list.edges.push_back({u, leaf++, 1.0f});
+  }
+  // Independent star at 20 with degree 5.
+  for (vertex_t j = 21; j <= 25; ++j) list.edges.push_back({20, j, 1.0f});
+  CsrGraph graph(list);
+
+  std::vector<vertex_t> seeds = degree_discount_seeds(graph, 2, 0.5);
+  EXPECT_LT(seeds[0], 5u); // a clique member goes first (degree 6)
+  EXPECT_EQ(seeds[1], 20u) // then the independent star, not a clique sibling
+      << "degree discount failed to penalize the clique";
+}
+
+TEST(DegreeDiscount, ReturnsDistinctSeeds) {
+  CsrGraph graph(barabasi_albert(300, 3, 11));
+  std::vector<vertex_t> seeds = degree_discount_seeds(graph, 20, 0.1);
+  std::set<vertex_t> unique(seeds.begin(), seeds.end());
+  EXPECT_EQ(unique.size(), 20u);
+}
+
+TEST(Heuristics, QualityOrderOnScaleFreeGraph) {
+  // Influence quality sanity: degree-based seeds beat arbitrary low-degree
+  // seeds under IC on a hub-dominated graph.
+  CsrGraph graph(barabasi_albert(400, 3, 13));
+  assign_constant_weights(graph, 0.1f);
+  std::vector<vertex_t> degree_seeds = top_degree_seeds(graph, 5);
+
+  // The five lowest-out-degree vertices.
+  std::vector<vertex_t> low(graph.num_vertices());
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) low[v] = v;
+  std::sort(low.begin(), low.end(), [&](vertex_t a, vertex_t b) {
+    return graph.out_degree(a) < graph.out_degree(b);
+  });
+  low.resize(5);
+
+  double sigma_degree =
+      estimate_influence(graph, degree_seeds,
+                         DiffusionModel::IndependentCascade, 3000, 17)
+          .mean;
+  double sigma_low = estimate_influence(graph, low,
+                                        DiffusionModel::IndependentCascade,
+                                        3000, 17)
+                         .mean;
+  EXPECT_GT(sigma_degree, sigma_low);
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,133 @@
+// Tests for the edge-list file formats (SNAP text and binary cache).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace ripples {
+namespace {
+
+class IoTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    directory_ = std::filesystem::temp_directory_path() /
+                 ("ripples_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(directory_);
+  }
+  void TearDown() override { std::filesystem::remove_all(directory_); }
+
+  [[nodiscard]] std::string path(const std::string &name) const {
+    return (directory_ / name).string();
+  }
+
+  std::filesystem::path directory_;
+};
+
+TEST_F(IoTest, ParsesSnapStyleText) {
+  std::istringstream input(
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "100 200\n"
+      "200 300\n"
+      "% alternate comment style\n"
+      "100 300\n");
+  EdgeList list = read_edge_list_text(input);
+  EXPECT_EQ(list.num_vertices, 3u); // ids compacted to 0..2
+  ASSERT_EQ(list.edges.size(), 3u);
+  EXPECT_EQ(list.edges[0].source, 0u);      // 100
+  EXPECT_EQ(list.edges[0].destination, 1u); // 200
+  EXPECT_EQ(list.edges[2].source, 0u);      // 100
+  EXPECT_EQ(list.edges[2].destination, 2u); // 300
+  EXPECT_FLOAT_EQ(list.edges[0].weight, 1.0f);
+}
+
+TEST_F(IoTest, ParsesOptionalWeightColumn) {
+  std::istringstream input("0 1 0.25\n1 2 0.75\n");
+  EdgeList list = read_edge_list_text(input);
+  ASSERT_EQ(list.edges.size(), 2u);
+  EXPECT_FLOAT_EQ(list.edges[0].weight, 0.25f);
+  EXPECT_FLOAT_EQ(list.edges[1].weight, 0.75f);
+}
+
+TEST_F(IoTest, RejectsMalformedLines) {
+  std::istringstream input("0 1\nnot an edge\n");
+  EXPECT_THROW((void)read_edge_list_text(input), std::runtime_error);
+}
+
+TEST_F(IoTest, TextRoundTripWithoutCompaction) {
+  EdgeList original = erdos_renyi(60, 300, 5);
+  save_edge_list_text(path("graph.txt"), original);
+  EdgeList loaded = load_edge_list_text(path("graph.txt"), /*compact_ids=*/false);
+  EXPECT_EQ(loaded.num_vertices, original.num_vertices);
+  ASSERT_EQ(loaded.edges.size(), original.edges.size());
+  for (std::size_t i = 0; i < loaded.edges.size(); ++i) {
+    EXPECT_EQ(loaded.edges[i].source, original.edges[i].source);
+    EXPECT_EQ(loaded.edges[i].destination, original.edges[i].destination);
+  }
+}
+
+TEST_F(IoTest, TextRoundTripWithCompactionPreservesStructure) {
+  // Compaction relabels but keeps the multigraph structure: counts of
+  // vertices and edges, and the degree multiset.
+  EdgeList original = erdos_renyi(60, 300, 5);
+  save_edge_list_text(path("graph.txt"), original);
+  EdgeList loaded = load_edge_list_text(path("graph.txt"));
+  EXPECT_EQ(loaded.num_vertices, original.num_vertices);
+  ASSERT_EQ(loaded.edges.size(), original.edges.size());
+  std::vector<int> degree_original(60, 0), degree_loaded(60, 0);
+  for (const WeightedEdge &e : original.edges) ++degree_original[e.source];
+  for (const WeightedEdge &e : loaded.edges) ++degree_loaded[e.source];
+  std::sort(degree_original.begin(), degree_original.end());
+  std::sort(degree_loaded.begin(), degree_loaded.end());
+  EXPECT_EQ(degree_original, degree_loaded);
+}
+
+TEST_F(IoTest, LoadTextMissingFileThrows) {
+  EXPECT_THROW((void)load_edge_list_text(path("absent.txt")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTripIsExact) {
+  EdgeList original = erdos_renyi(100, 900, 11);
+  for (std::size_t i = 0; i < original.edges.size(); ++i)
+    original.edges[i].weight = static_cast<float>(i) * 0.001f;
+  save_edge_list_binary(path("graph.bin"), original);
+  EdgeList loaded = load_edge_list_binary(path("graph.bin"));
+  EXPECT_EQ(loaded.num_vertices, original.num_vertices);
+  EXPECT_EQ(loaded.edges, original.edges);
+}
+
+TEST_F(IoTest, BinaryRejectsWrongMagic) {
+  std::ofstream out(path("junk.bin"), std::ios::binary);
+  out << "this is not a ripples file at all, padding padding padding";
+  out.close();
+  EXPECT_THROW((void)load_edge_list_binary(path("junk.bin")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedPayload) {
+  EdgeList original = erdos_renyi(50, 400, 13);
+  save_edge_list_binary(path("trunc.bin"), original);
+  std::filesystem::resize_file(path("trunc.bin"),
+                               std::filesystem::file_size(path("trunc.bin")) / 2);
+  EXPECT_THROW((void)load_edge_list_binary(path("trunc.bin")),
+               std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyEdgeListRoundTrips) {
+  EdgeList empty;
+  empty.num_vertices = 42;
+  save_edge_list_binary(path("empty.bin"), empty);
+  EdgeList loaded = load_edge_list_binary(path("empty.bin"));
+  EXPECT_EQ(loaded.num_vertices, 42u);
+  EXPECT_TRUE(loaded.edges.empty());
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,175 @@
+// Tests for the lineage baselines: RIS threshold stopping and TIM+ KPT
+// estimation, including the cross-generation comparison that motivates
+// parallelizing IMM (equal quality, decreasing sample counts).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "diffusion/simulate.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/imm.hpp"
+#include "imm/lineage.hpp"
+
+namespace ripples {
+namespace {
+
+CsrGraph test_graph(std::uint64_t seed = 31) {
+  CsrGraph graph(barabasi_albert(500, 3, seed));
+  assign_uniform_weights(graph, seed + 1);
+  return graph;
+}
+
+TEST(RisThreshold, SatisfiesOutputContract) {
+  CsrGraph graph = test_graph();
+  RisOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.seed = 11;
+  options.budget_scale = 0.05; // keep the test fast; theory scale is huge
+  ImmResult result = ris_threshold(graph, options);
+  ASSERT_EQ(result.seeds.size(), 8u);
+  std::set<vertex_t> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_GE(result.theta, 1u);
+  EXPECT_GT(result.coverage_fraction, 0.0);
+}
+
+TEST(RisThreshold, BudgetScaleControlsSampleCount) {
+  CsrGraph graph = test_graph();
+  RisOptions small;
+  small.epsilon = 0.5;
+  small.k = 8;
+  small.seed = 11;
+  small.budget_scale = 0.02;
+  RisOptions large = small;
+  large.budget_scale = 0.2;
+  EXPECT_GT(ris_threshold(graph, large).theta, ris_threshold(graph, small).theta);
+}
+
+TEST(RisThreshold, TighterEpsilonBuysMoreSamples) {
+  CsrGraph graph = test_graph();
+  RisOptions loose;
+  loose.epsilon = 0.6;
+  loose.k = 5;
+  loose.budget_scale = 0.5;
+  RisOptions tight = loose;
+  tight.epsilon = 0.3;
+  EXPECT_GT(ris_threshold(graph, tight).theta, ris_threshold(graph, loose).theta);
+}
+
+TEST(RisThreshold, Deterministic) {
+  CsrGraph graph = test_graph();
+  RisOptions options;
+  options.budget_scale = 0.02;
+  options.k = 5;
+  ImmResult a = ris_threshold(graph, options);
+  ImmResult b = ris_threshold(graph, options);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.theta, b.theta);
+}
+
+TEST(TimPlus, SatisfiesOutputContract) {
+  CsrGraph graph = test_graph();
+  TimOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.seed = 13;
+  ImmResult result = tim_plus(graph, options);
+  ASSERT_EQ(result.seeds.size(), 8u);
+  std::set<vertex_t> unique(result.seeds.begin(), result.seeds.end());
+  EXPECT_EQ(unique.size(), 8u);
+  EXPECT_GE(result.theta, 1u);
+  EXPECT_GE(result.num_samples, result.theta);
+  EXPECT_GE(result.lower_bound, 1.0);
+}
+
+TEST(TimPlus, KptBoundIsPlausible) {
+  // KPT* lower-bounds OPT <= n; on a supercritical IC graph the optimum is
+  // a large fraction of n, so KPT* must be well above the trivial 1.
+  CsrGraph graph = test_graph();
+  TimOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  ImmResult result = tim_plus(graph, options);
+  EXPECT_GT(result.lower_bound, 10.0);
+  EXPECT_LE(result.lower_bound, static_cast<double>(graph.num_vertices()));
+}
+
+TEST(TimPlus, Deterministic) {
+  CsrGraph graph = test_graph();
+  TimOptions options;
+  options.k = 5;
+  ImmResult a = tim_plus(graph, options);
+  ImmResult b = tim_plus(graph, options);
+  EXPECT_EQ(a.seeds, b.seeds);
+  EXPECT_EQ(a.theta, b.theta);
+}
+
+TEST(Lineage, GenerationsAgreeOnSolutionQuality) {
+  // RIS, TIM+ and IMM must land on seed sets of comparable influence —
+  // they optimize the same objective over the same sample distribution.
+  CsrGraph graph = test_graph();
+  const std::uint32_t k = 8;
+
+  RisOptions ris_options;
+  ris_options.epsilon = 0.5;
+  ris_options.k = k;
+  ris_options.budget_scale = 0.05;
+  ImmResult ris = ris_threshold(graph, ris_options);
+
+  TimOptions tim_options;
+  tim_options.epsilon = 0.5;
+  tim_options.k = k;
+  ImmResult tim = tim_plus(graph, tim_options);
+
+  ImmOptions imm_options;
+  imm_options.epsilon = 0.5;
+  imm_options.k = k;
+  ImmResult imm = imm_sequential(graph, imm_options);
+
+  auto influence = [&](const std::vector<vertex_t> &seeds) {
+    return estimate_influence(graph, seeds,
+                              DiffusionModel::IndependentCascade, 2000, 17)
+        .mean;
+  };
+  double sigma_imm = influence(imm.seeds);
+  EXPECT_GT(influence(ris.seeds), 0.9 * sigma_imm);
+  EXPECT_GT(influence(tim.seeds), 0.9 * sigma_imm);
+}
+
+TEST(Lineage, ImmNeedsFewerSamplesThanTimPlus) {
+  // The IMM paper's headline improvement over TIM+: a tighter theta from
+  // the martingale bound.  At equal (eps, k) IMM's final collection should
+  // not exceed TIM+'s.
+  CsrGraph graph = test_graph();
+  TimOptions tim_options;
+  tim_options.epsilon = 0.5;
+  tim_options.k = 20;
+  ImmResult tim = tim_plus(graph, tim_options);
+
+  ImmOptions imm_options;
+  imm_options.epsilon = 0.5;
+  imm_options.k = 20;
+  ImmResult imm = imm_sequential(graph, imm_options);
+
+  EXPECT_LE(imm.num_samples, tim.num_samples);
+}
+
+TEST(Lineage, WorksUnderLinearThreshold) {
+  CsrGraph graph = test_graph();
+  renormalize_linear_threshold(graph);
+  RisOptions ris_options;
+  ris_options.model = DiffusionModel::LinearThreshold;
+  ris_options.k = 5;
+  ris_options.budget_scale = 0.02;
+  EXPECT_EQ(ris_threshold(graph, ris_options).seeds.size(), 5u);
+
+  TimOptions tim_options;
+  tim_options.model = DiffusionModel::LinearThreshold;
+  tim_options.k = 5;
+  EXPECT_EQ(tim_plus(graph, tim_options).seeds.size(), 5u);
+}
+
+} // namespace
+} // namespace ripples

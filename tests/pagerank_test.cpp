@@ -1,0 +1,83 @@
+// Tests for PageRank: normalization, symmetry, hub dominance, dangling
+// mass handling, and agreement with a hand-solved instance.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "centrality/degree.hpp"
+#include "centrality/pagerank.hpp"
+#include "graph/generators.hpp"
+
+namespace ripples {
+namespace {
+
+double sum_of(const std::vector<double> &scores) {
+  return std::accumulate(scores.begin(), scores.end(), 0.0);
+}
+
+TEST(PageRank, ScoresSumToOne) {
+  CsrGraph graph(barabasi_albert(300, 3, 3));
+  std::vector<double> scores = pagerank(graph);
+  EXPECT_NEAR(sum_of(scores), 1.0, 1e-9);
+  for (double s : scores) EXPECT_GT(s, 0.0);
+}
+
+TEST(PageRank, UniformOnSymmetricRegularGraph) {
+  // Directed cycle: perfectly regular, every score is 1/n.
+  EdgeList list;
+  list.num_vertices = 8;
+  for (vertex_t v = 0; v < 8; ++v)
+    list.edges.push_back({v, static_cast<vertex_t>((v + 1) % 8), 1.0f});
+  std::vector<double> scores = pagerank(CsrGraph(list));
+  for (double s : scores) EXPECT_NEAR(s, 1.0 / 8.0, 1e-9);
+}
+
+TEST(PageRank, InStarConcentratesOnTheHub) {
+  // All leaves point at the hub: the hub's score dominates.
+  CsrGraph graph(star_graph(10, true)); // hub <-> leaves
+  std::vector<double> scores = pagerank(graph);
+  for (vertex_t leaf = 1; leaf <= 10; ++leaf)
+    EXPECT_GT(scores[0], scores[leaf]);
+}
+
+TEST(PageRank, HandlesDanglingVertices) {
+  // 0 -> 1 -> 2 (2 dangles): scores still sum to 1 and 2 ranks highest.
+  CsrGraph graph(path_graph(3));
+  std::vector<double> scores = pagerank(graph);
+  EXPECT_NEAR(sum_of(scores), 1.0, 1e-9);
+  EXPECT_GT(scores[2], scores[1]);
+  EXPECT_GT(scores[1], scores[0]);
+}
+
+TEST(PageRank, MatchesHandSolvedTwoVertexExchange) {
+  // 0 <-> 1: symmetric, each must converge to 0.5 for any damping.
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, 1.0f}, {1, 0, 1.0f}};
+  for (double damping : {0.5, 0.85, 0.99}) {
+    PageRankOptions options;
+    options.damping = damping;
+    std::vector<double> scores = pagerank(CsrGraph(list), options);
+    EXPECT_NEAR(scores[0], 0.5, 1e-9) << "damping " << damping;
+    EXPECT_NEAR(scores[1], 0.5, 1e-9);
+  }
+}
+
+TEST(PageRank, EmptyGraphIsUniform) {
+  EdgeList list;
+  list.num_vertices = 4;
+  std::vector<double> scores = pagerank(CsrGraph(list));
+  for (double s : scores) EXPECT_NEAR(s, 0.25, 1e-9);
+}
+
+TEST(PageRank, RankingUsableWithTopK) {
+  CsrGraph graph(barabasi_albert(200, 2, 7));
+  std::vector<double> scores = pagerank(graph);
+  std::vector<vertex_t> top = top_k_by_score(std::span<const double>(scores), 5);
+  ASSERT_EQ(top.size(), 5u);
+  // Top PageRank vertices on a BA graph are early hubs.
+  for (vertex_t v : top) EXPECT_LT(v, 50u);
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,226 @@
+// Unit and property tests for the PRNG substrate: LCG jump-ahead and
+// leap-frog splitting (the paper's TRNG-style parallel stream discipline),
+// SplitMix64, xoshiro256**, Philox, and the distribution helpers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/distributions.hpp"
+#include "rng/lcg.hpp"
+#include "rng/philox.hpp"
+#include "rng/splitmix.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(Lcg64, ProducesKnownRecurrence) {
+  Lcg64 gen(1);
+  std::uint64_t expected =
+      Lcg64::kDefaultMultiplier * 1 + Lcg64::kDefaultIncrement;
+  EXPECT_EQ(gen(), expected);
+  expected = Lcg64::kDefaultMultiplier * expected + Lcg64::kDefaultIncrement;
+  EXPECT_EQ(gen(), expected);
+}
+
+TEST(Lcg64, DistinctSeedsDiverge) {
+  Lcg64 a(1), b(2);
+  EXPECT_NE(a(), b());
+}
+
+TEST(Lcg64, TransitionPowerIdentity) {
+  LcgTransition step{Lcg64::kDefaultMultiplier, Lcg64::kDefaultIncrement};
+  LcgTransition zero = Lcg64::power(step, 0);
+  EXPECT_EQ(zero.mult, 1u);
+  EXPECT_EQ(zero.add, 0u);
+  LcgTransition one = Lcg64::power(step, 1);
+  EXPECT_EQ(one.mult, step.mult);
+  EXPECT_EQ(one.add, step.add);
+}
+
+class LcgJumpAhead : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcgJumpAhead, DiscardEqualsIteratedStepping) {
+  const std::uint64_t steps = GetParam();
+  Lcg64 jumped(12345);
+  jumped.discard(steps);
+  Lcg64 stepped(12345);
+  for (std::uint64_t i = 0; i < steps; ++i) stepped();
+  EXPECT_EQ(jumped.state(), stepped.state()) << "steps=" << steps;
+}
+
+INSTANTIATE_TEST_SUITE_P(JumpLengths, LcgJumpAhead,
+                         ::testing::Values(0, 1, 2, 3, 7, 8, 63, 64, 1000,
+                                           12345, 1u << 20));
+
+class LcgLeapfrog : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LcgLeapfrog, StreamsPartitionTheBaseSequence) {
+  const std::uint64_t p = GetParam();
+  const std::size_t per_stream = 64;
+
+  Lcg64 base(987654321);
+  std::vector<std::uint64_t> reference;
+  Lcg64 base_copy = base;
+  for (std::size_t i = 0; i < per_stream * p; ++i)
+    reference.push_back(base_copy());
+
+  // Stream r must produce exactly elements r, r+p, r+2p, ... of the base
+  // sequence — the leap-frog contract the distributed sampler relies on.
+  for (std::uint64_t r = 0; r < p; ++r) {
+    Lcg64 stream = base.leapfrog(r, p);
+    for (std::size_t j = 0; j < per_stream; ++j) {
+      EXPECT_EQ(stream(), reference[j * p + r])
+          << "stream " << r << " of " << p << ", element " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StreamCounts, LcgLeapfrog,
+                         ::testing::Values(1, 2, 3, 4, 7, 16, 64, 1024));
+
+TEST(Lcg64, NextDoubleIsInUnitInterval) {
+  Lcg64 gen(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = gen.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64, MixerIsBijectiveOnSample) {
+  // Distinct inputs must give distinct outputs (injectivity on a sample).
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10000; ++i)
+    outputs.insert(splitmix64_mix(i * 0x9e3779b97f4a7c15ULL + 1));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(SplitMix64, ReproducibleFromSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, ReproducibleFromSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, JumpProducesDisjointPrefixes) {
+  Xoshiro256 a(42);
+  Xoshiro256 b = a;
+  b.jump();
+  std::set<std::uint64_t> from_a;
+  for (int i = 0; i < 4096; ++i) from_a.insert(a());
+  for (int i = 0; i < 4096; ++i) EXPECT_EQ(from_a.count(b()), 0u);
+}
+
+TEST(Xoshiro256, SubstreamEqualsRepeatedJump) {
+  Xoshiro256 expected(9);
+  expected.jump();
+  expected.jump();
+  Xoshiro256 actual = Xoshiro256::substream(9, 2);
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(Philox4x32, ReproducibleFromKeyAndStream) {
+  Philox4x32 a(11, 3), b(11, 3);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Philox4x32, StreamsAreDistinct) {
+  Philox4x32 a(11, 0), b(11, 1);
+  bool any_different = false;
+  for (int i = 0; i < 16; ++i) any_different |= (a() != b());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Philox4x32, KeysAreDistinct) {
+  Philox4x32 a(1, 0), b(2, 0);
+  EXPECT_NE(a(), b());
+}
+
+// --- distribution helpers --------------------------------------------------
+
+TEST(Distributions, UniformUnitRange) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double x = uniform_unit(rng);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Distributions, UniformUnitMeanIsHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += uniform_unit(rng);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class UniformIndexBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformIndexBounds, StaysBelowBoundAndHitsAllValues) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(17);
+  std::vector<std::uint32_t> histogram(bound, 0);
+  const std::uint64_t draws = bound * 200;
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    std::uint64_t x = uniform_index(rng, bound);
+    ASSERT_LT(x, bound);
+    ++histogram[x];
+  }
+  for (std::uint64_t v = 0; v < bound; ++v)
+    EXPECT_GT(histogram[v], 0u) << "value " << v << " never drawn";
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, UniformIndexBounds,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+TEST(Distributions, UniformIndexIsApproximatelyUniform) {
+  Xoshiro256 rng(3);
+  const std::uint64_t bound = 10;
+  const int draws = 200000;
+  std::array<int, 10> histogram{};
+  for (int i = 0; i < draws; ++i) ++histogram[uniform_index(rng, bound)];
+  // Chi-squared with 9 dof; 99.9th percentile is ~27.9.
+  double chi2 = 0;
+  const double expected = draws / 10.0;
+  for (int count : histogram) {
+    double d = count - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(Distributions, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  const int n = 200000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) hits += bernoulli(rng, 0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Distributions, BernoulliEdgeCases) {
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+  }
+}
+
+TEST(Distributions, UniformRealRespectsRange) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10000; ++i) {
+    double x = uniform_real(rng, -2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+} // namespace
+} // namespace ripples

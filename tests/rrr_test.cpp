@@ -1,0 +1,213 @@
+// Tests for GenerateRR: representation invariants (sorted, unique, contains
+// the root), model-specific structure, and distributional agreement with
+// closed-form reverse-reachability probabilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/rrr.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+namespace {
+
+struct RRRCase {
+  const char *name;
+  DiffusionModel model;
+};
+
+class RRRInvariants
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, std::uint64_t>> {
+};
+
+TEST_P(RRRInvariants, SortedUniqueAndContainsRoot) {
+  auto [model, seed] = GetParam();
+  CsrGraph graph(barabasi_albert(500, 3, seed));
+  assign_uniform_weights(graph, seed + 1);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Xoshiro256 rng(seed + 2);
+  for (int i = 0; i < 200; ++i) {
+    auto root = static_cast<vertex_t>(uniform_index(rng, graph.num_vertices()));
+    generator.generate(root, model, rng, set);
+    ASSERT_FALSE(set.empty());
+    EXPECT_TRUE(std::binary_search(set.begin(), set.end(), root));
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_EQ(std::adjacent_find(set.begin(), set.end()), set.end())
+        << "duplicate vertex in RRR set";
+    for (vertex_t v : set) EXPECT_LT(v, graph.num_vertices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, RRRInvariants,
+    ::testing::Combine(::testing::Values(DiffusionModel::IndependentCascade,
+                                         DiffusionModel::LinearThreshold),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(RRRGenerator, ScratchIsCleanAcrossCalls) {
+  // Repeated generation must not leak visited state between calls: a p=1
+  // graph visited fully, then a p=0 graph must yield a singleton.
+  CsrGraph graph(complete_graph(20));
+  RRRGenerator generator(graph);
+  RRRSet set;
+
+  assign_constant_weights(graph, 1.0f);
+  Philox4x32 rng_a(1, 1);
+  generator.generate(0, DiffusionModel::IndependentCascade, rng_a, set);
+  EXPECT_EQ(set.size(), 20u);
+
+  assign_constant_weights(graph, 0.0f);
+  Philox4x32 rng_b(1, 2);
+  generator.generate(0, DiffusionModel::IndependentCascade, rng_b, set);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], 0u);
+}
+
+TEST(RRRGenerator, IcFullProbabilityGivesReverseReachableSet) {
+  // Path 0 -> 1 -> 2 -> 3: with p = 1 the RRR set of root v is {0..v}.
+  CsrGraph graph(path_graph(4));
+  assign_constant_weights(graph, 1.0f);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  for (vertex_t root = 0; root < 4; ++root) {
+    Philox4x32 rng(7, root);
+    generator.generate(root, DiffusionModel::IndependentCascade, rng, set);
+    ASSERT_EQ(set.size(), root + 1u);
+    for (vertex_t v = 0; v <= root; ++v) EXPECT_EQ(set[v], v);
+  }
+}
+
+TEST(RRRGenerator, IcZeroProbabilityGivesSingleton) {
+  CsrGraph graph(erdos_renyi(100, 1000, 4));
+  assign_constant_weights(graph, 0.0f);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  for (vertex_t root = 0; root < 100; root += 7) {
+    Philox4x32 rng(9, root);
+    generator.generate(root, DiffusionModel::IndependentCascade, rng, set);
+    EXPECT_EQ(set, RRRSet{root});
+  }
+}
+
+TEST(RRRGenerator, LtWalkIsAPath) {
+  // Under LT the reverse traversal picks at most one in-edge per vertex, so
+  // |RRR| - 1 edges form a simple path: every prefix vertex has exactly one
+  // selected predecessor.  We can't observe the path structure directly from
+  // the sorted output, but we can bound the set size by the walk length on a
+  // graph with bounded reverse paths.
+  CsrGraph graph(path_graph(50)); // reverse walk can only go toward 0
+  assign_constant_weights(graph, 1.0f);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Philox4x32 rng(11, 0);
+  generator.generate(30, DiffusionModel::LinearThreshold, rng, set);
+  // Weight 1 on the unique in-edge: the walk always continues to vertex 0.
+  ASSERT_EQ(set.size(), 31u);
+  for (vertex_t v = 0; v <= 30; ++v) EXPECT_EQ(set[v], v);
+}
+
+TEST(RRRGenerator, LtResidualMassStopsWalk) {
+  CsrGraph graph(path_graph(50));
+  assign_constant_weights(graph, 0.0f);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Philox4x32 rng(13, 0);
+  generator.generate(30, DiffusionModel::LinearThreshold, rng, set);
+  EXPECT_EQ(set, RRRSet{30});
+}
+
+TEST(RRRGenerator, LtHandlesCycles) {
+  // 0 -> 1 -> 2 -> 0 with weight 1: the walk must terminate when it returns
+  // to a visited vertex instead of looping forever.
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 1, 1.0f}, {1, 2, 1.0f}, {2, 0, 1.0f}};
+  CsrGraph graph(list);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Philox4x32 rng(15, 0);
+  generator.generate(0, DiffusionModel::LinearThreshold, rng, set);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(RRRGenerator, IcEdgeProbabilityMatchesMembershipFrequency) {
+  // 0 -> 1 with p = 0.35: P[0 in RRR(1)] = 0.35.  Frequency over many
+  // samples must match within Monte-Carlo tolerance.
+  EdgeList list;
+  list.num_vertices = 2;
+  list.edges = {{0, 1, 0.35f}};
+  CsrGraph graph(list);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  int hits = 0;
+  const int trials = 40000;
+  Xoshiro256 rng(17);
+  for (int i = 0; i < trials; ++i) {
+    generator.generate(1, DiffusionModel::IndependentCascade, rng, set);
+    hits += (set.size() == 2) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.35, 0.01);
+}
+
+TEST(RRRGenerator, LtPicksInNeighborsProportionallyToWeight) {
+  // Vertex 2 has in-edges from 0 (b=0.2) and 1 (b=0.5); residual 0.3.
+  EdgeList list;
+  list.num_vertices = 3;
+  list.edges = {{0, 2, 0.2f}, {1, 2, 0.5f}};
+  CsrGraph graph(list);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  std::map<std::size_t, int> histogram; // key: which predecessor (0, 1, none)
+  const int trials = 60000;
+  Xoshiro256 rng(19);
+  int picked0 = 0, picked1 = 0, none = 0;
+  for (int i = 0; i < trials; ++i) {
+    generator.generate(2, DiffusionModel::LinearThreshold, rng, set);
+    if (set.size() == 1) {
+      ++none;
+    } else {
+      ASSERT_EQ(set.size(), 2u);
+      if (set[0] == 0)
+        ++picked0;
+      else
+        ++picked1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(picked0) / trials, 0.2, 0.01);
+  EXPECT_NEAR(static_cast<double>(picked1) / trials, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(none) / trials, 0.3, 0.01);
+  (void)histogram;
+}
+
+TEST(SampleStream, IsDeterministicPerIndex) {
+  Philox4x32 a = sample_stream(42, 7);
+  Philox4x32 b = sample_stream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+  Philox4x32 c = sample_stream(42, 8);
+  EXPECT_NE(sample_stream(42, 7)(), c());
+}
+
+TEST(RRRGenerator, GenerateRandomRootCoversVertexSpace) {
+  CsrGraph graph(erdos_renyi(64, 256, 21));
+  assign_constant_weights(graph, 0.0f);
+  RRRGenerator generator(graph);
+  RRRSet set;
+  std::vector<int> root_histogram(64, 0);
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 6400; ++i) {
+    generator.generate_random_root(DiffusionModel::IndependentCascade, rng, set);
+    ASSERT_EQ(set.size(), 1u); // p = 0: the set is exactly the root
+    ++root_histogram[set[0]];
+  }
+  for (int count : root_histogram) EXPECT_GT(count, 0);
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,177 @@
+// Tests for the sampling engines: thread-count invariance (the central
+// parallel-correctness property), incremental extension, and equivalence of
+// the compact and hypergraph storage paths.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/sampler.hpp"
+
+namespace ripples {
+namespace {
+
+CsrGraph test_graph(std::uint64_t seed) {
+  CsrGraph graph(barabasi_albert(400, 3, seed));
+  assign_uniform_weights(graph, seed + 1);
+  return graph;
+}
+
+TEST(SampleSequential, ProducesRequestedCount) {
+  CsrGraph graph = test_graph(1);
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 100, 7,
+                    collection);
+  EXPECT_EQ(collection.size(), 100u);
+  for (const RRRSet &set : collection.sets()) {
+    EXPECT_FALSE(set.empty());
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+  }
+}
+
+TEST(SampleSequential, ExtensionKeepsExistingSamples) {
+  CsrGraph graph = test_graph(2);
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 50, 7,
+                    collection);
+  std::vector<RRRSet> snapshot = collection.sets();
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 120, 7,
+                    collection);
+  ASSERT_EQ(collection.size(), 120u);
+  for (std::size_t i = 0; i < 50; ++i)
+    EXPECT_EQ(collection.sets()[i], snapshot[i]) << "sample " << i;
+}
+
+TEST(SampleSequential, TargetBelowCurrentIsNoOp) {
+  CsrGraph graph = test_graph(3);
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 60, 7,
+                    collection);
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 30, 7,
+                    collection);
+  EXPECT_EQ(collection.size(), 60u);
+}
+
+class SamplerThreadInvariance
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, unsigned>> {};
+
+TEST_P(SamplerThreadInvariance, MultithreadedMatchesSequentialBitExactly) {
+  auto [model, threads] = GetParam();
+  CsrGraph graph = test_graph(4);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+
+  RRRCollection sequential, parallel;
+  sample_sequential(graph, model, 200, 11, sequential);
+  sample_multithreaded(graph, model, 200, 11, threads, parallel);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (std::size_t i = 0; i < sequential.size(); ++i)
+    EXPECT_EQ(sequential.sets()[i], parallel.sets()[i]) << "sample " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndThreads, SamplerThreadInvariance,
+    ::testing::Combine(::testing::Values(DiffusionModel::IndependentCascade,
+                                         DiffusionModel::LinearThreshold),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(SampleMultithreaded, IncrementalExtensionMatchesOneShot) {
+  CsrGraph graph = test_graph(5);
+  RRRCollection one_shot, incremental;
+  sample_multithreaded(graph, DiffusionModel::IndependentCascade, 150, 13, 4,
+                       one_shot);
+  sample_multithreaded(graph, DiffusionModel::IndependentCascade, 40, 13, 4,
+                       incremental);
+  sample_multithreaded(graph, DiffusionModel::IndependentCascade, 90, 13, 4,
+                       incremental);
+  sample_multithreaded(graph, DiffusionModel::IndependentCascade, 150, 13, 4,
+                       incremental);
+  ASSERT_EQ(one_shot.size(), incremental.size());
+  for (std::size_t i = 0; i < one_shot.size(); ++i)
+    EXPECT_EQ(one_shot.sets()[i], incremental.sets()[i]);
+}
+
+TEST(SampleSequentialFlat, MatchesCompactSamplesExactly) {
+  CsrGraph graph = test_graph(10);
+  RRRCollection compact;
+  FlatRRRCollection flat;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 120, 29, compact);
+  sample_sequential_flat(graph, DiffusionModel::IndependentCascade, 120, 29,
+                         flat);
+  ASSERT_EQ(flat.size(), compact.size());
+  for (std::size_t j = 0; j < flat.size(); ++j) {
+    auto slice = flat.sample(j);
+    ASSERT_EQ(slice.size(), compact.sets()[j].size()) << "sample " << j;
+    for (std::size_t i = 0; i < slice.size(); ++i)
+      EXPECT_EQ(slice[i], compact.sets()[j][i]);
+  }
+  EXPECT_EQ(flat.total_associations(), compact.total_associations());
+}
+
+TEST(SampleSequentialFlat, ArenaFootprintBeatsPerSampleVectors) {
+  CsrGraph graph = test_graph(11);
+  RRRCollection compact;
+  FlatRRRCollection flat;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 300, 31, compact);
+  sample_sequential_flat(graph, DiffusionModel::IndependentCascade, 300, 31,
+                         flat);
+  flat.shrink_to_fit();
+  EXPECT_LT(flat.footprint_bytes(), compact.footprint_bytes());
+}
+
+TEST(SampleHypergraph, StoresSameSamplesWithIncidence) {
+  CsrGraph graph = test_graph(6);
+  RRRCollection compact;
+  HypergraphCollection dual(graph.num_vertices());
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 120, 17, compact);
+  sample_hypergraph(graph, DiffusionModel::IndependentCascade, 120, 17, dual);
+  ASSERT_EQ(dual.size(), compact.size());
+  for (std::size_t i = 0; i < compact.size(); ++i)
+    EXPECT_EQ(dual.sets()[i], compact.sets()[i]);
+
+  // Incidence must be the exact inverse relation.
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    for (std::uint32_t j : dual.samples_containing(v))
+      EXPECT_TRUE(std::binary_search(dual.sets()[j].begin(),
+                                     dual.sets()[j].end(), v));
+  std::size_t incidence_total = 0;
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    incidence_total += dual.samples_containing(v).size();
+  std::size_t sample_total = 0;
+  for (const RRRSet &set : dual.sets()) sample_total += set.size();
+  EXPECT_EQ(incidence_total, sample_total);
+}
+
+TEST(RRRCollectionStorage, HypergraphStoresAssociationsTwice) {
+  // The paper: "each association between a sample and a vertex is stored
+  // twice" in the baseline.  total_associations must reflect exactly 2x.
+  CsrGraph graph = test_graph(7);
+  RRRCollection compact;
+  HypergraphCollection dual(graph.num_vertices());
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 80, 19, compact);
+  sample_hypergraph(graph, DiffusionModel::IndependentCascade, 80, 19, dual);
+  EXPECT_EQ(dual.total_associations(), 2 * compact.total_associations());
+  EXPECT_GT(dual.footprint_bytes(), compact.footprint_bytes());
+}
+
+TEST(RRRCollectionStorage, FootprintGrowsWithSamples) {
+  CsrGraph graph = test_graph(8);
+  RRRCollection collection;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 10, 23,
+                    collection);
+  std::size_t small = collection.footprint_bytes();
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 100, 23,
+                    collection);
+  EXPECT_GT(collection.footprint_bytes(), small);
+  EXPECT_GT(collection.total_associations(), 0u);
+}
+
+TEST(SamplerDeterminism, DifferentSeedsGiveDifferentCollections) {
+  CsrGraph graph = test_graph(9);
+  RRRCollection a, b;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 50, 1, a);
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 50, 2, b);
+  EXPECT_NE(a.sets(), b.sets());
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,284 @@
+// Tests for SelectSeeds: greedy max-coverage correctness against brute
+// force, equivalence of the three implementations (sequential, Algorithm 4
+// multithreaded, hypergraph baseline) for all thread counts, and the
+// counter/retirement building blocks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "imm/select.hpp"
+#include "rng/distributions.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+namespace {
+
+std::vector<RRRSet> random_samples(vertex_t num_vertices, std::size_t count,
+                                   std::size_t max_size, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<RRRSet> samples(count);
+  for (RRRSet &sample : samples) {
+    std::size_t size = 1 + uniform_index(rng, max_size);
+    while (sample.size() < size) {
+      auto v = static_cast<vertex_t>(uniform_index(rng, num_vertices));
+      if (std::find(sample.begin(), sample.end(), v) == sample.end())
+        sample.push_back(v);
+    }
+    std::sort(sample.begin(), sample.end());
+  }
+  return samples;
+}
+
+/// Exhaustive max-coverage for tiny instances (the correctness oracle).
+std::uint64_t best_coverage_brute_force(vertex_t num_vertices, std::uint32_t k,
+                                        std::span<const RRRSet> samples) {
+  std::vector<vertex_t> combo(k);
+  std::uint64_t best = 0;
+  // Enumerate all k-subsets of [0, n).
+  std::vector<std::uint32_t> index(k);
+  for (std::uint32_t i = 0; i < k; ++i) index[i] = i;
+  for (;;) {
+    std::uint64_t covered = 0;
+    for (const RRRSet &sample : samples) {
+      bool hit = false;
+      for (std::uint32_t i : index)
+        if (std::binary_search(sample.begin(), sample.end(), vertex_t{i})) {
+          hit = true;
+          break;
+        }
+      covered += hit ? 1 : 0;
+    }
+    best = std::max(best, covered);
+    // Next combination.
+    int pos = static_cast<int>(k) - 1;
+    while (pos >= 0 &&
+           index[static_cast<std::uint32_t>(pos)] ==
+               num_vertices - k + static_cast<std::uint32_t>(pos))
+      --pos;
+    if (pos < 0) break;
+    ++index[static_cast<std::uint32_t>(pos)];
+    for (std::uint32_t i = static_cast<std::uint32_t>(pos) + 1; i < k; ++i)
+      index[i] = index[i - 1] + 1;
+  }
+  (void)combo;
+  return best;
+}
+
+TEST(SelectSeeds, PicksTheObviousCoveringVertex) {
+  // Vertex 7 appears in every sample; it must be picked first.
+  std::vector<RRRSet> samples = {{1, 7}, {2, 7}, {3, 7}, {7, 9}};
+  SelectionResult result = select_seeds(10, 1, samples);
+  ASSERT_EQ(result.seeds.size(), 1u);
+  EXPECT_EQ(result.seeds[0], 7u);
+  EXPECT_EQ(result.covered_samples, 4u);
+  EXPECT_EQ(result.total_samples, 4u);
+  EXPECT_DOUBLE_EQ(result.coverage_fraction(), 1.0);
+}
+
+TEST(SelectSeeds, RetiresCoveredSamplesBeforeSecondPick) {
+  // 7 covers four samples and is picked first.  After retiring them, vertex
+  // 1's counter drops to zero, so the best remaining vertex is 4 (covers the
+  // two leftover samples) — picking by stale counters would choose 1.
+  std::vector<RRRSet> samples = {{1, 7}, {1, 7}, {1, 7}, {7, 9}, {4, 5}, {4, 6}};
+  SelectionResult result = select_seeds(10, 2, samples);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.seeds[0], 7u);
+  EXPECT_EQ(result.seeds[1], 4u);
+  EXPECT_EQ(result.covered_samples, 6u);
+}
+
+TEST(SelectSeeds, TieBreaksToSmallestId) {
+  std::vector<RRRSet> samples = {{2, 5}, {2, 5}};
+  SelectionResult result = select_seeds(10, 1, samples);
+  EXPECT_EQ(result.seeds[0], 2u);
+}
+
+TEST(SelectSeeds, HandlesMoreSeedsThanCoverage) {
+  std::vector<RRRSet> samples = {{3}};
+  SelectionResult result = select_seeds(5, 3, samples);
+  ASSERT_EQ(result.seeds.size(), 3u);
+  EXPECT_EQ(result.seeds[0], 3u);
+  // Remaining picks fall back to smallest unselected ids with zero counters.
+  EXPECT_EQ(result.seeds[1], 0u);
+  EXPECT_EQ(result.seeds[2], 1u);
+  EXPECT_EQ(result.covered_samples, 1u);
+}
+
+TEST(SelectSeeds, EmptySampleSetStillReturnsKSeeds) {
+  std::vector<RRRSet> samples;
+  SelectionResult result = select_seeds(6, 2, samples);
+  ASSERT_EQ(result.seeds.size(), 2u);
+  EXPECT_EQ(result.covered_samples, 0u);
+  EXPECT_DOUBLE_EQ(result.coverage_fraction(), 0.0);
+}
+
+TEST(SelectSeeds, GreedyIsWithinTheoreticalFactorOfOptimal) {
+  // Greedy max-coverage guarantees (1 - 1/e) of optimal; verify on random
+  // instances small enough for brute force.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::vector<RRRSet> samples = random_samples(10, 40, 3, seed);
+    SelectionResult greedy = select_seeds(10, 3, samples);
+    std::uint64_t optimal = best_coverage_brute_force(10, 3, samples);
+    EXPECT_GE(static_cast<double>(greedy.covered_samples),
+              (1.0 - 1.0 / std::exp(1.0)) * static_cast<double>(optimal))
+        << "seed " << seed;
+    EXPECT_LE(greedy.covered_samples, optimal);
+  }
+}
+
+// --- multithreaded (Algorithm 4) equivalence --------------------------------------
+
+class SelectEquivalence
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::uint64_t>> {};
+
+TEST_P(SelectEquivalence, MultithreadedMatchesSequentialExactly) {
+  auto [threads, seed] = GetParam();
+  const vertex_t n = 200;
+  std::vector<RRRSet> samples = random_samples(n, 500, 12, seed);
+  SelectionResult sequential = select_seeds(n, 10, samples);
+  SelectionResult parallel = select_seeds_multithreaded(n, 10, samples, threads);
+  EXPECT_EQ(sequential.seeds, parallel.seeds);
+  EXPECT_EQ(sequential.covered_samples, parallel.covered_samples);
+  EXPECT_EQ(sequential.total_samples, parallel.total_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsAndSeeds, SelectEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 8u),
+                       ::testing::Values(11, 22, 33)));
+
+TEST(SelectSeedsMultithreaded, MoreThreadsThanVerticesIsSafe) {
+  std::vector<RRRSet> samples = {{0, 2}, {1, 2}, {2, 3}};
+  SelectionResult sequential = select_seeds(4, 2, samples);
+  SelectionResult parallel = select_seeds_multithreaded(4, 2, samples, 8);
+  EXPECT_EQ(sequential.seeds, parallel.seeds);
+}
+
+// --- flat (arena) storage equivalence ----------------------------------------------
+
+class FlatEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatEquivalence, FlatSelectionMatchesCompactExactly) {
+  const vertex_t n = 160;
+  std::vector<RRRSet> samples = random_samples(n, 400, 9, GetParam());
+  FlatRRRCollection flat;
+  for (const RRRSet &sample : samples) flat.append(sample);
+  SelectionResult compact = select_seeds(n, 9, samples);
+  SelectionResult arena = select_seeds_flat(n, 9, flat);
+  EXPECT_EQ(compact.seeds, arena.seeds);
+  EXPECT_EQ(compact.covered_samples, arena.covered_samples);
+  EXPECT_EQ(compact.total_samples, arena.total_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatEquivalence,
+                         ::testing::Values(61, 62, 63));
+
+// --- lazy-greedy (CELF-style) equivalence ------------------------------------------
+
+class LazyEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LazyEquivalence, LazySelectionMatchesEagerExactly) {
+  const vertex_t n = 180;
+  std::vector<RRRSet> samples = random_samples(n, 450, 10, GetParam());
+  SelectionResult eager = select_seeds(n, 12, samples);
+  SelectionResult lazy = select_seeds_lazy(n, 12, samples);
+  EXPECT_EQ(eager.seeds, lazy.seeds);
+  EXPECT_EQ(eager.covered_samples, lazy.covered_samples);
+  EXPECT_EQ(eager.total_samples, lazy.total_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyEquivalence,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(SelectSeedsLazy, HandlesZeroCoverageTail) {
+  std::vector<RRRSet> samples = {{3}};
+  SelectionResult eager = select_seeds(6, 4, samples);
+  SelectionResult lazy = select_seeds_lazy(6, 4, samples);
+  EXPECT_EQ(eager.seeds, lazy.seeds);
+}
+
+TEST(SelectSeedsLazy, EmptySampleSet) {
+  std::vector<RRRSet> samples;
+  SelectionResult lazy = select_seeds_lazy(5, 2, samples);
+  ASSERT_EQ(lazy.seeds.size(), 2u);
+  EXPECT_EQ(lazy.seeds[0], 0u);
+  EXPECT_EQ(lazy.seeds[1], 1u);
+}
+
+// --- hypergraph baseline equivalence ----------------------------------------------
+
+class HypergraphEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HypergraphEquivalence, BaselineSelectionMatchesSequential) {
+  const vertex_t n = 150;
+  std::vector<RRRSet> samples = random_samples(n, 400, 10, GetParam());
+  HypergraphCollection hypergraph(n);
+  for (const RRRSet &sample : samples) {
+    RRRSet copy = sample;
+    hypergraph.add(std::move(copy));
+  }
+  SelectionResult compact = select_seeds(n, 8, samples);
+  SelectionResult dual = select_seeds_hypergraph(n, 8, hypergraph);
+  EXPECT_EQ(compact.seeds, dual.seeds);
+  EXPECT_EQ(compact.covered_samples, dual.covered_samples);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphEquivalence,
+                         ::testing::Values(5, 6, 7, 8));
+
+// --- building blocks ----------------------------------------------------------------
+
+TEST(CountMemberships, CountsEveryAssociation) {
+  std::vector<RRRSet> samples = {{0, 1, 2}, {1, 2}, {2}};
+  std::vector<std::uint32_t> counters(4, 0);
+  count_memberships(samples, counters);
+  EXPECT_EQ(counters[0], 1u);
+  EXPECT_EQ(counters[1], 2u);
+  EXPECT_EQ(counters[2], 3u);
+  EXPECT_EQ(counters[3], 0u);
+}
+
+TEST(RetireSamples, DecrementsAndMarks) {
+  std::vector<RRRSet> samples = {{0, 1}, {1, 2}, {2, 3}};
+  std::vector<std::uint32_t> counters(4, 0);
+  count_memberships(samples, counters);
+  std::vector<std::uint8_t> retired(3, 0);
+  std::uint64_t count = retire_samples_containing(1, samples, counters, retired);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(retired[0], 1);
+  EXPECT_EQ(retired[1], 1);
+  EXPECT_EQ(retired[2], 0);
+  EXPECT_EQ(counters[0], 0u);
+  EXPECT_EQ(counters[1], 0u);
+  EXPECT_EQ(counters[2], 1u); // only sample {2,3} still counts it
+}
+
+TEST(RetireSamples, SkipsAlreadyRetired) {
+  std::vector<RRRSet> samples = {{0, 1}};
+  std::vector<std::uint32_t> counters(2, 0);
+  count_memberships(samples, counters);
+  std::vector<std::uint8_t> retired(1, 0);
+  EXPECT_EQ(retire_samples_containing(0, samples, counters, retired), 1u);
+  EXPECT_EQ(retire_samples_containing(1, samples, counters, retired), 0u);
+}
+
+TEST(ArgmaxCounter, SkipsSelectedAndBreaksTiesLow) {
+  std::vector<std::uint32_t> counters{5, 9, 9, 2};
+  std::vector<std::uint8_t> selected{0, 0, 0, 0};
+  EXPECT_EQ(argmax_counter(counters, selected), 1u);
+  selected[1] = 1;
+  EXPECT_EQ(argmax_counter(counters, selected), 2u);
+  selected[2] = 1;
+  EXPECT_EQ(argmax_counter(counters, selected), 0u);
+}
+
+TEST(ArgmaxCounter, AllZeroReturnsSmallestUnselected) {
+  std::vector<std::uint32_t> counters{0, 0, 0};
+  std::vector<std::uint8_t> selected{1, 0, 0};
+  EXPECT_EQ(argmax_counter(counters, selected), 1u);
+}
+
+} // namespace
+} // namespace ripples

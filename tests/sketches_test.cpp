@@ -1,0 +1,145 @@
+// Tests for the combined bottom-k reachability sketches (Cohen et al.):
+// exactness below the sketch capacity, estimator accuracy against the
+// Monte-Carlo oracle, determinism, and ranking quality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "diffusion/simulate.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/sketches.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(Sketches, ExactOnDeterministicPath) {
+  // Path 0 -> 1 -> ... -> 9 with p = 1: vertex v reaches 10 - v vertices in
+  // every instance.  With sketch capacity above n * instances the count is
+  // exact, so the estimate equals the true influence exactly.
+  CsrGraph graph(path_graph(10));
+  assign_constant_weights(graph, 1.0f);
+  SketchOptions options;
+  options.num_instances = 4;
+  options.sketch_size = 64; // larger than any reachable-pair count
+  options.seed = 3;
+  ReachabilitySketches sketches(graph, options);
+  for (vertex_t v = 0; v < 10; ++v)
+    EXPECT_DOUBLE_EQ(sketches.estimate_influence(v), 10.0 - v) << "v=" << v;
+}
+
+TEST(Sketches, SketchesAreSortedAndBounded) {
+  CsrGraph graph(barabasi_albert(300, 3, 5));
+  assign_uniform_weights(graph, 6);
+  SketchOptions options;
+  options.num_instances = 8;
+  options.sketch_size = 16;
+  ReachabilitySketches sketches(graph, options);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
+    const auto &sketch = sketches.sketch_of(v);
+    EXPECT_LE(sketch.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(sketch.begin(), sketch.end()));
+    for (float rank : sketch) {
+      EXPECT_GE(rank, 0.0f);
+      EXPECT_LT(rank, 1.0f);
+    }
+  }
+}
+
+TEST(Sketches, IsolatedVertexHasInfluenceOne) {
+  EdgeList list;
+  list.num_vertices = 5;
+  list.edges = {{0, 1, 0.5f}};
+  CsrGraph graph(list);
+  // Fewer reachable pairs (4: itself in each instance) than the sketch
+  // capacity, so the count — and the estimate — is exact.
+  SketchOptions options;
+  options.num_instances = 4;
+  options.sketch_size = 8;
+  ReachabilitySketches sketches(graph, options);
+  EXPECT_DOUBLE_EQ(sketches.estimate_influence(4), 1.0);
+}
+
+TEST(Sketches, EstimatesTrackMonteCarloOracle) {
+  CsrGraph graph(barabasi_albert(400, 3, 7));
+  assign_constant_weights(graph, 0.05f);
+  SketchOptions options;
+  options.num_instances = 96;
+  options.sketch_size = 96;
+  options.seed = 11;
+  ReachabilitySketches sketches(graph, options);
+
+  // Compare the sketch estimate with the MC estimate on a handful of
+  // vertices spanning the degree range.
+  for (vertex_t v : {0u, 5u, 50u, 200u, 399u}) {
+    std::vector<vertex_t> single{v};
+    double mc = estimate_influence(graph, single,
+                                   DiffusionModel::IndependentCascade, 4000, 13)
+                    .mean;
+    double sketch = sketches.estimate_influence(v);
+    EXPECT_NEAR(sketch, mc, std::max(1.0, 0.35 * mc)) << "v=" << v;
+  }
+}
+
+TEST(Sketches, DeterministicInSeed) {
+  CsrGraph graph(barabasi_albert(200, 3, 9));
+  assign_uniform_weights(graph, 10);
+  SketchOptions options;
+  options.num_instances = 8;
+  options.sketch_size = 16;
+  ReachabilitySketches a(graph, options);
+  ReachabilitySketches b(graph, options);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    EXPECT_EQ(a.sketch_of(v), b.sketch_of(v));
+}
+
+TEST(Sketches, TopSeedsFavorTheHub) {
+  // Star with strong edges: the hub's influence dwarfs the leaves'.
+  CsrGraph graph(star_graph(30, false));
+  assign_constant_weights(graph, 0.9f);
+  SketchOptions options;
+  options.num_instances = 32;
+  options.sketch_size = 64;
+  ReachabilitySketches sketches(graph, options);
+  std::vector<vertex_t> top = sketches.top_seeds(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(Sketches, TopSeedsRankingCorrelatesWithMc) {
+  CsrGraph graph(barabasi_albert(300, 3, 15));
+  assign_constant_weights(graph, 0.1f);
+  SketchOptions options;
+  options.num_instances = 64;
+  options.sketch_size = 64;
+  ReachabilitySketches sketches(graph, options);
+  std::vector<vertex_t> top = sketches.top_seeds(10);
+  // The sketch top-10 must influence far more than an arbitrary tail set.
+  std::vector<vertex_t> tail;
+  for (vertex_t v = 250; v < 260; ++v) tail.push_back(v);
+  double sigma_top = estimate_influence(graph, top,
+                                        DiffusionModel::IndependentCascade,
+                                        2000, 17)
+                         .mean;
+  double sigma_tail = estimate_influence(graph, tail,
+                                         DiffusionModel::IndependentCascade,
+                                         2000, 17)
+                          .mean;
+  EXPECT_GT(sigma_top, sigma_tail);
+}
+
+TEST(Sketches, WorksUnderLinearThreshold) {
+  CsrGraph graph(barabasi_albert(200, 3, 19));
+  assign_uniform_weights(graph, 20);
+  renormalize_linear_threshold(graph);
+  SketchOptions options;
+  options.model = DiffusionModel::LinearThreshold;
+  options.num_instances = 16;
+  options.sketch_size = 32;
+  ReachabilitySketches sketches(graph, options);
+  for (vertex_t v = 0; v < graph.num_vertices(); ++v)
+    EXPECT_GE(sketches.estimate_influence(v), 1.0 - 1e-9);
+}
+
+} // namespace
+} // namespace ripples

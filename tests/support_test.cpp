@@ -1,0 +1,228 @@
+// Tests for the support substrate: timers, memory accounting, tables,
+// command-line parsing, and the BFS bit vector.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "support/bitvector.hpp"
+#include "support/cli.hpp"
+#include "support/memory.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+namespace ripples {
+namespace {
+
+// --- timers ------------------------------------------------------------------
+
+TEST(StopWatch, MeasuresElapsedTime) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = watch.elapsed_seconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(StopWatch, RestartResets) {
+  StopWatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.restart();
+  EXPECT_LT(watch.elapsed_seconds(), 0.015);
+}
+
+TEST(PhaseTimers, AccumulatesPerPhase) {
+  PhaseTimers timers;
+  timers.add(Phase::Sample, 1.5);
+  timers.add(Phase::Sample, 0.5);
+  timers.add(Phase::SelectSeeds, 0.25);
+  EXPECT_DOUBLE_EQ(timers.total(Phase::Sample), 2.0);
+  EXPECT_DOUBLE_EQ(timers.total(Phase::SelectSeeds), 0.25);
+  EXPECT_DOUBLE_EQ(timers.total(Phase::EstimateTheta), 0.0);
+  EXPECT_DOUBLE_EQ(timers.total(), 2.25);
+}
+
+TEST(PhaseTimers, MergeAddsBreakdowns) {
+  PhaseTimers a, b;
+  a.add(Phase::EstimateTheta, 1.0);
+  b.add(Phase::EstimateTheta, 2.0);
+  b.add(Phase::Other, 0.5);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total(Phase::EstimateTheta), 3.0);
+  EXPECT_DOUBLE_EQ(a.total(Phase::Other), 0.5);
+}
+
+TEST(PhaseTimers, ScopedPhaseRecordsScopeLifetime) {
+  PhaseTimers timers;
+  {
+    ScopedPhase scope(timers, Phase::Sample);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GT(timers.total(Phase::Sample), 0.005);
+}
+
+TEST(PhaseTimers, SummaryMentionsEveryPhase) {
+  PhaseTimers timers;
+  std::string summary = timers.summary();
+  for (Phase phase : {Phase::EstimateTheta, Phase::Sample, Phase::SelectSeeds,
+                      Phase::Other})
+    EXPECT_NE(summary.find(to_string(phase)), std::string::npos);
+}
+
+// --- memory tracking ----------------------------------------------------------
+
+TEST(MemoryTracker, TracksLiveAndPeak) {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  tracker.reset();
+  tracker.allocate(1000);
+  tracker.allocate(500);
+  EXPECT_EQ(tracker.live_bytes(), 1500u);
+  tracker.deallocate(1000);
+  EXPECT_EQ(tracker.live_bytes(), 500u);
+  EXPECT_EQ(tracker.peak_bytes(), 1500u);
+  tracker.reset();
+}
+
+TEST(TrackingAllocator, ReportsVectorAllocations) {
+  MemoryTracker::instance().reset();
+  {
+    std::vector<int, TrackingAllocator<int>> v;
+    v.resize(1024);
+    EXPECT_GE(MemoryTracker::instance().live_bytes(), 1024 * sizeof(int));
+  }
+  EXPECT_EQ(MemoryTracker::instance().live_bytes(), 0u);
+  MemoryTracker::instance().reset();
+}
+
+TEST(Memory, RssReadersReturnPlausibleValues) {
+  std::size_t rss = current_rss_bytes();
+  std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 1u << 20); // a running process holds > 1 MB
+  EXPECT_GE(peak, rss / 2); // peak is at least of the same order
+}
+
+TEST(Memory, FormatBytesUnits) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.00 KB");
+  EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MB");
+}
+
+// --- tables -------------------------------------------------------------------
+
+TEST(Table, PrintsAlignedColumns) {
+  Table table("demo", {"name", "value"});
+  table.new_row().add("alpha").add(std::uint64_t{42});
+  table.new_row().add("b").add(1.5, 2);
+  std::ostringstream out;
+  table.print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+  EXPECT_NE(text.find("1.50"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTripsCells) {
+  Table table("t", {"a", "b", "c"});
+  table.new_row().add(1).add(2).add(3);
+  std::ostringstream out;
+  table.write_csv(out);
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+}
+
+TEST(TableRow, FormatsNumbersConsistently) {
+  TableRow row;
+  row.add(3.14159, 2).add(std::int64_t{-7}).add(std::uint64_t{9});
+  ASSERT_EQ(row.cells().size(), 3u);
+  EXPECT_EQ(row.cells()[0], "3.14");
+  EXPECT_EQ(row.cells()[1], "-7");
+  EXPECT_EQ(row.cells()[2], "9");
+}
+
+// --- command line --------------------------------------------------------------
+
+TEST(CommandLine, ParsesSpaceAndEqualsForms) {
+  // Positionals precede options (the documented convention: a bare option
+  // would otherwise absorb the next token as its value).
+  const char *argv[] = {"prog", "input.txt", "--epsilon", "0.5", "--k=50",
+                        "--verbose"};
+  CommandLine cli(6, argv);
+  EXPECT_DOUBLE_EQ(cli.get("epsilon", 0.0), 0.5);
+  EXPECT_EQ(cli.get("k", std::int64_t{0}), 50);
+  EXPECT_TRUE(cli.has_flag("verbose"));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "input.txt");
+}
+
+TEST(CommandLine, DefaultsWhenAbsent) {
+  const char *argv[] = {"prog"};
+  CommandLine cli(1, argv);
+  EXPECT_DOUBLE_EQ(cli.get("epsilon", 0.13), 0.13);
+  EXPECT_EQ(cli.get("model", std::string("IC")), "IC");
+  EXPECT_FALSE(cli.get("flag", false));
+}
+
+TEST(CommandLine, NegativeNumbersAreValuesNotOptions) {
+  const char *argv[] = {"prog", "--offset", "-0.5"};
+  CommandLine cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get("offset", 0.0), -0.5);
+}
+
+TEST(CommandLine, BooleanParsing) {
+  const char *argv[] = {"prog", "--a", "true", "--b=off", "--c"};
+  CommandLine cli(5, argv);
+  EXPECT_TRUE(cli.get("a", false));
+  EXPECT_FALSE(cli.get("b", true));
+  EXPECT_TRUE(cli.get("c", false));
+}
+
+TEST(CommandLine, SingleDashAlias) {
+  const char *argv[] = {"prog", "-k", "25"};
+  CommandLine cli(3, argv);
+  EXPECT_EQ(cli.get("k", std::int64_t{0}), 25);
+}
+
+// --- bit vector ------------------------------------------------------------------
+
+TEST(BitVector, SetTestClear) {
+  BitVector bits(200);
+  EXPECT_FALSE(bits.test(63));
+  bits.set(63);
+  bits.set(64);
+  bits.set(199);
+  EXPECT_TRUE(bits.test(63));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(199));
+  EXPECT_FALSE(bits.test(0));
+  bits.clear(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(BitVector, TestAndSetReportsFirstVisit) {
+  BitVector bits(100);
+  EXPECT_TRUE(bits.test_and_set(42));  // first visit
+  EXPECT_FALSE(bits.test_and_set(42)); // already visited
+  EXPECT_TRUE(bits.test(42));
+}
+
+TEST(BitVector, ResetClearsEverything) {
+  BitVector bits(130);
+  for (std::size_t i = 0; i < 130; i += 7) bits.set(i);
+  bits.reset();
+  EXPECT_EQ(bits.count(), 0u);
+}
+
+TEST(BitVector, AssignResizes) {
+  BitVector bits(10);
+  bits.set(3);
+  bits.assign(300);
+  EXPECT_EQ(bits.size(), 300u);
+  EXPECT_EQ(bits.count(), 0u);
+  bits.set(299);
+  EXPECT_TRUE(bits.test(299));
+}
+
+} // namespace
+} // namespace ripples

@@ -1,0 +1,210 @@
+// Property tests for the theoretical identities RIS/IMM stand on:
+//
+//  1. Pointwise duality (Borgs et al., Observation 3.2 of the paper's
+//     Def. 2-3): P[u in RRR(v)] equals P[v gets activated | seeds = {u}].
+//  2. The coverage lemma: for any fixed seed set S,
+//     P[S intersects a random RRR set] = E[|I(S)|] / n — which is exactly
+//     why n * F_R(S) is the unbiased OPT estimator the martingale uses.
+//  3. The aggregate corollary: E[|RRR set|] = average single-vertex
+//     influence over all vertices.
+//
+// All three are checked for both diffusion models with Monte-Carlo
+// tolerances on small random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "diffusion/simulate.hpp"
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/rrr.hpp"
+#include "rng/xoshiro.hpp"
+
+namespace ripples {
+namespace {
+
+CsrGraph theory_graph(DiffusionModel model, std::uint64_t seed) {
+  CsrGraph graph(erdos_renyi(40, 200, seed));
+  assign_uniform_weights(graph, seed + 1, 0.0f, 0.5f);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+  return graph;
+}
+
+/// Frequency of u appearing in RRR sets rooted at v.
+double reverse_membership_probability(const CsrGraph &graph, vertex_t u,
+                                      vertex_t v, DiffusionModel model,
+                                      int trials, std::uint64_t seed) {
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Xoshiro256 rng(seed);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    generator.generate(v, model, rng, set);
+    hits += std::binary_search(set.begin(), set.end(), u) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+} // namespace
+
+class DualityTest
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, std::uint64_t>> {
+};
+
+TEST_P(DualityTest, ReverseMembershipMatchesForwardActivation) {
+  auto [model, seed] = GetParam();
+  CsrGraph graph = theory_graph(model, seed);
+
+  // Independent forward implementation: probabilistic BFS over out-edges,
+  // tracking whether the probe vertex activates.
+  auto forward_probability = [&](vertex_t u, vertex_t v, int trials) {
+    Xoshiro256 rng(seed + 999);
+    BitVector active(graph.num_vertices());
+    std::vector<vertex_t> frontier, next, touched;
+    int hits = 0;
+    for (int t = 0; t < trials; ++t) {
+      frontier.assign(1, u);
+      touched.assign(1, u);
+      active.set(u);
+      bool v_active = (u == v);
+      while (!frontier.empty() && !v_active) {
+        next.clear();
+        for (vertex_t w : frontier) {
+          if (model == DiffusionModel::IndependentCascade) {
+            for (const Adjacency &out : graph.out_neighbors(w)) {
+              if (active.test(out.vertex)) continue;
+              if (!bernoulli(rng, out.weight)) continue;
+              active.set(out.vertex);
+              touched.push_back(out.vertex);
+              next.push_back(out.vertex);
+              if (out.vertex == v) v_active = true;
+            }
+          } else {
+            // LT live-edge forward view: edge (w -> x) is live iff x's
+            // single live in-edge selection picked w.  Simulating that
+            // faithfully forward requires per-target selection, so use the
+            // threshold formulation once per trial instead.
+            break;
+          }
+        }
+        frontier.swap(next);
+      }
+      if (model == DiffusionModel::LinearThreshold) {
+        // Threshold formulation (independent implementation from the
+        // library's): accumulate in-weights against lazy thresholds.
+        for (vertex_t w : touched) active.clear(w);
+        touched.clear();
+        std::vector<float> acc(graph.num_vertices(), 0.0f);
+        std::vector<float> threshold(graph.num_vertices(), -1.0f);
+        frontier.assign(1, u);
+        active.set(u);
+        touched.assign(1, u);
+        v_active = (u == v);
+        while (!frontier.empty()) {
+          next.clear();
+          for (vertex_t w : frontier) {
+            for (const Adjacency &out : graph.out_neighbors(w)) {
+              vertex_t x = out.vertex;
+              if (active.test(x)) continue;
+              if (threshold[x] < 0.0f)
+                threshold[x] = static_cast<float>(uniform_unit(rng));
+              acc[x] += out.weight;
+              if (acc[x] >= threshold[x]) {
+                active.set(x);
+                touched.push_back(x);
+                next.push_back(x);
+                if (x == v) v_active = true;
+              }
+            }
+          }
+          frontier.swap(next);
+        }
+      }
+      hits += v_active ? 1 : 0;
+      for (vertex_t w : touched) active.clear(w);
+    }
+    return static_cast<double>(hits) / trials;
+  };
+
+  // Probe a handful of (u, v) pairs including adjacent and distant ones.
+  const int trials = 20000;
+  Xoshiro256 pick(seed + 5);
+  for (int probe = 0; probe < 4; ++probe) {
+    auto u = static_cast<vertex_t>(uniform_index(pick, graph.num_vertices()));
+    auto v = static_cast<vertex_t>(uniform_index(pick, graph.num_vertices()));
+    double reverse =
+        reverse_membership_probability(graph, u, v, model, trials, seed + 7);
+    double forward = forward_probability(u, v, trials);
+    EXPECT_NEAR(reverse, forward, 0.015)
+        << "u=" << u << " v=" << v << " model=" << to_string(model);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndSeeds, DualityTest,
+    ::testing::Combine(::testing::Values(DiffusionModel::IndependentCascade,
+                                         DiffusionModel::LinearThreshold),
+                       ::testing::Values(11, 22)));
+
+class CoverageLemmaTest : public ::testing::TestWithParam<DiffusionModel> {};
+
+TEST_P(CoverageLemmaTest, HitProbabilityEqualsInfluenceOverN) {
+  // For fixed S: P[S hits a random RRR set] = sigma(S) / n — the unbiased
+  // estimator at the heart of the martingale stopping rule.
+  DiffusionModel model = GetParam();
+  CsrGraph graph = theory_graph(model, 33);
+  std::vector<vertex_t> seed_set{3, 17, 29};
+
+  const int trials = 40000;
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Xoshiro256 rng(44);
+  int hits = 0;
+  for (int t = 0; t < trials; ++t) {
+    generator.generate_random_root(model, rng, set);
+    for (vertex_t s : seed_set)
+      if (std::binary_search(set.begin(), set.end(), s)) {
+        ++hits;
+        break;
+      }
+  }
+  double hit_fraction = static_cast<double>(hits) / trials;
+
+  double sigma =
+      estimate_influence(graph, seed_set, model, 40000, 55).mean;
+  EXPECT_NEAR(hit_fraction, sigma / graph.num_vertices(), 0.01)
+      << to_string(model);
+}
+
+TEST_P(CoverageLemmaTest, AverageRrrSizeEqualsAverageInfluence) {
+  // E[|RRR|] = (1/n) * sum_u sigma({u}).
+  DiffusionModel model = GetParam();
+  CsrGraph graph = theory_graph(model, 66);
+
+  const int trials = 20000;
+  RRRGenerator generator(graph);
+  RRRSet set;
+  Xoshiro256 rng(77);
+  double total_size = 0;
+  for (int t = 0; t < trials; ++t) {
+    generator.generate_random_root(model, rng, set);
+    total_size += static_cast<double>(set.size());
+  }
+  double mean_rrr = total_size / trials;
+
+  double influence_sum = 0;
+  for (vertex_t u = 0; u < graph.num_vertices(); ++u) {
+    std::vector<vertex_t> single{u};
+    influence_sum += estimate_influence(graph, single, model, 2000, 88).mean;
+  }
+  double mean_influence = influence_sum / graph.num_vertices();
+  EXPECT_NEAR(mean_rrr, mean_influence, 0.05 * mean_influence)
+      << to_string(model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, CoverageLemmaTest,
+                         ::testing::Values(DiffusionModel::IndependentCascade,
+                                           DiffusionModel::LinearThreshold));
+
+} // namespace ripples

@@ -1,0 +1,132 @@
+// Tests for the theta estimation mathematics: log-binomial, the lambda
+// constants, the doubling schedule, the stopping rule, and the monotone
+// growth of theta in k and 1/epsilon that Figure 2 plots.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imm/theta.hpp"
+
+namespace ripples {
+namespace {
+
+TEST(LogBinomial, MatchesSmallExactValues) {
+  EXPECT_NEAR(log_binomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(log_binomial(10, 3), std::log(120.0), 1e-9);
+  EXPECT_NEAR(log_binomial(52, 5), std::log(2598960.0), 1e-6);
+}
+
+TEST(LogBinomial, BoundaryCases) {
+  EXPECT_DOUBLE_EQ(log_binomial(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_binomial(7, 7), 0.0);
+  EXPECT_TRUE(std::isinf(log_binomial(3, 4)));
+  EXPECT_LT(log_binomial(3, 4), 0);
+}
+
+TEST(LogBinomial, SymmetryProperty) {
+  for (std::uint64_t k = 0; k <= 20; ++k)
+    EXPECT_NEAR(log_binomial(20, k), log_binomial(20, 20 - k), 1e-9);
+}
+
+TEST(ThetaSchedule, ConstantsArePositiveAndOrdered) {
+  ThetaSchedule schedule(27770, 50, 0.5); // cit-HepTh-sized input
+  EXPECT_GT(schedule.lambda_prime(), 0.0);
+  EXPECT_GT(schedule.lambda_star(), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.epsilon(), 0.5);
+  EXPECT_NEAR(schedule.epsilon_prime(), std::sqrt(2.0) * 0.5, 1e-12);
+  EXPECT_EQ(schedule.max_iterations(),
+            static_cast<std::uint32_t>(std::floor(std::log2(27770.0))));
+}
+
+TEST(ThetaSchedule, TargetsDoublePerIteration) {
+  ThetaSchedule schedule(100000, 50, 0.5);
+  for (std::uint32_t x = 1; x + 1 <= schedule.max_iterations(); ++x) {
+    double ratio = static_cast<double>(schedule.target_samples(x + 1)) /
+                   static_cast<double>(schedule.target_samples(x));
+    EXPECT_NEAR(ratio, 2.0, 0.01) << "x=" << x;
+  }
+}
+
+// Figure 2's two monotonicity laws: theta grows when epsilon shrinks and
+// when k grows.
+class ThetaEpsilonSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaEpsilonSweep, FinalThetaShrinksWithEpsilon) {
+  const double epsilon = GetParam();
+  ThetaSchedule tighter(27770, 50, epsilon);
+  ThetaSchedule looser(27770, 50, epsilon + 0.1);
+  const double lower_bound = 500.0;
+  EXPECT_GT(tighter.final_theta(lower_bound), looser.final_theta(lower_bound));
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, ThetaEpsilonSweep,
+                         ::testing::Values(0.13, 0.2, 0.3, 0.4, 0.5));
+
+class ThetaKSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ThetaKSweep, FinalThetaGrowsWithK) {
+  const std::uint32_t k = GetParam();
+  ThetaSchedule small_k(27770, k, 0.5);
+  ThetaSchedule large_k(27770, k + 20, 0.5);
+  const double lower_bound = 500.0;
+  EXPECT_LT(small_k.final_theta(lower_bound), large_k.final_theta(lower_bound));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ThetaKSweep,
+                         ::testing::Values(10, 30, 50, 70, 80));
+
+TEST(ThetaSchedule, FinalThetaInverselyProportionalToLowerBound) {
+  ThetaSchedule schedule(10000, 20, 0.4);
+  std::uint64_t at_100 = schedule.final_theta(100.0);
+  std::uint64_t at_1000 = schedule.final_theta(1000.0);
+  EXPECT_NEAR(static_cast<double>(at_100) / static_cast<double>(at_1000), 10.0,
+              0.05);
+}
+
+TEST(ThetaSchedule, AcceptImplementsTheStoppingRule) {
+  ThetaSchedule schedule(1000, 10, 0.5);
+  const double eps_prime = schedule.epsilon_prime();
+  // At x = 1 the threshold is (1 + eps') * n/2 = (1 + eps') * 500.
+  double lower_bound = 0.0;
+  // Coverage just below the threshold: reject.
+  double below = (1.0 + eps_prime) * 500.0 / 1000.0 - 1e-6;
+  EXPECT_FALSE(schedule.accept(1, below, &lower_bound));
+  // Coverage at/above: accept and return estimate / (1 + eps').
+  double above = (1.0 + eps_prime) * 500.0 / 1000.0 + 0.01;
+  ASSERT_TRUE(schedule.accept(1, above, &lower_bound));
+  EXPECT_NEAR(lower_bound, 1000.0 * above / (1.0 + eps_prime), 1e-9);
+}
+
+TEST(ThetaSchedule, AcceptThresholdHalvesPerIteration) {
+  ThetaSchedule schedule(4096, 10, 0.5);
+  // A coverage fraction that fails at x but passes at x+1 demonstrates the
+  // halving threshold.
+  double coverage = 0.2;
+  std::uint32_t first_accept = 0;
+  for (std::uint32_t x = 1; x <= schedule.max_iterations(); ++x) {
+    if (schedule.accept(x, coverage, nullptr)) {
+      first_accept = x;
+      break;
+    }
+  }
+  ASSERT_GT(first_accept, 1u);
+  EXPECT_TRUE(schedule.accept(first_accept + 1, coverage, nullptr));
+  EXPECT_FALSE(schedule.accept(first_accept - 1, coverage, nullptr));
+}
+
+TEST(ThetaSchedule, FinalThetaAtLeastOne) {
+  ThetaSchedule schedule(1000, 5, 0.5);
+  EXPECT_GE(schedule.final_theta(1e12), 1u);
+}
+
+TEST(ThetaSchedule, ThetaQuicklyExceedsN) {
+  // Section 4.1: "theta quickly exceeds n".  With a realistic LB (a few
+  // percent of n) theta is far larger than n for epsilon <= 0.5.
+  const std::uint64_t n = 27770;
+  ThetaSchedule schedule(n, 50, 0.5);
+  double lower_bound = 0.05 * static_cast<double>(n);
+  EXPECT_GT(schedule.final_theta(lower_bound), n);
+}
+
+} // namespace
+} // namespace ripples
