@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lazy_selection.dir/ablation_lazy_selection.cpp.o"
+  "CMakeFiles/ablation_lazy_selection.dir/ablation_lazy_selection.cpp.o.d"
+  "ablation_lazy_selection"
+  "ablation_lazy_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lazy_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rng_streams.dir/ablation_rng_streams.cpp.o"
+  "CMakeFiles/ablation_rng_streams.dir/ablation_rng_streams.cpp.o.d"
+  "ablation_rng_streams"
+  "ablation_rng_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rng_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sorted_rrr.dir/ablation_sorted_rrr.cpp.o"
+  "CMakeFiles/ablation_sorted_rrr.dir/ablation_sorted_rrr.cpp.o.d"
+  "ablation_sorted_rrr"
+  "ablation_sorted_rrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sorted_rrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

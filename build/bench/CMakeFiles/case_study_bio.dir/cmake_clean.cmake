@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_study_bio.dir/case_study_bio.cpp.o"
+  "CMakeFiles/case_study_bio.dir/case_study_bio.cpp.o.d"
+  "case_study_bio"
+  "case_study_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_study_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparison_heuristics.dir/comparison_heuristics.cpp.o"
+  "CMakeFiles/comparison_heuristics.dir/comparison_heuristics.cpp.o.d"
+  "comparison_heuristics"
+  "comparison_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_quality_frontier.dir/fig1_quality_frontier.cpp.o"
+  "CMakeFiles/fig1_quality_frontier.dir/fig1_quality_frontier.cpp.o.d"
+  "fig1_quality_frontier"
+  "fig1_quality_frontier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_quality_frontier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

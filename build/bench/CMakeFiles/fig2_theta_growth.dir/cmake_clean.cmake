@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_theta_growth.dir/fig2_theta_growth.cpp.o"
+  "CMakeFiles/fig2_theta_growth.dir/fig2_theta_growth.cpp.o.d"
+  "fig2_theta_growth"
+  "fig2_theta_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_theta_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

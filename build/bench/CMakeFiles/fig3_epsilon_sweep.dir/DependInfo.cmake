@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_epsilon_sweep.cpp" "bench/CMakeFiles/fig3_epsilon_sweep.dir/fig3_epsilon_sweep.cpp.o" "gcc" "bench/CMakeFiles/fig3_epsilon_sweep.dir/fig3_epsilon_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/imm/CMakeFiles/ripples_imm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/ripples_mpsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/ripples_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/centrality/CMakeFiles/ripples_centrality.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/ripples_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ripples_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_thread_scaling_lt.dir/fig5_thread_scaling_lt.cpp.o"
+  "CMakeFiles/fig5_thread_scaling_lt.dir/fig5_thread_scaling_lt.cpp.o.d"
+  "fig5_thread_scaling_lt"
+  "fig5_thread_scaling_lt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_thread_scaling_lt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_thread_scaling_ic.dir/fig6_thread_scaling_ic.cpp.o"
+  "CMakeFiles/fig6_thread_scaling_ic.dir/fig6_thread_scaling_ic.cpp.o.d"
+  "fig6_thread_scaling_ic"
+  "fig6_thread_scaling_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_thread_scaling_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_thread_scaling_ic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_dist_scaling_puma.dir/fig7_dist_scaling_puma.cpp.o"
+  "CMakeFiles/fig7_dist_scaling_puma.dir/fig7_dist_scaling_puma.cpp.o.d"
+  "fig7_dist_scaling_puma"
+  "fig7_dist_scaling_puma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_dist_scaling_puma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

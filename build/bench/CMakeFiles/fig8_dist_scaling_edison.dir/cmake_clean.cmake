@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dist_scaling_edison.dir/fig8_dist_scaling_edison.cpp.o"
+  "CMakeFiles/fig8_dist_scaling_edison.dir/fig8_dist_scaling_edison.cpp.o.d"
+  "fig8_dist_scaling_edison"
+  "fig8_dist_scaling_edison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dist_scaling_edison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_dist_scaling_edison.
+# This may be replaced when dependencies are built.

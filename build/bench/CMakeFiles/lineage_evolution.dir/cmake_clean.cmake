@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lineage_evolution.dir/lineage_evolution.cpp.o"
+  "CMakeFiles/lineage_evolution.dir/lineage_evolution.cpp.o.d"
+  "lineage_evolution"
+  "lineage_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sketch_oracle.dir/sketch_oracle.cpp.o"
+  "CMakeFiles/sketch_oracle.dir/sketch_oracle.cpp.o.d"
+  "sketch_oracle"
+  "sketch_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sketch_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

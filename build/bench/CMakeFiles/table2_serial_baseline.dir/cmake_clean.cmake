@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_serial_baseline.dir/table2_serial_baseline.cpp.o"
+  "CMakeFiles/table2_serial_baseline.dir/table2_serial_baseline.cpp.o.d"
+  "table2_serial_baseline"
+  "table2_serial_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_serial_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

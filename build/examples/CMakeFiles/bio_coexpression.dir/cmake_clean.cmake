@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bio_coexpression.dir/bio_coexpression.cpp.o"
+  "CMakeFiles/bio_coexpression.dir/bio_coexpression.cpp.o.d"
+  "bio_coexpression"
+  "bio_coexpression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bio_coexpression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bio_coexpression.
+# This may be replaced when dependencies are built.

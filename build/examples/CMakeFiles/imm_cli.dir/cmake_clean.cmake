@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imm_cli.dir/imm_cli.cpp.o"
+  "CMakeFiles/imm_cli.dir/imm_cli.cpp.o.d"
+  "imm_cli"
+  "imm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/enrichment.cpp" "src/bio/CMakeFiles/ripples_bio.dir/enrichment.cpp.o" "gcc" "src/bio/CMakeFiles/ripples_bio.dir/enrichment.cpp.o.d"
+  "/root/repo/src/bio/expression.cpp" "src/bio/CMakeFiles/ripples_bio.dir/expression.cpp.o" "gcc" "src/bio/CMakeFiles/ripples_bio.dir/expression.cpp.o.d"
+  "/root/repo/src/bio/inference.cpp" "src/bio/CMakeFiles/ripples_bio.dir/inference.cpp.o" "gcc" "src/bio/CMakeFiles/ripples_bio.dir/inference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ripples_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_bio.dir/enrichment.cpp.o"
+  "CMakeFiles/ripples_bio.dir/enrichment.cpp.o.d"
+  "CMakeFiles/ripples_bio.dir/expression.cpp.o"
+  "CMakeFiles/ripples_bio.dir/expression.cpp.o.d"
+  "CMakeFiles/ripples_bio.dir/inference.cpp.o"
+  "CMakeFiles/ripples_bio.dir/inference.cpp.o.d"
+  "libripples_bio.a"
+  "libripples_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

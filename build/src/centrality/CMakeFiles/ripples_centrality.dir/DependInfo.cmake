@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/centrality/betweenness.cpp" "src/centrality/CMakeFiles/ripples_centrality.dir/betweenness.cpp.o" "gcc" "src/centrality/CMakeFiles/ripples_centrality.dir/betweenness.cpp.o.d"
+  "/root/repo/src/centrality/communities.cpp" "src/centrality/CMakeFiles/ripples_centrality.dir/communities.cpp.o" "gcc" "src/centrality/CMakeFiles/ripples_centrality.dir/communities.cpp.o.d"
+  "/root/repo/src/centrality/degree.cpp" "src/centrality/CMakeFiles/ripples_centrality.dir/degree.cpp.o" "gcc" "src/centrality/CMakeFiles/ripples_centrality.dir/degree.cpp.o.d"
+  "/root/repo/src/centrality/kcore.cpp" "src/centrality/CMakeFiles/ripples_centrality.dir/kcore.cpp.o" "gcc" "src/centrality/CMakeFiles/ripples_centrality.dir/kcore.cpp.o.d"
+  "/root/repo/src/centrality/pagerank.cpp" "src/centrality/CMakeFiles/ripples_centrality.dir/pagerank.cpp.o" "gcc" "src/centrality/CMakeFiles/ripples_centrality.dir/pagerank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ripples_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_centrality.dir/betweenness.cpp.o"
+  "CMakeFiles/ripples_centrality.dir/betweenness.cpp.o.d"
+  "CMakeFiles/ripples_centrality.dir/communities.cpp.o"
+  "CMakeFiles/ripples_centrality.dir/communities.cpp.o.d"
+  "CMakeFiles/ripples_centrality.dir/degree.cpp.o"
+  "CMakeFiles/ripples_centrality.dir/degree.cpp.o.d"
+  "CMakeFiles/ripples_centrality.dir/kcore.cpp.o"
+  "CMakeFiles/ripples_centrality.dir/kcore.cpp.o.d"
+  "CMakeFiles/ripples_centrality.dir/pagerank.cpp.o"
+  "CMakeFiles/ripples_centrality.dir/pagerank.cpp.o.d"
+  "libripples_centrality.a"
+  "libripples_centrality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_centrality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

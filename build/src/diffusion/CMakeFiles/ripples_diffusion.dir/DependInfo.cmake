@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/diffusion/model.cpp" "src/diffusion/CMakeFiles/ripples_diffusion.dir/model.cpp.o" "gcc" "src/diffusion/CMakeFiles/ripples_diffusion.dir/model.cpp.o.d"
+  "/root/repo/src/diffusion/simulate.cpp" "src/diffusion/CMakeFiles/ripples_diffusion.dir/simulate.cpp.o" "gcc" "src/diffusion/CMakeFiles/ripples_diffusion.dir/simulate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ripples_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_diffusion.dir/model.cpp.o"
+  "CMakeFiles/ripples_diffusion.dir/model.cpp.o.d"
+  "CMakeFiles/ripples_diffusion.dir/simulate.cpp.o"
+  "CMakeFiles/ripples_diffusion.dir/simulate.cpp.o.d"
+  "libripples_diffusion.a"
+  "libripples_diffusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_diffusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

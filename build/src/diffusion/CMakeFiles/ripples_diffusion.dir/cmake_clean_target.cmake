@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libripples_diffusion.a"
+)

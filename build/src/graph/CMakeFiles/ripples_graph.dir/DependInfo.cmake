@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/components.cpp" "src/graph/CMakeFiles/ripples_graph.dir/components.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/components.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/graph/CMakeFiles/ripples_graph.dir/csr.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/csr.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/ripples_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/ripples_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/registry.cpp" "src/graph/CMakeFiles/ripples_graph.dir/registry.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/registry.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/ripples_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/weights.cpp" "src/graph/CMakeFiles/ripples_graph.dir/weights.cpp.o" "gcc" "src/graph/CMakeFiles/ripples_graph.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_graph.dir/components.cpp.o"
+  "CMakeFiles/ripples_graph.dir/components.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/csr.cpp.o"
+  "CMakeFiles/ripples_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/generators.cpp.o"
+  "CMakeFiles/ripples_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/io.cpp.o"
+  "CMakeFiles/ripples_graph.dir/io.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/registry.cpp.o"
+  "CMakeFiles/ripples_graph.dir/registry.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/stats.cpp.o"
+  "CMakeFiles/ripples_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/ripples_graph.dir/weights.cpp.o"
+  "CMakeFiles/ripples_graph.dir/weights.cpp.o.d"
+  "libripples_graph.a"
+  "libripples_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

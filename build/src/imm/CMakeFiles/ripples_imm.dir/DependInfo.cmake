@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/imm/greedy.cpp" "src/imm/CMakeFiles/ripples_imm.dir/greedy.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/greedy.cpp.o.d"
+  "/root/repo/src/imm/imm.cpp" "src/imm/CMakeFiles/ripples_imm.dir/imm.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/imm.cpp.o.d"
+  "/root/repo/src/imm/imm_distributed.cpp" "src/imm/CMakeFiles/ripples_imm.dir/imm_distributed.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/imm_distributed.cpp.o.d"
+  "/root/repo/src/imm/imm_partitioned.cpp" "src/imm/CMakeFiles/ripples_imm.dir/imm_partitioned.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/imm_partitioned.cpp.o.d"
+  "/root/repo/src/imm/lineage.cpp" "src/imm/CMakeFiles/ripples_imm.dir/lineage.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/lineage.cpp.o.d"
+  "/root/repo/src/imm/rrr.cpp" "src/imm/CMakeFiles/ripples_imm.dir/rrr.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/rrr.cpp.o.d"
+  "/root/repo/src/imm/rrr_collection.cpp" "src/imm/CMakeFiles/ripples_imm.dir/rrr_collection.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/rrr_collection.cpp.o.d"
+  "/root/repo/src/imm/sampler.cpp" "src/imm/CMakeFiles/ripples_imm.dir/sampler.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/sampler.cpp.o.d"
+  "/root/repo/src/imm/select.cpp" "src/imm/CMakeFiles/ripples_imm.dir/select.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/select.cpp.o.d"
+  "/root/repo/src/imm/sketches.cpp" "src/imm/CMakeFiles/ripples_imm.dir/sketches.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/sketches.cpp.o.d"
+  "/root/repo/src/imm/theta.cpp" "src/imm/CMakeFiles/ripples_imm.dir/theta.cpp.o" "gcc" "src/imm/CMakeFiles/ripples_imm.dir/theta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ripples_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/ripples_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ripples_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/diffusion/CMakeFiles/ripples_diffusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpsim/CMakeFiles/ripples_mpsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

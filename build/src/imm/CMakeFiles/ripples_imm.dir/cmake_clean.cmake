@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_imm.dir/greedy.cpp.o"
+  "CMakeFiles/ripples_imm.dir/greedy.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/imm.cpp.o"
+  "CMakeFiles/ripples_imm.dir/imm.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/imm_distributed.cpp.o"
+  "CMakeFiles/ripples_imm.dir/imm_distributed.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/imm_partitioned.cpp.o"
+  "CMakeFiles/ripples_imm.dir/imm_partitioned.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/lineage.cpp.o"
+  "CMakeFiles/ripples_imm.dir/lineage.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/rrr.cpp.o"
+  "CMakeFiles/ripples_imm.dir/rrr.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/rrr_collection.cpp.o"
+  "CMakeFiles/ripples_imm.dir/rrr_collection.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/sampler.cpp.o"
+  "CMakeFiles/ripples_imm.dir/sampler.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/select.cpp.o"
+  "CMakeFiles/ripples_imm.dir/select.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/sketches.cpp.o"
+  "CMakeFiles/ripples_imm.dir/sketches.cpp.o.d"
+  "CMakeFiles/ripples_imm.dir/theta.cpp.o"
+  "CMakeFiles/ripples_imm.dir/theta.cpp.o.d"
+  "libripples_imm.a"
+  "libripples_imm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_imm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ripples_imm.
+# This may be replaced when dependencies are built.

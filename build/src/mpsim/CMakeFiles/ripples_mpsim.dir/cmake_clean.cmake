@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_mpsim.dir/communicator.cpp.o"
+  "CMakeFiles/ripples_mpsim.dir/communicator.cpp.o.d"
+  "libripples_mpsim.a"
+  "libripples_mpsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_mpsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

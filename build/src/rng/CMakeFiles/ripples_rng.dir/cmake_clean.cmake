@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_rng.dir/lcg.cpp.o"
+  "CMakeFiles/ripples_rng.dir/lcg.cpp.o.d"
+  "libripples_rng.a"
+  "libripples_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

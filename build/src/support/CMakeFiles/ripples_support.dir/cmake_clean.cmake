@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ripples_support.dir/cli.cpp.o"
+  "CMakeFiles/ripples_support.dir/cli.cpp.o.d"
+  "CMakeFiles/ripples_support.dir/log.cpp.o"
+  "CMakeFiles/ripples_support.dir/log.cpp.o.d"
+  "CMakeFiles/ripples_support.dir/memory.cpp.o"
+  "CMakeFiles/ripples_support.dir/memory.cpp.o.d"
+  "CMakeFiles/ripples_support.dir/table.cpp.o"
+  "CMakeFiles/ripples_support.dir/table.cpp.o.d"
+  "CMakeFiles/ripples_support.dir/timer.cpp.o"
+  "CMakeFiles/ripples_support.dir/timer.cpp.o.d"
+  "libripples_support.a"
+  "libripples_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ripples_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

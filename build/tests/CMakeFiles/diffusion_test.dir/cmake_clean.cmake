@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diffusion_test.dir/diffusion_test.cpp.o"
+  "CMakeFiles/diffusion_test.dir/diffusion_test.cpp.o.d"
+  "diffusion_test"
+  "diffusion_test.pdb"
+  "diffusion_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diffusion_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

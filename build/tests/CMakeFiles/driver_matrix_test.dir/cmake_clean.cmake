@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_matrix_test.dir/driver_matrix_test.cpp.o"
+  "CMakeFiles/driver_matrix_test.dir/driver_matrix_test.cpp.o.d"
+  "driver_matrix_test"
+  "driver_matrix_test.pdb"
+  "driver_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imm_partitioned_test.dir/imm_partitioned_test.cpp.o"
+  "CMakeFiles/imm_partitioned_test.dir/imm_partitioned_test.cpp.o.d"
+  "imm_partitioned_test"
+  "imm_partitioned_test.pdb"
+  "imm_partitioned_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imm_partitioned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imm_test.dir/imm_test.cpp.o"
+  "CMakeFiles/imm_test.dir/imm_test.cpp.o.d"
+  "imm_test"
+  "imm_test.pdb"
+  "imm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

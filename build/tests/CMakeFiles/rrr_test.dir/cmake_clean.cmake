@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrr_test.dir/rrr_test.cpp.o"
+  "CMakeFiles/rrr_test.dir/rrr_test.cpp.o.d"
+  "rrr_test"
+  "rrr_test.pdb"
+  "rrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

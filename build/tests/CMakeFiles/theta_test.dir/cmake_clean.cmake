@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theta_test.dir/theta_test.cpp.o"
+  "CMakeFiles/theta_test.dir/theta_test.cpp.o.d"
+  "theta_test"
+  "theta_test.pdb"
+  "theta_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theta_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/components_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/mpsim_test[1]_include.cmake")
+include("/root/repo/build/tests/diffusion_test[1]_include.cmake")
+include("/root/repo/build/tests/rrr_test[1]_include.cmake")
+include("/root/repo/build/tests/theta_test[1]_include.cmake")
+include("/root/repo/build/tests/select_test[1]_include.cmake")
+include("/root/repo/build/tests/sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/imm_test[1]_include.cmake")
+include("/root/repo/build/tests/imm_partitioned_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_matrix_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_test[1]_include.cmake")
+include("/root/repo/build/tests/lineage_test[1]_include.cmake")
+include("/root/repo/build/tests/sketches_test[1]_include.cmake")
+include("/root/repo/build/tests/centrality_test[1]_include.cmake")
+include("/root/repo/build/tests/communities_test[1]_include.cmake")
+include("/root/repo/build/tests/pagerank_test[1]_include.cmake")
+include("/root/repo/build/tests/bio_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
