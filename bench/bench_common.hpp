@@ -15,6 +15,8 @@
 ///   --threads <n>   OpenMP threads for _mt drivers (default: hardware)
 ///   --snap-dir <d>  directory with genuine SNAP .txt files (optional)
 ///   --csv <path>    also write the table as CSV
+///   --json-report <path>  enable metrics and write the structured run
+///                   reports (one per driver execution) at process exit
 ///   --full          run the paper's full parameter grid instead of the
 ///                   time-budgeted default subset
 #ifndef RIPPLES_BENCH_COMMON_HPP
@@ -35,6 +37,7 @@ struct BenchConfig {
   unsigned threads;
   std::string snap_dir;
   std::string csv_path;
+  std::string json_report;
   bool full;
 
   static BenchConfig parse(const CommandLine &cli, double default_scale) {
@@ -45,7 +48,13 @@ struct BenchConfig {
         "threads", static_cast<std::int64_t>(omp_get_max_threads())));
     config.snap_dir = cli.get("snap-dir", std::string());
     config.csv_path = cli.get("csv", std::string());
+    config.json_report = cli.get("json-report", std::string());
     config.full = cli.has_flag("full");
+    // Every driver run appends its RunReport to the process-wide log; the
+    // atexit hook flushes them all, so each bench binary gets structured
+    // output from this one line.
+    if (!config.json_report.empty())
+      metrics::write_reports_at_exit(config.json_report);
     return config;
   }
 };

@@ -10,6 +10,7 @@
 ///           [--model IC|LT] [--epsilon 0.5] [-k 50]
 ///           [--threads N] [--ranks P] [--rng counter|leapfrog]
 ///           [--evaluate-trials 0] [--json out.json] [--seed S]
+///           [--json-report report.json]   (structured metrics run report)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
 #include <cstdio>
 #include <fstream>
@@ -137,6 +138,10 @@ int main(int argc, char **argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{2019}));
   const DiffusionModel model = parse_model(cli.get("model", std::string("IC")));
   const std::string driver = cli.get("driver", std::string("mt"));
+  // Enable metrics before the run so the report captures communication
+  // volume and registry counters (RIPPLES_METRICS=1 works too).
+  const std::string report_path = cli.get("json-report", std::string());
+  if (!report_path.empty()) metrics::set_enabled(true);
 
   CsrGraph graph = load_graph(cli, seed, model);
   GraphStats stats = compute_stats(graph);
@@ -170,6 +175,13 @@ int main(int argc, char **argv) {
   if (auto json = cli.value_of("json")) {
     write_json(*json, driver, result, influence, stats);
     std::printf("[json written to %s]\n", json->c_str());
+  }
+  if (!report_path.empty()) {
+    if (result.report.write_json_file(report_path))
+      std::printf("[run report written to %s]\n", report_path.c_str());
+    else
+      std::fprintf(stderr, "cannot write run report to %s\n",
+                   report_path.c_str());
   }
   return 0;
 }

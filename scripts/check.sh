@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
+# hot-spots (the mpsim runtime and Algorithm 4 selection).
+#
+#   scripts/check.sh            # full check
+#   scripts/check.sh --no-tsan  # tier-1 build + tests only
+#
+# The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
+# CMakeLists.txt; 'address' is also available) and runs mpsim_test and
+# select_test.  OpenMP barrier synchronization is invisible to TSan because
+# libgomp is not instrumented; scripts/tsan-suppressions.txt silences those
+# known false positives while keeping the std::thread-based mpsim runtime
+# fully checked.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j "$jobs"
+
+if [[ "$run_tsan" == 1 ]]; then
+  echo "== tsan: build mpsim_test + select_test =="
+  cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
+    -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsan --target mpsim_test select_test -j "$jobs"
+
+  echo "== tsan: run =="
+  export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan-suppressions.txt"
+  ./build-tsan/tests/mpsim_test
+  ./build-tsan/tests/select_test
+fi
+
+echo "== all checks passed =="

@@ -5,6 +5,7 @@
 
 #include "diffusion/simulate.hpp"
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace ripples {
 
@@ -16,6 +17,11 @@ double influence_of(const CsrGraph &graph, const std::vector<vertex_t> &seeds,
                     const GreedyOptions &options) {
   if (seeds.empty()) return 0.0;
   ++g_oracle_calls;
+  if (metrics::enabled()) {
+    static metrics::Counter &evaluations =
+        metrics::Registry::instance().counter("greedy.oracle_evaluations");
+    evaluations.increment();
+  }
   return estimate_influence(graph, seeds, options.model, options.trials,
                             options.seed)
       .mean;

@@ -6,6 +6,41 @@
 
 namespace ripples {
 
+namespace detail {
+
+void finalize_run_report(ImmResult &result, const char *driver,
+                         const CsrGraph &graph, const ImmOptions &options,
+                         const MartingaleOutcome &outcome) {
+  metrics::RunReport &report = result.report;
+  report.driver = driver;
+  report.epsilon = options.epsilon;
+  report.k = options.k;
+  report.model = to_string(options.model);
+  report.seed = options.seed;
+  report.num_threads = options.num_threads;
+  report.num_ranks = options.num_ranks;
+  report.rng_mode =
+      options.rng_mode == RngMode::LeapfrogLcg ? "leapfrog" : "counter";
+  report.graph_vertices = graph.num_vertices();
+  report.graph_edges = graph.num_edges();
+  report.phases = result.timers;
+  report.theta = result.theta;
+  report.theta_iterations = outcome.estimation_iterations;
+  report.lower_bound = result.lower_bound;
+  report.extend_targets = outcome.extend_targets;
+  report.num_samples = result.num_samples;
+  report.rrr_peak_bytes = result.rrr_peak_bytes;
+  report.total_associations = result.total_associations;
+  report.selection_rounds = options.k;
+  report.covered_samples = outcome.selection.covered_samples;
+  report.total_samples = outcome.selection.total_samples;
+  report.coverage_fraction = result.coverage_fraction;
+  report.seeds.assign(result.seeds.begin(), result.seeds.end());
+  if (metrics::enabled()) metrics::report_log().add(report);
+}
+
+} // namespace detail
+
 namespace {
 
 /// Fills the fields common to all drivers from the martingale outcome.
@@ -15,6 +50,13 @@ void finalize_result(ImmResult &result, const detail::MartingaleOutcome &outcome
   result.num_samples = outcome.num_samples;
   result.lower_bound = outcome.lower_bound;
   result.coverage_fraction = outcome.selection.coverage_fraction();
+}
+
+/// Records each sample's member count into the report's size histogram.
+void record_sample_sizes(metrics::RunReport &report,
+                         std::span<const RRRSet> samples) {
+  for (const RRRSet &sample : samples)
+    report.rrr_sizes.record(sample.size());
 }
 
 } // namespace
@@ -41,6 +83,8 @@ ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
   finalize_result(result, outcome);
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
+  record_sample_sizes(result.report, collection.sets());
+  detail::finalize_run_report(result, "imm_sequential", graph, options, outcome);
   return result;
 }
 
@@ -67,6 +111,9 @@ ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
   finalize_result(result, outcome);
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
+  record_sample_sizes(result.report, collection.sets());
+  detail::finalize_run_report(result, "imm_baseline_hypergraph", graph, options,
+                              outcome);
   return result;
 }
 
@@ -95,6 +142,9 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
   finalize_result(result, outcome);
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
+  record_sample_sizes(result.report, collection.sets());
+  detail::finalize_run_report(result, "imm_multithreaded", graph, options,
+                              outcome);
   return result;
 }
 

@@ -25,6 +25,13 @@ struct MartingaleOutcome {
   std::uint64_t theta = 0;
   std::uint64_t num_samples = 0;
   double lower_bound = 1.0;
+  /// Doubling iterations the estimation loop executed (x at acceptance, or
+  /// the schedule maximum when estimation was exhausted).
+  std::uint32_t estimation_iterations = 0;
+  /// Sample-count target of every extend call in execution order: the
+  /// doubling schedule plus the final top-up when theta overshoots |R|.
+  /// Feeds the run report's theta section.
+  std::vector<std::uint64_t> extend_targets;
 };
 
 /// \param extend_to  void(std::uint64_t target): grow R to `target` samples.
@@ -44,6 +51,8 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
     for (std::uint32_t x = 1; x <= schedule.max_iterations(); ++x) {
       std::uint64_t target = schedule.target_samples(x);
       outcome.num_samples = std::max(outcome.num_samples, target);
+      outcome.estimation_iterations = x;
+      outcome.extend_targets.push_back(target);
       extend_to(target);
       SelectionResult trial = select();
       last_coverage = trial.coverage_fraction();
@@ -70,6 +79,7 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
   outcome.theta = schedule.final_theta(outcome.lower_bound);
   if (outcome.theta > outcome.num_samples) {
     ScopedPhase phase(timers, Phase::Sample);
+    outcome.extend_targets.push_back(outcome.theta);
     extend_to(outcome.theta);
     outcome.num_samples = outcome.theta;
   }

@@ -11,6 +11,7 @@
 #include "imm/imm.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <omp.h>
 #include <vector>
 
@@ -45,6 +46,10 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
 
   ImmResult result;
   StopWatch total;
+  // Bracket the execution so the report carries only this run's volume.
+  const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
+  detail::MartingaleOutcome report_outcome;
+  std::mutex report_mutex; // guards the cross-rank histogram merge
 
   mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
     const int p = comm.size();
@@ -154,11 +159,24 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       result.lower_bound = outcome.lower_bound;
       result.coverage_fraction = outcome.selection.coverage_fraction();
       result.timers = timers;
+      report_outcome = std::move(outcome);
+    }
+
+    // Every rank holds whole samples of its partition R_rank, so merging
+    // the per-rank histograms yields the exact global size distribution.
+    metrics::HistogramData local_sizes;
+    for (const RRRSet &sample : local.sets()) local_sizes.record(sample.size());
+    {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      result.report.rrr_sizes.merge(local_sizes);
     }
   });
 
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
+  result.report.collectives = mpsim::comm_stats().since(comm_before).nonzero();
+  detail::finalize_run_report(result, "imm_distributed", graph, options,
+                              report_outcome);
   return result;
 }
 

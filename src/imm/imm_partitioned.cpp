@@ -31,6 +31,7 @@
 #include "imm/imm.hpp"
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "imm/imm_core.hpp"
@@ -63,6 +64,10 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
 
   ImmResult result;
   StopWatch total;
+  // Bracket the execution so the report carries only this run's volume.
+  const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
+  detail::MartingaleOutcome report_outcome;
+  std::mutex report_mutex; // guards the cross-rank histogram merge
 
   mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
     const auto p = static_cast<std::uint64_t>(comm.size());
@@ -227,11 +232,25 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
       result.lower_bound = outcome.lower_bound;
       result.coverage_fraction = outcome.selection.coverage_fraction();
       result.timers = timers;
+      report_outcome = std::move(outcome);
+    }
+
+    // No rank holds whole samples here: each slice is the fragment of a
+    // sample falling in this rank's vertex interval, so the merged
+    // histogram describes *fragment* sizes, not whole-sample sizes.
+    metrics::HistogramData local_sizes;
+    for (const auto &slice : slices) local_sizes.record(slice.size());
+    {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      result.report.rrr_sizes.merge(local_sizes);
     }
   });
 
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
+  result.report.collectives = mpsim::comm_stats().since(comm_before).nonzero();
+  detail::finalize_run_report(result, "imm_distributed_partitioned", graph,
+                              options, report_outcome);
   return result;
 }
 

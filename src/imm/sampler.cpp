@@ -3,8 +3,23 @@
 #include <omp.h>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace ripples {
+
+namespace {
+
+/// Registry accounting for one extend call (a batch of samples).  The
+/// counter lookup happens once per process; the disabled path is a single
+/// relaxed load in metrics::enabled().
+void count_generated(std::uint64_t batch) {
+  if (!metrics::enabled()) return;
+  static metrics::Counter &generated =
+      metrics::Registry::instance().counter("sampler.samples_generated");
+  generated.add(batch);
+}
+
+} // namespace
 
 void sample_sequential(const CsrGraph &graph, DiffusionModel model,
                        std::uint64_t target_total, std::uint64_t seed,
@@ -17,6 +32,7 @@ void sample_sequential(const CsrGraph &graph, DiffusionModel model,
     Philox4x32 rng = sample_stream(seed, i);
     generator.generate_random_root(model, rng, sets[i]);
   }
+  count_generated(target_total - first);
 }
 
 void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
@@ -39,6 +55,7 @@ void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
       generator.generate_random_root(model, rng, sets[i]);
     }
   }
+  count_generated(static_cast<std::uint64_t>(count));
 }
 
 void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
@@ -46,11 +63,13 @@ void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
                             FlatRRRCollection &collection) {
   RRRGenerator generator(graph);
   RRRSet scratch;
-  for (std::uint64_t i = collection.size(); i < target_total; ++i) {
+  std::uint64_t first = collection.size();
+  for (std::uint64_t i = first; i < target_total; ++i) {
     Philox4x32 rng = sample_stream(seed, i);
     generator.generate_random_root(model, rng, scratch);
     collection.append(scratch);
   }
+  if (target_total > first) count_generated(target_total - first);
 }
 
 void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
@@ -58,12 +77,14 @@ void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
                        HypergraphCollection &collection) {
   RRRGenerator generator(graph);
   RRRSet scratch;
-  for (std::uint64_t i = collection.size(); i < target_total; ++i) {
+  std::uint64_t first = collection.size();
+  for (std::uint64_t i = first; i < target_total; ++i) {
     Philox4x32 rng = sample_stream(seed, i);
     generator.generate_random_root(model, rng, scratch);
     collection.add(std::move(scratch));
     scratch = {};
   }
+  if (target_total > first) count_generated(target_total - first);
 }
 
 } // namespace ripples

@@ -98,18 +98,24 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
   result.total_samples = samples.size();
   result.seeds.reserve(k);
 
-  struct Candidate {
+  // One cache line per entry: every thread writes its own slot each round,
+  // so unpadded entries would false-share the reduction array.
+  struct alignas(64) Candidate {
     std::uint32_t count;
     vertex_t vertex;
   };
   std::vector<Candidate> local_best(num_threads);
   vertex_t chosen = 0;
-  std::uint64_t covered_this_round = 0; // shared reduction target
 
 #pragma omp parallel num_threads(static_cast<int>(num_threads))
   {
     const auto t = static_cast<unsigned>(omp_get_thread_num());
     const auto p = static_cast<unsigned>(omp_get_num_threads());
+    // Samples this thread retires (owner-computes: j % p == t).  Collected
+    // during the decrement pass, flagged only after the barrier so other
+    // threads never observe a mid-round `retired` update.
+    std::vector<std::size_t> my_retired;
+    std::uint64_t my_covered = 0;
     // Vertex interval owned by this thread rank (Alg. 4: vl, vh).
     const auto vl = static_cast<vertex_t>(
         (static_cast<std::uint64_t>(num_vertices) * t) / p);
@@ -155,14 +161,20 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
         result.seeds.push_back(chosen);
       } // implicit barrier: `chosen` is visible to all threads
 
-      // Decrement phase: for every live sample containing the seed, each
-      // thread decrements the members inside its own interval — no atomics
-      // (Alg. 4).  `retired` is only read here; it is updated in the next
-      // phase after a barrier, so all threads see a consistent view.
+      // Decrement phase, with retirement fused in: for every live sample
+      // containing the seed, each thread decrements the members inside its
+      // own interval — no atomics (Alg. 4) — and the sample's owner
+      // (j % p == t) queues it for retirement.  This reuses the one
+      // containment search per (thread, sample); the former separate
+      // retirement sweep searched every sample a second time.  `retired` is
+      // only read during this pass; the queued flags are written after the
+      // barrier below, so all threads see a consistent view.
+      my_retired.clear();
       for (const RRRSet &sample : samples) {
         const std::size_t j = static_cast<std::size_t>(&sample - samples.data());
         if (retired[j]) continue;
         if (!sample_contains(sample, chosen)) continue;
+        if (j % p == t) my_retired.push_back(j);
         auto it = std::lower_bound(sample.begin(), sample.end(), vl);
         for (; it != sample.end() && *it < vh; ++it) {
           RIPPLES_DEBUG_ASSERT(counters[*it] > 0);
@@ -170,22 +182,15 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
         }
       }
 #pragma omp barrier
-
-      // Retirement phase: mark covered samples (disjoint byte writes).
-#pragma omp single
-      covered_this_round = 0;
-      // implicit barrier: reset visible before the reduction accumulates
-#pragma omp for reduction(+ : covered_this_round)
-      for (std::size_t j = 0; j < samples.size(); ++j) {
-        if (retired[j]) continue;
-        if (!sample_contains(samples[j], chosen)) continue;
-        retired[j] = 1;
-        ++covered_this_round;
-      }
-#pragma omp single
-      result.covered_samples += covered_this_round;
-      // implicit barrier after single: next round reads a settled `retired`
+      // Flag the queued samples (disjoint writes: ownership partitions j).
+      // The next round's pre-argmax barrier orders these writes before any
+      // thread reads `retired` again.
+      for (std::size_t j : my_retired) retired[j] = 1;
+      my_covered += my_retired.size();
     }
+
+#pragma omp atomic
+    result.covered_samples += my_covered;
   }
   return result;
 }

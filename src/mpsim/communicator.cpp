@@ -1,6 +1,7 @@
 #include "mpsim/communicator.hpp"
 
-#include <barrier>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
@@ -8,7 +9,84 @@
 
 namespace ripples::mpsim {
 
+// --- communication metrics --------------------------------------------------
+
+const char *to_string(Collective collective) {
+  switch (collective) {
+  case Collective::Barrier: return "barrier";
+  case Collective::Allreduce: return "allreduce";
+  case Collective::Reduce: return "reduce";
+  case Collective::Broadcast: return "broadcast";
+  case Collective::Allgather: return "allgather";
+  case Collective::Gather: return "gather";
+  case Collective::Scatter: return "scatter";
+  case Collective::Allgatherv: return "allgatherv";
+  case Collective::Send: return "send";
+  case Collective::Recv: return "recv";
+  }
+  return "?";
+}
+
+namespace {
+
+struct CommCounters {
+  std::array<std::atomic<std::uint64_t>, kNumCollectives> calls{};
+  std::array<std::atomic<std::uint64_t>, kNumCollectives> bytes{};
+};
+
+CommCounters &comm_counters() {
+  static CommCounters counters;
+  return counters;
+}
+
+} // namespace
+
 namespace detail {
+
+void record_collective(Collective collective, std::size_t bytes) {
+  CommCounters &counters = comm_counters();
+  const auto c = static_cast<std::size_t>(collective);
+  counters.calls[c].fetch_add(1, std::memory_order_relaxed);
+  counters.bytes[c].fetch_add(bytes, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+CommStatsSnapshot comm_stats() {
+  CommCounters &counters = comm_counters();
+  CommStatsSnapshot snapshot;
+  for (std::size_t c = 0; c < kNumCollectives; ++c) {
+    snapshot.calls[c] = counters.calls[c].load(std::memory_order_relaxed);
+    snapshot.bytes[c] = counters.bytes[c].load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void reset_comm_stats() {
+  CommCounters &counters = comm_counters();
+  for (std::size_t c = 0; c < kNumCollectives; ++c) {
+    counters.calls[c].store(0, std::memory_order_relaxed);
+    counters.bytes[c].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<metrics::CollectiveStats> CommStatsSnapshot::nonzero() const {
+  std::vector<metrics::CollectiveStats> stats;
+  for (std::size_t c = 0; c < kNumCollectives; ++c) {
+    if (calls[c] == 0) continue;
+    stats.push_back({to_string(static_cast<Collective>(c)), calls[c], bytes[c]});
+  }
+  return stats;
+}
+
+// --- runtime ----------------------------------------------------------------
+
+namespace detail {
+
+/// How long a blocked rank sleeps between abort-flag checks.  Failure is the
+/// exceptional path: the normal path is woken by notify_all immediately, and
+/// the timed wait only bounds the unwind latency after a peer dies.
+constexpr std::chrono::milliseconds kAbortPollInterval{5};
 
 /// Rendezvous channel for one (source, destination) pair: the sender posts
 /// a pointer and blocks until the receiver has copied the payload.
@@ -18,6 +96,39 @@ struct Mailbox {
   const void *data = nullptr;
   std::size_t bytes = 0;
   bool posted = false;
+};
+
+/// Central generation barrier, equivalent to std::barrier except that
+/// waiters poll a shared abort flag: when any rank dies with an exception,
+/// every peer blocked here (or arriving later) unwinds with RankAborted
+/// instead of waiting for an arrival that will never happen.
+struct AbortableBarrier {
+  explicit AbortableBarrier(int num_ranks) : expected(num_ranks) {}
+
+  void arrive_and_wait(const std::atomic<bool> &aborted) {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (aborted.load(std::memory_order_acquire)) throw RankAborted();
+    const std::uint64_t my_generation = generation;
+    if (++arrived == expected) {
+      arrived = 0;
+      ++generation;
+      cv.notify_all();
+      return;
+    }
+    while (generation == my_generation) {
+      cv.wait_for(lock, kAbortPollInterval);
+      // After an abort the barrier will never complete (the dead rank no
+      // longer arrives); state consistency stops mattering because every
+      // rank unwinds from its next synchronization point.
+      if (aborted.load(std::memory_order_acquire)) throw RankAborted();
+    }
+  }
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  const int expected;
+  int arrived = 0;
+  std::uint64_t generation = 0;
 };
 
 struct SharedState {
@@ -34,15 +145,37 @@ struct SharedState {
                      static_cast<std::size_t>(destination)];
   }
 
+  /// First-exception protocol: flips the abort flag and wakes every blocked
+  /// waiter so peers unwind promptly instead of riding out the timed waits.
+  void abort() {
+    aborted.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(sync.mutex);
+    }
+    sync.cv.notify_all();
+    for (Mailbox &box : mailboxes) {
+      {
+        std::lock_guard<std::mutex> lock(box.mutex);
+      }
+      box.cv.notify_all();
+    }
+  }
+
   std::vector<const void *> pointers;
   std::vector<std::size_t> sizes;
   std::vector<Mailbox> mailboxes;
-  std::barrier<> sync;
+  AbortableBarrier sync;
+  std::atomic<bool> aborted{false};
 };
 
 } // namespace detail
 
-void Communicator::barrier() { shared_.sync.arrive_and_wait(); }
+void Communicator::sync() { shared_.sync.arrive_and_wait(shared_.aborted); }
+
+void Communicator::barrier() {
+  record(Collective::Barrier, 0);
+  sync();
+}
 
 void Communicator::post_pointer(const void *data, std::size_t bytes) {
   shared_.pointers[static_cast<std::size_t>(rank_)] = data;
@@ -63,24 +196,42 @@ void Communicator::send_bytes(const void *data, std::size_t bytes,
                               int destination) {
   RIPPLES_ASSERT(destination >= 0 && destination < size_);
   RIPPLES_ASSERT_MSG(destination != rank_, "self-send would deadlock");
+  record(Collective::Send, bytes);
   detail::Mailbox &box = shared_.mailbox(rank_, destination, size_);
   std::unique_lock<std::mutex> lock(box.mutex);
   // Wait for the previous message on this channel to be consumed.
-  box.cv.wait(lock, [&] { return !box.posted; });
+  while (box.posted) {
+    if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+    box.cv.wait_for(lock, detail::kAbortPollInterval);
+  }
+  if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
   box.data = data;
   box.bytes = bytes;
   box.posted = true;
   box.cv.notify_all();
-  // Rendezvous: return only after the receiver copied the payload.
-  box.cv.wait(lock, [&] { return !box.posted; });
+  // Rendezvous: return only after the receiver copied the payload.  If the
+  // receiver dies first, the posted pointer must be withdrawn before this
+  // stack frame unwinds.
+  while (box.posted) {
+    if (shared_.aborted.load(std::memory_order_acquire)) {
+      box.posted = false;
+      box.data = nullptr;
+      throw RankAborted();
+    }
+    box.cv.wait_for(lock, detail::kAbortPollInterval);
+  }
 }
 
 void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
   RIPPLES_ASSERT(source >= 0 && source < size_);
   RIPPLES_ASSERT_MSG(source != rank_, "self-receive would deadlock");
+  record(Collective::Recv, bytes);
   detail::Mailbox &box = shared_.mailbox(source, rank_, size_);
   std::unique_lock<std::mutex> lock(box.mutex);
-  box.cv.wait(lock, [&] { return box.posted; });
+  while (!box.posted) {
+    if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+    box.cv.wait_for(lock, detail::kAbortPollInterval);
+  }
   RIPPLES_ASSERT_MSG(box.bytes == bytes,
                      "recv buffer size must match the sent payload");
   std::memcpy(buffer, box.data, bytes);
@@ -101,18 +252,20 @@ void Context::run(int num_ranks,
     Communicator comm(rank, num_ranks, shared);
     try {
       rank_main(comm);
+    } catch (const RankAborted &) {
+      // This rank was unwound by the abort protocol; the rank that failed
+      // already recorded the original exception.  (A RankAborted thrown
+      // directly by user code is indistinguishable and treated the same:
+      // the fallback in run() still surfaces an error.)
+      shared.abort();
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
       }
-      // A dead rank would deadlock peers blocked in a collective; there is
-      // no clean recovery from a rank failure mid-collective (true of MPI as
-      // well), so the contract is: rank functions may only throw outside
-      // collectives, and all ranks see collectives in the same order.  We
-      // keep participating in barriers until peers finish naturally only in
-      // the trivial single-rank case; otherwise the error surfaces when the
-      // program is correct enough for all ranks to throw symmetrically.
+      // Wake and unwind every peer: a blocked rank would otherwise wait
+      // forever for this rank's next barrier arrival or message.
+      shared.abort();
     }
   };
 
@@ -122,6 +275,8 @@ void Context::run(int num_ranks,
   rank_body(0);
   for (std::thread &t : ranks) t.join();
 
+  if (!first_error && shared.aborted.load(std::memory_order_acquire))
+    first_error = std::make_exception_ptr(RankAborted());
   if (first_error) std::rethrow_exception(first_error);
 }
 

@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstring>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
@@ -37,10 +38,71 @@
 #include <vector>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 
 namespace ripples::mpsim {
 
 enum class ReduceOp { Sum, Max, Min };
+
+/// Thrown out of a collective (or point-to-point wait) on every surviving
+/// rank when a peer rank failed with an exception: instead of deadlocking in
+/// a barrier the dead rank will never reach, peers unwind with RankAborted
+/// and Context::run rethrows the peer's original exception.
+class RankAborted : public std::exception {
+public:
+  [[nodiscard]] const char *what() const noexcept override {
+    return "mpsim: peer rank threw; this rank was aborted mid-collective";
+  }
+};
+
+/// The communication operations instrumented by the metrics subsystem.
+enum class Collective : std::size_t {
+  Barrier = 0,
+  Allreduce,
+  Reduce,
+  Broadcast,
+  Allgather,
+  Gather,
+  Scatter,
+  Allgatherv,
+  Send,
+  Recv,
+};
+
+inline constexpr std::size_t kNumCollectives = 10;
+
+[[nodiscard]] const char *to_string(Collective collective);
+
+/// Per-collective call and payload-byte totals, summed over ranks since the
+/// last reset.  Recording happens only while `metrics::enabled()`, keeping
+/// the communication hot path a single predictable branch otherwise.
+struct CommStatsSnapshot {
+  std::array<std::uint64_t, kNumCollectives> calls{};
+  std::array<std::uint64_t, kNumCollectives> bytes{};
+
+  /// this - earlier, entry-wise (for bracketing one driver execution).
+  [[nodiscard]] CommStatsSnapshot since(const CommStatsSnapshot &earlier) const {
+    CommStatsSnapshot delta;
+    for (std::size_t c = 0; c < kNumCollectives; ++c) {
+      delta.calls[c] = calls[c] - earlier.calls[c];
+      delta.bytes[c] = bytes[c] - earlier.bytes[c];
+    }
+    return delta;
+  }
+
+  /// Collectives with at least one call, as metrics report entries.
+  [[nodiscard]] std::vector<metrics::CollectiveStats> nonzero() const;
+};
+
+/// Process-wide communication totals (accumulated across all Contexts).
+[[nodiscard]] CommStatsSnapshot comm_stats();
+void reset_comm_stats();
+
+namespace detail {
+/// Adds one call of \p collective with \p bytes of payload to the global
+/// totals.  Out-of-line so the header stays free of the atomics.
+void record_collective(Collective collective, std::size_t bytes);
+} // namespace detail
 
 namespace detail {
 
@@ -71,10 +133,11 @@ public:
   /// length; afterwards every buffer holds the element-wise reduction.
   template <typename T> void allreduce(std::span<T> buffer, ReduceOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    record(Collective::Allreduce, buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    barrier();
+    sync();
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
-    barrier();
+    sync();
   }
 
   /// MPI_Reduce: as allreduce, but only \p root's buffer receives the result;
@@ -82,35 +145,38 @@ public:
   template <typename T> void reduce(std::span<T> buffer, ReduceOp op, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
+    record(Collective::Reduce, buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    barrier();
+    sync();
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
-    barrier();
+    sync();
   }
 
   /// MPI_Bcast: copies \p root's buffer into every rank's buffer.
   template <typename T> void broadcast(std::span<T> buffer, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
+    record(Collective::Broadcast, buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    barrier();
+    sync();
     if (rank_ != root) {
       const void *src = peer_pointer(root);
       std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
     }
-    barrier();
+    sync();
   }
 
   /// MPI_Allgather of a single value per rank; returns the values indexed by
   /// rank.
   template <typename T> std::vector<T> allgather(const T &value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    record(Collective::Allgather, sizeof(T));
     post_pointer(&value, sizeof(T));
-    barrier();
+    sync();
     std::vector<T> gathered(static_cast<std::size_t>(size_));
     for (int r = 0; r < size_; ++r)
       std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r), sizeof(T));
-    barrier();
+    sync();
     return gathered;
   }
 
@@ -119,8 +185,9 @@ public:
   template <typename T> std::vector<T> gather(const T &value, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
+    record(Collective::Gather, sizeof(T));
     post_pointer(&value, sizeof(T));
-    barrier();
+    sync();
     std::vector<T> gathered;
     if (rank_ == root) {
       gathered.resize(static_cast<std::size_t>(size_));
@@ -128,7 +195,7 @@ public:
         std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r),
                     sizeof(T));
     }
-    barrier();
+    sync();
     return gathered;
   }
 
@@ -140,12 +207,13 @@ public:
     if (rank_ == root)
       RIPPLES_ASSERT_MSG(values.size() == static_cast<std::size_t>(size_),
                          "scatter requires one value per rank at the root");
+    record(Collective::Scatter, sizeof(T));
     post_pointer(values.data(), values.size() * sizeof(T));
-    barrier();
+    sync();
     T mine;
     std::memcpy(&mine,
                 static_cast<const T *>(peer_pointer(root)) + rank_, sizeof(T));
-    barrier();
+    sync();
     return mine;
   }
 
@@ -170,8 +238,9 @@ public:
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
+    record(Collective::Allgatherv, local.size() * sizeof(T));
     post_pointer(local.data(), local.size() * sizeof(T));
-    barrier();
+    sync();
     std::vector<T> gathered;
     for (int r = 0; r < size_; ++r) {
       std::size_t bytes = peer_size(r);
@@ -181,7 +250,7 @@ public:
       if (count > 0)
         std::memcpy(gathered.data() + offset, peer_pointer(r), bytes);
     }
-    barrier();
+    sync();
     return gathered;
   }
 
@@ -189,6 +258,16 @@ private:
   friend class Context;
   Communicator(int rank, int size, detail::SharedState &shared)
       : rank_(rank), size_(size), shared_(shared) {}
+
+  /// Metrics hook: one branch when disabled, one relaxed add when enabled.
+  static void record(Collective collective, std::size_t bytes) {
+    if (metrics::enabled()) detail::record_collective(collective, bytes);
+  }
+
+  /// Internal rendezvous used by the collectives; unlike the public
+  /// barrier(), it is not counted as a Barrier call.  Throws RankAborted
+  /// when a peer rank failed.
+  void sync();
 
   void post_pointer(const void *data, std::size_t bytes);
   [[nodiscard]] const void *peer_pointer(int peer) const;
@@ -239,6 +318,14 @@ public:
   /// Runs \p rank_main as `num_ranks` concurrent ranks and joins them.  The
   /// first exception thrown by any rank is rethrown here after all ranks
   /// have been joined.  Reentrant but not nestable from inside a rank.
+  ///
+  /// Failure protocol: when any rank throws, a shared abort flag is raised
+  /// and every peer blocked in (or later entering) a collective or
+  /// point-to-point wait unwinds with RankAborted — real MPI would deadlock
+  /// here; the in-process runtime can do better.  run() then rethrows the
+  /// failing rank's original exception.  RankAborted escaping a rank_main
+  /// is absorbed by the protocol, never rethrown in place of the original
+  /// error.
   static void run(int num_ranks,
                   const std::function<void(Communicator &)> &rank_main);
 };

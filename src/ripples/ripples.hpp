@@ -21,8 +21,10 @@
 #include "support/assert.hpp"
 #include "support/bitvector.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/log.hpp"
 #include "support/memory.hpp"
+#include "support/metrics.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
 

@@ -1,0 +1,399 @@
+/// \file json.hpp
+/// \brief Minimal JSON emitter and parser for the metrics subsystem.
+///
+/// The run reports and the metrics registry serialize to JSON so external
+/// tooling (plotting scripts, regression trackers) can consume performance
+/// data without scraping printf tables.  Scope is deliberately small: the
+/// writer produces canonical UTF-8 JSON from explicit begin/end calls, the
+/// parser accepts standard JSON into a tiny DOM — enough for the schema
+/// validation tests and for tools that read reports back.  Neither is a
+/// general-purpose JSON library (no streaming, no comments, no BOM).
+#ifndef RIPPLES_SUPPORT_JSON_HPP
+#define RIPPLES_SUPPORT_JSON_HPP
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ripples {
+
+/// Append-only JSON emitter with explicit structure calls.  Comma placement
+/// and string escaping are handled internally; nesting is tracked so
+/// mismatched begin/end pairs trip an assertion rather than emitting garbage.
+///
+/// \code
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("theta"); w.value(std::uint64_t{1234});
+///   w.key("phases"); w.begin_array();
+///   w.value(0.25); w.value(1.5);
+///   w.end_array();
+///   w.end_object();
+///   std::string text = w.str();
+/// \endcode
+class JsonWriter {
+public:
+  void begin_object() {
+    prepare_value();
+    out_.push_back('{');
+    stack_.push_back(Scope::Object);
+    fresh_ = true;
+  }
+
+  void end_object() {
+    RIPPLES_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                       "end_object without matching begin_object");
+    stack_.pop_back();
+    out_.push_back('}');
+    fresh_ = false;
+  }
+
+  void begin_array() {
+    prepare_value();
+    out_.push_back('[');
+    stack_.push_back(Scope::Array);
+    fresh_ = true;
+  }
+
+  void end_array() {
+    RIPPLES_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::Array,
+                       "end_array without matching begin_array");
+    stack_.pop_back();
+    out_.push_back(']');
+    fresh_ = false;
+  }
+
+  /// Emits an object key; the next value/begin_* call supplies its value.
+  void key(std::string_view name) {
+    RIPPLES_ASSERT_MSG(!stack_.empty() && stack_.back() == Scope::Object,
+                       "key() is only valid inside an object");
+    if (!fresh_) out_.push_back(',');
+    fresh_ = false;
+    append_string(name);
+    out_.push_back(':');
+    pending_key_ = true;
+  }
+
+  void value(std::string_view text) {
+    prepare_value();
+    append_string(text);
+  }
+  void value(const char *text) { value(std::string_view(text)); }
+  void value(bool flag) {
+    prepare_value();
+    out_ += flag ? "true" : "false";
+  }
+  void value(double number) {
+    prepare_value();
+    if (!std::isfinite(number)) {
+      out_ += "null"; // JSON has no inf/nan
+      return;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", number);
+    out_ += buf;
+  }
+  void value(std::uint64_t number) {
+    prepare_value();
+    out_ += std::to_string(number);
+  }
+  void value(std::int64_t number) {
+    prepare_value();
+    out_ += std::to_string(number);
+  }
+  void value(std::uint32_t number) { value(static_cast<std::uint64_t>(number)); }
+  void value(std::int32_t number) { value(static_cast<std::int64_t>(number)); }
+  void null() {
+    prepare_value();
+    out_ += "null";
+  }
+
+  /// key + value in one call, for flat objects.
+  template <typename T> void member(std::string_view name, T &&v) {
+    key(name);
+    value(std::forward<T>(v));
+  }
+
+  /// The document so far.  Valid once every begin_* has been closed.
+  [[nodiscard]] const std::string &str() const {
+    RIPPLES_DEBUG_ASSERT(stack_.empty());
+    return out_;
+  }
+
+private:
+  enum class Scope : std::uint8_t { Object, Array };
+
+  void prepare_value() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      RIPPLES_ASSERT_MSG(stack_.back() == Scope::Array,
+                         "values inside an object need a key()");
+      if (!fresh_) out_.push_back(',');
+    }
+    fresh_ = false;
+  }
+
+  void append_string(std::string_view text) {
+    out_.push_back('"');
+    for (char c : text) {
+      switch (c) {
+      case '"': out_ += "\\\""; break;
+      case '\\': out_ += "\\\\"; break;
+      case '\n': out_ += "\\n"; break;
+      case '\r': out_ += "\\r"; break;
+      case '\t': out_ += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  bool fresh_ = true;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value: a small DOM used by the schema-validation tests and by
+/// tools reading run reports back.  Object member order is preserved.
+struct JsonValue {
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const { return type == Type::Null; }
+  [[nodiscard]] bool is_object() const { return type == Type::Object; }
+  [[nodiscard]] bool is_array() const { return type == Type::Array; }
+  [[nodiscard]] bool is_number() const { return type == Type::Number; }
+  [[nodiscard]] bool is_string() const { return type == Type::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue *find(std::string_view name) const {
+    if (type != Type::Object) return nullptr;
+    for (const auto &[key, value] : object)
+      if (key == name) return &value;
+    return nullptr;
+  }
+
+  /// Parses a complete JSON document; nullopt on any syntax error or
+  /// trailing garbage.
+  static std::optional<JsonValue> parse(std::string_view text);
+};
+
+namespace detail {
+
+class JsonParser {
+public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run() {
+    std::optional<JsonValue> value = parse_value();
+    skip_whitespace();
+    if (!value || pos_ != text_.size()) return std::nullopt;
+    return value;
+  }
+
+private:
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_whitespace();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+    case '{': return parse_object();
+    case '[': return parse_array();
+    case '"': return parse_string_value();
+    case 't':
+      if (!consume_literal("true")) return std::nullopt;
+      return make_bool(true);
+    case 'f':
+      if (!consume_literal("false")) return std::nullopt;
+      return make_bool(false);
+    case 'n':
+      if (!consume_literal("null")) return std::nullopt;
+      return JsonValue{};
+    default: return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type = JsonValue::Type::Bool;
+    v.boolean = b;
+    return v;
+  }
+
+  std::optional<JsonValue> parse_object() {
+    ++pos_; // '{'
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    skip_whitespace();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_whitespace();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      skip_whitespace();
+      if (!consume(':')) return std::nullopt;
+      std::optional<JsonValue> member = parse_value();
+      if (!member) return std::nullopt;
+      v.object.emplace_back(std::move(*key), std::move(*member));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_array() {
+    ++pos_; // '['
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    skip_whitespace();
+    if (consume(']')) return v;
+    for (;;) {
+      std::optional<JsonValue> element = parse_value();
+      if (!element) return std::nullopt;
+      v.array.push_back(std::move(*element));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_string_value() {
+    std::optional<std::string> s = parse_string();
+    if (!s) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::String;
+    v.string = std::move(*s);
+    return v;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      char esc = text_[pos_++];
+      switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) return std::nullopt;
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          char h = text_[pos_++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return std::nullopt;
+        }
+        // The writer only emits \u00XX for control characters; decode the
+        // Latin-1 range and pass anything above through as UTF-8.
+        if (code < 0x80) {
+          out.push_back(static_cast<char>(code));
+        } else if (code < 0x800) {
+          out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        } else {
+          out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+          out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+          out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+        }
+        break;
+      }
+      default: return std::nullopt;
+      }
+    }
+    return std::nullopt; // unterminated
+  }
+
+  std::optional<JsonValue> parse_number() {
+    std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return std::nullopt;
+    std::string token(text_.substr(start, pos_ - start));
+    char *end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return std::nullopt;
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+} // namespace detail
+
+inline std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return detail::JsonParser(text).run();
+}
+
+} // namespace ripples
+
+#endif // RIPPLES_SUPPORT_JSON_HPP

@@ -1,0 +1,308 @@
+/// \file metrics.hpp
+/// \brief Process-wide observability: counters, gauges, log-scale
+/// histograms, and the structured per-execution RunReport.
+///
+/// The paper's evaluation hinges on quantified breakdowns — per-phase wall
+/// time (Figs. 3-8), memory footprint (Table 2), and the O(k n lg p)
+/// All-Reduce volume of the distributed selection (Sec. 3.2).  This module
+/// is the substrate that makes those numbers machine-readable so every
+/// optimization can prove its win:
+///
+///  * `Counter` / `Gauge` / `LogHistogram` — cheap thread-safe instruments,
+///    owned by the process-wide `Registry` and addressed by name.
+///  * `enabled()` — one relaxed atomic load; when metrics are off (the
+///    default unless `RIPPLES_METRICS=1` or `set_enabled(true)`), hot-path
+///    instrumentation reduces to a single predictable branch.
+///  * `RunReport` — a structured record of one influence-maximization
+///    execution (phase times, theta schedule, RRR-size histogram, storage
+///    footprint, per-collective communication volume, seeds), serialized to
+///    JSON.  See EXPERIMENTS.md for the schema.
+///  * `report_log()` — process-wide collection point; when a report output
+///    path is set (bench `--json-report`), every completed run lands there
+///    and the file is written at exit.
+#ifndef RIPPLES_SUPPORT_METRICS_HPP
+#define RIPPLES_SUPPORT_METRICS_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/timer.hpp"
+
+namespace ripples::metrics {
+
+namespace detail {
+/// The global toggle.  Defined in metrics.cpp; initialized from the
+/// RIPPLES_METRICS environment variable ("1", "true", "on" enable).
+extern std::atomic<bool> g_enabled;
+} // namespace detail
+
+/// True when instrumentation should record.  One relaxed load — callers on
+/// hot paths guard with this and skip the atomic update entirely when off.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the process-wide toggle (e.g. from a --json-report CLI flag).
+void set_enabled(bool on);
+
+/// Monotonically increasing event/byte counter.
+class Counter {
+public:
+  void add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current footprint bytes).
+class Gauge {
+public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to \p v if larger (peak tracking).
+  void set_max(std::int64_t v) {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v, std::memory_order_relaxed))
+      ;
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Snapshot of a log-scale histogram: bucket b counts values whose
+/// floor(log2(value)) == b - 1 (bucket 0 counts zeros), i.e. bucket bounds
+/// [0,0], [1,1], [2,3], [4,7], ... — the standard power-of-two layout that
+/// resolves the heavy-tailed RRR-set size distribution in O(64) words.
+struct HistogramData {
+  static constexpr std::size_t kBuckets = 65;
+
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Bucket index for one value.
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : 64 - static_cast<std::size_t>(__builtin_clzll(value));
+  }
+
+  /// Inclusive lower bound of bucket \p b.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// Inclusive upper bound of bucket \p b.
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1)) * 2 - 1;
+  }
+
+  void record(std::uint64_t value) {
+    ++count;
+    sum += value;
+    if (value < min) min = value;
+    if (value > max) max = value;
+    ++buckets[bucket_of(value)];
+  }
+
+  void merge(const HistogramData &other) {
+    count += other.count;
+    sum += other.sum;
+    if (other.count > 0) {
+      if (other.min < min) min = other.min;
+      if (other.max > max) max = other.max;
+    }
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Serializes as {"count", "sum", "min", "max", "mean", "buckets": [
+  /// {"lo", "hi", "count"}, ...]} with empty buckets omitted.
+  void to_json(JsonWriter &w) const;
+};
+
+/// Thread-safe log-scale histogram (atomic twin of HistogramData).
+class LogHistogram {
+public:
+  void record(std::uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    update_min(value);
+    update_max(value);
+    buckets_[HistogramData::bucket_of(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] HistogramData snapshot() const;
+  void reset();
+
+private:
+  void update_min(std::uint64_t value) {
+    std::uint64_t current = min_.load(std::memory_order_relaxed);
+    while (value < current &&
+           !min_.compare_exchange_weak(current, value, std::memory_order_relaxed))
+      ;
+  }
+  void update_max(std::uint64_t value) {
+    std::uint64_t current = max_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !max_.compare_exchange_weak(current, value, std::memory_order_relaxed))
+      ;
+  }
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{std::numeric_limits<std::uint64_t>::max()};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, HistogramData::kBuckets> buckets_{};
+};
+
+/// Process-wide instrument registry.  Lookup creates on first use and
+/// returns a reference that stays valid for the process lifetime, so hot
+/// paths can cache it:
+///
+/// \code
+///   static metrics::Counter &calls =
+///       metrics::Registry::instance().counter("sampler.batches");
+///   if (metrics::enabled()) calls.increment();
+/// \endcode
+class Registry {
+public:
+  static Registry &instance();
+
+  Counter &counter(std::string_view name);
+  Gauge &gauge(std::string_view name);
+  LogHistogram &histogram(std::string_view name);
+
+  /// Serializes every registered instrument as
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  void to_json(JsonWriter &w) const;
+
+  /// Zeroes every instrument (references stay valid).
+  void reset();
+
+  Registry(const Registry &) = delete;
+  Registry &operator=(const Registry &) = delete;
+
+private:
+  Registry() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+/// Per-collective communication volume (filled from the mpsim counters).
+struct CollectiveStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Structured record of one influence-maximization execution — the
+/// machine-readable sibling of the printf summaries.  Drivers always fill
+/// it (the bookkeeping is negligible next to the run itself); only the
+/// mpsim per-collective counters additionally require `metrics::enabled()`
+/// because they sit on the communication hot path.
+struct RunReport {
+  static constexpr std::uint32_t kSchemaVersion = 1;
+
+  std::string driver;
+
+  // Experiment configuration.
+  double epsilon = 0.0;
+  std::uint32_t k = 0;
+  std::string model;
+  std::uint64_t seed = 0;
+  unsigned num_threads = 1;
+  int num_ranks = 1;
+  std::string rng_mode;
+
+  // Input shape.
+  std::uint64_t graph_vertices = 0;
+  std::uint64_t graph_edges = 0;
+
+  // Phase wall-times (the paper's four categories).
+  PhaseTimers phases;
+
+  // Theta estimation (Alg. 2).
+  std::uint64_t theta = 0;
+  std::uint32_t theta_iterations = 0;
+  double lower_bound = 0.0;
+  /// Sample-count target of every extend call, in execution order (the
+  /// doubling schedule plus the final top-up when theta overshoots).
+  std::vector<std::uint64_t> extend_targets;
+
+  // Sampling (Alg. 3).
+  std::uint64_t num_samples = 0;
+  HistogramData rrr_sizes;
+
+  // Storage (Table 2's metrics).
+  std::uint64_t rrr_peak_bytes = 0;
+  std::uint64_t total_associations = 0;
+
+  // Seed selection (Alg. 4).
+  std::uint32_t selection_rounds = 0;
+  std::uint64_t covered_samples = 0;
+  std::uint64_t total_samples = 0;
+  double coverage_fraction = 0.0;
+
+  // Communication (Sec. 3.2): per-collective calls and payload bytes,
+  // summed over ranks.  Empty for shared-memory drivers or when metrics
+  // were disabled during the run.
+  std::vector<CollectiveStats> collectives;
+
+  std::vector<std::uint64_t> seeds;
+
+  void to_json(JsonWriter &w) const;
+  [[nodiscard]] std::string to_json_string() const;
+
+  /// Writes the report as a standalone JSON document; false on I/O failure.
+  bool write_json_file(const std::string &path) const;
+};
+
+/// Process-wide collection of completed run reports (thread-safe).
+class ReportLog {
+public:
+  void add(const RunReport &report);
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+  /// Writes {"schema_version", "reports": [...], "registry": {...}}.
+  bool write_json_file(const std::string &path) const;
+
+private:
+  friend ReportLog &report_log();
+  ReportLog() = default;
+  struct Impl;
+  Impl &impl() const;
+};
+
+ReportLog &report_log();
+
+/// Arms end-of-process report emission: enables metrics and registers an
+/// atexit hook that writes the accumulated report log to \p path.  This is
+/// what bench binaries call for `--json-report`.
+void write_reports_at_exit(const std::string &path);
+
+} // namespace ripples::metrics
+
+#endif // RIPPLES_SUPPORT_METRICS_HPP

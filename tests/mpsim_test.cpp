@@ -268,6 +268,109 @@ TEST(Mpsim, LargeRankCountCompletes) {
   EXPECT_EQ(total.load(), 128 * 128);
 }
 
+TEST(Mpsim, ThrowingRankUnblocksPeersInAllreduce) {
+  // The deadlock this guards against: rank 1 throws before joining the
+  // collective while ranks 0, 2, 3 wait inside allreduce forever.  The
+  // abort protocol must unwind the waiters and surface the original error.
+  EXPECT_THROW(
+      Context::run(4,
+                   [](Communicator &comm) {
+                     if (comm.rank() == 1)
+                       throw std::runtime_error("rank 1 failure");
+                     std::vector<std::uint32_t> ones(8, 1);
+                     comm.allreduce(std::span<std::uint32_t>(ones),
+                                    ReduceOp::Sum);
+                   }),
+      std::runtime_error);
+}
+
+TEST(Mpsim, ThrowingRankUnblocksPeersInBarrier) {
+  EXPECT_THROW(Context::run(3,
+                            [](Communicator &comm) {
+                              if (comm.rank() == 2)
+                                throw std::logic_error("rank 2 failure");
+                              comm.barrier();
+                            }),
+               std::logic_error);
+}
+
+TEST(Mpsim, ThrowingRankUnblocksPeerInRecv) {
+  // Rank 0 waits for a message that will never be sent; rank 1's failure
+  // must wake it out of the mailbox wait.
+  EXPECT_THROW(Context::run(2,
+                            [](Communicator &comm) {
+                              if (comm.rank() == 1)
+                                throw std::runtime_error("sender died");
+                              std::uint32_t buffer[1];
+                              comm.recv(std::span<std::uint32_t>(buffer, 1), 1);
+                            }),
+               std::runtime_error);
+}
+
+TEST(Mpsim, ThrowingRankUnblocksPeerInSend) {
+  // Rendezvous send blocks until the receiver drains it; the receiver's
+  // failure must wake the sender.
+  EXPECT_THROW(Context::run(2,
+                            [](Communicator &comm) {
+                              if (comm.rank() == 1)
+                                throw std::runtime_error("receiver died");
+                              std::uint32_t payload[1] = {42};
+                              comm.send(
+                                  std::span<const std::uint32_t>(payload, 1), 1);
+                            }),
+               std::runtime_error);
+}
+
+TEST(Mpsim, AbortDuringLaterRoundStillPropagates) {
+  // Exercise the generation logic: several successful collectives, then a
+  // mid-computation failure with peers already waiting in the next round.
+  EXPECT_THROW(Context::run(4,
+                            [](Communicator &comm) {
+                              for (int round = 0; round < 3; ++round) {
+                                std::vector<std::uint32_t> ones(4, 1);
+                                comm.allreduce(std::span<std::uint32_t>(ones),
+                                               ReduceOp::Sum);
+                              }
+                              if (comm.rank() == 3)
+                                throw std::runtime_error("late failure");
+                              comm.barrier();
+                            }),
+               std::runtime_error);
+}
+
+TEST(Mpsim, CommStatsCountCollectivesWhenEnabled) {
+  metrics::set_enabled(true);
+  const CommStatsSnapshot before = comm_stats();
+  Context::run(3, [](Communicator &comm) {
+    std::vector<std::uint32_t> ones(10, 1);
+    comm.allreduce(std::span<std::uint32_t>(ones), ReduceOp::Sum);
+    comm.barrier();
+  });
+  const CommStatsSnapshot delta = comm_stats().since(before);
+  metrics::set_enabled(false);
+
+  const auto allreduce = static_cast<std::size_t>(Collective::Allreduce);
+  const auto barrier = static_cast<std::size_t>(Collective::Barrier);
+  EXPECT_EQ(delta.calls[allreduce], 3u);
+  EXPECT_EQ(delta.bytes[allreduce], 3u * 10 * sizeof(std::uint32_t));
+  EXPECT_EQ(delta.calls[barrier], 3u);
+  EXPECT_EQ(delta.bytes[barrier], 0u);
+}
+
+TEST(Mpsim, CommStatsStayZeroWhenDisabled) {
+  metrics::set_enabled(false);
+  const CommStatsSnapshot before = comm_stats();
+  Context::run(2, [](Communicator &comm) {
+    std::vector<std::uint32_t> ones(10, 1);
+    comm.allreduce(std::span<std::uint32_t>(ones), ReduceOp::Sum);
+  });
+  const CommStatsSnapshot delta = comm_stats().since(before);
+  for (std::size_t c = 0; c < kNumCollectives; ++c) {
+    EXPECT_EQ(delta.calls[c], 0u) << to_string(static_cast<Collective>(c));
+    EXPECT_EQ(delta.bytes[c], 0u) << to_string(static_cast<Collective>(c));
+  }
+}
+
 TEST(Mpsim, ExceptionInSingleRankRunPropagates) {
   EXPECT_THROW(Context::run(1,
                             [](Communicator &) {

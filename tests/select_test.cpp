@@ -228,6 +228,61 @@ TEST_P(HypergraphEquivalence, BaselineSelectionMatchesSequential) {
 INSTANTIATE_TEST_SUITE_P(Seeds, HypergraphEquivalence,
                          ::testing::Values(5, 6, 7, 8));
 
+// --- cross-variant determinism ------------------------------------------------------
+
+/// Runs every selection variant on the same samples and demands bit-identical
+/// seed sequences: one greedy max-coverage definition, five implementations.
+void expect_all_variants_agree(vertex_t n, std::uint32_t k,
+                               const std::vector<RRRSet> &samples) {
+  SelectionResult reference = select_seeds(n, k, samples);
+
+  for (unsigned threads : {1u, 2u, 7u}) {
+    SelectionResult mt = select_seeds_multithreaded(n, k, samples, threads);
+    EXPECT_EQ(reference.seeds, mt.seeds) << "threads=" << threads;
+    EXPECT_EQ(reference.covered_samples, mt.covered_samples)
+        << "threads=" << threads;
+  }
+
+  SelectionResult lazy = select_seeds_lazy(n, k, samples);
+  EXPECT_EQ(reference.seeds, lazy.seeds);
+  EXPECT_EQ(reference.covered_samples, lazy.covered_samples);
+
+  FlatRRRCollection flat;
+  for (const RRRSet &sample : samples) flat.append(sample);
+  SelectionResult arena = select_seeds_flat(n, k, flat);
+  EXPECT_EQ(reference.seeds, arena.seeds);
+  EXPECT_EQ(reference.covered_samples, arena.covered_samples);
+
+  HypergraphCollection hypergraph(n);
+  for (const RRRSet &sample : samples) {
+    RRRSet copy = sample;
+    hypergraph.add(std::move(copy));
+  }
+  SelectionResult dual = select_seeds_hypergraph(n, k, hypergraph);
+  EXPECT_EQ(reference.seeds, dual.seeds);
+  EXPECT_EQ(reference.covered_samples, dual.covered_samples);
+}
+
+TEST(SelectDeterminism, AllVariantsAgreeOnRandomFixtures) {
+  for (std::uint64_t seed : {7u, 77u, 777u})
+    expect_all_variants_agree(120, 9, random_samples(120, 360, 8, seed));
+}
+
+TEST(SelectDeterminism, AllVariantsAgreeOnTies) {
+  // Every round is a tie on purpose: vertices 2/5 and then 3/8 have equal
+  // counters, so any variant that does not break ties to the smallest id
+  // (or lets thread interleaving pick the winner) diverges here.
+  std::vector<RRRSet> samples = {{2, 5}, {2, 5}, {3, 8}, {3, 8}};
+  expect_all_variants_agree(10, 4, samples);
+}
+
+TEST(SelectDeterminism, AllVariantsAgreeOnZeroCoverageTail) {
+  // k exceeds the number of useful picks; the zero-counter fallback order
+  // must also match across variants.
+  std::vector<RRRSet> samples = {{4}, {4}, {6}};
+  expect_all_variants_agree(9, 5, samples);
+}
+
 // --- building blocks ----------------------------------------------------------------
 
 TEST(CountMemberships, CountsEveryAssociation) {
