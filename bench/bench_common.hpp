@@ -17,6 +17,8 @@
 ///   --csv <path>    also write the table as CSV
 ///   --json-report <path>  enable metrics and write the structured run
 ///                   reports (one per driver execution) at process exit
+///   --trace <path>  enable span tracing and write a Chrome trace-event
+///                   JSON timeline (Perfetto-loadable) at process exit
 ///   --full          run the paper's full parameter grid instead of the
 ///                   time-budgeted default subset
 #ifndef RIPPLES_BENCH_COMMON_HPP
@@ -38,6 +40,7 @@ struct BenchConfig {
   std::string snap_dir;
   std::string csv_path;
   std::string json_report;
+  std::string trace_path;
   bool full;
 
   static BenchConfig parse(const CommandLine &cli, double default_scale) {
@@ -49,12 +52,16 @@ struct BenchConfig {
     config.snap_dir = cli.get("snap-dir", std::string());
     config.csv_path = cli.get("csv", std::string());
     config.json_report = cli.get("json-report", std::string());
+    config.trace_path = cli.get("trace", std::string());
     config.full = cli.has_flag("full");
     // Every driver run appends its RunReport to the process-wide log; the
     // atexit hook flushes them all, so each bench binary gets structured
     // output from this one line.
     if (!config.json_report.empty())
       metrics::write_reports_at_exit(config.json_report);
+    // Same pattern for the timeline: spans buffer during the run and the
+    // atexit hook writes one Chrome trace-event document.
+    if (!config.trace_path.empty()) trace::start(config.trace_path);
     return config;
   }
 };

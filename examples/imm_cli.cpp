@@ -11,6 +11,8 @@
 ///           [--threads N] [--ranks P] [--rng counter|leapfrog]
 ///           [--evaluate-trials 0] [--json out.json] [--seed S]
 ///           [--json-report report.json]   (structured metrics run report)
+///           [--trace trace.json]          (Chrome trace-event timeline,
+///                                          loadable in Perfetto)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
 #include <cstdio>
 #include <fstream>
@@ -139,9 +141,14 @@ int main(int argc, char **argv) {
   const DiffusionModel model = parse_model(cli.get("model", std::string("IC")));
   const std::string driver = cli.get("driver", std::string("mt"));
   // Enable metrics before the run so the report captures communication
-  // volume and registry counters (RIPPLES_METRICS=1 works too).
+  // volume and registry counters (RIPPLES_METRICS=1 works too).  The report
+  // log flushes at exit, carrying the registry alongside the run report.
   const std::string report_path = cli.get("json-report", std::string());
-  if (!report_path.empty()) metrics::set_enabled(true);
+  if (!report_path.empty()) metrics::write_reports_at_exit(report_path);
+  // Span tracing is independent of metrics: RIPPLES_TRACE=1 (or =path)
+  // works too; --trace <path> both enables it and names the output.
+  const std::string trace_path = cli.get("trace", std::string());
+  if (!trace_path.empty()) trace::set_enabled(true);
 
   CsrGraph graph = load_graph(cli, seed, model);
   GraphStats stats = compute_stats(graph);
@@ -176,12 +183,15 @@ int main(int argc, char **argv) {
     write_json(*json, driver, result, influence, stats);
     std::printf("[json written to %s]\n", json->c_str());
   }
-  if (!report_path.empty()) {
-    if (result.report.write_json_file(report_path))
-      std::printf("[run report written to %s]\n", report_path.c_str());
+  if (!report_path.empty())
+    std::printf("[run report will be written to %s]\n", report_path.c_str());
+  if (!trace_path.empty()) {
+    // Explicit write (the mpsim ranks have joined, so buffers are
+    // quiescent) with a confirmation line; no atexit hook was armed.
+    if (trace::write_json_file(trace_path))
+      std::printf("[trace written to %s]\n", trace_path.c_str());
     else
-      std::fprintf(stderr, "cannot write run report to %s\n",
-                   report_path.c_str());
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_path.c_str());
   }
   return 0;
 }

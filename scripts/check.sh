@@ -1,22 +1,34 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus a ThreadSanitizer pass over the concurrency
-# hot-spots (the mpsim runtime and Algorithm 4 selection).
+# Tier-1 verification plus sanitizer passes over the concurrency and memory
+# hot-spots (the mpsim runtime, Algorithm 4 selection, RRR storage).
 #
 #   scripts/check.sh            # full check
-#   scripts/check.sh --no-tsan  # tier-1 build + tests only
+#   scripts/check.sh --no-tsan  # skip the ThreadSanitizer stage
+#   scripts/check.sh --no-asan  # skip the AddressSanitizer stage
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
-# CMakeLists.txt; 'address' is also available) and runs mpsim_test and
-# select_test.  OpenMP barrier synchronization is invisible to TSan because
-# libgomp is not instrumented; scripts/tsan-suppressions.txt silences those
-# known false positives while keeping the std::thread-based mpsim runtime
-# fully checked.
+# CMakeLists.txt) and runs mpsim_test and select_test.  OpenMP barrier
+# synchronization is invisible to TSan because libgomp is not instrumented;
+# scripts/tsan-suppressions.txt silences those known false positives while
+# keeping the std::thread-based mpsim runtime fully checked.
+#
+# The ASan stage builds with -DRIPPLES_SANITIZE=address and runs imm_test
+# and rrr_test — the drivers with the largest allocation churn (RRR
+# collections, flat storage, hypergraph index) and therefore the best
+# leak/overflow coverage per test second.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) run_tsan=0 ;;
+    --no-asan) run_asan=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan)" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -35,6 +47,17 @@ if [[ "$run_tsan" == 1 ]]; then
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan-suppressions.txt"
   ./build-tsan/tests/mpsim_test
   ./build-tsan/tests/select_test
+fi
+
+if [[ "$run_asan" == 1 ]]; then
+  echo "== asan: build imm_test + rrr_test =="
+  cmake -B build-asan -S . -DRIPPLES_SANITIZE=address \
+    -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
+  cmake --build build-asan --target imm_test rrr_test -j "$jobs"
+
+  echo "== asan: run =="
+  ./build-asan/tests/imm_test
+  ./build-asan/tests/rrr_test
 fi
 
 echo "== all checks passed =="

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Diff two ripples --json-report files and flag regressions.
+
+Accepts either format the toolchain emits: a report log
+({"schema_version", "reports": [...], "registry": ...}, written at exit by
+bench binaries and imm_cli) or a single standalone RunReport document.
+Reports are matched by driver name in order of appearance, so a baseline and
+candidate produced by the same bench invocation line up automatically.
+
+Three families of checks, each with its own threshold:
+
+  * phase wall-times (`phases_seconds`): candidate may exceed baseline by
+    --phase-tolerance (relative, default 0.25) before a phase counts as a
+    regression, and only when the absolute growth also exceeds
+    --phase-min-seconds (default 0.05) — sub-tick phases are noise.
+  * mpsim collective traffic (`mpsim.<collective>.{calls,bytes}`): the
+    communication volume of a fixed configuration is deterministic, so the
+    default --mpsim-tolerance is 0 (exact match).
+  * RRR histogram (`samples.size_histogram.{count,sum}`): sampling is
+    counter-based and reproducible, so the default --histogram-tolerance
+    is 0 as well.
+
+Exit status: 0 when no check fails, 1 on any regression or match failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_reports(path):
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if isinstance(doc, dict) and isinstance(doc.get("reports"), list):
+        return doc["reports"]
+    if isinstance(doc, dict) and "driver" in doc:
+        return [doc]
+    raise ValueError(f"{path}: neither a report log nor a single run report")
+
+
+def pair_reports(baseline, candidate):
+    """Match reports by (driver, per-driver occurrence index)."""
+    def keyed(reports):
+        seen = {}
+        out = {}
+        for report in reports:
+            driver = report.get("driver", "?")
+            index = seen.get(driver, 0)
+            seen[driver] = index + 1
+            out[(driver, index)] = report
+        return out
+
+    base_map = keyed(baseline)
+    cand_map = keyed(candidate)
+    pairs = [(key, base_map[key], cand_map[key])
+             for key in base_map if key in cand_map]
+    missing = sorted(set(base_map) - set(cand_map))
+    extra = sorted(set(cand_map) - set(base_map))
+    return pairs, missing, extra
+
+
+def dig(report, *keys):
+    node = report
+    for key in keys:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+class Comparison:
+    def __init__(self, args):
+        self.args = args
+        self.failures = []
+        self.checked = 0
+
+    def fail(self, message):
+        self.failures.append(message)
+        print(f"FAIL  {message}")
+
+    def check_relative(self, label, base, cand, tolerance, min_delta=0.0):
+        """Flags cand exceeding base by more than `tolerance` (relative)."""
+        self.checked += 1
+        if base is None or cand is None:
+            self.fail(f"{label}: missing value (baseline={base}, "
+                      f"candidate={cand})")
+            return
+        delta = cand - base
+        limit = abs(base) * tolerance
+        if delta > limit and delta > min_delta:
+            grown = (cand / base - 1.0) * 100.0 if base else float("inf")
+            self.fail(f"{label}: {base:g} -> {cand:g} "
+                      f"(+{grown:.1f}% > {tolerance * 100:.0f}% tolerance)")
+        else:
+            print(f"ok    {label}: {base:g} -> {cand:g}")
+
+    def compare_report(self, key, base, cand):
+        driver, index = key
+        label = f"{driver}[{index}]"
+
+        for phase in ("estimate_theta", "sample", "select_seeds", "other",
+                      "total"):
+            self.check_relative(
+                f"{label}.phases.{phase}",
+                dig(base, "phases_seconds", phase),
+                dig(cand, "phases_seconds", phase),
+                self.args.phase_tolerance,
+                self.args.phase_min_seconds)
+
+        base_comm = dig(base, "mpsim") or {}
+        cand_comm = dig(cand, "mpsim") or {}
+        for collective in sorted(set(base_comm) | set(cand_comm)):
+            for field in ("calls", "bytes"):
+                self.check_relative(
+                    f"{label}.mpsim.{collective}.{field}",
+                    dig(base_comm, collective, field) or 0,
+                    dig(cand_comm, collective, field) or 0,
+                    self.args.mpsim_tolerance)
+
+        for field in ("count", "sum"):
+            self.check_relative(
+                f"{label}.rrr_histogram.{field}",
+                dig(base, "samples", "size_histogram", field),
+                dig(cand, "samples", "size_histogram", field),
+                self.args.histogram_tolerance)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline --json-report file")
+    parser.add_argument("candidate", help="candidate --json-report file")
+    parser.add_argument("--phase-tolerance", type=float, default=0.25,
+                        help="relative growth allowed per phase time "
+                             "(default 0.25)")
+    parser.add_argument("--phase-min-seconds", type=float, default=0.05,
+                        help="absolute growth a phase regression must also "
+                             "exceed (default 0.05)")
+    parser.add_argument("--mpsim-tolerance", type=float, default=0.0,
+                        help="relative growth allowed for collective "
+                             "calls/bytes (default 0: exact)")
+    parser.add_argument("--histogram-tolerance", type=float, default=0.0,
+                        help="relative growth allowed for RRR histogram "
+                             "count/sum (default 0: exact)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="don't fail when a baseline report has no "
+                             "candidate counterpart")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_reports(args.baseline)
+        candidate = load_reports(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    pairs, missing, extra = pair_reports(baseline, candidate)
+    comparison = Comparison(args)
+    for key, base, cand in pairs:
+        comparison.compare_report(key, base, cand)
+    for key in missing:
+        message = f"{key[0]}[{key[1]}]: present in baseline only"
+        if args.allow_missing:
+            print(f"note  {message}")
+        else:
+            comparison.fail(message)
+    for key in extra:
+        print(f"note  {key[0]}[{key[1]}]: present in candidate only")
+
+    status = "FAILED" if comparison.failures else "passed"
+    print(f"\n{comparison.checked} checks over {len(pairs)} report pair(s): "
+          f"{len(comparison.failures)} regression(s) — {status}")
+    return 1 if comparison.failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by ripples::trace.
+
+Checks the structural schema that Perfetto / chrome://tracing require (the
+JSON Object Format: a top-level object with a `traceEvents` array of events
+carrying name/ph/ts/pid/tid, durations on complete events) plus the
+ripples-specific envelope (`otherData` with a drop count).  Optionally
+enforces that specific categories were traced, which is how the test suite
+pins the "spans from >= 4 subsystems" acceptance bar.
+
+Usage:
+  validate_trace.py trace.json [--require-categories imm,sampler,select,mpsim]
+                               [--min-events N]
+
+Exit status: 0 when valid, 1 on any violation (each is printed).
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C", "M"}
+
+
+def validate(doc, require_categories, min_events):
+    errors = []
+
+    def check(condition, message):
+        if not condition:
+            errors.append(message)
+        return condition
+
+    if not check(isinstance(doc, dict), "top level must be a JSON object"):
+        return errors, {}
+    events = doc.get("traceEvents")
+    if not check(isinstance(events, list), "missing traceEvents array"):
+        return errors, {}
+    other = doc.get("otherData")
+    check(isinstance(other, dict) and "dropped_events" in other,
+          "missing otherData.dropped_events")
+
+    categories = set()
+    pids = set()
+    data_events = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not check(isinstance(event, dict), f"{where}: not an object"):
+            continue
+        check(isinstance(event.get("name"), str), f"{where}: missing name")
+        phase = event.get("ph")
+        if not check(phase in VALID_PHASES,
+                     f"{where}: bad ph {phase!r} (expected one of "
+                     f"{sorted(VALID_PHASES)})"):
+            continue
+        check(isinstance(event.get("pid"), int), f"{where}: missing pid")
+        if phase == "M":
+            continue  # metadata events carry no timestamp
+        data_events += 1
+        pids.add(event.get("pid"))
+        categories.add(event.get("cat"))
+        check(isinstance(event.get("cat"), str), f"{where}: missing cat")
+        check(isinstance(event.get("tid"), int), f"{where}: missing tid")
+        ts = event.get("ts")
+        check(isinstance(ts, (int, float)) and ts >= 0,
+              f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            check(isinstance(dur, (int, float)) and dur >= 0,
+                  f"{where}: complete event needs dur >= 0, got {dur!r}")
+        if phase == "i":
+            check(event.get("s") in ("t", "p", "g"),
+                  f"{where}: instant needs scope s")
+
+    check(data_events >= min_events,
+          f"expected >= {min_events} data events, found {data_events}")
+    for category in require_categories:
+        check(category in categories,
+              f"required category {category!r} absent "
+              f"(traced: {sorted(c for c in categories if c)})")
+
+    summary = {
+        "events": data_events,
+        "categories": sorted(c for c in categories if c),
+        "pids": sorted(pids),
+        "dropped": (other or {}).get("dropped_events"),
+    }
+    return errors, summary
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="trace-event JSON file to validate")
+    parser.add_argument("--require-categories", default="",
+                        help="comma-separated categories that must appear")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of data events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"error: cannot load {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    required = [c for c in args.require_categories.split(",") if c]
+    errors, summary = validate(doc, required, args.min_events)
+    if errors:
+        for message in errors:
+            print(f"error: {message}", file=sys.stderr)
+        print(f"{args.trace}: INVALID ({len(errors)} problem(s))",
+              file=sys.stderr)
+        return 1
+    print(f"{args.trace}: valid trace with {summary['events']} events, "
+          f"categories={summary['categories']}, pids={summary['pids']}, "
+          f"dropped={summary['dropped']}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,10 +7,28 @@
 #include "rng/philox.hpp"
 #include "support/assert.hpp"
 #include "support/bitvector.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
 namespace {
+
+/// Registry accounting for completed trials and their activation counts.
+/// The LogHistogram is atomic, so concurrent trials record directly.
+void count_trials(std::uint64_t trials) {
+  if (!metrics::enabled()) return;
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("diffusion.trials");
+  counter.add(trials);
+}
+
+void record_activated(std::size_t activated) {
+  if (!metrics::enabled()) return;
+  static metrics::LogHistogram &sizes =
+      metrics::Registry::instance().histogram("diffusion.activated");
+  sizes.record(activated);
+}
 
 /// Independent Cascade forward process: BFS where each edge fires once with
 /// its own probability.
@@ -91,10 +109,15 @@ std::size_t simulate_diffusion(const CsrGraph &graph,
                                std::span<const vertex_t> seeds,
                                DiffusionModel model, std::uint64_t seed) {
   for (vertex_t s : seeds) RIPPLES_ASSERT(s < graph.num_vertices());
+  trace::Span span("diffusion", "diffusion.simulate", "seeds", seeds.size());
   Philox4x32 rng(seed, /*counter_hi=*/0);
-  return model == DiffusionModel::IndependentCascade
-             ? simulate_ic(graph, seeds, rng)
-             : simulate_lt(graph, seeds, rng);
+  std::size_t activated = model == DiffusionModel::IndependentCascade
+                              ? simulate_ic(graph, seeds, rng)
+                              : simulate_lt(graph, seeds, rng);
+  count_trials(1);
+  record_activated(activated);
+  span.arg("activated", activated);
+  return activated;
 }
 
 InfluenceEstimate estimate_influence(const CsrGraph &graph,
@@ -103,6 +126,8 @@ InfluenceEstimate estimate_influence(const CsrGraph &graph,
                                      std::uint64_t seed) {
   RIPPLES_ASSERT(trials > 0);
   for (vertex_t s : seeds) RIPPLES_ASSERT(s < graph.num_vertices());
+  trace::Span span("diffusion", "diffusion.estimate", "trials", trials,
+                   "seeds", seeds.size());
 
   double sum = 0, sum_squares = 0;
 #pragma omp parallel for schedule(dynamic, 8) reduction(+ : sum, sum_squares)
@@ -113,10 +138,12 @@ InfluenceEstimate estimate_influence(const CsrGraph &graph,
     std::size_t size = model == DiffusionModel::IndependentCascade
                            ? simulate_ic(graph, seeds, rng)
                            : simulate_lt(graph, seeds, rng);
+    record_activated(size);
     auto x = static_cast<double>(size);
     sum += x;
     sum_squares += x * x;
   }
+  count_trials(trials);
 
   InfluenceEstimate estimate;
   estimate.trials = trials;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "graph/timing.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 #include "support/assert.hpp"
@@ -22,6 +23,7 @@ std::uint64_t arc_key(vertex_t s, vertex_t d) {
 
 EdgeList erdos_renyi(vertex_t num_vertices, edge_offset_t num_edges,
                      std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.erdos_renyi");
   RIPPLES_ASSERT(num_vertices >= 2);
   const auto max_arcs = static_cast<edge_offset_t>(num_vertices) *
                         (num_vertices - 1);
@@ -45,6 +47,7 @@ EdgeList erdos_renyi(vertex_t num_vertices, edge_offset_t num_edges,
 
 EdgeList barabasi_albert(vertex_t num_vertices, unsigned edges_per_vertex,
                          std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.barabasi_albert");
   RIPPLES_ASSERT(edges_per_vertex >= 1);
   RIPPLES_ASSERT(num_vertices > edges_per_vertex);
 
@@ -92,6 +95,7 @@ EdgeList barabasi_albert(vertex_t num_vertices, unsigned edges_per_vertex,
 
 EdgeList watts_strogatz(vertex_t num_vertices, unsigned neighbors_per_side,
                         double beta, std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.watts_strogatz");
   RIPPLES_ASSERT(num_vertices > 2 * neighbors_per_side);
   RIPPLES_ASSERT(beta >= 0.0 && beta <= 1.0);
 
@@ -135,6 +139,7 @@ EdgeList watts_strogatz(vertex_t num_vertices, unsigned neighbors_per_side,
 }
 
 EdgeList rmat(const RmatParams &params, std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.rmat");
   RIPPLES_ASSERT(params.scale >= 1 && params.scale <= 31);
   const double sum = params.a + params.b + params.c + params.d;
   RIPPLES_ASSERT_MSG(std::abs(sum - 1.0) < 1e-9,
@@ -198,6 +203,7 @@ EdgeList rmat(const RmatParams &params, std::uint64_t seed) {
 
 EdgeList stochastic_block_model(const std::vector<vertex_t> &block_sizes,
                                 double p_in, double p_out, std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.stochastic_block_model");
   RIPPLES_ASSERT(p_in >= 0.0 && p_in <= 1.0);
   RIPPLES_ASSERT(p_out >= 0.0 && p_out <= 1.0);
 

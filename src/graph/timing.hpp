@@ -1,0 +1,47 @@
+/// \file timing.hpp
+/// \brief Shared wall-time accounting for graph construction routines.
+///
+/// Generators and weight assignment run once per experiment, off the solver
+/// hot path, but their cost still belongs in the run report: on large R-MAT
+/// instances construction can rival the IMM phases.  Each instrumented call
+/// gets a "graph"-category trace span plus a registry counter
+/// `<name>.micros`, surfaced through the report log's "registry" section.
+#ifndef RIPPLES_GRAPH_TIMING_HPP
+#define RIPPLES_GRAPH_TIMING_HPP
+
+#include <string>
+
+#include "support/metrics.hpp"
+#include "support/timer.hpp"
+#include "support/trace.hpp"
+
+namespace ripples::detail {
+
+/// RAII scope timing one construction call.  \p name must be a string
+/// literal (the trace span borrows it).  The per-name counter lookup
+/// allocates, which is fine here: construction is cold by definition.
+class ScopedGraphTiming {
+public:
+  explicit ScopedGraphTiming(const char *name)
+      : name_(name), span_("graph", name) {}
+
+  ScopedGraphTiming(const ScopedGraphTiming &) = delete;
+  ScopedGraphTiming &operator=(const ScopedGraphTiming &) = delete;
+
+  ~ScopedGraphTiming() {
+    if (!metrics::enabled()) return;
+    auto micros = static_cast<std::uint64_t>(watch_.elapsed_seconds() * 1e6);
+    metrics::Registry::instance()
+        .counter(std::string(name_) + ".micros")
+        .add(micros);
+  }
+
+private:
+  const char *name_;
+  trace::Span span_;
+  StopWatch watch_;
+};
+
+} // namespace ripples::detail
+
+#endif // RIPPLES_GRAPH_TIMING_HPP

@@ -1,5 +1,6 @@
 #include "graph/weights.hpp"
 
+#include "graph/timing.hpp"
 #include "rng/distributions.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -7,6 +8,7 @@ namespace ripples {
 
 void assign_uniform_weights(CsrGraph &graph, std::uint64_t seed, float lo,
                             float hi) {
+  detail::ScopedGraphTiming timing("graph.assign_uniform_weights");
   Xoshiro256 rng(seed);
   // Draw per in-CSR entry (deterministic order), then mirror to the out-CSR.
   for (Adjacency &adjacent : graph.mutable_in_adjacency())
@@ -15,10 +17,12 @@ void assign_uniform_weights(CsrGraph &graph, std::uint64_t seed, float lo,
 }
 
 void assign_constant_weights(CsrGraph &graph, float p) {
+  detail::ScopedGraphTiming timing("graph.assign_constant_weights");
   graph.transform_weights([p](float) { return p; });
 }
 
 void assign_weighted_cascade(CsrGraph &graph) {
+  detail::ScopedGraphTiming timing("graph.assign_weighted_cascade");
   auto in_adjacency = graph.mutable_in_adjacency();
   for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
     auto begin = graph.in_offsets()[v];
@@ -31,6 +35,7 @@ void assign_weighted_cascade(CsrGraph &graph) {
 }
 
 void assign_trivalency_weights(CsrGraph &graph, std::uint64_t seed) {
+  detail::ScopedGraphTiming timing("graph.assign_trivalency_weights");
   static constexpr float kLevels[3] = {0.1f, 0.01f, 0.001f};
   Xoshiro256 rng(seed);
   for (Adjacency &adjacent : graph.mutable_in_adjacency())
@@ -39,6 +44,7 @@ void assign_trivalency_weights(CsrGraph &graph, std::uint64_t seed) {
 }
 
 void renormalize_linear_threshold(CsrGraph &graph) {
+  detail::ScopedGraphTiming timing("graph.renormalize_linear_threshold");
   auto in_adjacency = graph.mutable_in_adjacency();
   for (vertex_t v = 0; v < graph.num_vertices(); ++v) {
     auto begin = graph.in_offsets()[v];

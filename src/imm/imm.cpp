@@ -3,6 +3,7 @@
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -64,6 +65,7 @@ void record_sample_sizes(metrics::RunReport &report,
 ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
   ImmResult result;
   StopWatch total;
+  trace::Span driver_span("imm", "imm_sequential", "k", options.k);
   RRRCollection collection;
 
   auto extend_to = [&](std::uint64_t target) {
@@ -92,6 +94,7 @@ ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
                                   const ImmOptions &options) {
   ImmResult result;
   StopWatch total;
+  trace::Span driver_span("imm", "imm_baseline_hypergraph", "k", options.k);
   HypergraphCollection collection(graph.num_vertices());
 
   auto extend_to = [&](std::uint64_t target) {
@@ -121,6 +124,8 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
   RIPPLES_ASSERT(options.num_threads >= 1);
   ImmResult result;
   StopWatch total;
+  trace::Span driver_span("imm", "imm_multithreaded", "k", options.k,
+                          "threads", options.num_threads);
   RRRCollection collection;
 
   auto extend_to = [&](std::uint64_t target) {

@@ -17,6 +17,7 @@
 #include "imm/theta.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace ripples::detail {
 
@@ -48,8 +49,11 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
   double last_coverage = 0.0;
   {
     ScopedPhase phase(timers, Phase::EstimateTheta);
+    trace::Span estimate_span("imm", "imm.estimate_theta");
     for (std::uint32_t x = 1; x <= schedule.max_iterations(); ++x) {
       std::uint64_t target = schedule.target_samples(x);
+      trace::Span round_span("imm", "imm.estimation_round", "x", x, "target",
+                             target);
       outcome.num_samples = std::max(outcome.num_samples, target);
       outcome.estimation_iterations = x;
       outcome.extend_targets.push_back(target);
@@ -58,6 +62,7 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
       last_coverage = trial.coverage_fraction();
       if (schedule.accept(x, last_coverage, &outcome.lower_bound)) {
         accepted = true;
+        trace::instant("imm", "imm.estimation_accepted", "x", x);
         RIPPLES_LOG_DEBUG("estimation accepted at x=%u: |R|=%llu LB=%.1f", x,
                           static_cast<unsigned long long>(target),
                           outcome.lower_bound);
@@ -79,12 +84,15 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
   outcome.theta = schedule.final_theta(outcome.lower_bound);
   if (outcome.theta > outcome.num_samples) {
     ScopedPhase phase(timers, Phase::Sample);
+    trace::Span span("imm", "imm.sample", "theta", outcome.theta);
     outcome.extend_targets.push_back(outcome.theta);
     extend_to(outcome.theta);
     outcome.num_samples = outcome.theta;
   }
   {
     ScopedPhase phase(timers, Phase::SelectSeeds);
+    trace::Span span("imm", "imm.select_seeds", "k", k, "samples",
+                     outcome.num_samples);
     outcome.selection = select();
   }
   return outcome;

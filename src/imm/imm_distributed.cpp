@@ -20,6 +20,7 @@
 #include "mpsim/communicator.hpp"
 #include "rng/lcg.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -46,6 +47,8 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
 
   ImmResult result;
   StopWatch total;
+  trace::Span driver_span("imm", "imm_distributed", "k", options.k, "ranks",
+                          static_cast<std::uint64_t>(options.num_ranks));
   // Bracket the execution so the report carries only this run's volume.
   const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
   detail::MartingaleOutcome report_outcome;
@@ -67,6 +70,9 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
 
     auto extend_to = [&](std::uint64_t target) {
       if (target <= global_count) return;
+      // Rank-local slice of the batch; the sets arg is attached at the end
+      // because leap-frog generation doesn't know its count upfront.
+      trace::Span batch_span("sampler", "sampler.dist_batch", "target", target);
       if (options.rng_mode == RngMode::LeapfrogLcg) {
         for (std::uint64_t i = first_owned_index(global_count, rank, p);
              i < target; i += static_cast<std::uint64_t>(p)) {
@@ -98,6 +104,8 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
         }
       }
       global_count = target;
+      batch_span.arg("local_sets", local.size());
+      trace::counter("rrr_sets", local.size());
 
       // Aggregate representation footprint across ranks (the paper reports
       // per-node memory pressure; the sum is the cluster-wide cost).
@@ -116,9 +124,14 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     std::vector<std::uint32_t> local_counts(n);
     std::vector<std::uint32_t> global_counts(n);
     auto select = [&]() -> SelectionResult {
+      trace::Span span("select", "select.distributed", "k", options.k,
+                       "samples", local.size());
       // Local membership counts over R_rank...
       std::fill(local_counts.begin(), local_counts.end(), 0);
-      count_memberships(local.sets(), local_counts);
+      {
+        trace::Span count_span("select", "select.count_memberships");
+        count_memberships(local.sets(), local_counts);
+      }
 
       std::vector<std::uint8_t> retired(local.size(), 0);
       std::vector<std::uint8_t> selected(n, 0);
@@ -126,6 +139,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       SelectionResult selection;
       std::uint64_t local_covered = 0;
       for (std::uint32_t i = 0; i < options.k; ++i) {
+        trace::Span round("select", "select.round", "round", i);
         // ...aggregated into global counts with the All-Reduce that
         // dominates the communication (O(k n lg p) total).
         std::copy(local_counts.begin(), local_counts.end(),

@@ -39,6 +39,7 @@
 #include "mpsim/communicator.hpp"
 #include "rng/splitmix.hpp"
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -64,6 +65,8 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
 
   ImmResult result;
   StopWatch total;
+  trace::Span driver_span("imm", "imm_distributed_partitioned", "k", options.k,
+                          "ranks", static_cast<std::uint64_t>(options.num_ranks));
   // Bracket the execution so the report carries only this run's volume.
   const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
   detail::MartingaleOutcome report_outcome;
@@ -152,9 +155,12 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
     auto extend_to = [&](std::uint64_t target) {
       std::uint64_t first = slices.size();
       if (target <= first) return;
+      trace::Span batch_span("sampler", "sampler.dist_batch", "first", first,
+                             "count", target - first);
       slices.resize(target);
       for (std::uint64_t i = first; i < target; ++i)
         generate_sample(i, slices[i]);
+      trace::counter("rrr_sets", slices.size());
 
       std::uint64_t footprint[2] = {0, 0};
       for (const auto &slice : slices) {
@@ -175,6 +181,8 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
     std::vector<std::uint32_t> local_counts(n);
     std::vector<std::uint32_t> global_counts(n);
     auto select = [&]() -> SelectionResult {
+      trace::Span span("select", "select.partitioned", "k", options.k,
+                       "samples", slices.size());
       // Count memberships over the owned slices (only indices in [vl, vh)
       // are ever touched).
       std::fill(local_counts.begin(), local_counts.end(), 0);
@@ -188,6 +196,7 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
       SelectionResult selection;
       selection.total_samples = slices.size();
       for (std::uint32_t i = 0; i < options.k; ++i) {
+        trace::Span round("select", "select.round", "round", i);
         std::copy(local_counts.begin(), local_counts.end(),
                   global_counts.begin());
         comm.allreduce(std::span<std::uint32_t>(global_counts),

@@ -4,6 +4,7 @@
 
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -25,6 +26,8 @@ void sample_sequential(const CsrGraph &graph, DiffusionModel model,
                        std::uint64_t target_total, std::uint64_t seed,
                        RRRCollection &collection) {
   if (collection.size() >= target_total) return;
+  trace::Span span("sampler", "sampler.batch", "first", collection.size(),
+                   "count", target_total - collection.size());
   std::uint64_t first = collection.grow(target_total - collection.size());
   RRRGenerator generator(graph);
   auto &sets = collection.mutable_sets();
@@ -33,6 +36,7 @@ void sample_sequential(const CsrGraph &graph, DiffusionModel model,
     generator.generate_random_root(model, rng, sets[i]);
   }
   count_generated(target_total - first);
+  trace::counter("rrr_sets", collection.size());
 }
 
 void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
@@ -40,22 +44,33 @@ void sample_multithreaded(const CsrGraph &graph, DiffusionModel model,
                           unsigned num_threads, RRRCollection &collection) {
   RIPPLES_ASSERT(num_threads >= 1);
   if (collection.size() >= target_total) return;
+  trace::Span span("sampler", "sampler.batch", "first", collection.size(),
+                   "count", target_total - collection.size());
   std::uint64_t first = collection.grow(target_total - collection.size());
   auto &sets = collection.mutable_sets();
   auto count = static_cast<std::int64_t>(target_total - first);
 #pragma omp parallel num_threads(static_cast<int>(num_threads))
   {
     RRRGenerator generator(graph);
+    // One span per worker covering its share of the batch; `nowait` below
+    // ends it when the thread finishes its own iterations, so RRR-size
+    // imbalance shows as ragged span ends instead of being hidden behind
+    // the loop barrier.
+    trace::Span worker("sampler", "sampler.worker");
+    std::uint64_t generated = 0;
     // Dynamic schedule: RRR-set sizes are heavy-tailed under IC, so static
     // chunking would leave threads idle behind one giant traversal.
-#pragma omp for schedule(dynamic, 16)
+#pragma omp for schedule(dynamic, 16) nowait
     for (std::int64_t offset = 0; offset < count; ++offset) {
       std::uint64_t i = first + static_cast<std::uint64_t>(offset);
       Philox4x32 rng = sample_stream(seed, i);
       generator.generate_random_root(model, rng, sets[i]);
+      ++generated;
     }
+    worker.arg("sets", generated);
   }
   count_generated(static_cast<std::uint64_t>(count));
+  trace::counter("rrr_sets", collection.size());
 }
 
 void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
@@ -64,12 +79,16 @@ void sample_sequential_flat(const CsrGraph &graph, DiffusionModel model,
   RRRGenerator generator(graph);
   RRRSet scratch;
   std::uint64_t first = collection.size();
+  if (first >= target_total) return;
+  trace::Span span("sampler", "sampler.batch_flat", "first", first, "count",
+                   target_total - first);
   for (std::uint64_t i = first; i < target_total; ++i) {
     Philox4x32 rng = sample_stream(seed, i);
     generator.generate_random_root(model, rng, scratch);
     collection.append(scratch);
   }
-  if (target_total > first) count_generated(target_total - first);
+  count_generated(target_total - first);
+  trace::counter("rrr_sets", collection.size());
 }
 
 void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
@@ -78,13 +97,17 @@ void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
   RRRGenerator generator(graph);
   RRRSet scratch;
   std::uint64_t first = collection.size();
+  if (first >= target_total) return;
+  trace::Span span("sampler", "sampler.batch_hypergraph", "first", first,
+                   "count", target_total - first);
   for (std::uint64_t i = first; i < target_total; ++i) {
     Philox4x32 rng = sample_stream(seed, i);
     generator.generate_random_root(model, rng, scratch);
     collection.add(std::move(scratch));
     scratch = {};
   }
-  if (target_total > first) count_generated(target_total - first);
+  count_generated(target_total - first);
+  trace::counter("rrr_sets", collection.size());
 }
 
 } // namespace ripples

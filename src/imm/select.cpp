@@ -4,6 +4,7 @@
 #include <omp.h>
 
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -64,8 +65,13 @@ vertex_t argmax_counter(std::span<const std::uint32_t> counters,
 SelectionResult select_seeds(vertex_t num_vertices, std::uint32_t k,
                              std::span<const RRRSet> samples) {
   RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  trace::Span span("select", "select.greedy", "k", k, "samples",
+                   samples.size());
   std::vector<std::uint32_t> counters(num_vertices, 0);
-  count_memberships(samples, counters);
+  {
+    trace::Span count_span("select", "select.count_memberships");
+    count_memberships(samples, counters);
+  }
 
   std::vector<std::uint8_t> retired(samples.size(), 0);
   std::vector<std::uint8_t> selected(num_vertices, 0);
@@ -74,11 +80,14 @@ SelectionResult select_seeds(vertex_t num_vertices, std::uint32_t k,
   result.total_samples = samples.size();
   result.seeds.reserve(k);
   for (std::uint32_t i = 0; i < k; ++i) {
+    trace::Span round("select", "select.round", "round", i);
     vertex_t seed = argmax_counter(counters, selected);
     selected[seed] = 1;
     result.seeds.push_back(seed);
-    result.covered_samples +=
+    std::uint64_t covered =
         retire_samples_containing(seed, samples, counters, retired);
+    result.covered_samples += covered;
+    round.arg("covered", covered);
   }
   return result;
 }
@@ -89,6 +98,8 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
                                            unsigned num_threads) {
   RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
   RIPPLES_ASSERT(num_threads >= 1);
+  trace::Span span("select", "select.multithreaded", "k", k, "samples",
+                   samples.size());
 
   std::vector<std::uint32_t> counters(num_vertices, 0);
   std::vector<std::uint8_t> retired(samples.size(), 0);
@@ -125,9 +136,14 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
     // Counting step: every thread visits all samples but touches only the
     // counters it owns; the sorted sample lets it binary-search to vl and
     // scan its slice in cache order (Section 3.1).
-    for (const RRRSet &sample : samples) {
-      auto it = std::lower_bound(sample.begin(), sample.end(), vl);
-      for (; it != sample.end() && *it < vh; ++it) ++counters[*it];
+    {
+      // Per-thread span ending before the barrier, so interval imbalance in
+      // the counting pass is visible as ragged span ends.
+      trace::Span count_span("select", "select.count", "thread", t);
+      for (const RRRSet &sample : samples) {
+        auto it = std::lower_bound(sample.begin(), sample.end(), vl);
+        for (; it != sample.end() && *it < vh; ++it) ++counters[*it];
+      }
     }
 #pragma omp barrier
 
@@ -159,6 +175,7 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
         chosen = global.vertex;
         selected[chosen] = 1;
         result.seeds.push_back(chosen);
+        trace::instant("select", "select.round", "round", i, "seed", chosen);
       } // implicit barrier: `chosen` is visible to all threads
 
       // Decrement phase, with retirement fused in: for every live sample
@@ -170,15 +187,20 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
       // only read during this pass; the queued flags are written after the
       // barrier below, so all threads see a consistent view.
       my_retired.clear();
-      for (const RRRSet &sample : samples) {
-        const std::size_t j = static_cast<std::size_t>(&sample - samples.data());
-        if (retired[j]) continue;
-        if (!sample_contains(sample, chosen)) continue;
-        if (j % p == t) my_retired.push_back(j);
-        auto it = std::lower_bound(sample.begin(), sample.end(), vl);
-        for (; it != sample.end() && *it < vh; ++it) {
-          RIPPLES_DEBUG_ASSERT(counters[*it] > 0);
-          --counters[*it];
+      {
+        trace::Span decrement_span("select", "select.decrement", "round", i,
+                                   "thread", t);
+        for (const RRRSet &sample : samples) {
+          const std::size_t j =
+              static_cast<std::size_t>(&sample - samples.data());
+          if (retired[j]) continue;
+          if (!sample_contains(sample, chosen)) continue;
+          if (j % p == t) my_retired.push_back(j);
+          auto it = std::lower_bound(sample.begin(), sample.end(), vl);
+          for (; it != sample.end() && *it < vh; ++it) {
+            RIPPLES_DEBUG_ASSERT(counters[*it] > 0);
+            --counters[*it];
+          }
         }
       }
 #pragma omp barrier
@@ -198,6 +220,8 @@ SelectionResult select_seeds_multithreaded(vertex_t num_vertices,
 SelectionResult select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
                                   const FlatRRRCollection &collection) {
   RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  trace::Span span("select", "select.flat", "k", k, "samples",
+                   collection.size());
   std::vector<std::uint32_t> counters(num_vertices, 0);
   for (std::size_t j = 0; j < collection.size(); ++j)
     for (vertex_t v : collection.sample(j)) ++counters[v];
@@ -230,8 +254,12 @@ SelectionResult select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
 SelectionResult select_seeds_lazy(vertex_t num_vertices, std::uint32_t k,
                                   std::span<const RRRSet> samples) {
   RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  trace::Span span("select", "select.lazy", "k", k, "samples", samples.size());
   std::vector<std::uint32_t> counters(num_vertices, 0);
-  count_memberships(samples, counters);
+  {
+    trace::Span count_span("select", "select.count_memberships");
+    count_memberships(samples, counters);
+  }
 
   // Max-heap of (cached count, vertex), higher count first, ties to the
   // smaller vertex id so the output matches the eager implementations.
@@ -251,27 +279,40 @@ SelectionResult select_seeds_lazy(vertex_t num_vertices, std::uint32_t k,
   SelectionResult result;
   result.total_samples = samples.size();
   result.seeds.reserve(k);
+  std::uint64_t stale_refreshes = 0;
   while (result.seeds.size() < k) {
-    RIPPLES_ASSERT_MSG(!heap.empty(), "k exceeds the number of vertices");
-    std::pop_heap(heap.begin(), heap.end(), lower_priority);
-    Entry top = heap.back();
-    heap.pop_back();
-    if (top.count != counters[top.vertex]) {
-      // Stale cache: counters only decrease, so refresh and reinsert.
-      heap.push_back({counters[top.vertex], top.vertex});
-      std::push_heap(heap.begin(), heap.end(), lower_priority);
-      continue;
+    trace::Span round("select", "select.round", "round", result.seeds.size());
+    std::uint64_t round_stale = 0;
+    for (;;) {
+      RIPPLES_ASSERT_MSG(!heap.empty(), "k exceeds the number of vertices");
+      std::pop_heap(heap.begin(), heap.end(), lower_priority);
+      Entry top = heap.back();
+      heap.pop_back();
+      if (top.count != counters[top.vertex]) {
+        // Stale cache: counters only decrease, so refresh and reinsert.
+        heap.push_back({counters[top.vertex], top.vertex});
+        std::push_heap(heap.begin(), heap.end(), lower_priority);
+        ++round_stale;
+        continue;
+      }
+      result.seeds.push_back(top.vertex);
+      result.covered_samples +=
+          retire_samples_containing(top.vertex, samples, counters, retired);
+      break;
     }
-    result.seeds.push_back(top.vertex);
-    result.covered_samples +=
-        retire_samples_containing(top.vertex, samples, counters, retired);
+    stale_refreshes += round_stale;
+    round.arg("stale", round_stale);
   }
+  trace::instant("select", "select.lazy_done", "stale_refreshes",
+                 stale_refreshes);
   return result;
 }
 
 SelectionResult select_seeds_hypergraph(vertex_t num_vertices, std::uint32_t k,
                                         const HypergraphCollection &collection) {
   RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  trace::Span span("select", "select.hypergraph", "k", k, "samples",
+                   collection.size());
   // The vertex -> samples index gives the initial counters for free and
   // makes retirement proportional to the retired samples only — the
   // selection-speed advantage the paper attributes to the hypergraph

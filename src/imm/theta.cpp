@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/assert.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -44,6 +45,8 @@ ThetaSchedule::ThetaSchedule(std::uint64_t num_vertices, std::uint32_t k,
   lambda_star_ = 2.0 * n * term * term / (epsilon * epsilon);
 
   max_iterations_ = static_cast<std::uint32_t>(std::max(1.0, std::floor(log2_n)));
+  trace::instant("theta", "theta.schedule", "max_iterations", max_iterations_,
+                 "lambda_star", static_cast<std::uint64_t>(lambda_star_));
 }
 
 std::uint64_t ThetaSchedule::target_samples(std::uint32_t x) const {
@@ -61,6 +64,8 @@ bool ThetaSchedule::accept(std::uint32_t x, double coverage_fraction,
       (1.0 + epsilon_prime_) * num_vertices_ / std::exp2(static_cast<double>(x));
   if (estimate < threshold) return false;
   if (lower_bound) *lower_bound = estimate / (1.0 + epsilon_prime_);
+  trace::instant("theta", "theta.accept", "x", x, "estimate",
+                 static_cast<std::uint64_t>(estimate));
   return true;
 }
 

@@ -174,6 +174,7 @@ void Communicator::sync() { shared_.sync.arrive_and_wait(shared_.aborted); }
 
 void Communicator::barrier() {
   record(Collective::Barrier, 0);
+  trace::Span span("mpsim", "mpsim.barrier");
   sync();
 }
 
@@ -197,6 +198,8 @@ void Communicator::send_bytes(const void *data, std::size_t bytes,
   RIPPLES_ASSERT(destination >= 0 && destination < size_);
   RIPPLES_ASSERT_MSG(destination != rank_, "self-send would deadlock");
   record(Collective::Send, bytes);
+  trace::Span span("mpsim", "mpsim.send", "bytes", bytes, "peer",
+                   static_cast<std::uint64_t>(destination));
   detail::Mailbox &box = shared_.mailbox(rank_, destination, size_);
   std::unique_lock<std::mutex> lock(box.mutex);
   // Wait for the previous message on this channel to be consumed.
@@ -226,6 +229,8 @@ void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
   RIPPLES_ASSERT(source >= 0 && source < size_);
   RIPPLES_ASSERT_MSG(source != rank_, "self-receive would deadlock");
   record(Collective::Recv, bytes);
+  trace::Span span("mpsim", "mpsim.recv", "bytes", bytes, "peer",
+                   static_cast<std::uint64_t>(source));
   detail::Mailbox &box = shared_.mailbox(source, rank_, size_);
   std::unique_lock<std::mutex> lock(box.mutex);
   while (!box.posted) {
@@ -249,6 +254,13 @@ void Context::run(int num_ranks,
   std::exception_ptr first_error;
 
   auto rank_body = [&](int rank) {
+    // Rank identity for the tracer: events from this thread (and its scope)
+    // group under trace process `rank`.  RankScope restores the previous
+    // rank on exit — rank 0 runs on the calling thread, which may have its
+    // own identity.
+    trace::RankScope rank_scope(rank);
+    trace::Span rank_span("mpsim", "mpsim.rank", "rank",
+                          static_cast<std::uint64_t>(rank));
     Communicator comm(rank, num_ranks, shared);
     try {
       rank_main(comm);

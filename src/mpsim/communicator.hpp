@@ -39,6 +39,7 @@
 
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace ripples::mpsim {
 
@@ -134,6 +135,8 @@ public:
   template <typename T> void allreduce(std::span<T> buffer, ReduceOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
     record(Collective::Allreduce, buffer.size() * sizeof(T));
+    trace::Span span("mpsim", "mpsim.allreduce", "bytes",
+                     buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
     sync();
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
@@ -146,6 +149,8 @@ public:
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
     record(Collective::Reduce, buffer.size() * sizeof(T));
+    trace::Span span("mpsim", "mpsim.reduce", "bytes",
+                     buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
     sync();
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
@@ -157,6 +162,8 @@ public:
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
     record(Collective::Broadcast, buffer.size() * sizeof(T));
+    trace::Span span("mpsim", "mpsim.broadcast", "bytes",
+                     buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
     sync();
     if (rank_ != root) {
@@ -171,6 +178,7 @@ public:
   template <typename T> std::vector<T> allgather(const T &value) {
     static_assert(std::is_trivially_copyable_v<T>);
     record(Collective::Allgather, sizeof(T));
+    trace::Span span("mpsim", "mpsim.allgather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
     sync();
     std::vector<T> gathered(static_cast<std::size_t>(size_));
@@ -186,6 +194,7 @@ public:
     static_assert(std::is_trivially_copyable_v<T>);
     RIPPLES_ASSERT(root >= 0 && root < size_);
     record(Collective::Gather, sizeof(T));
+    trace::Span span("mpsim", "mpsim.gather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
     sync();
     std::vector<T> gathered;
@@ -208,6 +217,7 @@ public:
       RIPPLES_ASSERT_MSG(values.size() == static_cast<std::size_t>(size_),
                          "scatter requires one value per rank at the root");
     record(Collective::Scatter, sizeof(T));
+    trace::Span span("mpsim", "mpsim.scatter", "bytes", sizeof(T));
     post_pointer(values.data(), values.size() * sizeof(T));
     sync();
     T mine;
@@ -239,6 +249,8 @@ public:
   std::vector<T> allgatherv(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
     record(Collective::Allgatherv, local.size() * sizeof(T));
+    trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
+                     local.size() * sizeof(T));
     post_pointer(local.data(), local.size() * sizeof(T));
     sync();
     std::vector<T> gathered;

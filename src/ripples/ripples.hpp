@@ -27,6 +27,7 @@
 #include "support/metrics.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 // Pseudorandom number generation
 #include "rng/distributions.hpp"

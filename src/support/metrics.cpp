@@ -196,6 +196,25 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("total", phases.total());
   w.end_object();
 
+  // First-entry offsets on the process trace epoch; null when the phase was
+  // never entered (e.g. "Sample" when estimation overshot theta, or the
+  // residual "Other" bucket which has no scope of its own).
+  w.key("phase_starts_seconds");
+  w.begin_object();
+  auto start_member = [&](const char *name, Phase phase) {
+    w.key(name);
+    double offset = phases.start_offset(phase);
+    if (offset < 0.0)
+      w.null();
+    else
+      w.value(offset);
+  };
+  start_member("estimate_theta", Phase::EstimateTheta);
+  start_member("sample", Phase::Sample);
+  start_member("select_seeds", Phase::SelectSeeds);
+  start_member("other", Phase::Other);
+  w.end_object();
+
   w.key("theta");
   w.begin_object();
   w.member("value", theta);

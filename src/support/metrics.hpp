@@ -223,7 +223,9 @@ struct CollectiveStats {
 /// mpsim per-collective counters additionally require `metrics::enabled()`
 /// because they sit on the communication hot path.
 struct RunReport {
-  static constexpr std::uint32_t kSchemaVersion = 1;
+  /// v2: added "phase_starts_seconds" — per-phase first-entry offsets on the
+  /// process trace epoch, so reports cross-reference trace timelines.
+  static constexpr std::uint32_t kSchemaVersion = 2;
 
   std::string driver;
 
@@ -240,7 +242,11 @@ struct RunReport {
   std::uint64_t graph_vertices = 0;
   std::uint64_t graph_edges = 0;
 
-  // Phase wall-times (the paper's four categories).
+  // Phase wall-times (the paper's four categories) plus each phase's
+  // first-entry offset on the process trace epoch (see
+  // process_now_seconds()): "phases_seconds" answers how long,
+  // "phase_starts_seconds" anchors *when*, so a report row can be matched
+  // against the spans of a trace captured in the same process.
   PhaseTimers phases;
 
   // Theta estimation (Alg. 2).

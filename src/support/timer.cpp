@@ -4,6 +4,24 @@
 
 namespace ripples {
 
+namespace detail {
+
+StopWatch::clock::time_point process_epoch() {
+  // Captured on first use by either PhaseTimers (ScopedPhase) or the trace
+  // subsystem; both express timestamps relative to this one instant so run
+  // reports and trace timelines cross-reference.
+  static const StopWatch::clock::time_point epoch = StopWatch::clock::now();
+  return epoch;
+}
+
+} // namespace detail
+
+double process_now_seconds() {
+  return std::chrono::duration<double>(StopWatch::clock::now() -
+                                       detail::process_epoch())
+      .count();
+}
+
 const char *to_string(Phase phase) {
   switch (phase) {
   case Phase::EstimateTheta: return "EstimateTheta";

@@ -17,6 +17,19 @@
 
 namespace ripples {
 
+/// Seconds elapsed since the process trace epoch — the steady-clock instant
+/// first observed by the timing/tracing subsystems.  PhaseTimers start
+/// offsets and ripples::trace timestamps share this epoch, so a phase start
+/// recorded in a RunReport lines up with the corresponding span in a trace
+/// captured during the same run.
+[[nodiscard]] double process_now_seconds();
+
+namespace detail {
+/// The shared epoch instant itself (first call wins); used by the trace
+/// subsystem to stamp events on the same timeline.
+[[nodiscard]] std::chrono::steady_clock::time_point process_epoch();
+} // namespace detail
+
 /// Monotonic wall-clock stopwatch with microsecond-or-better resolution.
 class StopWatch {
 public:
@@ -59,9 +72,24 @@ public:
     seconds_[static_cast<std::size_t>(phase)] += seconds;
   }
 
+  /// Records when \p phase was first entered, as seconds since the process
+  /// trace epoch (see process_now_seconds()).  Keeps the earliest offset so
+  /// repeated entries (the estimation loop) anchor at the first one.
+  void note_start(Phase phase, double offset_seconds) {
+    double &slot = started_[static_cast<std::size_t>(phase)];
+    if (slot < 0.0 || offset_seconds < slot) slot = offset_seconds;
+  }
+
   /// Accumulated seconds for one phase.
   [[nodiscard]] double total(Phase phase) const {
     return seconds_[static_cast<std::size_t>(phase)];
+  }
+
+  /// First-entry offset of \p phase in seconds since the process trace
+  /// epoch, or a negative value when the phase was never entered through a
+  /// ScopedPhase (e.g. the residual "Other" bucket).
+  [[nodiscard]] double start_offset(Phase phase) const {
+    return started_[static_cast<std::size_t>(phase)];
   }
 
   /// Accumulated seconds across all phases.
@@ -74,10 +102,18 @@ public:
   /// Merges another breakdown into this one (used when a driver runs the
   /// martingale loop several times and reports one aggregate).
   void merge(const PhaseTimers &other) {
-    for (std::size_t i = 0; i < kNumPhases; ++i) seconds_[i] += other.seconds_[i];
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      seconds_[i] += other.seconds_[i];
+      if (other.started_[i] >= 0.0 &&
+          (started_[i] < 0.0 || other.started_[i] < started_[i]))
+        started_[i] = other.started_[i];
+    }
   }
 
-  void reset() { seconds_.fill(0.0); }
+  void reset() {
+    seconds_.fill(0.0);
+    started_.fill(-1.0);
+  }
 
   /// One-line summary such as
   /// "EstimateTheta=1.23s Sample=4.56s SelectSeeds=0.78s Other=0.01s".
@@ -85,13 +121,16 @@ public:
 
 private:
   std::array<double, kNumPhases> seconds_{};
+  std::array<double, kNumPhases> started_{-1.0, -1.0, -1.0, -1.0};
 };
 
 /// RAII guard: measures the lifetime of a scope into a PhaseTimers slot.
 class ScopedPhase {
 public:
   ScopedPhase(PhaseTimers &timers, Phase phase)
-      : timers_(timers), phase_(phase) {}
+      : timers_(timers), phase_(phase) {
+    timers.note_start(phase, process_now_seconds());
+  }
   ScopedPhase(const ScopedPhase &) = delete;
   ScopedPhase &operator=(const ScopedPhase &) = delete;
   ~ScopedPhase() { timers_.add(phase_, watch_.elapsed_seconds()); }

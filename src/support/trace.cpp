@@ -1,0 +1,338 @@
+#include "support/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "support/json.hpp"
+#include "support/timer.hpp"
+
+namespace ripples::trace {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+} // namespace detail
+
+namespace {
+
+using detail::EventType;
+using detail::kMaxArgs;
+
+constexpr std::size_t kDefaultCapacity = 1 << 15;
+
+/// One buffered event.  Name/category/keys are borrowed pointers (string
+/// literals at every call site), which keeps the record trivially copyable
+/// and the emit path allocation-free.
+struct Event {
+  const char *category = nullptr;
+  const char *name = nullptr;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  const char *arg_keys[kMaxArgs] = {};
+  std::uint64_t arg_values[kMaxArgs] = {};
+  std::int32_t pid = 0;
+  std::uint8_t num_args = 0;
+  EventType type = EventType::Span;
+};
+
+/// Single-producer ring buffer owned by one thread.  The owner writes a slot
+/// then publishes with one release store; the flusher reads `published` with
+/// acquire.  When the ring wraps, the oldest events are overwritten (the
+/// most recent window survives) and the overflow is counted at flush.
+struct ThreadBuffer {
+  explicit ThreadBuffer(std::size_t cap, std::uint32_t id)
+      : slots(cap), capacity(cap), tid(id) {}
+
+  std::vector<Event> slots;
+  std::size_t capacity;
+  std::uint64_t count = 0; ///< Events attempted (monotonic; owner-only).
+  std::atomic<std::uint64_t> published{0};
+  std::uint32_t tid;
+  /// Set when the owning thread exited: `slots` holds the final ordered
+  /// window exactly (no ring arithmetic) and `dropped` the overflow.
+  bool retired = false;
+  std::uint64_t dropped = 0;
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::uint32_t next_tid = 1;
+  std::size_t capacity = kDefaultCapacity;
+  std::string output_path;
+};
+
+TraceState &state() {
+  // Intentionally leaked: rank threads may retire their buffers after main
+  // exits static destruction, and the atexit flush must still walk them.
+  static TraceState *s = new TraceState;
+  return *s;
+}
+
+/// The buffer's events in emission order (oldest surviving first), plus the
+/// overflow count.  Caller holds the state mutex or owns the buffer.
+std::pair<std::vector<Event>, std::uint64_t>
+ordered_window(const ThreadBuffer &buffer) {
+  if (buffer.retired) return {buffer.slots, buffer.dropped};
+  const std::uint64_t n = buffer.published.load(std::memory_order_acquire);
+  const std::size_t cap = buffer.capacity;
+  std::vector<Event> events;
+  if (n <= cap) {
+    events.assign(buffer.slots.begin(),
+                  buffer.slots.begin() + static_cast<std::ptrdiff_t>(n));
+    return {std::move(events), 0};
+  }
+  events.reserve(cap);
+  for (std::uint64_t i = n - cap; i < n; ++i)
+    events.push_back(buffer.slots[static_cast<std::size_t>(i % cap)]);
+  return {std::move(events), n - cap};
+}
+
+thread_local int t_rank = 0;
+
+/// Thread-local handle: compacts the buffer when the thread exits so
+/// long-lived processes that churn rank threads pay memory proportional to
+/// the events recorded, not to thread count x ring capacity.
+struct BufferHandle {
+  ThreadBuffer *buffer = nullptr;
+
+  ~BufferHandle() {
+    if (buffer == nullptr) return;
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto [events, dropped] = ordered_window(*buffer);
+    buffer->slots = std::move(events);
+    buffer->slots.shrink_to_fit();
+    buffer->dropped = dropped;
+    buffer->retired = true;
+  }
+};
+
+thread_local BufferHandle t_handle;
+
+ThreadBuffer &thread_buffer() {
+  if (t_handle.buffer == nullptr) {
+    TraceState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.buffers.push_back(
+        std::make_unique<ThreadBuffer>(s.capacity, s.next_tid++));
+    t_handle.buffer = s.buffers.back().get();
+  }
+  return *t_handle.buffer;
+}
+
+const char *phase_code(EventType type) {
+  switch (type) {
+  case EventType::Span: return "X";
+  case EventType::Instant: return "i";
+  case EventType::Counter: return "C";
+  }
+  return "X";
+}
+
+void flush_at_exit() {
+  TraceState &s = state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.output_path;
+  }
+  if (path.empty()) return;
+  if (!write_json_file(path))
+    std::fprintf(stderr, "[trace] failed to write trace to %s\n", path.c_str());
+}
+
+bool env_truthy(std::string_view v) {
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+bool env_falsy(std::string_view v) {
+  return v.empty() || v == "0" || v == "false" || v == "off" || v == "no";
+}
+
+/// RIPPLES_TRACE mirrors RIPPLES_METRICS: a truthy value enables tracing
+/// (writing to ripples_trace.json at exit); any other non-falsy value is
+/// taken as the output path.
+struct EnvInit {
+  EnvInit() {
+    const char *env = std::getenv("RIPPLES_TRACE");
+    if (env == nullptr) return;
+    std::string_view v(env);
+    if (env_falsy(v)) return;
+    start(env_truthy(v) ? std::string("ripples_trace.json") : std::string(v));
+  }
+};
+
+EnvInit env_init; // NOLINT: intentional static-init side effect
+
+} // namespace
+
+namespace detail {
+
+void emit(EventType type, const char *category, const char *name,
+          std::uint64_t ts_us, std::uint64_t dur_us,
+          const char *const *arg_keys, const std::uint64_t *arg_values,
+          unsigned num_args) {
+  ThreadBuffer &buffer = thread_buffer();
+  Event &slot = buffer.slots[static_cast<std::size_t>(
+      buffer.count % buffer.capacity)];
+  slot.category = category;
+  slot.name = name;
+  slot.ts_us = ts_us;
+  slot.dur_us = dur_us;
+  slot.pid = t_rank;
+  slot.type = type;
+  slot.num_args = static_cast<std::uint8_t>(std::min(num_args, kMaxArgs));
+  for (unsigned a = 0; a < slot.num_args; ++a) {
+    slot.arg_keys[a] = arg_keys[a];
+    slot.arg_values[a] = arg_values[a];
+  }
+  ++buffer.count;
+  buffer.published.store(buffer.count, std::memory_order_release);
+}
+
+} // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void start(const std::string &path) {
+  // Pin the epoch before any event so timestamps start near zero.
+  (void)ripples::detail::process_epoch();
+  TraceState &s = state();
+  static bool registered = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.output_path = path;
+    if (!registered) {
+      registered = true;
+      std::atexit(flush_at_exit);
+    }
+  }
+  set_enabled(true);
+}
+
+std::uint64_t timestamp_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ripples::detail::process_epoch())
+          .count());
+}
+
+int thread_rank() { return t_rank; }
+
+RankScope::RankScope(int rank) : previous_(t_rank) { t_rank = rank; }
+
+RankScope::~RankScope() { t_rank = previous_; }
+
+std::string to_json_string() {
+  TraceState &s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+
+  std::uint64_t total_dropped = 0;
+  std::set<std::int32_t> pids;
+  std::set<std::pair<std::int32_t, std::uint32_t>> threads;
+
+  JsonWriter w;
+  w.begin_object();
+  w.member("displayTimeUnit", "ms");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto &buffer : s.buffers) {
+    auto [events, dropped] = ordered_window(*buffer);
+    total_dropped += dropped;
+    for (const Event &event : events) {
+      pids.insert(event.pid);
+      threads.insert({event.pid, buffer->tid});
+      w.begin_object();
+      w.member("name", event.name);
+      w.member("cat", event.category);
+      w.member("ph", phase_code(event.type));
+      w.member("ts", event.ts_us);
+      if (event.type == EventType::Span) w.member("dur", event.dur_us);
+      if (event.type == EventType::Instant) w.member("s", "t");
+      w.member("pid", static_cast<std::int64_t>(event.pid));
+      w.member("tid", static_cast<std::uint64_t>(buffer->tid));
+      if (event.num_args > 0) {
+        w.key("args");
+        w.begin_object();
+        for (unsigned a = 0; a < event.num_args; ++a)
+          w.member(event.arg_keys[a], event.arg_values[a]);
+        w.end_object();
+      }
+      w.end_object();
+    }
+  }
+  // Metadata: ranks render as named processes, threads as named rows.
+  for (std::int32_t pid : pids) {
+    w.begin_object();
+    w.member("name", "process_name");
+    w.member("ph", "M");
+    w.member("pid", static_cast<std::int64_t>(pid));
+    w.key("args");
+    w.begin_object();
+    w.member("name", "rank " + std::to_string(pid));
+    w.end_object();
+    w.end_object();
+  }
+  for (const auto &[pid, tid] : threads) {
+    w.begin_object();
+    w.member("name", "thread_name");
+    w.member("ph", "M");
+    w.member("pid", static_cast<std::int64_t>(pid));
+    w.member("tid", static_cast<std::uint64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.member("name", "thread " + std::to_string(tid));
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("otherData");
+  w.begin_object();
+  w.member("dropped_events", total_dropped);
+  w.member("buffers", static_cast<std::uint64_t>(s.buffers.size()));
+  w.member("clock", "microseconds since process trace epoch (steady)");
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool write_json_file(const std::string &path) {
+  std::string document = to_json_string();
+  std::ofstream out(path);
+  if (!out) return false;
+  out << document << "\n";
+  return static_cast<bool>(out);
+}
+
+void clear() {
+  TraceState &s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  // Retired buffers belong to exited threads: safe to free.  Live buffers
+  // are only reset — their owners hold raw pointers.  The count/published
+  // reset races with a concurrent emit, hence the quiescence contract.
+  std::erase_if(s.buffers, [](const std::unique_ptr<ThreadBuffer> &buffer) {
+    return buffer->retired;
+  });
+  for (auto &buffer : s.buffers) {
+    buffer->count = 0;
+    buffer->published.store(0, std::memory_order_relaxed);
+    buffer->dropped = 0;
+  }
+}
+
+void set_buffer_capacity(std::size_t events) {
+  TraceState &s = state();
+  std::lock_guard<std::mutex> lock(s.mutex);
+  s.capacity = std::max<std::size_t>(events, 1);
+}
+
+} // namespace ripples::trace

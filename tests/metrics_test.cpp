@@ -249,6 +249,20 @@ void check_report_schema(const JsonValue &report, const char *driver) {
     ASSERT_NE(phases->find(phase), nullptr) << phase;
   EXPECT_GT(phases->find("estimate_theta")->number, 0.0);
 
+  // v2: per-phase first-entry offsets on the process trace epoch; null for
+  // phases the run never entered.  EstimateTheta always runs, and offsets
+  // are monotone in phase order when present.
+  const JsonValue *starts = report.find("phase_starts_seconds");
+  ASSERT_NE(starts, nullptr);
+  for (const char *phase : {"estimate_theta", "sample", "select_seeds", "other"})
+    ASSERT_NE(starts->find(phase), nullptr) << phase;
+  const JsonValue *estimate_start = starts->find("estimate_theta");
+  ASSERT_FALSE(estimate_start->is_null());
+  EXPECT_GE(estimate_start->number, 0.0);
+  const JsonValue *select_start = starts->find("select_seeds");
+  ASSERT_FALSE(select_start->is_null());
+  EXPECT_GE(select_start->number, estimate_start->number);
+
   const JsonValue *theta = report.find("theta");
   ASSERT_NE(theta, nullptr);
   EXPECT_GE(theta->find("value")->number, 1.0);
