@@ -25,6 +25,8 @@
 #define RIPPLES_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <omp.h>
 #include <string>
 
@@ -62,6 +64,27 @@ struct BenchConfig {
     // Same pattern for the timeline: spans buffer during the run and the
     // atexit hook writes one Chrome trace-event document.
     if (!config.trace_path.empty()) trace::start(config.trace_path);
+    // atexit hooks never run when an uncaught exception reaches
+    // std::terminate, which would lose the report log and trace buffers of
+    // a crashed bench.  A terminate handler flushes both (marking the
+    // report log with a failed entry) before the default abort.
+    if (!config.json_report.empty() || !config.trace_path.empty()) {
+      static std::terminate_handler previous = std::set_terminate([] {
+        if (std::exception_ptr error = std::current_exception()) {
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception &e) {
+            metrics::mark_run_failed("terminate", e.what());
+          } catch (...) {
+            metrics::mark_run_failed("terminate", "unknown exception");
+          }
+        }
+        metrics::flush_reports_now();
+        trace::flush_now();
+        if (previous) previous();
+        std::abort();
+      });
+    }
     return config;
   }
 };

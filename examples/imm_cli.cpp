@@ -13,6 +13,12 @@
 ///           [--json-report report.json]   (structured metrics run report)
 ///           [--trace trace.json]          (Chrome trace-event timeline,
 ///                                          loadable in Perfetto)
+///           [--recover]                   (dist: survive rank failures by
+///                                          shrinking + regenerating)
+///           [--watchdog-ms N]             (collective stall deadline; 0=off)
+///           [--inject-fault rank=R,site=N[,kind=crash|stall]]
+///                                         (deterministic fault plan; also
+///                                          RIPPLES_FAULTS)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
 #include <cstdio>
 #include <fstream>
@@ -67,6 +73,10 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
   options.num_ranks = static_cast<int>(cli.get("ranks", std::int64_t{2}));
   if (cli.get("rng", std::string("counter")) == "leapfrog")
     options.rng_mode = RngMode::LeapfrogLcg;
+  options.recover_failures = cli.has_flag("recover");
+  options.watchdog_ms =
+      static_cast<std::uint32_t>(cli.get("watchdog-ms", std::int64_t{0}));
+  options.fault_plan = cli.get("inject-fault", std::string());
 
   if (driver == "seq") return imm_sequential(graph, options);
   if (driver == "baseline") return imm_baseline_hypergraph(graph, options);
@@ -157,7 +167,25 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(stats.num_edges), driver.c_str(),
               to_string(model));
 
-  ImmResult result = run_driver(driver, graph, cli, model, seed);
+  ImmResult result;
+  try {
+    result = run_driver(driver, graph, cli, model, seed);
+  } catch (const std::exception &error) {
+    // A failed run must still leave its diagnostics behind: a marked
+    // partial report and whatever the trace ring buffers held when the
+    // exception unwound the driver.
+    std::fprintf(stderr, "run failed: %s\n", error.what());
+    if (!report_path.empty()) {
+      metrics::mark_run_failed(driver, error.what());
+      if (metrics::flush_reports_now())
+        std::fprintf(stderr, "[partial run report written to %s]\n",
+                     report_path.c_str());
+    }
+    if (!trace_path.empty() && trace::write_json_file(trace_path))
+      std::fprintf(stderr, "[partial trace written to %s]\n",
+                   trace_path.c_str());
+    return 1;
+  }
   std::printf("theta=%llu samples=%llu coverage=%.3f\n",
               static_cast<unsigned long long>(result.theta),
               static_cast<unsigned long long>(result.num_samples),

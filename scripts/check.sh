@@ -1,32 +1,50 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus sanitizer passes over the concurrency and memory
-# hot-spots (the mpsim runtime, Algorithm 4 selection, RRR storage).
+# hot-spots (the mpsim runtime, Algorithm 4 selection, RRR storage) and a
+# fault-injection soak over the recovery machinery.
 #
-#   scripts/check.sh            # full check
-#   scripts/check.sh --no-tsan  # skip the ThreadSanitizer stage
-#   scripts/check.sh --no-asan  # skip the AddressSanitizer stage
+#   scripts/check.sh             # full check
+#   scripts/check.sh --no-tsan   # skip the ThreadSanitizer stage
+#   scripts/check.sh --no-asan   # skip the AddressSanitizer stage
+#   scripts/check.sh --no-ubsan  # skip the UndefinedBehaviorSanitizer stage
+#   scripts/check.sh --no-soak   # skip the fault-injection soak stage
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
-# CMakeLists.txt) and runs mpsim_test and select_test.  OpenMP barrier
-# synchronization is invisible to TSan because libgomp is not instrumented;
-# scripts/tsan-suppressions.txt silences those known false positives while
-# keeping the std::thread-based mpsim runtime fully checked.
+# CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
+# barrier synchronization is invisible to TSan because libgomp is not
+# instrumented; scripts/tsan-suppressions.txt silences those known false
+# positives while keeping the std::thread-based mpsim runtime fully checked.
 #
 # The ASan stage builds with -DRIPPLES_SANITIZE=address and runs imm_test
 # and rrr_test — the drivers with the largest allocation churn (RRR
 # collections, flat storage, hypergraph index) and therefore the best
 # leak/overflow coverage per test second.
+#
+# The UBSan stage builds with -DRIPPLES_SANITIZE=undefined
+# (-fno-sanitize-recover=all, so any UB report fails the run) and runs
+# mpsim_test and fault_test: the failure paths unwind mid-collective, which
+# is exactly where lifetime and arithmetic UB would hide.
+#
+# The soak stage reruns the `faults` ctest label repeatedly
+# (RIPPLES_SOAK_ITERATIONS, default 5): the recovery protocol's historical
+# bugs (stale-waiter barrier underflow) were scheduling races that a single
+# pass can miss.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
+soak_iterations=${RIPPLES_SOAK_ITERATIONS:-5}
 run_tsan=1
 run_asan=1
+run_ubsan=1
+run_soak=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan)" >&2; exit 2 ;;
+    --no-ubsan) run_ubsan=0 ;;
+    --no-soak) run_soak=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak)" >&2; exit 2 ;;
   esac
 done
 
@@ -37,15 +55,24 @@ cmake --build build -j "$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+if [[ "$run_soak" == 1 ]]; then
+  echo "== faults: soak (${soak_iterations}x ctest -L faults) =="
+  for ((i = 1; i <= soak_iterations; ++i)); do
+    ctest --test-dir build -L faults --output-on-failure -j "$jobs" \
+      > /dev/null || { echo "fault soak failed on iteration $i" >&2; exit 1; }
+  done
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + select_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan --target mpsim_test select_test -j "$jobs"
+  cmake --build build-tsan --target mpsim_test fault_test select_test -j "$jobs"
 
   echo "== tsan: run =="
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan-suppressions.txt"
   ./build-tsan/tests/mpsim_test
+  ./build-tsan/tests/fault_test
   ./build-tsan/tests/select_test
 fi
 
@@ -58,6 +85,17 @@ if [[ "$run_asan" == 1 ]]; then
   echo "== asan: run =="
   ./build-asan/tests/imm_test
   ./build-asan/tests/rrr_test
+fi
+
+if [[ "$run_ubsan" == 1 ]]; then
+  echo "== ubsan: build mpsim_test + fault_test =="
+  cmake -B build-ubsan -S . -DRIPPLES_SANITIZE=undefined \
+    -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
+  cmake --build build-ubsan --target mpsim_test fault_test -j "$jobs"
+
+  echo "== ubsan: run =="
+  ./build-ubsan/tests/mpsim_test
+  ./build-ubsan/tests/fault_test
 fi
 
 echo "== all checks passed =="

@@ -8,6 +8,20 @@
 /// All-Reduce once per greedy round, after which choosing the seed and
 /// purging the local partition are rank-local operations.  The dominant
 /// communication is therefore the k All-Reduce operations per selection.
+///
+/// Self-healing (ImmOptions::recover_failures): because every sample is
+/// addressed by an RNG stream coordinate — leap-frog stream r of the one
+/// global LCG sequence, or the per-index Philox counter stream — a dead
+/// rank's partition is a *recomputable* function of (seed, stream, count),
+/// not unique state.  When a collective raises mpsim::RankFailed the
+/// survivors shrink the communicator, deterministically re-assign the dead
+/// ranks' streams among themselves (round-robin over the dense survivor
+/// order, replayed identically on every rank), regenerate the lost samples
+/// bit-for-bit, and restart the martingale loop.  The restart is cheap and
+/// safe by construction: extend_to() is a no-op for already-reached targets
+/// and select() recomputes its counters from the local collection on every
+/// call, so the replayed run makes exactly the decisions of a failure-free
+/// run and returns the identical seed set.
 #include "imm/imm.hpp"
 
 #include <algorithm>
@@ -26,13 +40,10 @@ namespace ripples {
 
 namespace {
 
-/// First global index >= \p from assigned to \p rank under round-robin
-/// ownership (index i belongs to rank i mod p).
-std::uint64_t first_owned_index(std::uint64_t from, int rank, int p) {
-  auto r = static_cast<std::uint64_t>(rank);
-  auto stride = static_cast<std::uint64_t>(p);
-  std::uint64_t remainder = from % stride;
-  return from + (r >= remainder ? r - remainder : stride - remainder + r);
+metrics::Counter &regen_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.regen.rrr_sets");
+  return c;
 }
 
 } // namespace
@@ -54,19 +65,47 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   detail::MartingaleOutcome report_outcome;
   std::mutex report_mutex; // guards the cross-rank histogram merge
 
-  mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
-    const int p = comm.size();
-    const int rank = comm.rank();
+  mpsim::RunOptions run_options;
+  run_options.num_ranks = options.num_ranks;
+  run_options.recover = options.recover_failures;
+  run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
+  run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+
+  mpsim::Context::run(run_options, [&](mpsim::Communicator &comm) {
+    // The sample index space is partitioned by *world* coordinates for the
+    // whole run: stream s (s in [0, p)) owns the global indices congruent
+    // to s mod p, where p is the launch-time rank count.  Healing changes
+    // which rank *holds* a stream, never the stream structure itself —
+    // that invariance is what keeps R, and hence the seed set, identical
+    // across failure scenarios.
+    const int p = comm.world_size();
+    const auto stride = static_cast<std::uint64_t>(p);
     const vertex_t n = graph.num_vertices();
 
-    RRRCollection local; // R_rank: this rank's partition of the samples
+    RRRCollection local; // union of the streams this rank currently holds
     std::uint64_t global_count = 0;
 
-    // The paper's parallel RNG discipline: one global LCG sequence split
-    // leap-frog so rank r consumes subsequence r, r+p, r+2p, ...
-    Lcg64 leapfrog_engine = Lcg64(options.seed).leapfrog(
-        static_cast<std::uint64_t>(rank), static_cast<std::uint64_t>(p));
-    RRRGenerator generator(graph);
+    // The streams this rank holds, each with its leap-frog engine
+    // positioned at the stream's next unsampled index (the engine is
+    // unused in counter mode, where every index is independently
+    // addressable).  Initially: exactly this rank's own stream.
+    struct OwnedStream {
+      std::uint64_t stream;
+      Lcg64 engine;
+    };
+    std::vector<OwnedStream> owned;
+    owned.push_back({static_cast<std::uint64_t>(comm.world_rank()),
+                     Lcg64::leapfrog_stream(
+                         options.seed,
+                         static_cast<std::uint64_t>(comm.world_rank()),
+                         stride)});
+
+    // stream -> world rank currently holding it.  Every rank maintains the
+    // full map by replaying the same shrink events with the same
+    // deterministic re-assignment rule, so all survivors agree on who
+    // regenerates what without any extra communication.
+    std::vector<int> stream_owner(static_cast<std::size_t>(p));
+    for (int s = 0; s < p; ++s) stream_owner[static_cast<std::size_t>(s)] = s;
 
     auto extend_to = [&](std::uint64_t target) {
       if (target <= global_count) return;
@@ -74,34 +113,21 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       // because leap-frog generation doesn't know its count upfront.
       trace::Span batch_span("sampler", "sampler.dist_batch", "target", target);
       if (options.rng_mode == RngMode::LeapfrogLcg) {
-        for (std::uint64_t i = first_owned_index(global_count, rank, p);
-             i < target; i += static_cast<std::uint64_t>(p)) {
-          RRRSet set;
-          generator.generate_random_root(options.model, leapfrog_engine, set);
-          local.add(std::move(set));
-        }
+        for (OwnedStream &os : owned)
+          sample_leapfrog_range(graph, options.model, os.engine, os.stream,
+                                stride, global_count, target, local);
       } else {
         // Counter mode: per-sample Philox streams keyed by the global index,
         // so R is independent of p; local generation may additionally use
         // OpenMP threads (the paper's hybrid MPI+OpenMP configuration).
         std::vector<std::uint64_t> indices;
-        for (std::uint64_t i = first_owned_index(global_count, rank, p);
-             i < target; i += static_cast<std::uint64_t>(p))
-          indices.push_back(i);
-        std::uint64_t first_slot = local.grow(indices.size());
-        auto &sets = local.mutable_sets();
-#pragma omp parallel num_threads(static_cast<int>(options.num_threads))
-        {
-          RRRGenerator thread_generator(graph);
-#pragma omp for schedule(dynamic, 16)
-          for (std::int64_t j = 0; j < static_cast<std::int64_t>(indices.size());
-               ++j) {
-            Philox4x32 rng =
-                sample_stream(options.seed, indices[static_cast<std::size_t>(j)]);
-            thread_generator.generate_random_root(
-                options.model, rng, sets[first_slot + static_cast<std::uint64_t>(j)]);
-          }
-        }
+        for (const OwnedStream &os : owned)
+          for (std::uint64_t i =
+                   leapfrog_first_index(global_count, os.stream, stride);
+               i < target; i += stride)
+            indices.push_back(i);
+        sample_counter_indices(graph, options.model, options.seed, indices,
+                               options.num_threads, local);
       }
       global_count = target;
       batch_span.arg("local_sets", local.size());
@@ -113,7 +139,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
                                     local.total_associations()};
       comm.allreduce(std::span<std::uint64_t>(footprint, 2),
                      mpsim::ReduceOp::Sum);
-      if (rank == 0) {
+      if (comm.rank() == 0) {
         result.rrr_peak_bytes =
             std::max(result.rrr_peak_bytes, static_cast<std::size_t>(footprint[0]));
         result.total_associations = std::max(
@@ -126,7 +152,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     auto select = [&]() -> SelectionResult {
       trace::Span span("select", "select.distributed", "k", options.k,
                        "samples", local.size());
-      // Local membership counts over R_rank...
+      // Local membership counts over this rank's partition...
       std::fill(local_counts.begin(), local_counts.end(), 0);
       {
         trace::Span count_span("select", "select.count_memberships");
@@ -141,7 +167,10 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       for (std::uint32_t i = 0; i < options.k; ++i) {
         trace::Span round("select", "select.round", "round", i);
         // ...aggregated into global counts with the All-Reduce that
-        // dominates the communication (O(k n lg p) total).
+        // dominates the communication (O(k n lg p) total).  local_counts
+        // is copied, never reduced in place: a failure mid-allreduce may
+        // leave the target buffer partially combined, and the healing
+        // restart depends on the inputs surviving intact.
         std::copy(local_counts.begin(), local_counts.end(),
                   global_counts.begin());
         comm.allreduce(std::span<std::uint32_t>(global_counts),
@@ -162,11 +191,66 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       return selection;
     };
 
+    // Adopts the streams this shrink orphaned: every survivor replays the
+    // identical assignment (lost streams in ascending order, round-robin
+    // over the dense survivor list), and the new holder regenerates the
+    // lost samples from the stream's coordinates — same engine
+    // construction, same index walk, hence bit-identical sets.
+    auto heal = [&](const mpsim::ShrinkResult &shrink) {
+      trace::Span span("imm", "imm.heal", "dead", shrink.newly_dead.size());
+      std::vector<std::uint64_t> lost;
+      for (std::uint64_t s = 0; s < stride; ++s) {
+        int holder = stream_owner[static_cast<std::size_t>(s)];
+        if (std::find(shrink.newly_dead.begin(), shrink.newly_dead.end(),
+                      holder) != shrink.newly_dead.end())
+          lost.push_back(s);
+      }
+      std::uint64_t regenerated = 0;
+      for (std::size_t j = 0; j < lost.size(); ++j) {
+        const std::uint64_t s = lost[j];
+        const int new_holder = shrink.members[j % shrink.members.size()];
+        stream_owner[static_cast<std::size_t>(s)] = new_holder;
+        if (new_holder != comm.world_rank()) continue;
+        Lcg64 engine = Lcg64::leapfrog_stream(options.seed, s, stride);
+        if (options.rng_mode == RngMode::LeapfrogLcg) {
+          regenerated += sample_leapfrog_range(graph, options.model, engine, s,
+                                               stride, 0, global_count, local);
+        } else {
+          std::vector<std::uint64_t> indices;
+          for (std::uint64_t i = s; i < global_count; i += stride)
+            indices.push_back(i);
+          regenerated += sample_counter_indices(graph, options.model,
+                                                options.seed, indices,
+                                                options.num_threads, local);
+        }
+        owned.push_back({s, engine});
+      }
+      if (metrics::enabled()) regen_counter().add(regenerated);
+      span.arg("regenerated", regenerated);
+      trace::counter("rrr_sets", local.size());
+    };
+
     PhaseTimers timers;
-    auto outcome =
-        detail::run_imm_martingale(n, options.k, options.epsilon, options.l,
-                                   extend_to, select, timers);
-    if (rank == 0) {
+    detail::MartingaleOutcome outcome;
+    for (;;) {
+      try {
+        outcome = detail::run_imm_martingale(n, options.k, options.epsilon,
+                                             options.l, extend_to, select,
+                                             timers);
+        break;
+      } catch (const mpsim::RankFailed &failed) {
+        // Survivable failure: agree on the dead set, adopt their streams,
+        // and re-run the martingale.  The replay is deterministic — the
+        // no-op extends and recomputed selections retrace the exact
+        // decision sequence — so the healed run's seed set matches a
+        // failure-free run bit for bit.
+        trace::instant("imm", "imm.rank_failed", "dead",
+                       failed.dead_ranks().size());
+        heal(comm.shrink());
+      }
+    }
+    // Dense rank 0 — world rank 0 unless it died — records the outcome.
+    if (comm.rank() == 0) {
       result.seeds = outcome.selection.seeds;
       result.theta = outcome.theta;
       result.num_samples = outcome.num_samples;
@@ -176,8 +260,9 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       report_outcome = std::move(outcome);
     }
 
-    // Every rank holds whole samples of its partition R_rank, so merging
-    // the per-rank histograms yields the exact global size distribution.
+    // Every rank holds whole samples of its partition, so merging the
+    // per-rank histograms yields the exact global size distribution — the
+    // adopted streams stand in for the dead ranks' contributions.
     metrics::HistogramData local_sizes;
     for (const RRRSet &sample : local.sets()) local_sizes.record(sample.size());
     {

@@ -72,7 +72,16 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
   detail::MartingaleOutcome report_outcome;
   std::mutex report_mutex; // guards the cross-rank histogram merge
 
-  mpsim::Context::run(options.num_ranks, [&](mpsim::Communicator &comm) {
+  // The partitioned driver takes the watchdog and fault plan but not
+  // recovery: graph slices are not recomputable from RNG coordinates the
+  // way sample partitions are, so a rank failure aborts (fail-stop) rather
+  // than healing.  ImmOptions::recover_failures is deliberately ignored.
+  mpsim::RunOptions run_options;
+  run_options.num_ranks = options.num_ranks;
+  run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
+  run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+
+  mpsim::Context::run(run_options, [&](mpsim::Communicator &comm) {
     const auto p = static_cast<std::uint64_t>(comm.size());
     const auto rank = static_cast<std::uint64_t>(comm.rank());
     const vertex_t n = graph.num_vertices();

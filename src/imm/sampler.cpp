@@ -110,4 +110,47 @@ void sample_hypergraph(const CsrGraph &graph, DiffusionModel model,
   trace::counter("rrr_sets", collection.size());
 }
 
+std::uint64_t sample_leapfrog_range(const CsrGraph &graph, DiffusionModel model,
+                                    Lcg64 &engine, std::uint64_t stream,
+                                    std::uint64_t num_streams,
+                                    std::uint64_t from, std::uint64_t to,
+                                    RRRCollection &collection) {
+  RRRGenerator generator(graph);
+  std::uint64_t generated = 0;
+  for (std::uint64_t i = leapfrog_first_index(from, stream, num_streams);
+       i < to; i += num_streams) {
+    RRRSet set;
+    generator.generate_random_root(model, engine, set);
+    collection.add(std::move(set));
+    ++generated;
+  }
+  count_generated(generated);
+  return generated;
+}
+
+std::uint64_t sample_counter_indices(const CsrGraph &graph,
+                                     DiffusionModel model, std::uint64_t seed,
+                                     std::span<const std::uint64_t> indices,
+                                     unsigned num_threads,
+                                     RRRCollection &collection) {
+  RIPPLES_ASSERT(num_threads >= 1);
+  if (indices.empty()) return 0;
+  std::uint64_t first_slot = collection.grow(indices.size());
+  auto &sets = collection.mutable_sets();
+#pragma omp parallel num_threads(static_cast<int>(num_threads))
+  {
+    RRRGenerator generator(graph);
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t j = 0; j < static_cast<std::int64_t>(indices.size());
+         ++j) {
+      Philox4x32 rng =
+          sample_stream(seed, indices[static_cast<std::size_t>(j)]);
+      generator.generate_random_root(
+          model, rng, sets[first_slot + static_cast<std::uint64_t>(j)]);
+    }
+  }
+  count_generated(indices.size());
+  return indices.size();
+}
+
 } // namespace ripples

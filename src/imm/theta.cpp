@@ -9,12 +9,29 @@
 
 namespace ripples {
 
+namespace {
+
+/// Thread-safe ln Γ(x).  std::lgamma writes the global `signgam`, a data
+/// race when concurrent mpsim rank threads build ThetaSchedules; the
+/// arguments here are all positive, where the sign is always +1, so the
+/// reentrant variant is a drop-in replacement.
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+} // namespace
+
 double log_binomial(std::uint64_t n, std::uint64_t k) {
   if (k > n) return -std::numeric_limits<double>::infinity();
   if (k == 0 || k == n) return 0.0;
-  return std::lgamma(static_cast<double>(n) + 1) -
-         std::lgamma(static_cast<double>(k) + 1) -
-         std::lgamma(static_cast<double>(n - k) + 1);
+  return log_gamma(static_cast<double>(n) + 1) -
+         log_gamma(static_cast<double>(k) + 1) -
+         log_gamma(static_cast<double>(n - k) + 1);
 }
 
 ThetaSchedule::ThetaSchedule(std::uint64_t num_vertices, std::uint32_t k,

@@ -1,8 +1,10 @@
 #include "mpsim/communicator.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -37,6 +39,44 @@ struct CommCounters {
 CommCounters &comm_counters() {
   static CommCounters counters;
   return counters;
+}
+
+// Fault-path instruments.  Registry lookups are cached; the instruments are
+// only touched on failure paths (never per-collective), so unconditional
+// updates are fine there — injection/death/shrink are rare by definition.
+metrics::Counter &crashes_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.injected_crashes");
+  return c;
+}
+metrics::Counter &stalls_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.injected_stalls");
+  return c;
+}
+metrics::Counter &deaths_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.dead_ranks");
+  return c;
+}
+metrics::Counter &shrinks_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.shrinks");
+  return c;
+}
+metrics::Counter &timeouts_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.timeouts");
+  return c;
+}
+
+std::string format_rank_list(const std::vector<int> &ranks) {
+  std::string text;
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) text += ",";
+    text += std::to_string(ranks[i]);
+  }
+  return text;
 }
 
 } // namespace
@@ -79,14 +119,82 @@ std::vector<metrics::CollectiveStats> CommStatsSnapshot::nonzero() const {
   return stats;
 }
 
+// --- exceptions --------------------------------------------------------------
+
+RankFailed::RankFailed(std::vector<int> dead_ranks)
+    : dead_ranks_(std::move(dead_ranks)),
+      message_("mpsim: rank(s) " + format_rank_list(dead_ranks_) +
+               " failed; survivors must shrink() before communicating") {}
+
+CollectiveTimeout::CollectiveTimeout(const char *operation, std::uint64_t site,
+                                     std::vector<int> laggards,
+                                     std::chrono::milliseconds waited)
+    : operation_(operation), site_(site), laggards_(std::move(laggards)),
+      waited_(waited) {
+  message_ = "mpsim: watchdog timeout in " + std::string(operation) +
+             " at site " + std::to_string(site) + " after " +
+             std::to_string(waited.count()) + " ms; laggard rank(s) " +
+             format_rank_list(laggards_);
+}
+
 // --- runtime ----------------------------------------------------------------
 
 namespace detail {
 
-/// How long a blocked rank sleeps between abort-flag checks.  Failure is the
-/// exceptional path: the normal path is woken by notify_all immediately, and
-/// the timed wait only bounds the unwind latency after a peer dies.
-constexpr std::chrono::milliseconds kAbortPollInterval{5};
+/// Wait pacing for blocked ranks: the normal path is woken by notify_all
+/// immediately, and the timed wait only bounds unwind latency after a fault.
+/// Capped exponential backoff (0.1 ms doubling to 10 ms) keeps narrow waits
+/// responsive without letting wide communicators burn CPU re-polling a flag
+/// that almost never flips.
+class PollBackoff {
+public:
+  std::chrono::microseconds next() {
+    const auto interval = current_;
+    current_ = std::min(current_ * 2, kCap);
+    return interval;
+  }
+
+private:
+  static constexpr std::chrono::microseconds kStart{100};
+  static constexpr std::chrono::microseconds kCap{10'000};
+  std::chrono::microseconds current_{kStart};
+};
+
+/// Deadline bookkeeping for one blocking communication wait.  Inert (never
+/// consults the clock) when no watchdog is configured.
+class WatchdogClock {
+public:
+  explicit WatchdogClock(std::chrono::milliseconds deadline)
+      : deadline_(deadline) {
+    if (armed()) start_ = std::chrono::steady_clock::now();
+  }
+
+  [[nodiscard]] bool armed() const { return deadline_.count() > 0; }
+
+  [[nodiscard]] std::chrono::milliseconds elapsed() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+  }
+
+  [[nodiscard]] bool expired() const {
+    return armed() && elapsed() >= deadline_;
+  }
+
+  /// Clamps a backoff interval so a sleeping waiter cannot overshoot the
+  /// deadline by more than one wakeup.
+  [[nodiscard]] std::chrono::microseconds
+  clamp(std::chrono::microseconds interval) const {
+    if (!armed()) return interval;
+    const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline_ - elapsed());
+    return std::max(std::chrono::microseconds{1},
+                    std::min(interval, remaining));
+  }
+
+private:
+  std::chrono::milliseconds deadline_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Rendezvous channel for one (source, destination) pair: the sender posts
 /// a pointer and blocks until the receiver has copied the payload.
@@ -98,50 +206,20 @@ struct Mailbox {
   bool posted = false;
 };
 
-/// Central generation barrier, equivalent to std::barrier except that
-/// waiters poll a shared abort flag: when any rank dies with an exception,
-/// every peer blocked here (or arriving later) unwinds with RankAborted
-/// instead of waiting for an arrival that will never happen.
-struct AbortableBarrier {
-  explicit AbortableBarrier(int num_ranks) : expected(num_ranks) {}
-
-  void arrive_and_wait(const std::atomic<bool> &aborted) {
-    std::unique_lock<std::mutex> lock(mutex);
-    if (aborted.load(std::memory_order_acquire)) throw RankAborted();
-    const std::uint64_t my_generation = generation;
-    if (++arrived == expected) {
-      arrived = 0;
-      ++generation;
-      cv.notify_all();
-      return;
-    }
-    while (generation == my_generation) {
-      cv.wait_for(lock, kAbortPollInterval);
-      // After an abort the barrier will never complete (the dead rank no
-      // longer arrives); state consistency stops mattering because every
-      // rank unwinds from its next synchronization point.
-      if (aborted.load(std::memory_order_acquire)) throw RankAborted();
-    }
-  }
-
-  std::mutex mutex;
-  std::condition_variable cv;
-  const int expected;
-  int arrived = 0;
-  std::uint64_t generation = 0;
-};
-
 struct SharedState {
-  explicit SharedState(int num_ranks)
-      : pointers(static_cast<std::size_t>(num_ranks), nullptr),
-        sizes(static_cast<std::size_t>(num_ranks), 0),
-        mailboxes(static_cast<std::size_t>(num_ranks) *
-                  static_cast<std::size_t>(num_ranks)),
-        sync(num_ranks) {}
+  explicit SharedState(const RunOptions &run_options)
+      : options(run_options), world_size(run_options.num_ranks),
+        pointers(static_cast<std::size_t>(world_size), nullptr),
+        sizes(static_cast<std::size_t>(world_size), 0),
+        mailboxes(static_cast<std::size_t>(world_size) *
+                  static_cast<std::size_t>(world_size)),
+        in_barrier(static_cast<std::size_t>(world_size), 0),
+        in_shrink(static_cast<std::size_t>(world_size), 0),
+        alive(static_cast<std::size_t>(world_size), 1), live(world_size) {}
 
-  Mailbox &mailbox(int source, int destination, int num_ranks) {
+  Mailbox &mailbox(int source, int destination) {
     return mailboxes[static_cast<std::size_t>(source) *
-                         static_cast<std::size_t>(num_ranks) +
+                         static_cast<std::size_t>(world_size) +
                      static_cast<std::size_t>(destination)];
   }
 
@@ -149,10 +227,88 @@ struct SharedState {
   /// waiter so peers unwind promptly instead of riding out the timed waits.
   void abort() {
     aborted.store(true, std::memory_order_release);
+    wake_everyone();
+  }
+
+  /// Survivable-failure protocol: records \p world_rank's death in the
+  /// epoch-tagged ledger and wakes every waiter, which then raises
+  /// RankFailed.  Deliberately never completes a pending barrier
+  /// generation: the dead rank may not have posted its collective pointer,
+  /// so letting the generation complete would hand peers a stale or null
+  /// buffer.  Waiters withdraw instead.  The shrink barrier, which carries
+  /// no data, *is* completed here when the death supplies its last missing
+  /// arrival — otherwise a mid-shrink death would hang the survivors.
+  void mark_dead(int world_rank) {
     {
-      std::lock_guard<std::mutex> lock(sync.mutex);
+      std::lock_guard<std::mutex> lock(mutex);
+      RIPPLES_ASSERT(alive[static_cast<std::size_t>(world_rank)]);
+      alive[static_cast<std::size_t>(world_rank)] = 0;
+      --live;
+      dead_order.push_back(world_rank);
+      dead_count.store(dead_order.size(), std::memory_order_release);
+      if (metrics::enabled()) deaths_counter().increment();
+      trace::instant("mpsim", "mpsim.rank_dead", "rank",
+                     static_cast<std::uint64_t>(world_rank));
+      if (shrink_arrived > 0 && shrink_arrived == live)
+        complete_shrink_locked();
     }
-    sync.cv.notify_all();
+    wake_everyone();
+  }
+
+  void complete_shrink_locked() {
+    shrink_arrived = 0;
+    ++shrink_generation;
+    shrink_epoch = dead_order.size();
+    std::fill(in_shrink.begin(), in_shrink.end(), 0);
+    if (metrics::enabled()) shrinks_counter().increment();
+    trace::instant("mpsim", "mpsim.shrink_complete", "survivors",
+                   static_cast<std::uint64_t>(live), "dead",
+                   static_cast<std::uint64_t>(shrink_epoch));
+  }
+
+  void complete_generation_locked() {
+    arrived = 0;
+    ++generation;
+    std::fill(in_barrier.begin(), in_barrier.end(), 0);
+  }
+
+  /// Membership acknowledged up to \p acked_deaths: all world ranks not
+  /// among the first acked_deaths entries of the death ledger, ascending.
+  [[nodiscard]] std::vector<int>
+  members_at_locked(std::size_t acked_deaths) const {
+    std::vector<char> is_dead(static_cast<std::size_t>(world_size), 0);
+    for (std::size_t d = 0; d < acked_deaths; ++d)
+      is_dead[static_cast<std::size_t>(dead_order[d])] = 1;
+    std::vector<int> members;
+    members.reserve(static_cast<std::size_t>(world_size) - acked_deaths);
+    for (int r = 0; r < world_size; ++r)
+      if (!is_dead[static_cast<std::size_t>(r)]) members.push_back(r);
+    return members;
+  }
+
+  [[nodiscard]] RankFailed rank_failed_since_locked(std::size_t acked) const {
+    return RankFailed(std::vector<int>(
+        dead_order.begin() + static_cast<std::ptrdiff_t>(acked),
+        dead_order.end()));
+  }
+
+  /// Snapshot variant for waiters that do not hold the central mutex (the
+  /// mailbox paths, which hold only their box mutex).
+  [[nodiscard]] RankFailed rank_failed_since(std::size_t acked) {
+    std::lock_guard<std::mutex> lock(mutex);
+    return rank_failed_since_locked(acked);
+  }
+
+  void wake_everyone() {
+    // The empty lock/unlock before each notify serializes with waiters'
+    // predicate checks: a waiter either observes the updated state before
+    // blocking or is woken by the notify.  Never hold the central mutex
+    // while taking a mailbox mutex (mailbox waiters lock them the other
+    // way around via rank_failed_since).
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+    }
+    cv.notify_all();
     for (Mailbox &box : mailboxes) {
       {
         std::lock_guard<std::mutex> lock(box.mutex);
@@ -161,53 +317,261 @@ struct SharedState {
     }
   }
 
+  const RunOptions options;
+  const int world_size;
+
+  // Collective pointer exchange, indexed by world rank.
   std::vector<const void *> pointers;
   std::vector<std::size_t> sizes;
   std::vector<Mailbox> mailboxes;
-  AbortableBarrier sync;
+
+  // Central mutex: guards the generation barrier, the shrink barrier, and
+  // the membership ledger below.  `aborted` and `dead_count` double as
+  // lock-free mirrors for the mailbox wait loops.
+  std::mutex mutex;
+  std::condition_variable cv;
+
+  // Generation barrier over the live ranks (both rendezvous phases of every
+  // collective).  in_barrier flags arrivals of the current generation so a
+  // watchdog expiry can name the ranks that never showed up.
+  int arrived = 0;
+  std::uint64_t generation = 0;
+  std::vector<char> in_barrier;
+
+  // Shrink barrier (recovery agreement), same structure.  shrink_epoch is
+  // the death-ledger length acknowledged by the last completed shrink —
+  // every participant adopts exactly this prefix, which is what makes the
+  // surviving ranks' membership views identical.
+  int shrink_arrived = 0;
+  std::uint64_t shrink_generation = 0;
+  std::size_t shrink_epoch = 0;
+  std::vector<char> in_shrink;
+
+  // Membership ledger.
+  std::vector<char> alive;
+  int live;
+  std::vector<int> dead_order;
+  std::atomic<std::size_t> dead_count{0};
   std::atomic<bool> aborted{false};
+
+  // Ranks whose rank_main returned normally (success criterion for
+  // recovery-enabled runs).
+  int completed = 0;
 };
 
 } // namespace detail
 
-void Communicator::sync() { shared_.sync.arrive_and_wait(shared_.aborted); }
+// --- Communicator -----------------------------------------------------------
+
+Communicator::Communicator(int rank, int size, detail::SharedState &shared)
+    : world_rank_(rank), world_size_(size), my_index_(rank), shared_(shared) {
+  members_.resize(static_cast<std::size_t>(size));
+  for (int r = 0; r < size; ++r) members_[static_cast<std::size_t>(r)] = r;
+}
+
+std::uint64_t Communicator::begin_collective(Collective collective) {
+  const std::uint64_t site = site_counter_++;
+  if (!shared_.options.faults.empty()) {
+    for (const FaultSpec &fault : shared_.options.faults) {
+      if (fault.rank != world_rank_ || fault.site != site) continue;
+      if (fault.kind == FaultSpec::Kind::Crash) {
+        if (metrics::enabled()) crashes_counter().increment();
+        trace::instant("mpsim", "mpsim.fault_crash", "rank",
+                       static_cast<std::uint64_t>(world_rank_), "site", site);
+        throw InjectedFault(world_rank_, site, to_string(collective));
+      }
+      // Stall: block here without ever arriving at the rendezvous —
+      // modelling a hung peer.  The rank only unwinds once the run aborts
+      // (e.g. because a peer's watchdog diagnosed the stall); without a
+      // watchdog this hangs the run, exactly like real MPI.
+      if (metrics::enabled()) stalls_counter().increment();
+      trace::instant("mpsim", "mpsim.fault_stall", "rank",
+                     static_cast<std::uint64_t>(world_rank_), "site", site);
+      while (!shared_.aborted.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(std::chrono::milliseconds{1});
+      throw RankAborted();
+    }
+  }
+  return site;
+}
+
+void Communicator::sync(Collective collective, std::uint64_t site) {
+  std::unique_lock<std::mutex> lock(shared_.mutex);
+  if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+  if (shared_.dead_order.size() > acked_deaths_)
+    throw shared_.rank_failed_since_locked(acked_deaths_);
+
+  const std::uint64_t my_generation = shared_.generation;
+  shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 1;
+  if (++shared_.arrived == shared_.live) {
+    shared_.complete_generation_locked();
+    shared_.cv.notify_all();
+    return;
+  }
+
+  detail::PollBackoff backoff;
+  detail::WatchdogClock watchdog(shared_.options.watchdog);
+  while (shared_.generation == my_generation) {
+    if (watchdog.expired()) {
+      std::vector<int> laggards;
+      for (int r = 0; r < shared_.world_size; ++r)
+        if (shared_.alive[static_cast<std::size_t>(r)] &&
+            !shared_.in_barrier[static_cast<std::size_t>(r)])
+          laggards.push_back(r);
+      --shared_.arrived;
+      shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 0;
+      if (metrics::enabled()) timeouts_counter().increment();
+      trace::instant("mpsim", "mpsim.collective_timeout", "rank",
+                     static_cast<std::uint64_t>(world_rank_), "site", site);
+      throw CollectiveTimeout(to_string(collective), site, std::move(laggards),
+                              watchdog.elapsed());
+    }
+    shared_.cv.wait_for(lock, watchdog.clamp(backoff.next()));
+    // Completion first: once the generation advanced this collective
+    // succeeded and our arrival was consumed by complete_generation_locked.
+    // A fault recorded *after* that must not be raised here — withdrawing
+    // now would decrement an `arrived` count that no longer includes us
+    // (underflowing the next barrier into a permanent hang).  The death or
+    // abort surfaces at the next communication entry instead.
+    if (shared_.generation != my_generation) break;
+    // Still blocked in this generation: a fault can never complete it
+    // (mark_dead withdraws instead), so state consistency on these exits
+    // only requires undoing our own arrival.
+    if (shared_.aborted.load(std::memory_order_acquire)) {
+      --shared_.arrived;
+      shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 0;
+      throw RankAborted();
+    }
+    if (shared_.dead_order.size() > acked_deaths_) {
+      --shared_.arrived;
+      shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 0;
+      throw shared_.rank_failed_since_locked(acked_deaths_);
+    }
+  }
+}
 
 void Communicator::barrier() {
+  const std::uint64_t site = begin_collective(Collective::Barrier);
   record(Collective::Barrier, 0);
   trace::Span span("mpsim", "mpsim.barrier");
-  sync();
+  sync(Collective::Barrier, site);
+}
+
+ShrinkResult Communicator::shrink() {
+  RIPPLES_ASSERT_MSG(shared_.options.recover,
+                     "shrink() requires RunOptions::recover");
+  trace::Span span("mpsim", "mpsim.shrink");
+  std::unique_lock<std::mutex> lock(shared_.mutex);
+  if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+
+  const std::uint64_t my_generation = shared_.shrink_generation;
+  shared_.in_shrink[static_cast<std::size_t>(world_rank_)] = 1;
+  if (++shared_.shrink_arrived == shared_.live) {
+    shared_.complete_shrink_locked();
+    shared_.cv.notify_all();
+  } else {
+    detail::PollBackoff backoff;
+    detail::WatchdogClock watchdog(shared_.options.watchdog);
+    while (shared_.shrink_generation == my_generation) {
+      if (watchdog.expired()) {
+        std::vector<int> laggards;
+        for (int r = 0; r < shared_.world_size; ++r)
+          if (shared_.alive[static_cast<std::size_t>(r)] &&
+              !shared_.in_shrink[static_cast<std::size_t>(r)])
+            laggards.push_back(r);
+        --shared_.shrink_arrived;
+        shared_.in_shrink[static_cast<std::size_t>(world_rank_)] = 0;
+        if (metrics::enabled()) timeouts_counter().increment();
+        throw CollectiveTimeout("shrink", site_counter_, std::move(laggards),
+                                watchdog.elapsed());
+      }
+      shared_.cv.wait_for(lock, watchdog.clamp(backoff.next()));
+      // Same completion-first rule as sync(): once the shrink generation
+      // advanced our arrival was consumed, so withdrawing would corrupt the
+      // barrier count.  An abort raced in after completion surfaces at the
+      // next communication entry.
+      if (shared_.shrink_generation != my_generation) break;
+      if (shared_.aborted.load(std::memory_order_acquire)) {
+        --shared_.shrink_arrived;
+        shared_.in_shrink[static_cast<std::size_t>(world_rank_)] = 0;
+        throw RankAborted();
+      }
+      // New deaths do not unwind a shrink: mark_dead completes it once the
+      // last missing live rank has arrived, folding the extra deaths into
+      // this shrink's epoch.
+    }
+  }
+
+  // Adopt exactly the prefix of the death ledger this shrink acknowledged.
+  // Deaths recorded after shrink_epoch surface as RankFailed on the next
+  // communication and trigger a further shrink round.
+  ShrinkResult result;
+  result.newly_dead.assign(
+      shared_.dead_order.begin() + static_cast<std::ptrdiff_t>(acked_deaths_),
+      shared_.dead_order.begin() +
+          static_cast<std::ptrdiff_t>(shared_.shrink_epoch));
+  acked_deaths_ = shared_.shrink_epoch;
+  members_ = shared_.members_at_locked(acked_deaths_);
+  const auto me = std::find(members_.begin(), members_.end(), world_rank_);
+  RIPPLES_ASSERT(me != members_.end());
+  my_index_ = static_cast<int>(me - members_.begin());
+  result.members = members_;
+  return result;
 }
 
 void Communicator::post_pointer(const void *data, std::size_t bytes) {
-  shared_.pointers[static_cast<std::size_t>(rank_)] = data;
-  shared_.sizes[static_cast<std::size_t>(rank_)] = bytes;
+  shared_.pointers[static_cast<std::size_t>(world_rank_)] = data;
+  shared_.sizes[static_cast<std::size_t>(world_rank_)] = bytes;
 }
 
-const void *Communicator::peer_pointer(int peer) const {
-  RIPPLES_DEBUG_ASSERT(peer >= 0 && peer < size_);
-  return shared_.pointers[static_cast<std::size_t>(peer)];
+const void *Communicator::peer_pointer(int world_peer) const {
+  RIPPLES_DEBUG_ASSERT(world_peer >= 0 && world_peer < world_size_);
+  return shared_.pointers[static_cast<std::size_t>(world_peer)];
 }
 
-std::size_t Communicator::peer_size(int peer) const {
-  RIPPLES_DEBUG_ASSERT(peer >= 0 && peer < size_);
-  return shared_.sizes[static_cast<std::size_t>(peer)];
+std::size_t Communicator::peer_size(int world_peer) const {
+  RIPPLES_DEBUG_ASSERT(world_peer >= 0 && world_peer < world_size_);
+  return shared_.sizes[static_cast<std::size_t>(world_peer)];
 }
 
 void Communicator::send_bytes(const void *data, std::size_t bytes,
                               int destination) {
-  RIPPLES_ASSERT(destination >= 0 && destination < size_);
-  RIPPLES_ASSERT_MSG(destination != rank_, "self-send would deadlock");
+  RIPPLES_ASSERT(destination >= 0 && destination < size());
+  RIPPLES_ASSERT_MSG(destination != my_index_, "self-send would deadlock");
+  const int dest_world = members_[static_cast<std::size_t>(destination)];
+  const std::uint64_t site = begin_collective(Collective::Send);
   record(Collective::Send, bytes);
   trace::Span span("mpsim", "mpsim.send", "bytes", bytes, "peer",
-                   static_cast<std::uint64_t>(destination));
-  detail::Mailbox &box = shared_.mailbox(rank_, destination, size_);
+                   static_cast<std::uint64_t>(dest_world));
+  detail::Mailbox &box = shared_.mailbox(world_rank_, dest_world);
   std::unique_lock<std::mutex> lock(box.mutex);
+  detail::PollBackoff backoff;
+  detail::WatchdogClock watchdog(shared_.options.watchdog);
+
+  // These loops hold only the mailbox mutex, so failure checks go through
+  // the lock-free mirrors (aborted, dead_count); the central mutex is taken
+  // — after dropping the box lock, to keep lock order acyclic — only to
+  // snapshot the dead set for the exception.
+  auto throw_failed = [&] {
+    lock.unlock();
+    throw shared_.rank_failed_since(acked_deaths_);
+  };
+  auto throw_timeout = [&] {
+    if (metrics::enabled()) timeouts_counter().increment();
+    throw CollectiveTimeout("send", site, {dest_world}, watchdog.elapsed());
+  };
+
   // Wait for the previous message on this channel to be consumed.
   while (box.posted) {
     if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
-    box.cv.wait_for(lock, detail::kAbortPollInterval);
+    if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_)
+      throw_failed();
+    if (watchdog.expired()) throw_timeout();
+    box.cv.wait_for(lock, watchdog.clamp(backoff.next()));
   }
   if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+  if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_)
+    throw_failed();
   box.data = data;
   box.bytes = bytes;
   box.posted = true;
@@ -221,21 +585,44 @@ void Communicator::send_bytes(const void *data, std::size_t bytes,
       box.data = nullptr;
       throw RankAborted();
     }
-    box.cv.wait_for(lock, detail::kAbortPollInterval);
+    if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_) {
+      box.posted = false;
+      box.data = nullptr;
+      throw_failed();
+    }
+    if (watchdog.expired()) {
+      box.posted = false;
+      box.data = nullptr;
+      throw_timeout();
+    }
+    box.cv.wait_for(lock, watchdog.clamp(backoff.next()));
   }
 }
 
 void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
-  RIPPLES_ASSERT(source >= 0 && source < size_);
-  RIPPLES_ASSERT_MSG(source != rank_, "self-receive would deadlock");
+  RIPPLES_ASSERT(source >= 0 && source < size());
+  RIPPLES_ASSERT_MSG(source != my_index_, "self-receive would deadlock");
+  const int source_world = members_[static_cast<std::size_t>(source)];
+  const std::uint64_t site = begin_collective(Collective::Recv);
   record(Collective::Recv, bytes);
   trace::Span span("mpsim", "mpsim.recv", "bytes", bytes, "peer",
-                   static_cast<std::uint64_t>(source));
-  detail::Mailbox &box = shared_.mailbox(source, rank_, size_);
+                   static_cast<std::uint64_t>(source_world));
+  detail::Mailbox &box = shared_.mailbox(source_world, world_rank_);
   std::unique_lock<std::mutex> lock(box.mutex);
+  detail::PollBackoff backoff;
+  detail::WatchdogClock watchdog(shared_.options.watchdog);
   while (!box.posted) {
     if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
-    box.cv.wait_for(lock, detail::kAbortPollInterval);
+    if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_) {
+      lock.unlock();
+      throw shared_.rank_failed_since(acked_deaths_);
+    }
+    if (watchdog.expired()) {
+      if (metrics::enabled()) timeouts_counter().increment();
+      throw CollectiveTimeout("recv", site, {source_world},
+                              watchdog.elapsed());
+    }
+    box.cv.wait_for(lock, watchdog.clamp(backoff.next()));
   }
   RIPPLES_ASSERT_MSG(box.bytes == bytes,
                      "recv buffer size must match the sent payload");
@@ -245,13 +632,30 @@ void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
   box.cv.notify_all();
 }
 
+// --- Context ----------------------------------------------------------------
+
 void Context::run(int num_ranks,
                   const std::function<void(Communicator &)> &rank_main) {
-  RIPPLES_ASSERT(num_ranks >= 1);
-  detail::SharedState shared(num_ranks);
+  RunOptions options;
+  options.num_ranks = num_ranks;
+  run(options, rank_main);
+}
+
+void Context::run(const RunOptions &options_in,
+                  const std::function<void(Communicator &)> &rank_main) {
+  RunOptions options = options_in;
+  RIPPLES_ASSERT(options.num_ranks >= 1);
+  if (options.faults.empty()) options.faults = fault_plan_from_env();
+  if (options.watchdog.count() == 0) options.watchdog = watchdog_from_env();
+
+  detail::SharedState shared(options);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  auto record_error = [&] {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    if (!first_error) first_error = std::current_exception();
+  };
 
   auto rank_body = [&](int rank) {
     // Rank identity for the tracer: events from this thread (and its scope)
@@ -261,35 +665,53 @@ void Context::run(int num_ranks,
     trace::RankScope rank_scope(rank);
     trace::Span rank_span("mpsim", "mpsim.rank", "rank",
                           static_cast<std::uint64_t>(rank));
-    Communicator comm(rank, num_ranks, shared);
+    Communicator comm(rank, options.num_ranks, shared);
     try {
       rank_main(comm);
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      ++shared.completed;
     } catch (const RankAborted &) {
       // This rank was unwound by the abort protocol; the rank that failed
       // already recorded the original exception.  (A RankAborted thrown
       // directly by user code is indistinguishable and treated the same:
       // the fallback in run() still surfaces an error.)
       shared.abort();
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      // Wake and unwind every peer: a blocked rank would otherwise wait
-      // forever for this rank's next barrier arrival or message.
+    } catch (const CollectiveTimeout &) {
+      // A stall diagnosis is never survivable: the laggard is still holding
+      // a thread and possibly locks, so the only safe exit is a global
+      // abort carrying the diagnosis.
+      record_error();
       shared.abort();
+    } catch (...) {
+      record_error();
+      if (options.recover) {
+        // Survivable failure: record the death and let the peers observe
+        // RankFailed, shrink, and continue.  (A RankFailed escaping
+        // rank_main lands here too — user code that does not recover
+        // simply becomes another casualty.)
+        shared.mark_dead(comm.world_rank());
+      } else {
+        // Wake and unwind every peer: a blocked rank would otherwise wait
+        // forever for this rank's next barrier arrival or message.
+        shared.abort();
+      }
     }
   };
 
   std::vector<std::thread> ranks;
-  ranks.reserve(static_cast<std::size_t>(num_ranks) - 1);
-  for (int r = 1; r < num_ranks; ++r) ranks.emplace_back(rank_body, r);
+  ranks.reserve(static_cast<std::size_t>(options.num_ranks) - 1);
+  for (int r = 1; r < options.num_ranks; ++r) ranks.emplace_back(rank_body, r);
   rank_body(0);
   for (std::thread &t : ranks) t.join();
 
-  if (!first_error && shared.aborted.load(std::memory_order_acquire))
-    first_error = std::make_exception_ptr(RankAborted());
-  if (first_error) std::rethrow_exception(first_error);
+  if (shared.aborted.load(std::memory_order_acquire)) {
+    if (!first_error) first_error = std::make_exception_ptr(RankAborted());
+    std::rethrow_exception(first_error);
+  }
+  // Recovery mode: the run succeeded if anyone made it to the end; the
+  // first original exception surfaces only when every rank died.
+  if (shared.completed == 0 && first_error)
+    std::rethrow_exception(first_error);
 }
 
 } // namespace ripples::mpsim

@@ -17,26 +17,51 @@
 ///  * `allgatherv` — MPI_Allgatherv of variable-length per-rank vectors;
 ///  * `barrier`    — MPI_Barrier.
 ///
-/// Every collective must be called by all ranks of the communicator in the
-/// same order (exactly MPI's contract).  Element types must be trivially
-/// copyable, mirroring MPI datatypes.
+/// Every collective must be called by all live ranks of the communicator in
+/// the same order (exactly MPI's contract).  Element types must be
+/// trivially copyable, mirroring MPI datatypes.
 ///
 /// Because ranks share one address space, the input graph is naturally
 /// shared read-only; under real MPI each rank holds a private copy (§3.2 of
 /// the paper).  This changes memory cost, not algorithm behaviour — every
 /// rank still treats the graph as immutable input.
+///
+/// Failure model (three escalation levels, see DESIGN.md §failure-model):
+///
+///  1. *Abort* (always on): when a rank dies with an exception and recovery
+///     is disabled, a shared abort flag unwinds every peer out of its
+///     blocked collective with `RankAborted` and Context::run rethrows the
+///     original exception — no deadlock, no survivors.
+///  2. *Shrink* (RunOptions::recover): ULFM-style survivable collectives.
+///     A dead rank is recorded in an epoch-tagged membership ledger;
+///     surviving ranks unwind from the failed collective with
+///     `RankFailed{dead_ranks}`, collectively agree on the dead set via
+///     `shrink()`, obtain a dense re-ranked communicator view, and
+///     continue.  Callers address peers by *dense* rank (`rank()`/`size()`)
+///     while `world_rank()`/`world_size()` keep the immutable launch-time
+///     identity that data ownership (leap-frog RNG streams) is keyed by.
+///  3. *Watchdog* (RunOptions::watchdog, default off): every collective
+///     wait carries a deadline; a stalled peer converts the wait into a
+///     diagnosed `CollectiveTimeout` naming the site, the laggard ranks,
+///     and the elapsed time instead of blocking forever.
+///
+/// Deterministic fault injection (`RunOptions::faults`, `RIPPLES_FAULTS`)
+/// turns each of these paths into a reproducible test; see fault.hpp.
 #ifndef RIPPLES_MPSIM_COMMUNICATOR_HPP
 #define RIPPLES_MPSIM_COMMUNICATOR_HPP
 
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
+#include "mpsim/fault.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -46,14 +71,71 @@ namespace ripples::mpsim {
 enum class ReduceOp { Sum, Max, Min };
 
 /// Thrown out of a collective (or point-to-point wait) on every surviving
-/// rank when a peer rank failed with an exception: instead of deadlocking in
-/// a barrier the dead rank will never reach, peers unwind with RankAborted
-/// and Context::run rethrows the peer's original exception.
+/// rank when a peer rank failed with an exception and recovery is disabled:
+/// instead of deadlocking in a barrier the dead rank will never reach,
+/// peers unwind with RankAborted and Context::run rethrows the peer's
+/// original exception.
 class RankAborted : public std::exception {
 public:
   [[nodiscard]] const char *what() const noexcept override {
     return "mpsim: peer rank threw; this rank was aborted mid-collective";
   }
+};
+
+/// Thrown out of a collective on every surviving rank when a peer died and
+/// recovery is enabled (RunOptions::recover).  The failed collective had no
+/// effect on the caller's buffers unless the peer died *between* the
+/// rendezvous phases of an in-place reduction, in which case the buffer
+/// contents are unspecified — recovery code must restart from inputs it
+/// still owns, as the self-healing IMM driver does.  Survivors must call
+/// Communicator::shrink() (all of them, collectively) before issuing the
+/// next collective; until then every communication attempt rethrows.
+class RankFailed : public std::exception {
+public:
+  explicit RankFailed(std::vector<int> dead_ranks);
+
+  /// World ranks that died since this rank last acknowledged a shrink, in
+  /// death order.
+  [[nodiscard]] const std::vector<int> &dead_ranks() const {
+    return dead_ranks_;
+  }
+
+  [[nodiscard]] const char *what() const noexcept override {
+    return message_.c_str();
+  }
+
+private:
+  std::vector<int> dead_ranks_;
+  std::string message_;
+};
+
+/// Thrown out of a collective wait whose deadline (RunOptions::watchdog)
+/// expired: a diagnosed replacement for an infinite block on a stalled
+/// peer.  Carries the site (which collective, this rank's per-rank entry
+/// ordinal), the laggard world ranks that had not arrived, and the elapsed
+/// wait.  Propagates through the abort protocol: peers of the thrower
+/// unwind with RankAborted and Context::run rethrows the timeout.
+class CollectiveTimeout : public std::exception {
+public:
+  CollectiveTimeout(const char *operation, std::uint64_t site,
+                    std::vector<int> laggards, std::chrono::milliseconds waited);
+
+  [[nodiscard]] const char *operation() const { return operation_; }
+  [[nodiscard]] std::uint64_t site() const { return site_; }
+  /// World ranks that had not arrived when the deadline expired.
+  [[nodiscard]] const std::vector<int> &laggards() const { return laggards_; }
+  [[nodiscard]] std::chrono::milliseconds waited() const { return waited_; }
+
+  [[nodiscard]] const char *what() const noexcept override {
+    return message_.c_str();
+  }
+
+private:
+  const char *operation_;
+  std::uint64_t site_;
+  std::vector<int> laggards_;
+  std::chrono::milliseconds waited_;
+  std::string message_;
 };
 
 /// The communication operations instrumented by the metrics subsystem.
@@ -122,115 +204,163 @@ struct SharedState;
 
 } // namespace detail
 
+/// Execution options for Context::run.  The one-argument overload keeps the
+/// historical fail-stop behaviour (abort on any rank's exception, no
+/// watchdog, no injected faults).
+struct RunOptions {
+  int num_ranks = 1;
+  /// Survivable-collective mode: a rank's death raises RankFailed on the
+  /// survivors (who may shrink() and continue) instead of aborting the run.
+  bool recover = false;
+  /// Per-collective wait deadline; zero disables the watchdog.  Also read
+  /// from RIPPLES_WATCHDOG_MS when left at zero.
+  std::chrono::milliseconds watchdog{0};
+  /// Deterministic fault plan; merged with RIPPLES_FAULTS when empty.
+  FaultPlan faults;
+};
+
+/// Membership agreed by a shrink: the surviving world ranks (dense order)
+/// and the deaths this shrink acknowledged, in death order.
+struct ShrinkResult {
+  std::vector<int> members;
+  std::vector<int> newly_dead;
+};
+
 /// Per-rank handle; passed to the rank function by Context::run.
+///
+/// `rank()`/`size()` are *dense*: they re-number the surviving ranks after
+/// every shrink, so collective logic (roots, slice partitioning, allgather
+/// indexing) keeps working on the shrunken team.  `world_rank()` /
+/// `world_size()` never change; data ownership that must survive healing
+/// (leap-frog stream identity) is keyed by world rank.
 class Communicator {
 public:
-  [[nodiscard]] int rank() const { return rank_; }
-  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] int rank() const { return my_index_; }
+  [[nodiscard]] int size() const { return static_cast<int>(members_.size()); }
+  [[nodiscard]] int world_rank() const { return world_rank_; }
+  [[nodiscard]] int world_size() const { return world_size_; }
+  /// Current membership: world ranks in dense order.
+  [[nodiscard]] const std::vector<int> &members() const { return members_; }
 
   void barrier();
+
+  /// Collective recovery step after catching RankFailed (requires
+  /// RunOptions::recover).  Every surviving rank must call it; they agree
+  /// on the accumulated dead set, acknowledge it, and adopt the dense
+  /// re-ranking returned here.  After shrink() the communicator is fully
+  /// functional over the survivors.
+  ShrinkResult shrink();
 
   /// MPI_Allreduce(MPI_IN_PLACE): every rank passes a buffer of identical
   /// length; afterwards every buffer holds the element-wise reduction.
   template <typename T> void allreduce(std::span<T> buffer, ReduceOp op) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t site = begin_collective(Collective::Allreduce);
     record(Collective::Allreduce, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.allreduce", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync();
+    sync(Collective::Allreduce, site);
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
-    sync();
+    sync(Collective::Allreduce, site);
   }
 
   /// MPI_Reduce: as allreduce, but only \p root's buffer receives the result;
-  /// other ranks' buffers are left untouched.
+  /// other ranks' buffers are left untouched.  \p root is a dense rank.
   template <typename T> void reduce(std::span<T> buffer, ReduceOp op, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    RIPPLES_ASSERT(root >= 0 && root < size_);
+    RIPPLES_ASSERT(root >= 0 && root < size());
+    const std::uint64_t site = begin_collective(Collective::Reduce);
     record(Collective::Reduce, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.reduce", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync();
+    sync(Collective::Reduce, site);
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
-    sync();
+    sync(Collective::Reduce, site);
   }
 
   /// MPI_Bcast: copies \p root's buffer into every rank's buffer.
   template <typename T> void broadcast(std::span<T> buffer, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    RIPPLES_ASSERT(root >= 0 && root < size_);
+    RIPPLES_ASSERT(root >= 0 && root < size());
+    const std::uint64_t site = begin_collective(Collective::Broadcast);
     record(Collective::Broadcast, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.broadcast", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync();
-    if (rank_ != root) {
-      const void *src = peer_pointer(root);
+    sync(Collective::Broadcast, site);
+    if (my_index_ != root) {
+      const void *src = peer_pointer(members_[static_cast<std::size_t>(root)]);
       std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
     }
-    sync();
+    sync(Collective::Broadcast, site);
   }
 
   /// MPI_Allgather of a single value per rank; returns the values indexed by
-  /// rank.
+  /// dense rank.
   template <typename T> std::vector<T> allgather(const T &value) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t site = begin_collective(Collective::Allgather);
     record(Collective::Allgather, sizeof(T));
     trace::Span span("mpsim", "mpsim.allgather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
-    sync();
-    std::vector<T> gathered(static_cast<std::size_t>(size_));
-    for (int r = 0; r < size_; ++r)
-      std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r), sizeof(T));
-    sync();
+    sync(Collective::Allgather, site);
+    std::vector<T> gathered(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i)
+      std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
+    sync(Collective::Allgather, site);
     return gathered;
   }
 
-  /// MPI_Gather of one value per rank: root receives the values in rank
-  /// order; other ranks receive an empty vector.
+  /// MPI_Gather of one value per rank: root receives the values in dense
+  /// rank order; other ranks receive an empty vector.
   template <typename T> std::vector<T> gather(const T &value, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    RIPPLES_ASSERT(root >= 0 && root < size_);
+    RIPPLES_ASSERT(root >= 0 && root < size());
+    const std::uint64_t site = begin_collective(Collective::Gather);
     record(Collective::Gather, sizeof(T));
     trace::Span span("mpsim", "mpsim.gather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
-    sync();
+    sync(Collective::Gather, site);
     std::vector<T> gathered;
-    if (rank_ == root) {
-      gathered.resize(static_cast<std::size_t>(size_));
-      for (int r = 0; r < size_; ++r)
-        std::memcpy(&gathered[static_cast<std::size_t>(r)], peer_pointer(r),
-                    sizeof(T));
+    if (my_index_ == root) {
+      gathered.resize(members_.size());
+      for (std::size_t i = 0; i < members_.size(); ++i)
+        std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
     }
-    sync();
+    sync(Collective::Gather, site);
     return gathered;
   }
 
   /// MPI_Scatter: root provides size() values; every rank receives the one
-  /// at its own index.  Non-root ranks may pass an empty span.
+  /// at its own dense index.  Non-root ranks may pass an empty span.
   template <typename T> T scatter(std::span<const T> values, int root) {
     static_assert(std::is_trivially_copyable_v<T>);
-    RIPPLES_ASSERT(root >= 0 && root < size_);
-    if (rank_ == root)
-      RIPPLES_ASSERT_MSG(values.size() == static_cast<std::size_t>(size_),
+    RIPPLES_ASSERT(root >= 0 && root < size());
+    if (my_index_ == root)
+      RIPPLES_ASSERT_MSG(values.size() == members_.size(),
                          "scatter requires one value per rank at the root");
+    const std::uint64_t site = begin_collective(Collective::Scatter);
     record(Collective::Scatter, sizeof(T));
     trace::Span span("mpsim", "mpsim.scatter", "bytes", sizeof(T));
     post_pointer(values.data(), values.size() * sizeof(T));
-    sync();
+    sync(Collective::Scatter, site);
     T mine;
-    std::memcpy(&mine,
-                static_cast<const T *>(peer_pointer(root)) + rank_, sizeof(T));
-    sync();
+    std::memcpy(
+        &mine,
+        static_cast<const T *>(
+            peer_pointer(members_[static_cast<std::size_t>(root)])) +
+            my_index_,
+        sizeof(T));
+    sync(Collective::Scatter, site);
     return mine;
   }
 
   /// MPI_Send (rendezvous semantics): blocks until the matching recv has
   /// copied the payload.  Messages between one (source, destination) pair
   /// are delivered in order; mismatched send/recv sequences deadlock,
-  /// exactly like unbuffered MPI.
+  /// exactly like unbuffered MPI.  \p destination is a dense rank.
   template <typename T> void send(std::span<const T> data, int destination) {
     static_assert(std::is_trivially_copyable_v<T>);
     send_bytes(data.data(), data.size() * sizeof(T), destination);
@@ -238,72 +368,81 @@ public:
 
   /// MPI_Recv: blocks until the matching send arrives, then copies it into
   /// \p buffer.  The payload byte count must match the buffer exactly
-  /// (checked), mirroring a typed MPI receive.
+  /// (checked), mirroring a typed MPI receive.  \p source is a dense rank.
   template <typename T> void recv(std::span<T> buffer, int source) {
     static_assert(std::is_trivially_copyable_v<T>);
     recv_bytes(buffer.data(), buffer.size() * sizeof(T), source);
   }
 
-  /// MPI_Allgatherv: concatenates the per-rank vectors in rank order.
+  /// MPI_Allgatherv: concatenates the per-rank vectors in dense rank order.
   template <typename T>
   std::vector<T> allgatherv(std::span<const T> local) {
     static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t site = begin_collective(Collective::Allgatherv);
     record(Collective::Allgatherv, local.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
                      local.size() * sizeof(T));
     post_pointer(local.data(), local.size() * sizeof(T));
-    sync();
+    sync(Collective::Allgatherv, site);
     std::vector<T> gathered;
-    for (int r = 0; r < size_; ++r) {
-      std::size_t bytes = peer_size(r);
+    for (int member : members_) {
+      std::size_t bytes = peer_size(member);
       std::size_t count = bytes / sizeof(T);
       std::size_t offset = gathered.size();
       gathered.resize(offset + count);
       if (count > 0)
-        std::memcpy(gathered.data() + offset, peer_pointer(r), bytes);
+        std::memcpy(gathered.data() + offset, peer_pointer(member), bytes);
     }
-    sync();
+    sync(Collective::Allgatherv, site);
     return gathered;
   }
 
 private:
   friend class Context;
-  Communicator(int rank, int size, detail::SharedState &shared)
-      : rank_(rank), size_(size), shared_(shared) {}
+  friend struct detail::SharedState;
+  Communicator(int rank, int size, detail::SharedState &shared);
 
   /// Metrics hook: one branch when disabled, one relaxed add when enabled.
   static void record(Collective collective, std::size_t bytes) {
     if (metrics::enabled()) detail::record_collective(collective, bytes);
   }
 
+  /// Entry bookkeeping shared by every communication operation: assigns the
+  /// per-rank site ordinal and gives the fault injector its hook.  May
+  /// throw InjectedFault (planned crash) or block then throw RankAborted
+  /// (planned stall, once the run aborts).
+  std::uint64_t begin_collective(Collective collective);
+
   /// Internal rendezvous used by the collectives; unlike the public
   /// barrier(), it is not counted as a Barrier call.  Throws RankAborted
-  /// when a peer rank failed.
-  void sync();
+  /// when a peer rank failed (recovery off), RankFailed when a peer died
+  /// (recovery on), or CollectiveTimeout when the watchdog deadline passed.
+  void sync(Collective collective, std::uint64_t site);
 
   void post_pointer(const void *data, std::size_t bytes);
-  [[nodiscard]] const void *peer_pointer(int peer) const;
-  [[nodiscard]] std::size_t peer_size(int peer) const;
+  [[nodiscard]] const void *peer_pointer(int world_peer) const;
+  [[nodiscard]] std::size_t peer_size(int world_peer) const;
   void send_bytes(const void *data, std::size_t bytes, int destination);
   void recv_bytes(void *buffer, std::size_t bytes, int source);
 
-  /// Each rank reduces a disjoint slice of the index space across all rank
-  /// buffers and writes the result into the receiving buffers.  Safe without
-  /// locks: slices are disjoint and a barrier precedes/follows.
+  /// Each rank reduces a disjoint slice of the index space across all live
+  /// rank buffers and writes the result into the receiving buffers.  Safe
+  /// without locks: slices are disjoint and a barrier precedes/follows.
   template <typename T>
   void combine_slices(std::span<T> buffer, ReduceOp op, bool all_ranks_receive,
                       int root = 0) {
     const std::size_t len = buffer.size();
-    const auto p = static_cast<std::size_t>(size_);
-    const std::size_t begin = len * static_cast<std::size_t>(rank_) / p;
-    const std::size_t end = len * (static_cast<std::size_t>(rank_) + 1) / p;
+    const auto p = members_.size();
+    const auto me = static_cast<std::size_t>(my_index_);
+    const std::size_t begin = len * me / p;
+    const std::size_t end = len * (me + 1) / p;
     if (begin == end) return;
 
     std::vector<const T *> sources(p);
-    for (int r = 0; r < size_; ++r) {
-      RIPPLES_ASSERT_MSG(peer_size(r) == len * sizeof(T),
+    for (std::size_t i = 0; i < p; ++i) {
+      RIPPLES_ASSERT_MSG(peer_size(members_[i]) == len * sizeof(T),
                          "collective called with mismatched buffer lengths");
-      sources[static_cast<std::size_t>(r)] = static_cast<const T *>(peer_pointer(r));
+      sources[i] = static_cast<const T *>(peer_pointer(members_[i]));
     }
 
     for (std::size_t i = begin; i < end; ++i) {
@@ -319,8 +458,17 @@ private:
     }
   }
 
-  int rank_;
-  int size_;
+  int world_rank_;
+  int world_size_;
+  /// Dense view of the current membership (world ranks, ascending).  Only
+  /// mutated by shrink(), on this rank's own thread.
+  std::vector<int> members_;
+  int my_index_;
+  /// Number of deaths this rank has acknowledged (via shrink); when the
+  /// shared ledger grows past it, the next communication raises RankFailed.
+  std::size_t acked_deaths_ = 0;
+  /// Per-rank communication-entry ordinal (the fault injector's "site").
+  std::uint64_t site_counter_ = 0;
   detail::SharedState &shared_;
 };
 
@@ -331,14 +479,23 @@ public:
   /// first exception thrown by any rank is rethrown here after all ranks
   /// have been joined.  Reentrant but not nestable from inside a rank.
   ///
-  /// Failure protocol: when any rank throws, a shared abort flag is raised
-  /// and every peer blocked in (or later entering) a collective or
-  /// point-to-point wait unwinds with RankAborted — real MPI would deadlock
-  /// here; the in-process runtime can do better.  run() then rethrows the
-  /// failing rank's original exception.  RankAborted escaping a rank_main
-  /// is absorbed by the protocol, never rethrown in place of the original
-  /// error.
+  /// Failure protocol (recovery disabled): when any rank throws, a shared
+  /// abort flag is raised and every peer blocked in (or later entering) a
+  /// collective or point-to-point wait unwinds with RankAborted — real MPI
+  /// would deadlock here; the in-process runtime can do better.  run() then
+  /// rethrows the failing rank's original exception.  RankAborted escaping
+  /// a rank_main is absorbed by the protocol, never rethrown in place of
+  /// the original error.
   static void run(int num_ranks,
+                  const std::function<void(Communicator &)> &rank_main);
+
+  /// As above, with fault-tolerance options.  With options.recover set, a
+  /// rank's death marks it dead instead of aborting: survivors observe
+  /// RankFailed, may shrink() and continue, and run() returns normally if
+  /// any rank completes.  If every rank dies, the first original exception
+  /// is rethrown.  A CollectiveTimeout always aborts (a stall diagnosis is
+  /// not a survivable event).
+  static void run(const RunOptions &options,
                   const std::function<void(Communicator &)> &rank_main);
 };
 

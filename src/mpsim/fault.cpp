@@ -1,0 +1,129 @@
+#include "mpsim/fault.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ripples::mpsim {
+
+namespace {
+
+/// Splits \p text on \p separator, trimming nothing (specs contain no
+/// whitespace by construction; stray spaces are a parse error the number
+/// parser reports).
+std::vector<std::string> split(const std::string &text, char separator) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(separator, begin);
+    if (end == std::string::npos) end = text.size();
+    parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+std::uint64_t parse_number(const std::string &token, const std::string &spec) {
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &consumed);
+  } catch (const std::exception &) {
+    consumed = 0;
+  }
+  if (consumed != token.size() || token.empty())
+    throw std::invalid_argument("fault plan: bad number '" + token + "' in '" +
+                                spec + "'");
+  return value;
+}
+
+FaultSpec parse_one(const std::string &spec) {
+  FaultSpec fault;
+  bool have_rank = false;
+  bool have_site = false;
+  for (const std::string &field : split(spec, ',')) {
+    std::size_t equals = field.find('=');
+    if (equals == std::string::npos)
+      throw std::invalid_argument("fault plan: expected key=value, got '" +
+                                  field + "' in '" + spec + "'");
+    const std::string key = field.substr(0, equals);
+    const std::string value = field.substr(equals + 1);
+    if (key == "rank") {
+      fault.rank = static_cast<int>(parse_number(value, spec));
+      have_rank = true;
+    } else if (key == "site") {
+      fault.site = parse_number(value, spec);
+      have_site = true;
+    } else if (key == "kind") {
+      if (value == "crash") {
+        fault.kind = FaultSpec::Kind::Crash;
+      } else if (value == "stall") {
+        fault.kind = FaultSpec::Kind::Stall;
+      } else {
+        throw std::invalid_argument("fault plan: kind must be crash|stall, "
+                                    "got '" + value + "'");
+      }
+    } else {
+      throw std::invalid_argument("fault plan: unknown key '" + key +
+                                  "' in '" + spec + "'");
+    }
+  }
+  if (!have_rank || !have_site)
+    throw std::invalid_argument("fault plan: '" + spec +
+                                "' must set rank= and site=");
+  return fault;
+}
+
+} // namespace
+
+FaultPlan parse_fault_plan(const std::string &spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+  for (const std::string &one : split(spec, ';')) {
+    if (one.empty()) continue;
+    plan.push_back(parse_one(one));
+  }
+  return plan;
+}
+
+FaultPlan fault_plan_from_env() {
+  const char *value = std::getenv("RIPPLES_FAULTS");
+  if (value == nullptr || *value == '\0') return {};
+  try {
+    return parse_fault_plan(value);
+  } catch (const std::exception &error) {
+    std::fprintf(stderr, "RIPPLES_FAULTS: %s\n", error.what());
+    std::exit(2);
+  }
+}
+
+std::chrono::milliseconds watchdog_from_env() {
+  const char *value = std::getenv("RIPPLES_WATCHDOG_MS");
+  if (value == nullptr || *value == '\0') return std::chrono::milliseconds{0};
+  try {
+    return std::chrono::milliseconds{
+        parse_number(value, "RIPPLES_WATCHDOG_MS")};
+  } catch (const std::exception &error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    std::exit(2);
+  }
+}
+
+namespace {
+
+std::string injected_fault_message(int rank, std::uint64_t site,
+                                   const char *operation) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "mpsim: injected crash of rank %d at site %llu (%s)", rank,
+                static_cast<unsigned long long>(site), operation);
+  return buffer;
+}
+
+} // namespace
+
+InjectedFault::InjectedFault(int rank, std::uint64_t site,
+                             const char *operation)
+    : std::runtime_error(injected_fault_message(rank, site, operation)),
+      rank_(rank), site_(site) {}
+
+} // namespace ripples::mpsim

@@ -1,0 +1,83 @@
+/// \file fault.hpp
+/// \brief Deterministic fault injection for the mpsim runtime.
+///
+/// At 1024 nodes — the paper's largest configuration — rank failure and
+/// stragglers are the norm, not the exception, yet a failure mode that only
+/// occurs under real hardware faults cannot be regression-tested.  The fault
+/// plan turns every failure scenario into a reproducible experiment: a plan
+/// names a (rank, site) coordinate — site N is the Nth communication
+/// operation (collective or point-to-point) *that rank* enters — and a kind:
+///
+///  * `crash` — the rank throws `InjectedFault` at the site, exactly as if
+///    user code had failed there (OOM, assertion, hardware fault).  With
+///    recovery disabled the run aborts via the PR-1 protocol; with recovery
+///    enabled the surviving ranks shrink and continue.
+///  * `stall` — the rank blocks at the site without arriving, modelling a
+///    hung process or a pathological straggler.  The collective watchdog
+///    (RunOptions::watchdog) converts the peers' indefinite wait into a
+///    diagnosed `CollectiveTimeout`; without a watchdog a stall hangs, just
+///    like real MPI.
+///
+/// Plans are written `rank=R,site=N[,kind=crash|stall]`, multiple faults
+/// separated by `;`.  They arrive programmatically (RunOptions::faults,
+/// ImmOptions::fault_plan, imm_cli --inject-fault) or via the
+/// `RIPPLES_FAULTS` environment variable.  Because site counting is
+/// per-rank and deterministic, the same plan hits the same operation on
+/// every run — the property the determinism tests assert.
+#ifndef RIPPLES_MPSIM_FAULT_HPP
+#define RIPPLES_MPSIM_FAULT_HPP
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ripples::mpsim {
+
+/// One planned fault: rank \p rank fails at its \p site-th communication
+/// entry (0-based, counted per rank over collectives and point-to-point
+/// operations alike).
+struct FaultSpec {
+  enum class Kind { Crash, Stall };
+
+  int rank = 0;
+  std::uint64_t site = 0;
+  Kind kind = Kind::Crash;
+
+  friend bool operator==(const FaultSpec &, const FaultSpec &) = default;
+};
+
+using FaultPlan = std::vector<FaultSpec>;
+
+/// Parses `rank=R,site=N[,kind=crash|stall][;rank=...]`.  The empty string
+/// yields an empty plan; malformed specs throw std::invalid_argument with a
+/// message naming the offending token.
+[[nodiscard]] FaultPlan parse_fault_plan(const std::string &spec);
+
+/// The plan from the RIPPLES_FAULTS environment variable (empty when unset).
+/// A malformed value terminates with a diagnostic: silently ignoring a fault
+/// plan would turn an intended failure test into a false pass.
+[[nodiscard]] FaultPlan fault_plan_from_env();
+
+/// Watchdog deadline from RIPPLES_WATCHDOG_MS (zero when unset/empty).
+[[nodiscard]] std::chrono::milliseconds watchdog_from_env();
+
+/// Thrown by the injector at a planned crash site.  The message is a pure
+/// function of the fault coordinates, so repeated runs of one plan fail
+/// with byte-identical diagnostics.
+class InjectedFault : public std::runtime_error {
+public:
+  InjectedFault(int rank, std::uint64_t site, const char *operation);
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] std::uint64_t site() const { return site_; }
+
+private:
+  int rank_;
+  std::uint64_t site_;
+};
+
+} // namespace ripples::mpsim
+
+#endif // RIPPLES_MPSIM_FAULT_HPP

@@ -169,6 +169,8 @@ void RunReport::to_json(JsonWriter &w) const {
   w.begin_object();
   w.member("schema_version", kSchemaVersion);
   w.member("driver", driver);
+  w.member("failed", failed);
+  if (failed) w.member("failure_reason", failure_reason);
 
   w.key("options");
   w.begin_object();
@@ -364,6 +366,23 @@ void write_reports_at_exit(const std::string &path) {
     registered = true;
     std::atexit(flush_reports_at_exit);
   }
+}
+
+void mark_run_failed(const std::string &driver, const std::string &reason) {
+  RunReport report;
+  report.driver = driver;
+  report.failed = true;
+  report.failure_reason = reason;
+  report_log().add(report);
+}
+
+bool flush_reports_now() {
+  const std::string &path = report_output_path();
+  if (path.empty()) return true;
+  if (report_log().write_json_file(path)) return true;
+  std::fprintf(stderr, "[metrics] failed to write report log to %s\n",
+               path.c_str());
+  return false;
 }
 
 } // namespace ripples::metrics

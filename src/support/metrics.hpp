@@ -225,9 +225,17 @@ struct CollectiveStats {
 struct RunReport {
   /// v2: added "phase_starts_seconds" — per-phase first-entry offsets on the
   /// process trace epoch, so reports cross-reference trace timelines.
-  static constexpr std::uint32_t kSchemaVersion = 2;
+  /// v3: added "failed"/"failure_reason" — a run that died with an exception
+  /// still lands in the log (partial, marked) instead of vanishing.
+  static constexpr std::uint32_t kSchemaVersion = 3;
 
   std::string driver;
+
+  /// True for the partial report of a run an exception unwound; the other
+  /// fields then hold whatever was recorded before the failure.
+  bool failed = false;
+  /// what() of the exception that killed the run (empty when !failed).
+  std::string failure_reason;
 
   // Experiment configuration.
   double epsilon = 0.0;
@@ -308,6 +316,18 @@ ReportLog &report_log();
 /// atexit hook that writes the accumulated report log to \p path.  This is
 /// what bench binaries call for `--json-report`.
 void write_reports_at_exit(const std::string &path);
+
+/// Appends a failed-run marker report for \p driver (failure_reason =
+/// \p reason) to the process report log.  Drivers' exception handlers call
+/// this so a crashed run leaves a diagnosable record next to any completed
+/// runs instead of losing the log entirely.
+void mark_run_failed(const std::string &driver, const std::string &reason);
+
+/// Writes the report log to the path armed by write_reports_at_exit()
+/// immediately (true on success or when no path is armed).  atexit hooks do
+/// not run when an uncaught exception terminates the process, so failure
+/// paths flush explicitly before unwinding further.
+bool flush_reports_now();
 
 } // namespace ripples::metrics
 

@@ -219,6 +219,19 @@ void start(const std::string &path) {
   set_enabled(true);
 }
 
+bool flush_now() {
+  TraceState &s = state();
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    path = s.output_path;
+  }
+  if (path.empty()) return true;
+  if (write_json_file(path)) return true;
+  std::fprintf(stderr, "[trace] failed to write trace to %s\n", path.c_str());
+  return false;
+}
+
 std::uint64_t timestamp_us() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

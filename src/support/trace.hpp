@@ -75,6 +75,12 @@ void set_enabled(bool on);
 /// to \p path — what `--trace <path>` calls.
 void start(const std::string &path);
 
+/// Writes the collected trace to the path armed by start() immediately
+/// (true on success or when no path is armed).  atexit hooks do not run
+/// when an uncaught exception terminates the process, so failure paths
+/// flush the ring buffers explicitly before unwinding further.
+bool flush_now();
+
 /// Microseconds since the process trace epoch (shared with PhaseTimers).
 [[nodiscard]] std::uint64_t timestamp_us();
 

@@ -1,0 +1,548 @@
+// Tests for the fault-injection + recovery stack: plan parsing, deterministic
+// crash/stall injection, the abort protocol across every collective shape,
+// ULFM-style shrink()/RankFailed recovery, the collective watchdog, and the
+// end-to-end self-healing guarantee of imm_distributed (a crashed rank's RRR
+// sets are regenerated bit-identically, so the healed run returns exactly the
+// failure-free seed set).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/weights.hpp"
+#include "imm/imm.hpp"
+#include "mpsim/communicator.hpp"
+#include "support/json.hpp"
+#include "support/metrics.hpp"
+
+namespace ripples::mpsim {
+namespace {
+
+// --- fault-plan parsing ------------------------------------------------------
+
+TEST(FaultPlan, ParsesSingleCrashSpec) {
+  FaultPlan plan = parse_fault_plan("rank=2,site=17");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].rank, 2);
+  EXPECT_EQ(plan[0].site, 17u);
+  EXPECT_EQ(plan[0].kind, FaultSpec::Kind::Crash);
+}
+
+TEST(FaultPlan, ParsesExplicitKindsAndMultipleSpecs) {
+  FaultPlan plan =
+      parse_fault_plan("rank=0,site=3,kind=stall;rank=4,site=9,kind=crash");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].kind, FaultSpec::Kind::Stall);
+  EXPECT_EQ(plan[0].rank, 0);
+  EXPECT_EQ(plan[1].kind, FaultSpec::Kind::Crash);
+  EXPECT_EQ(plan[1].site, 9u);
+}
+
+TEST(FaultPlan, EmptyStringYieldsEmptyPlan) {
+  EXPECT_TRUE(parse_fault_plan("").empty());
+}
+
+TEST(FaultPlan, MalformedSpecsThrowNamingTheToken) {
+  EXPECT_THROW((void)parse_fault_plan("rank=1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("site=3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("rank=x,site=3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_fault_plan("rank=1,site=3,kind=vanish"),
+               std::invalid_argument);
+  try {
+    (void)parse_fault_plan("rank=1,site=2;bogus=7");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    EXPECT_NE(std::string(error.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, InjectedFaultMessageIsDeterministic) {
+  const InjectedFault a(3, 12, "allreduce");
+  const InjectedFault b(3, 12, "allreduce");
+  EXPECT_STREQ(a.what(), b.what());
+  EXPECT_EQ(a.rank(), 3);
+  EXPECT_EQ(a.site(), 12u);
+  EXPECT_NE(std::string(a.what()).find("rank 3"), std::string::npos);
+  EXPECT_NE(std::string(a.what()).find("site 12"), std::string::npos);
+}
+
+// --- abort protocol (recovery disabled) --------------------------------------
+
+RunOptions crash_plan(int ranks, int victim, std::uint64_t site) {
+  RunOptions options;
+  options.num_ranks = ranks;
+  options.faults = {{victim, site, FaultSpec::Kind::Crash}};
+  return options;
+}
+
+TEST(FaultAbort, CrashUnblocksPeersInAllreduce) {
+  RunOptions options = crash_plan(4, 2, 1);
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              std::vector<std::uint64_t> buffer(8, 1);
+                              for (;;)
+                                comm.allreduce(std::span<std::uint64_t>(buffer),
+                                               ReduceOp::Sum);
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultAbort, CrashUnblocksPeersInBroadcast) {
+  RunOptions options = crash_plan(4, 0, 2);
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              std::vector<std::uint32_t> buffer(4, 7);
+                              for (;;)
+                                comm.broadcast(std::span<std::uint32_t>(buffer),
+                                               1);
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultAbort, CrashUnblocksPeersInAllgather) {
+  RunOptions options = crash_plan(3, 1, 3);
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              for (;;)
+                                (void)comm.allgather(
+                                    static_cast<std::uint64_t>(comm.rank()));
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultAbort, CrashUnblocksBlockedReceiver) {
+  // Rank 0 crashes at its first communication entry; rank 1 is blocked in
+  // recv on the channel rank 0 would have served.
+  RunOptions options = crash_plan(2, 0, 0);
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              std::uint64_t value = 0;
+                              if (comm.rank() == 0) {
+                                comm.send(std::span<const std::uint64_t>(&value, 1),
+                                          1);
+                              } else {
+                                comm.recv(std::span<std::uint64_t>(&value, 1), 0);
+                              }
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultAbort, CrashUnblocksBlockedSender) {
+  // Rank 1 crashes before posting its recv; rank 0 is blocked in the send
+  // rendezvous waiting for the payload to be consumed.
+  RunOptions options = crash_plan(2, 1, 0);
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              std::uint64_t value = 42;
+                              if (comm.rank() == 0) {
+                                comm.send(std::span<const std::uint64_t>(&value, 1),
+                                          1);
+                              } else {
+                                comm.recv(std::span<std::uint64_t>(&value, 1), 0);
+                              }
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultAbort, SiteCounterIsDeterministicAcrossRuns) {
+  // Ten runs of one plan must fail with byte-identical diagnostics: the
+  // site counter is per-rank program order, not a scheduling accident.
+  std::set<std::string> messages;
+  for (int run = 0; run < 10; ++run) {
+    RunOptions options = crash_plan(3, 2, 4);
+    try {
+      Context::run(options, [](Communicator &comm) {
+        std::vector<std::uint64_t> buffer(4, 1);
+        for (;;) comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+      });
+      FAIL() << "expected InjectedFault";
+    } catch (const InjectedFault &fault) {
+      EXPECT_EQ(fault.rank(), 2);
+      EXPECT_EQ(fault.site(), 4u);
+      messages.insert(fault.what());
+    }
+  }
+  EXPECT_EQ(messages.size(), 1u);
+}
+
+// --- shrink + recovery -------------------------------------------------------
+
+/// Runs \p body on every rank with recovery enabled and one planned crash,
+/// wrapping it in the catch-RankFailed / shrink() retry loop survivors use.
+template <typename Body>
+void run_with_recovery(RunOptions options, Body body) {
+  options.recover = true;
+  Context::run(options, [&](Communicator &comm) {
+    for (;;) {
+      try {
+        body(comm);
+        return;
+      } catch (const RankFailed &) {
+        (void)comm.shrink();
+      }
+    }
+  });
+}
+
+TEST(FaultRecovery, SurvivorsShrinkAndFinishAllreduce) {
+  RunOptions options = crash_plan(4, 2, 2);
+  std::atomic<int> finishers{0};
+  run_with_recovery(options, [&](Communicator &comm) {
+    std::vector<std::uint64_t> buffer(16);
+    for (int round = 0; round < 6; ++round) {
+      std::fill(buffer.begin(), buffer.end(), 1);
+      comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+      // Every live rank contributed exactly 1 per slot.
+      for (std::uint64_t v : buffer)
+        ASSERT_EQ(v, static_cast<std::uint64_t>(comm.size()));
+    }
+    finishers.fetch_add(1);
+  });
+  EXPECT_EQ(finishers.load(), 3);
+}
+
+TEST(FaultRecovery, ShrinkReportsTheDeadAndRenumbersDensely) {
+  RunOptions options = crash_plan(4, 0, 1);
+  options.recover = true;
+  std::atomic<int> checked{0};
+  Context::run(options, [&](Communicator &comm) {
+    try {
+      for (;;) comm.barrier();
+    } catch (const RankFailed &failed) {
+      EXPECT_EQ(failed.dead_ranks(), std::vector<int>{0});
+      ShrinkResult result = comm.shrink();
+      EXPECT_EQ(result.newly_dead, std::vector<int>{0});
+      EXPECT_EQ(result.members, (std::vector<int>{1, 2, 3}));
+      // World rank 1 is now dense rank 0; world identity is immutable.
+      EXPECT_EQ(comm.size(), 3);
+      EXPECT_EQ(comm.rank(), comm.world_rank() - 1);
+      EXPECT_EQ(comm.world_size(), 4);
+      checked.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(checked.load(), 3);
+}
+
+TEST(FaultRecovery, BroadcastAndAllgatherWorkOnTheShrunkenTeam) {
+  RunOptions options = crash_plan(4, 1, 0);
+  std::atomic<int> finishers{0};
+  run_with_recovery(options, [&](Communicator &comm) {
+    // Dense root 0: world rank 0 before the crash surfaces, world rank 0
+    // after the shrink too (rank 1 died), but the team is smaller.
+    std::vector<std::uint32_t> buffer(4);
+    if (comm.rank() == 0) std::iota(buffer.begin(), buffer.end(), 100u);
+    comm.broadcast(std::span<std::uint32_t>(buffer), 0);
+    for (std::uint32_t i = 0; i < 4; ++i) ASSERT_EQ(buffer[i], 100u + i);
+
+    std::vector<std::uint64_t> gathered =
+        comm.allgather(static_cast<std::uint64_t>(comm.world_rank()));
+    ASSERT_EQ(gathered.size(), static_cast<std::size_t>(comm.size()));
+    for (std::size_t i = 0; i < gathered.size(); ++i)
+      ASSERT_EQ(gathered[i],
+                static_cast<std::uint64_t>(comm.members()[i]));
+    finishers.fetch_add(1);
+  });
+  EXPECT_EQ(finishers.load(), 3);
+}
+
+TEST(FaultRecovery, SendRecvWorkAcrossDenseRanksAfterShrink) {
+  RunOptions options = crash_plan(3, 1, 0);
+  std::atomic<int> finishers{0};
+  run_with_recovery(options, [&](Communicator &comm) {
+    if (comm.size() == 3) {
+      // Pre-crash team: force everyone into a collective so the crash at
+      // rank 1's first entry surfaces as RankFailed for the survivors.
+      comm.barrier();
+      return;
+    }
+    // Post-shrink: dense ranks 0 and 1 are world ranks 0 and 2.
+    std::uint64_t value = 0;
+    if (comm.rank() == 0) {
+      value = 77;
+      comm.send(std::span<const std::uint64_t>(&value, 1), 1);
+    } else {
+      comm.recv(std::span<std::uint64_t>(&value, 1), 0);
+      EXPECT_EQ(value, 77u);
+    }
+    finishers.fetch_add(1);
+  });
+  EXPECT_EQ(finishers.load(), 2);
+}
+
+TEST(FaultRecovery, TwoSequentialDeathsShrinkTwice) {
+  RunOptions options;
+  options.num_ranks = 4;
+  options.recover = true;
+  options.faults = {{1, 2, FaultSpec::Kind::Crash},
+                    {3, 6, FaultSpec::Kind::Crash}};
+  std::atomic<int> finishers{0};
+  run_with_recovery(options, [&](Communicator &comm) {
+    std::vector<std::uint64_t> buffer(4);
+    for (int round = 0; round < 10; ++round) {
+      std::fill(buffer.begin(), buffer.end(), 1);
+      comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+      for (std::uint64_t v : buffer)
+        ASSERT_EQ(v, static_cast<std::uint64_t>(comm.size()));
+    }
+    EXPECT_EQ(comm.size(), 2);
+    finishers.fetch_add(1);
+  });
+  EXPECT_EQ(finishers.load(), 2);
+}
+
+TEST(FaultRecovery, WithoutRecoveryTheOriginalExceptionSurfaces) {
+  RunOptions options = crash_plan(3, 1, 1);
+  options.recover = false;
+  try {
+    Context::run(options, [](Communicator &comm) {
+      for (;;) comm.barrier();
+    });
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault &fault) {
+    EXPECT_EQ(fault.rank(), 1);
+    EXPECT_EQ(fault.site(), 1u);
+  }
+}
+
+TEST(FaultRecovery, EveryRankDeadRethrowsTheFirstFailure) {
+  RunOptions options;
+  options.num_ranks = 2;
+  options.recover = true;
+  // Both ranks crash; nobody completes, so the run must surface the error
+  // instead of reporting silent success.
+  options.faults = {{0, 0, FaultSpec::Kind::Crash},
+                    {1, 0, FaultSpec::Kind::Crash}};
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              for (;;) comm.barrier();
+                            }),
+               InjectedFault);
+}
+
+TEST(FaultRecovery, DeathMetricsCountTheFailureEvents) {
+  metrics::set_enabled(true);
+  metrics::Registry &registry = metrics::Registry::instance();
+  const std::uint64_t deaths0 =
+      registry.counter("mpsim.faults.dead_ranks").value();
+  const std::uint64_t shrinks0 = registry.counter("mpsim.faults.shrinks").value();
+  const std::uint64_t crashes0 =
+      registry.counter("mpsim.faults.injected_crashes").value();
+  RunOptions options = crash_plan(3, 2, 1);
+  run_with_recovery(options, [](Communicator &comm) {
+    std::vector<std::uint64_t> buffer(2, 1);
+    for (int round = 0; round < 4; ++round)
+      comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+  });
+  metrics::set_enabled(false);
+  EXPECT_EQ(registry.counter("mpsim.faults.dead_ranks").value(), deaths0 + 1);
+  EXPECT_EQ(registry.counter("mpsim.faults.shrinks").value(), shrinks0 + 1);
+  EXPECT_EQ(registry.counter("mpsim.faults.injected_crashes").value(),
+            crashes0 + 1);
+}
+
+// --- watchdog ----------------------------------------------------------------
+
+TEST(FaultWatchdog, StallBecomesDiagnosedTimeoutWithinTwiceTheDeadline) {
+  RunOptions options;
+  options.num_ranks = 3;
+  options.watchdog = std::chrono::milliseconds{100};
+  options.faults = {{1, 2, FaultSpec::Kind::Stall}};
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    Context::run(options, [](Communicator &comm) {
+      std::vector<std::uint64_t> buffer(2, 1);
+      for (;;) comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+    });
+    FAIL() << "expected CollectiveTimeout";
+  } catch (const CollectiveTimeout &timeout) {
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start);
+    EXPECT_EQ(timeout.laggards(), std::vector<int>{1});
+    EXPECT_GE(timeout.waited(), options.watchdog);
+    EXPECT_LT(timeout.waited(), 2 * options.watchdog);
+    EXPECT_NE(std::string(timeout.what()).find("laggard rank(s) 1"),
+              std::string::npos);
+    // The whole run (including thread teardown) stays bounded too.
+    EXPECT_LT(elapsed, std::chrono::milliseconds{2000});
+  }
+}
+
+TEST(FaultWatchdog, StalledReceiverPeerTimesOutNamingThePeer) {
+  RunOptions options;
+  options.num_ranks = 2;
+  options.watchdog = std::chrono::milliseconds{100};
+  // Rank 1 stalls before posting its recv; rank 0's send rendezvous waits.
+  options.faults = {{1, 0, FaultSpec::Kind::Stall}};
+  try {
+    Context::run(options, [](Communicator &comm) {
+      std::uint64_t value = 5;
+      if (comm.rank() == 0)
+        comm.send(std::span<const std::uint64_t>(&value, 1), 1);
+      else
+        comm.recv(std::span<std::uint64_t>(&value, 1), 0);
+    });
+    FAIL() << "expected CollectiveTimeout";
+  } catch (const CollectiveTimeout &timeout) {
+    EXPECT_EQ(timeout.laggards(), std::vector<int>{1});
+    EXPECT_LT(timeout.waited(), 2 * options.watchdog);
+  }
+}
+
+TEST(FaultWatchdog, TimeoutIsNeverHealedEvenWithRecoveryEnabled) {
+  RunOptions options;
+  options.num_ranks = 3;
+  options.recover = true;
+  options.watchdog = std::chrono::milliseconds{100};
+  options.faults = {{2, 1, FaultSpec::Kind::Stall}};
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              for (;;) {
+                                try {
+                                  comm.barrier();
+                                } catch (const RankFailed &) {
+                                  (void)comm.shrink();
+                                }
+                              }
+                            }),
+               CollectiveTimeout);
+}
+
+TEST(FaultWatchdog, DisabledWatchdogDoesNotFireOnSlowRanks) {
+  RunOptions options;
+  options.num_ranks = 2;
+  Context::run(options, [](Communicator &comm) {
+    if (comm.rank() == 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds{30});
+    comm.barrier();
+  });
+}
+
+} // namespace
+} // namespace ripples::mpsim
+
+// --- self-healing imm_distributed -------------------------------------------
+
+namespace ripples {
+namespace {
+
+CsrGraph healing_graph() {
+  CsrGraph graph(barabasi_albert(400, 3, 11));
+  assign_uniform_weights(graph, 12);
+  return graph;
+}
+
+ImmOptions healing_options(RngMode mode) {
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.model = DiffusionModel::IndependentCascade;
+  options.seed = 2019;
+  options.num_ranks = 3;
+  options.rng_mode = mode;
+  return options;
+}
+
+class ImmHealing : public ::testing::TestWithParam<RngMode> {};
+
+TEST_P(ImmHealing, CrashAtAnySiteAndRankHealsToTheFailureFreeSeedSet) {
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(GetParam());
+  const ImmResult clean = imm_distributed(graph, options);
+  ASSERT_EQ(clean.seeds.size(), options.k);
+
+  options.recover_failures = true;
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    for (std::uint64_t site : {std::uint64_t{0}, std::uint64_t{3},
+                               std::uint64_t{9}}) {
+      options.fault_plan = "rank=" + std::to_string(rank) +
+                           ",site=" + std::to_string(site);
+      const ImmResult healed = imm_distributed(graph, options);
+      EXPECT_EQ(healed.seeds, clean.seeds)
+          << "healed seed set diverged for " << options.fault_plan;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RngModes, ImmHealing,
+                         ::testing::Values(RngMode::CounterSequence,
+                                           RngMode::LeapfrogLcg),
+                         [](const auto &suite_info) {
+                           return suite_info.param == RngMode::CounterSequence
+                                      ? "counter"
+                                      : "leapfrog";
+                         });
+
+TEST(ImmHealing, TenRunsOfOnePlanAreFullyDeterministic) {
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+
+  options.recover_failures = true;
+  options.fault_plan = "rank=1,site=5";
+  for (int run = 0; run < 10; ++run) {
+    const ImmResult healed = imm_distributed(graph, options);
+    ASSERT_EQ(healed.seeds, clean.seeds) << "run " << run;
+  }
+}
+
+TEST(ImmHealing, RegenerationIsCountedInMetrics) {
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  options.recover_failures = true;
+  // Crash late enough that the victim owned samples worth regenerating.
+  options.fault_plan = "rank=2,site=9";
+  metrics::set_enabled(true);
+  const std::uint64_t regen0 =
+      metrics::Registry::instance().counter("imm.regen.rrr_sets").value();
+  (void)imm_distributed(graph, options);
+  metrics::set_enabled(false);
+  EXPECT_GT(metrics::Registry::instance().counter("imm.regen.rrr_sets").value(),
+            regen0);
+}
+
+TEST(ImmHealing, WithoutRecoveryTheInjectedFaultPropagates) {
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  options.fault_plan = "rank=1,site=5";
+  EXPECT_THROW((void)imm_distributed(graph, options), mpsim::InjectedFault);
+}
+
+TEST(ImmHealing, FailedRunLeavesAMarkedReport) {
+  metrics::set_enabled(true);
+  metrics::report_log().clear();
+  metrics::mark_run_failed("imm_distributed", "mpsim: injected crash");
+  EXPECT_EQ(metrics::report_log().size(), 1u);
+  const std::string path = ::testing::TempDir() + "fault_failed_report.json";
+  ASSERT_TRUE(metrics::report_log().write_json_file(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::parse(buffer.str());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue *reports = parsed->find("reports");
+  ASSERT_NE(reports, nullptr);
+  ASSERT_EQ(reports->array.size(), 1u);
+  const JsonValue *failed = reports->array[0].find("failed");
+  ASSERT_NE(failed, nullptr);
+  EXPECT_TRUE(failed->boolean);
+  const JsonValue *reason = reports->array[0].find("failure_reason");
+  ASSERT_NE(reason, nullptr);
+  EXPECT_EQ(reason->string, "mpsim: injected crash");
+  metrics::report_log().clear();
+  metrics::set_enabled(false);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace ripples
