@@ -19,6 +19,12 @@
 ///           [--inject-fault rank=R,site=N[,kind=crash|stall]]
 ///                                         (deterministic fault plan; also
 ///                                          RIPPLES_FAULTS)
+///           [--selection-exchange dense|sparse]
+///                                         (dist/dist-part seed-selection
+///                                          protocol; also
+///                                          RIPPLES_SELECTION_EXCHANGE)
+///           [--selection-topm N]          (candidates per rank per sparse
+///                                          round; default 16)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
 #include <cstdio>
 #include <fstream>
@@ -77,6 +83,20 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
   options.watchdog_ms =
       static_cast<std::uint32_t>(cli.get("watchdog-ms", std::int64_t{0}));
   options.fault_plan = cli.get("inject-fault", std::string());
+  // The flag overrides RIPPLES_SELECTION_EXCHANGE (the option's default).
+  if (auto exchange = cli.value_of("selection-exchange")) {
+    if (*exchange == "sparse") {
+      options.selection_exchange = SelectionExchange::Sparse;
+    } else if (*exchange == "dense") {
+      options.selection_exchange = SelectionExchange::Dense;
+    } else {
+      std::fprintf(stderr, "unknown --selection-exchange '%s' (dense|sparse)\n",
+                   exchange->c_str());
+      std::exit(2);
+    }
+  }
+  options.selection_topm = static_cast<std::uint32_t>(
+      cli.get("selection-topm", std::int64_t{options.selection_topm}));
 
   if (driver == "seq") return imm_sequential(graph, options);
   if (driver == "baseline") return imm_baseline_hypergraph(graph, options);

@@ -8,6 +8,13 @@
 #   scripts/check.sh --no-asan   # skip the AddressSanitizer stage
 #   scripts/check.sh --no-ubsan  # skip the UndefinedBehaviorSanitizer stage
 #   scripts/check.sh --no-soak   # skip the fault-injection soak stage
+#   scripts/check.sh --no-sparse # skip the sparse selection-exchange leg
+#
+# The sparse leg reruns the selection suites (`ctest -L selection`) plus the
+# IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
+# env-selected sparse protocol sees the same coverage the dense default
+# gets; selection_exchange_test also rides in the TSan stage because the
+# sparse exchange adds new cross-rank collectives worth race-checking.
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
 # CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
@@ -38,13 +45,15 @@ run_tsan=1
 run_asan=1
 run_ubsan=1
 run_soak=1
+run_sparse=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
     --no-asan) run_asan=0 ;;
     --no-ubsan) run_ubsan=0 ;;
     --no-soak) run_soak=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak)" >&2; exit 2 ;;
+    --no-sparse) run_sparse=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse)" >&2; exit 2 ;;
   esac
 done
 
@@ -55,6 +64,15 @@ cmake --build build -j "$jobs"
 echo "== tier-1: ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs"
 
+if [[ "$run_sparse" == 1 ]]; then
+  echo "== sparse: ctest -L selection + IMM drivers under RIPPLES_SELECTION_EXCHANGE=sparse =="
+  RIPPLES_SELECTION_EXCHANGE=sparse \
+    ctest --test-dir build -L selection --output-on-failure -j "$jobs"
+  RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/imm_test
+  RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/driver_matrix_test
+  RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/fault_test
+fi
+
 if [[ "$run_soak" == 1 ]]; then
   echo "== faults: soak (${soak_iterations}x ctest -L faults) =="
   for ((i = 1; i <= soak_iterations; ++i)); do
@@ -64,16 +82,18 @@ if [[ "$run_soak" == 1 ]]; then
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + fault_test + select_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
-  cmake --build build-tsan --target mpsim_test fault_test select_test -j "$jobs"
+  cmake --build build-tsan --target \
+    mpsim_test fault_test select_test selection_exchange_test -j "$jobs"
 
   echo "== tsan: run =="
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan-suppressions.txt"
   ./build-tsan/tests/mpsim_test
   ./build-tsan/tests/fault_test
   ./build-tsan/tests/select_test
+  ./build-tsan/tests/selection_exchange_test
 fi
 
 if [[ "$run_asan" == 1 ]]; then

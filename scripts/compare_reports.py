@@ -7,7 +7,7 @@ bench binaries and imm_cli) or a single standalone RunReport document.
 Reports are matched by driver name in order of appearance, so a baseline and
 candidate produced by the same bench invocation line up automatically.
 
-Three families of checks, each with its own threshold:
+Four families of checks, each with its own threshold:
 
   * phase wall-times (`phases_seconds`): candidate may exceed baseline by
     --phase-tolerance (relative, default 0.25) before a phase counts as a
@@ -19,6 +19,14 @@ Three families of checks, each with its own threshold:
   * RRR histogram (`samples.size_histogram.{count,sum}`): sampling is
     counter-based and reproducible, so the default --histogram-tolerance
     is 0 as well.
+  * registry counters (report-log `registry.counters`, when both files are
+    report logs): values may grow by --counter-tolerance (relative, default
+    0.25 — timing counters like graph.*.micros are noisy).
+
+A metric present on one side and absent on the other is always a reported
+diff, never a silent pass: a collective or registry counter appearing means
+new communication/instrumentation, one disappearing means a regression run
+would be comparing nothing (--allow-missing downgrades these to notes).
 
 Exit status: 0 when no check fails, 1 on any regression or match failure.
 """
@@ -29,12 +37,14 @@ import sys
 
 
 def load_reports(path):
+    """Returns (reports, registry); registry is None for standalone docs."""
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     if isinstance(doc, dict) and isinstance(doc.get("reports"), list):
-        return doc["reports"]
+        registry = doc.get("registry")
+        return doc["reports"], registry if isinstance(registry, dict) else None
     if isinstance(doc, dict) and "driver" in doc:
-        return [doc]
+        return [doc], None
     raise ValueError(f"{path}: neither a report log nor a single run report")
 
 
@@ -78,6 +88,16 @@ class Comparison:
         self.failures.append(message)
         print(f"FAIL  {message}")
 
+    def presence_diff(self, label, in_baseline):
+        """A metric present on one side only is a diff, not a silent pass."""
+        self.checked += 1
+        side = "baseline" if in_baseline else "candidate"
+        message = f"{label}: present in {side} only"
+        if self.args.allow_missing:
+            print(f"note  {message}")
+        else:
+            self.fail(message)
+
     def check_relative(self, label, base, cand, tolerance, min_delta=0.0):
         """Flags cand exceeding base by more than `tolerance` (relative)."""
         self.checked += 1
@@ -110,6 +130,10 @@ class Comparison:
         base_comm = dig(base, "mpsim") or {}
         cand_comm = dig(cand, "mpsim") or {}
         for collective in sorted(set(base_comm) | set(cand_comm)):
+            if collective not in base_comm or collective not in cand_comm:
+                self.presence_diff(f"{label}.mpsim.{collective}",
+                                   collective in base_comm)
+                continue
             for field in ("calls", "bytes"):
                 self.check_relative(
                     f"{label}.mpsim.{collective}.{field}",
@@ -123,6 +147,20 @@ class Comparison:
                 dig(base, "samples", "size_histogram", field),
                 dig(cand, "samples", "size_histogram", field),
                 self.args.histogram_tolerance)
+
+    def compare_registries(self, base_registry, cand_registry):
+        """Registry counters: presence mismatches are diffs, values may grow
+        by --counter-tolerance."""
+        base_counters = dig(base_registry, "counters") or {}
+        cand_counters = dig(cand_registry, "counters") or {}
+        for name in sorted(set(base_counters) | set(cand_counters)):
+            if name not in base_counters or name not in cand_counters:
+                self.presence_diff(f"registry.counters.{name}",
+                                   name in base_counters)
+                continue
+            self.check_relative(f"registry.counters.{name}",
+                                base_counters[name], cand_counters[name],
+                                self.args.counter_tolerance)
 
 
 def main():
@@ -141,14 +179,17 @@ def main():
     parser.add_argument("--histogram-tolerance", type=float, default=0.0,
                         help="relative growth allowed for RRR histogram "
                              "count/sum (default 0: exact)")
+    parser.add_argument("--counter-tolerance", type=float, default=0.25,
+                        help="relative growth allowed per registry counter "
+                             "(default 0.25; timing counters are noisy)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="don't fail when a baseline report has no "
                              "candidate counterpart")
     args = parser.parse_args()
 
     try:
-        baseline = load_reports(args.baseline)
-        candidate = load_reports(args.candidate)
+        baseline, base_registry = load_reports(args.baseline)
+        candidate, cand_registry = load_reports(args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -157,6 +198,8 @@ def main():
     comparison = Comparison(args)
     for key, base, cand in pairs:
         comparison.compare_report(key, base, cand)
+    if base_registry is not None and cand_registry is not None:
+        comparison.compare_registries(base_registry, cand_registry)
     for key in missing:
         message = f"{key[0]}[{key[1]}]: present in baseline only"
         if args.allow_missing:

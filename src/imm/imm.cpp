@@ -1,11 +1,21 @@
 #include "imm/imm.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
 #include "support/assert.hpp"
 #include "support/trace.hpp"
 
 namespace ripples {
+
+SelectionExchange selection_exchange_from_env() {
+  const char *value = std::getenv("RIPPLES_SELECTION_EXCHANGE");
+  if (value != nullptr && std::strcmp(value, "sparse") == 0)
+    return SelectionExchange::Sparse;
+  return SelectionExchange::Dense;
+}
 
 namespace detail {
 

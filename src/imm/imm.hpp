@@ -41,6 +41,22 @@ enum class RngMode {
   LeapfrogLcg,
 };
 
+/// Seed-selection exchange protocol of the mpsim drivers (Section 3.2's
+/// allreduce vs. the sparse top-m protocol of DESIGN.md §8).  Both produce
+/// bit-identical seed sets; sparse trades the per-round n-word allreduce for
+/// top-m candidate pairs plus bound words, falling back to targeted dense
+/// exchanges only when the bound cannot certify the argmax.
+enum class SelectionExchange {
+  Dense,
+  Sparse,
+};
+
+/// Reads RIPPLES_SELECTION_EXCHANGE ("sparse" selects Sparse; anything else
+/// — including unset — selects Dense), mirroring the RIPPLES_METRICS /
+/// RIPPLES_FAULTS idiom so test legs can flip the protocol without touching
+/// call sites.
+[[nodiscard]] SelectionExchange selection_exchange_from_env();
+
 struct ImmOptions {
   double epsilon = 0.5;
   std::uint32_t k = 50;
@@ -68,6 +84,15 @@ struct ImmOptions {
   /// Deterministic fault plan, `rank=R,site=N[,kind=crash|stall][;...]`
   /// (see mpsim/fault.hpp).  Empty means faults only from RIPPLES_FAULTS.
   std::string fault_plan;
+
+  // Seed-selection exchange (the mpsim drivers; see DESIGN.md §8).
+  /// Dense counter allreduce vs. sparse top-m exchange; defaults from
+  /// RIPPLES_SELECTION_EXCHANGE.  Other drivers ignore it.
+  SelectionExchange selection_exchange = selection_exchange_from_env();
+  /// Candidates each rank reports per sparse round (m).  Larger m means
+  /// fewer fallbacks but more words per round; 16 certifies nearly every
+  /// round on the paper's benchmark graphs.
+  std::uint32_t selection_topm = 16;
 };
 
 struct ImmResult {

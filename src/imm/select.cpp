@@ -1,9 +1,11 @@
 #include "imm/select.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <omp.h>
 
 #include "support/assert.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace ripples {
@@ -39,6 +41,28 @@ std::uint64_t retire_samples_containing(vertex_t seed,
     for (vertex_t u : samples[j]) {
       RIPPLES_DEBUG_ASSERT(counters[u] > 0);
       --counters[u];
+    }
+  }
+  RIPPLES_DEBUG_ASSERT(counters[seed] == 0);
+  return retired_count;
+}
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        std::span<const RRRSet> samples,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired,
+                                        std::span<std::uint32_t> pending_dec,
+                                        std::vector<vertex_t> &pending_touched) {
+  std::uint64_t retired_count = 0;
+  for (std::size_t j = 0; j < samples.size(); ++j) {
+    if (retired[j]) continue;
+    if (!sample_contains(samples[j], seed)) continue;
+    retired[j] = 1;
+    ++retired_count;
+    for (vertex_t u : samples[j]) {
+      RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+      --counters[u];
+      if (pending_dec[u]++ == 0) pending_touched.push_back(u);
     }
   }
   RIPPLES_DEBUG_ASSERT(counters[seed] == 0);
@@ -344,5 +368,200 @@ SelectionResult select_seeds_hypergraph(vertex_t num_vertices, std::uint32_t k,
   }
   return result;
 }
+
+// --- sparse selection exchange ----------------------------------------------
+
+TopmSummary sparse_topm(std::span<const std::uint32_t> counters,
+                        std::span<const std::uint8_t> selected,
+                        std::uint32_t m) {
+  RIPPLES_ASSERT(m >= 1);
+  RIPPLES_ASSERT(counters.size() == selected.size());
+  TopmSummary summary;
+  summary.top.reserve(m);
+  // Bounded "best m" heap ordered worst-first, so the root is the entry a
+  // better candidate evicts.  Everything rejected or evicted feeds the
+  // outside bound: the exact maximum count among unreported unselected
+  // vertices.
+  auto worse = [](const CounterPair &a, const CounterPair &b) {
+    return a.count > b.count || (a.count == b.count && a.vertex < b.vertex);
+  };
+  std::vector<CounterPair> &heap = summary.top;
+  std::uint32_t outside = 0;
+  bool any_outside = false;
+  for (vertex_t v = 0; v < counters.size(); ++v) {
+    if (selected[v]) continue;
+    const CounterPair entry{v, counters[v]};
+    if (heap.size() < m) {
+      heap.push_back(entry);
+      std::push_heap(heap.begin(), heap.end(), worse);
+      continue;
+    }
+    const CounterPair &weakest = heap.front();
+    if (worse(entry, weakest)) {
+      // Evict the weakest in favour of this entry.
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      const CounterPair evicted = heap.back();
+      heap.back() = entry;
+      std::push_heap(heap.begin(), heap.end(), worse);
+      outside = std::max(outside, evicted.count);
+      any_outside = true;
+    } else {
+      outside = std::max(outside, entry.count);
+      any_outside = true;
+    }
+  }
+  summary.outside_bound = any_outside ? outside : 0;
+  // Wire and merge order: count descending, ties to the smaller id —
+  // the dense argmax preference order.
+  std::sort(heap.begin(), heap.end(), [](const CounterPair &a,
+                                         const CounterPair &b) {
+    return a.count > b.count || (a.count == b.count && a.vertex < b.vertex);
+  });
+  return summary;
+}
+
+SparseMergeResult sparse_merge(std::span<const TopmSummary> summaries) {
+  // Candidate accumulation: LB = sum of reported counts; the reporters'
+  // outside bounds are summed per candidate so UB = LB + (T - reported_T)
+  // without needing per-rank membership bitmaps.
+  struct Candidate {
+    vertex_t vertex;
+    std::uint64_t lb = 0;
+    std::uint64_t reported_outside = 0; // sum of outside_bound over reporters
+    std::uint32_t reporters = 0;
+  };
+  std::uint64_t total_outside = 0; // T: bound on any unreported vertex
+  std::vector<Candidate> candidates;
+  std::size_t total_pairs = 0;
+  for (const TopmSummary &summary : summaries) {
+    total_outside += summary.outside_bound;
+    total_pairs += summary.top.size();
+  }
+  candidates.reserve(total_pairs);
+  for (const TopmSummary &summary : summaries)
+    for (const CounterPair &pair : summary.top)
+      candidates.push_back({pair.vertex, pair.count, summary.outside_bound, 1});
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate &a, const Candidate &b) {
+              return a.vertex < b.vertex;
+            });
+  // Merge duplicate vertices (reported by several ranks) in place.
+  std::size_t unique = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (unique > 0 && candidates[unique - 1].vertex == candidates[i].vertex) {
+      candidates[unique - 1].lb += candidates[i].lb;
+      candidates[unique - 1].reported_outside += candidates[i].reported_outside;
+      candidates[unique - 1].reporters += 1;
+    } else {
+      candidates[unique++] = candidates[i];
+    }
+  }
+  candidates.resize(unique);
+
+  SparseMergeResult result;
+  result.candidates.reserve(unique);
+  for (const Candidate &c : candidates) result.candidates.push_back(c.vertex);
+  if (candidates.empty()) return result; // nothing reported: cannot certify
+
+  const std::uint32_t num_ranks = static_cast<std::uint32_t>(summaries.size());
+  auto ub_of = [&](const Candidate &c) {
+    return c.lb + (total_outside - c.reported_outside);
+  };
+  auto exact = [&](const Candidate &c) {
+    // Fully known iff every rank reported it, or the missing ranks can
+    // only contribute zero.
+    return c.reporters == num_ranks || ub_of(c) == c.lb;
+  };
+
+  // Winner preference: LB descending, ties to the smaller id (the ids of
+  // sorted candidates ascend, so the first maximum wins ties for free).
+  const Candidate *best = &candidates.front();
+  for (const Candidate &c : candidates)
+    if (c.lb > best->lb) best = &c;
+  result.winner = best->vertex;
+
+  // Certification (see the header's bound derivation).
+  if (total_outside >= best->lb) return result; // (ii) violated
+  for (const Candidate &c : candidates) {
+    if (&c == best) continue;
+    const std::uint64_t ub = ub_of(c);
+    if (ub < best->lb) continue;
+    const bool exact_tie = ub == best->lb && exact(c) && exact(*best) &&
+                           best->vertex < c.vertex;
+    if (!exact_tie) return result; // (i) violated
+  }
+  result.certified = true;
+  return result;
+}
+
+SparseExactResult sparse_certify_exact(std::span<const vertex_t> candidates,
+                                       std::span<const std::uint32_t> exact_counts,
+                                       std::uint64_t outside_sum) {
+  RIPPLES_ASSERT(candidates.size() == exact_counts.size());
+  RIPPLES_ASSERT(!candidates.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (exact_counts[i] > exact_counts[best] ||
+        (exact_counts[i] == exact_counts[best] &&
+         candidates[i] < candidates[best]))
+      best = i;
+  }
+  SparseExactResult result;
+  result.winner = candidates[best];
+  // Strict: a vertex outside the candidate set with count == the winner's
+  // could have a smaller id and win the dense tie-break.
+  result.certified = exact_counts[best] > outside_sum;
+  return result;
+}
+
+namespace detail {
+
+namespace {
+metrics::Counter &exchange_words_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.select.exchange_words");
+  return c;
+}
+metrics::Counter &sparse_rounds_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.select.sparse_rounds");
+  return c;
+}
+metrics::Counter &sparse_certified_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.select.sparse_certified");
+  return c;
+}
+metrics::Counter &candidate_fallbacks_counter() {
+  static metrics::Counter &c = metrics::Registry::instance().counter(
+      "imm.select.sparse_candidate_fallbacks");
+  return c;
+}
+metrics::Counter &dense_fallbacks_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.select.sparse_dense_fallbacks");
+  return c;
+}
+} // namespace
+
+void record_exchange_words(std::uint64_t words) {
+  if (metrics::enabled()) exchange_words_counter().add(words);
+}
+
+void record_sparse_round(bool certified) {
+  if (!metrics::enabled()) return;
+  sparse_rounds_counter().increment();
+  if (certified) sparse_certified_counter().increment();
+}
+
+void record_candidate_fallback() {
+  if (metrics::enabled()) candidate_fallbacks_counter().increment();
+}
+
+void record_dense_fallback() {
+  if (metrics::enabled()) dense_fallbacks_counter().increment();
+}
+
+} // namespace detail
 
 } // namespace ripples

@@ -397,6 +397,30 @@ public:
     return gathered;
   }
 
+  /// MPI_Allgatherv preserving the per-rank sections: result[i] is dense
+  /// rank i's vector.  The sparse selection exchange needs the rank
+  /// boundaries (each section is one rank's top-m summary); the flat
+  /// overload above cannot recover them once lengths differ.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv_ranks(std::span<const T> local) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t site = begin_collective(Collective::Allgatherv);
+    record(Collective::Allgatherv, local.size() * sizeof(T));
+    trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
+                     local.size() * sizeof(T));
+    post_pointer(local.data(), local.size() * sizeof(T));
+    sync(Collective::Allgatherv, site);
+    std::vector<std::vector<T>> sections(members_.size());
+    for (std::size_t i = 0; i < members_.size(); ++i) {
+      const std::size_t bytes = peer_size(members_[i]);
+      sections[i].resize(bytes / sizeof(T));
+      if (bytes > 0)
+        std::memcpy(sections[i].data(), peer_pointer(members_[i]), bytes);
+    }
+    sync(Collective::Allgatherv, site);
+    return sections;
+  }
+
 private:
   friend class Context;
   friend struct detail::SharedState;

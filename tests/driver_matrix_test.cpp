@@ -1,7 +1,7 @@
 // Combinatorial contract sweep: every IMM driver x both diffusion models x
-// several (epsilon, k) settings must satisfy the output contract, and the
-// counter-stream drivers must agree bit-exactly with the sequential
-// reference in every cell of the matrix.
+// several (epsilon, k) settings x both selection-exchange protocols must
+// satisfy the output contract, and the counter-stream drivers must agree
+// bit-exactly with the sequential reference in every cell of the matrix.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -10,6 +10,7 @@
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "imm/imm.hpp"
+#include "support/metrics.hpp"
 
 namespace ripples {
 namespace {
@@ -51,12 +52,13 @@ ImmResult run(Driver driver, const CsrGraph &graph, const ImmOptions &options) {
   return {};
 }
 
-using Cell = std::tuple<Driver, DiffusionModel, double, std::uint32_t>;
+using Cell = std::tuple<Driver, DiffusionModel, double, std::uint32_t,
+                        SelectionExchange>;
 
 class DriverMatrix : public ::testing::TestWithParam<Cell> {};
 
 TEST_P(DriverMatrix, SatisfiesContractAndSequentialAgreement) {
-  auto [driver, model, epsilon, k] = GetParam();
+  auto [driver, model, epsilon, k, exchange] = GetParam();
 
   CsrGraph graph(barabasi_albert(400, 3, 77));
   assign_uniform_weights(graph, 78);
@@ -68,6 +70,9 @@ TEST_P(DriverMatrix, SatisfiesContractAndSequentialAgreement) {
   options.k = k;
   options.model = model;
   options.seed = 4242;
+  // Only the mpsim drivers consult the knob; the shared-memory drivers must
+  // ignore it, which running them in both modes verifies for free.
+  options.selection_exchange = exchange;
 
   ImmResult result = run(driver, graph, options);
 
@@ -103,7 +108,44 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(DiffusionModel::IndependentCascade,
                           DiffusionModel::LinearThreshold),
         ::testing::Values(0.4, 0.5),
-        ::testing::Values(2u, 12u)));
+        ::testing::Values(2u, 12u),
+        ::testing::Values(SelectionExchange::Dense,
+                          SelectionExchange::Sparse)));
+
+// Deterministic word-count regression: at p >= 4 and k >= 8 the sparse
+// protocol must move strictly fewer selection-exchange words than the dense
+// allreduce on the same workload.  Counted from the metrics registry, which
+// both protocols feed (dense logs n words per rank per round).
+TEST(SelectionExchangeWords, DenseMovesStrictlyMoreWordsThanSparse) {
+  CsrGraph graph(barabasi_albert(400, 3, 77));
+  assign_uniform_weights(graph, 78);
+
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.model = DiffusionModel::IndependentCascade;
+  options.seed = 4242;
+  options.num_ranks = 4;
+  // Pin the dense arm: the default is env-derived and the check.sh sparse
+  // leg runs this binary with RIPPLES_SELECTION_EXCHANGE=sparse.
+  options.selection_exchange = SelectionExchange::Dense;
+
+  metrics::Counter &words =
+      metrics::Registry::instance().counter("imm.select.exchange_words");
+  metrics::set_enabled(true);
+  const std::uint64_t base = words.value();
+  (void)imm_distributed(graph, options);
+  const std::uint64_t dense_words = words.value() - base;
+
+  options.selection_exchange = SelectionExchange::Sparse;
+  (void)imm_distributed(graph, options);
+  const std::uint64_t sparse_words = words.value() - base - dense_words;
+  metrics::set_enabled(false);
+
+  ASSERT_GT(dense_words, 0u);
+  ASSERT_GT(sparse_words, 0u);
+  EXPECT_GT(dense_words, sparse_words);
+}
 
 } // namespace
 } // namespace ripples

@@ -483,6 +483,47 @@ INSTANTIATE_TEST_SUITE_P(RngModes, ImmHealing,
                                       : "leapfrog";
                          });
 
+class ImmHealingSparse : public ::testing::TestWithParam<RngMode> {};
+
+TEST_P(ImmHealingSparse, CrashAtEverySparseCollectiveSiteHealsBitIdentically) {
+  // The sparse protocol multiplies the collectives per selection round
+  // (top-m allgatherv, bound allgather, candidate allreduce, dense resync,
+  // delta allgatherv), so the site sweep is denser than the dense-path
+  // sweep above: sites 0..12 hit every sparse-collective shape across the
+  // early rounds, and healing must still reproduce the failure-free (and
+  // dense-protocol-identical) seed set.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(GetParam());
+  options.selection_exchange = SelectionExchange::Sparse;
+  const ImmResult clean = imm_distributed(graph, options);
+  ASSERT_EQ(clean.seeds.size(), options.k);
+  {
+    ImmOptions dense = healing_options(GetParam());
+    const ImmResult reference = imm_distributed(graph, dense);
+    ASSERT_EQ(clean.seeds, reference.seeds);
+  }
+
+  options.recover_failures = true;
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    for (std::uint64_t site = 0; site <= 12; ++site) {
+      options.fault_plan = "rank=" + std::to_string(rank) +
+                           ",site=" + std::to_string(site);
+      const ImmResult healed = imm_distributed(graph, options);
+      EXPECT_EQ(healed.seeds, clean.seeds)
+          << "sparse healed seed set diverged for " << options.fault_plan;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RngModes, ImmHealingSparse,
+                         ::testing::Values(RngMode::CounterSequence,
+                                           RngMode::LeapfrogLcg),
+                         [](const auto &suite_info) {
+                           return suite_info.param == RngMode::CounterSequence
+                                      ? "counter"
+                                      : "leapfrog";
+                         });
+
 TEST(ImmHealing, TenRunsOfOnePlanAreFullyDeterministic) {
   CsrGraph graph = healing_graph();
   ImmOptions options = healing_options(RngMode::CounterSequence);

@@ -117,6 +117,46 @@ TEST_P(MpsimRankCounts, AllgathervConcatenatesVariableLengths) {
   });
 }
 
+TEST_P(MpsimRankCounts, AllgathervRanksPreservesPerRankSections) {
+  const int p = GetParam();
+  Context::run(p, [&](Communicator &comm) {
+    // Same payload as the flat test above, but the per-rank boundaries must
+    // survive: section r holds exactly rank r's r copies of "r".
+    std::vector<std::uint32_t> local(static_cast<std::size_t>(comm.rank()),
+                                     static_cast<std::uint32_t>(comm.rank()));
+    std::vector<std::vector<std::uint32_t>> sections =
+        comm.allgatherv_ranks(std::span<const std::uint32_t>(local));
+    ASSERT_EQ(sections.size(), static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      const auto &section = sections[static_cast<std::size_t>(r)];
+      ASSERT_EQ(section.size(), static_cast<std::size_t>(r));
+      for (std::uint32_t value : section)
+        EXPECT_EQ(value, static_cast<std::uint32_t>(r));
+    }
+  });
+}
+
+TEST(Mpsim, AllgathervRanksCarriesStructs) {
+  struct Pair {
+    std::uint32_t a;
+    std::uint32_t b;
+  };
+  Context::run(3, [&](Communicator &comm) {
+    const auto me = static_cast<std::uint32_t>(comm.rank());
+    std::vector<Pair> local(1, Pair{me, me * 100});
+    if (comm.rank() == 1) local.clear(); // empty sections stay empty
+    std::vector<std::vector<Pair>> sections =
+        comm.allgatherv_ranks(std::span<const Pair>(local));
+    ASSERT_EQ(sections.size(), 3u);
+    EXPECT_TRUE(sections[1].empty());
+    for (std::uint32_t r : {0u, 2u}) {
+      ASSERT_EQ(sections[r].size(), 1u);
+      EXPECT_EQ(sections[r][0].a, r);
+      EXPECT_EQ(sections[r][0].b, r * 100);
+    }
+  });
+}
+
 TEST_P(MpsimRankCounts, CollectiveSequencesStayInLockstep) {
   // Mixed sequence of collectives: any pointer/slot reuse bug would corrupt
   // the later results.
