@@ -19,6 +19,10 @@
 ///                   reports (one per driver execution) at process exit
 ///   --trace <path>  enable span tracing and write a Chrome trace-event
 ///                   JSON timeline (Perfetto-loadable) at process exit
+///   --checkpoint-dir <d>  snapshot martingale state of the mpsim drivers
+///                   (plus --checkpoint-every/--checkpoint-keep/--resume);
+///                   exported to RIPPLES_CHECKPOINT_* so every driver run
+///                   the bench makes picks them up
 ///   --full          run the paper's full parameter grid instead of the
 ///                   time-budgeted default subset
 #ifndef RIPPLES_BENCH_COMMON_HPP
@@ -64,6 +68,19 @@ struct BenchConfig {
     // Same pattern for the timeline: spans buffer during the run and the
     // atexit hook writes one Chrome trace-event document.
     if (!config.trace_path.empty()) trace::start(config.trace_path);
+    // Checkpoint flags travel via the environment: ImmOptions defaults from
+    // RIPPLES_CHECKPOINT_*, so exporting here covers every driver the bench
+    // constructs without threading options through each table loop.
+    if (auto dir = cli.value_of("checkpoint-dir"))
+      setenv("RIPPLES_CHECKPOINT_DIR", dir->c_str(), 1);
+    if (auto every = cli.value_of("checkpoint-every"))
+      setenv("RIPPLES_CHECKPOINT_EVERY", every->c_str(), 1);
+    if (auto keep = cli.value_of("checkpoint-keep"))
+      setenv("RIPPLES_CHECKPOINT_KEEP", keep->c_str(), 1);
+    if (cli.has_flag("resume")) setenv("RIPPLES_CHECKPOINT_RESUME", "1", 1);
+    // Graceful shutdown: SIGINT/SIGTERM writes any pending checkpoint and
+    // flushes the report log + trace buffers before exiting 128+signum.
+    checkpoint::install_signal_flush();
     // atexit hooks never run when an uncaught exception reaches
     // std::terminate, which would lose the report log and trace buffers of
     // a crashed bench.  A terminate handler flushes both (marking the

@@ -25,6 +25,21 @@
 ///                                          RIPPLES_SELECTION_EXCHANGE)
 ///           [--selection-topm N]          (candidates per rank per sparse
 ///                                          round; default 16)
+///           [--checkpoint-dir DIR]        (dist/dist-part: snapshot the
+///                                          martingale state at round
+///                                          boundaries; also
+///                                          RIPPLES_CHECKPOINT_DIR)
+///           [--checkpoint-every N]        (write every Nth boundary;
+///                                          acceptance always writes)
+///           [--checkpoint-keep N]         (snapshots retained; default 3)
+///           [--resume]                    (resume from the newest intact
+///                                          snapshot in --checkpoint-dir)
+///           [--evict-stalled]             (dist + --recover + --watchdog-ms:
+///                                          heal watchdog-diagnosed stalls
+///                                          like crashes instead of aborting)
+///           [--strict-input]              (reject self-loops and duplicate
+///                                          edges in --input, not just
+///                                          malformed lines/weights)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
 #include <cstdio>
 #include <fstream>
@@ -40,7 +55,10 @@ CsrGraph load_graph(const CommandLine &cli, std::uint64_t seed,
   CsrGraph graph = [&] {
     if (auto input = cli.value_of("input")) {
       RIPPLES_LOG_INFO("loading edge list from %s", input->c_str());
-      return CsrGraph(load_edge_list_text(*input));
+      EdgeListValidation validation;
+      validation.reject_self_loops = cli.has_flag("strict-input");
+      validation.reject_duplicates = cli.has_flag("strict-input");
+      return CsrGraph(load_edge_list_text(*input, true, validation));
     }
     const std::string dataset = cli.get("dataset", std::string("cit-HepTh"));
     return materialize(find_dataset(dataset), cli.get("scale", 0.05), seed,
@@ -97,6 +115,14 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
   }
   options.selection_topm = static_cast<std::uint32_t>(
       cli.get("selection-topm", std::int64_t{options.selection_topm}));
+  options.evict_stalled = cli.has_flag("evict-stalled");
+  // Flags override the RIPPLES_CHECKPOINT_* environment (the defaults).
+  if (auto dir = cli.value_of("checkpoint-dir")) options.checkpoint.dir = *dir;
+  options.checkpoint.every = static_cast<std::uint32_t>(cli.get(
+      "checkpoint-every", std::int64_t{options.checkpoint.every}));
+  options.checkpoint.keep_last = static_cast<std::uint32_t>(cli.get(
+      "checkpoint-keep", std::int64_t{options.checkpoint.keep_last}));
+  if (cli.has_flag("resume")) options.checkpoint.resume = true;
 
   if (driver == "seq") return imm_sequential(graph, options);
   if (driver == "baseline") return imm_baseline_hypergraph(graph, options);
@@ -179,8 +205,19 @@ int main(int argc, char **argv) {
   // works too; --trace <path> both enables it and names the output.
   const std::string trace_path = cli.get("trace", std::string());
   if (!trace_path.empty()) trace::set_enabled(true);
+  // Graceful shutdown: Ctrl-C or a scheduler's TERM writes any pending
+  // checkpoint and flushes the report log and trace buffers before exiting
+  // 128+signum, leaving the same resumable state a round boundary would.
+  checkpoint::install_signal_flush();
 
-  CsrGraph graph = load_graph(cli, seed, model);
+  CsrGraph graph = [&] {
+    try {
+      return load_graph(cli, seed, model);
+    } catch (const std::exception &error) {
+      std::fprintf(stderr, "input rejected: %s\n", error.what());
+      std::exit(2);
+    }
+  }();
   GraphStats stats = compute_stats(graph);
   std::printf("graph: %u vertices, %llu arcs | driver=%s model=%s\n",
               stats.num_vertices,

@@ -9,6 +9,7 @@
 #   scripts/check.sh --no-ubsan  # skip the UndefinedBehaviorSanitizer stage
 #   scripts/check.sh --no-soak   # skip the fault-injection soak stage
 #   scripts/check.sh --no-sparse # skip the sparse selection-exchange leg
+#   scripts/check.sh --no-checkpoint # skip the kill-resume soak leg
 #
 # The sparse leg reruns the selection suites (`ctest -L selection`) plus the
 # IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
@@ -36,16 +37,26 @@
 # (RIPPLES_SOAK_ITERATIONS, default 5): the recovery protocol's historical
 # bugs (stale-waiter barrier underflow) were scheduling races that a single
 # pass can miss.
+#
+# The checkpoint stage is a kill-resume soak: after `ctest -L checkpoint`,
+# it runs imm_cli with --checkpoint-dir, SIGKILLs it at a randomized moment
+# mid-run (RIPPLES_KILL_ITERATIONS, default 5, different delay each time),
+# resumes with --resume, and requires compare_reports.py --check-seeds to
+# find the resumed run byte-identical to an uninterrupted reference.  This
+# exercises the one thing in-process tests cannot: real SIGKILL, a fresh
+# process, and on-disk snapshots as the only carried-over state.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 soak_iterations=${RIPPLES_SOAK_ITERATIONS:-5}
+kill_iterations=${RIPPLES_KILL_ITERATIONS:-5}
 run_tsan=1
 run_asan=1
 run_ubsan=1
 run_soak=1
 run_sparse=1
+run_checkpoint=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -53,7 +64,8 @@ for arg in "$@"; do
     --no-ubsan) run_ubsan=0 ;;
     --no-soak) run_soak=0 ;;
     --no-sparse) run_sparse=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse)" >&2; exit 2 ;;
+    --no-checkpoint) run_checkpoint=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint)" >&2; exit 2 ;;
   esac
 done
 
@@ -78,6 +90,44 @@ if [[ "$run_soak" == 1 ]]; then
   for ((i = 1; i <= soak_iterations; ++i)); do
     ctest --test-dir build -L faults --output-on-failure -j "$jobs" \
       > /dev/null || { echo "fault soak failed on iteration $i" >&2; exit 1; }
+  done
+fi
+
+if [[ "$run_checkpoint" == 1 ]]; then
+  echo "== checkpoint: ctest -L checkpoint =="
+  ctest --test-dir build -L checkpoint --output-on-failure -j "$jobs"
+
+  echo "== checkpoint: kill-resume soak (${kill_iterations}x SIGKILL mid-run + --resume) =="
+  ckpt_work=$(mktemp -d)
+  trap 'rm -rf "$ckpt_work"' EXIT
+  ckpt_cli=./build/examples/imm_cli
+  # ~2.5 s of martingale rounds: long enough that a randomized kill lands
+  # anywhere from before the first snapshot to after acceptance.
+  ckpt_args=(--driver dist --ranks 3 --dataset cit-HepTh --scale 0.2
+             --epsilon 0.3 -k 32 --seed 2019)
+  # Uninterrupted reference, checkpointing enabled so its registry carries
+  # the same imm.checkpoint.* counters the resumed runs will.
+  "$ckpt_cli" "${ckpt_args[@]}" --checkpoint-dir "$ckpt_work/ref-ckpt" \
+    --json-report "$ckpt_work/reference.json" > /dev/null
+  for ((i = 1; i <= kill_iterations; ++i)); do
+    dir="$ckpt_work/run-$i"
+    delay_ms=$(( (RANDOM % 1900) + 300 ))
+    "$ckpt_cli" "${ckpt_args[@]}" --checkpoint-dir "$dir" > /dev/null 2>&1 &
+    victim=$!
+    sleep "$(printf '%d.%03d' $((delay_ms / 1000)) $((delay_ms % 1000)))"
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+    "$ckpt_cli" "${ckpt_args[@]}" --checkpoint-dir "$dir" --resume \
+      --json-report "$ckpt_work/resumed-$i.json" > /dev/null
+    # Identity is the point here (--check-seeds is exact); the perf families
+    # are relaxed because a resumed run legitimately does less work and this
+    # leg runs back-to-back processes, not min-of-N measurements.
+    python3 scripts/compare_reports.py --check-seeds --allow-missing \
+      --phase-tolerance 2.0 --counter-tolerance 10 \
+      "$ckpt_work/reference.json" "$ckpt_work/resumed-$i.json" > /dev/null \
+      || { echo "kill-resume soak: resumed run diverged from the reference" \
+                "on iteration $i (killed at ${delay_ms}ms)" >&2; exit 1; }
+    echo "  iteration $i: killed at ${delay_ms}ms, resume matched the reference"
   done
 fi
 

@@ -22,6 +22,11 @@ Four families of checks, each with its own threshold:
   * registry counters (report-log `registry.counters`, when both files are
     report logs): values may grow by --counter-tolerance (relative, default
     0.25 — timing counters like graph.*.micros are noisy).
+  * result identity (--check-seeds): the seeds array, theta value, sample
+    count, and selection coverage must match EXACTLY.  This is the
+    kill/resume equivalence check — a checkpoint-resumed run is only correct
+    if it is bit-identical to the uninterrupted run, so there is no
+    tolerance to configure.
 
 A metric present on one side and absent on the other is always a reported
 diff, never a silent pass: a collective or registry counter appearing means
@@ -114,9 +119,30 @@ class Comparison:
         else:
             print(f"ok    {label}: {base:g} -> {cand:g}")
 
+    def check_exact(self, label, base, cand):
+        """Bit-for-bit equality; used for the resume-equivalence fields."""
+        self.checked += 1
+        if base == cand:
+            print(f"ok    {label}: identical")
+        else:
+            self.fail(f"{label}: baseline {base!r} != candidate {cand!r}")
+
     def compare_report(self, key, base, cand):
         driver, index = key
         label = f"{driver}[{index}]"
+
+        if self.args.check_seeds:
+            self.check_exact(f"{label}.seeds", dig(base, "seeds"),
+                             dig(cand, "seeds"))
+            self.check_exact(f"{label}.theta.value",
+                             dig(base, "theta", "value"),
+                             dig(cand, "theta", "value"))
+            self.check_exact(f"{label}.samples.generated",
+                             dig(base, "samples", "generated"),
+                             dig(cand, "samples", "generated"))
+            self.check_exact(f"{label}.selection.coverage_fraction",
+                             dig(base, "selection", "coverage_fraction"),
+                             dig(cand, "selection", "coverage_fraction"))
 
         for phase in ("estimate_theta", "sample", "select_seeds", "other",
                       "total"):
@@ -182,6 +208,9 @@ def main():
     parser.add_argument("--counter-tolerance", type=float, default=0.25,
                         help="relative growth allowed per registry counter "
                              "(default 0.25; timing counters are noisy)")
+    parser.add_argument("--check-seeds", action="store_true",
+                        help="require EXACT equality of seeds, theta, sample "
+                             "count, and coverage (kill/resume equivalence)")
     parser.add_argument("--allow-missing", action="store_true",
                         help="don't fail when a baseline report has no "
                              "candidate counterpart")

@@ -1,6 +1,7 @@
 #include "graph/csr.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <numeric>
 
 namespace ripples {
@@ -99,6 +100,27 @@ std::size_t CsrGraph::memory_footprint_bytes() const {
          out_adjacency_.capacity() * sizeof(Adjacency) +
          in_adjacency_.capacity() * sizeof(Adjacency) +
          in_to_out_.capacity() * sizeof(edge_offset_t);
+}
+
+std::uint64_t CsrGraph::structural_hash() const {
+  // FNV-1a; weights hashed by bit pattern so -0.0 vs 0.0 or NaN payloads
+  // cannot collide two graphs the samplers would traverse differently.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 0x100000001B3ull;
+    }
+  };
+  mix(num_vertices_);
+  for (edge_offset_t offset : out_offsets_)
+    mix(offset);
+  for (const Adjacency &adjacent : out_adjacency_) {
+    std::uint32_t weight_bits;
+    std::memcpy(&weight_bits, &adjacent.weight, sizeof weight_bits);
+    mix((static_cast<std::uint64_t>(adjacent.vertex) << 32) | weight_bits);
+  }
+  return h;
 }
 
 EdgeList CsrGraph::to_edge_list() const {

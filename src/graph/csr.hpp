@@ -12,6 +12,7 @@
 #define RIPPLES_GRAPH_CSR_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -101,6 +102,12 @@ public:
 
   /// Heap footprint of the CSR arrays in bytes.
   [[nodiscard]] std::size_t memory_footprint_bytes() const;
+
+  /// FNV-1a digest over the out-CSR offsets, neighbors, and weight bit
+  /// patterns.  Two graphs hash equal iff they have identical structure and
+  /// weights, which is what checkpoint resume needs to verify: replaying RRR
+  /// coordinates against a different graph would be silently wrong.
+  [[nodiscard]] std::uint64_t structural_hash() const;
 
   /// Round-trips back to an edge list (sorted by source, then destination),
   /// using the out-direction weights.

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace ripples {
 
@@ -23,7 +25,8 @@ constexpr std::uint32_t kBinaryVersion = 1;
 
 } // namespace
 
-EdgeList read_edge_list_text(std::istream &input, bool compact_ids) {
+EdgeList read_edge_list_text(std::istream &input, bool compact_ids,
+                             const EdgeListValidation &validation) {
   EdgeList list;
   std::unordered_map<std::uint64_t, vertex_t> compact;
   auto intern = [&](std::uint64_t raw) -> vertex_t {
@@ -38,26 +41,70 @@ EdgeList read_edge_list_text(std::istream &input, bool compact_ids) {
     return it->second;
   };
 
+  // Our own writer emits "# ripples edge list: N vertices, M edges"; when
+  // a file carries that header, the declared edge count catches truncated
+  // copies (a partial download or filled disk) that would otherwise load as
+  // a silently smaller — and wrong — graph.
+  std::uint64_t declared_edges = 0;
+  bool have_declared = false;
+  std::unordered_set<std::uint64_t> seen_arcs;
+
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(input, line)) {
     ++line_no;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      unsigned long long n = 0, m = 0;
+      if (std::sscanf(line.c_str(),
+                      "# ripples edge list: %llu vertices, %llu edges", &n,
+                      &m) == 2) {
+        declared_edges = m;
+        have_declared = true;
+      }
+      continue;
+    }
     std::istringstream fields(line);
     std::uint64_t raw_src = 0, raw_dst = 0;
     if (!(fields >> raw_src >> raw_dst))
       fail("malformed edge at line " + std::to_string(line_no));
     float weight = 1.0f;
     fields >> weight; // optional third column
-    list.edges.push_back({intern(raw_src), intern(raw_dst), weight});
+    // A missing third column leaves weight at 1.0 (the stream fails at
+    // EOF before extracting); a *malformed* token like "abc" also fails
+    // but mid-line — reject it rather than silently reading garbage.
+    if (fields.fail() && !fields.eof())
+      fail("malformed weight at line " + std::to_string(line_no));
+    // Weights are activation probabilities: [0, 1] by contract.  The
+    // !(>= 0) form also catches NaN, which compares false to everything.
+    if (!(weight >= 0.0f) || weight > 1.0f)
+      fail("weight " + std::to_string(weight) + " out of [0, 1] at line " +
+           std::to_string(line_no));
+    if (validation.reject_self_loops && raw_src == raw_dst)
+      fail("self-loop " + std::to_string(raw_src) + " at line " +
+           std::to_string(line_no));
+    vertex_t src = intern(raw_src);
+    vertex_t dst = intern(raw_dst);
+    if (validation.reject_duplicates) {
+      const std::uint64_t arc =
+          (static_cast<std::uint64_t>(src) << 32) | dst;
+      if (!seen_arcs.insert(arc).second)
+        fail("duplicate edge " + std::to_string(raw_src) + " -> " +
+             std::to_string(raw_dst) + " at line " + std::to_string(line_no));
+    }
+    list.edges.push_back({src, dst, weight});
   }
+  if (have_declared && list.edges.size() != declared_edges)
+    fail("header declares " + std::to_string(declared_edges) +
+         " edges but the file holds " + std::to_string(list.edges.size()) +
+         " (truncated after line " + std::to_string(line_no) + "?)");
   return list;
 }
 
-EdgeList load_edge_list_text(const std::string &path, bool compact_ids) {
+EdgeList load_edge_list_text(const std::string &path, bool compact_ids,
+                             const EdgeListValidation &validation) {
   std::ifstream input(path);
   if (!input) fail("cannot open '" + path + "'");
-  return read_edge_list_text(input, compact_ids);
+  return read_edge_list_text(input, compact_ids, validation);
 }
 
 void write_edge_list_text(std::ostream &output, const EdgeList &list) {

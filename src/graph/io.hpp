@@ -15,16 +15,35 @@
 
 namespace ripples {
 
+/// Opt-in anomaly screens for the text loader.  Self-loops and duplicate
+/// arcs are legitimate in raw SNAP data (CsrGraph drops the former and
+/// treats the latter as multi-arcs), so by default they load fine; a
+/// pipeline that wants to catch a corrupted or doubly-concatenated input
+/// turns these on (imm_cli --strict-input) and gets a line-numbered error
+/// instead.
+struct EdgeListValidation {
+  bool reject_self_loops = false;
+  bool reject_duplicates = false;
+};
+
 /// Parses a SNAP-style text edge list.  With \p compact_ids (the default)
 /// vertex ids are compacted to a dense [0, n) range in first-appearance
 /// order, which SNAP's sparse id spaces require; with it disabled the raw
 /// ids are kept verbatim and num_vertices becomes max_id + 1 (exact
-/// round-trip for already-dense files).  Throws std::runtime_error on
-/// malformed input.
-[[nodiscard]] EdgeList read_edge_list_text(std::istream &input,
-                                           bool compact_ids = true);
-[[nodiscard]] EdgeList load_edge_list_text(const std::string &path,
-                                           bool compact_ids = true);
+/// round-trip for already-dense files).
+///
+/// Always rejected, with a line-numbered diagnostic (std::runtime_error):
+/// malformed edge or weight tokens; weights that are NaN, negative, or > 1
+/// (activation probabilities by contract — a poisoned weight would silently
+/// skew every sampler downstream); and edge lists shorter than the count a
+/// `# ripples edge list: N vertices, M edges` header declares (a truncated
+/// copy of our own writer's output).  \p validation adds the opt-in screens.
+[[nodiscard]] EdgeList
+read_edge_list_text(std::istream &input, bool compact_ids = true,
+                    const EdgeListValidation &validation = {});
+[[nodiscard]] EdgeList
+load_edge_list_text(const std::string &path, bool compact_ids = true,
+                    const EdgeListValidation &validation = {});
 
 /// Writes `src dst weight` lines with a size header comment.
 void write_edge_list_text(std::ostream &output, const EdgeList &list);

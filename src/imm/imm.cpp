@@ -47,6 +47,7 @@ void finalize_run_report(ImmResult &result, const char *driver,
   report.total_samples = outcome.selection.total_samples;
   report.coverage_fraction = result.coverage_fraction;
   report.seeds.assign(result.seeds.begin(), result.seeds.end());
+  report.resumed_from = result.resumed_from;
   if (metrics::enabled()) metrics::report_log().add(report);
 }
 

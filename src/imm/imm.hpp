@@ -24,6 +24,7 @@
 
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
+#include "support/checkpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
 
@@ -84,6 +85,16 @@ struct ImmOptions {
   /// Deterministic fault plan, `rank=R,site=N[,kind=crash|stall][;...]`
   /// (see mpsim/fault.hpp).  Empty means faults only from RIPPLES_FAULTS.
   std::string fault_plan;
+  /// Treat watchdog-detected stalls as failures: the detecting rank evicts
+  /// the laggards through the RankFailed -> shrink() -> heal path instead of
+  /// only diagnosing them.  Requires recover_failures and watchdog_ms > 0
+  /// (imm_distributed only; other drivers ignore it).
+  bool evict_stalled = false;
+
+  // Durable checkpoint/restart (the mpsim drivers; see DESIGN.md §9).
+  /// Snapshot directory, write stride, resume flag, retention.  An empty
+  /// dir disables checkpointing; defaults come from RIPPLES_CHECKPOINT_*.
+  checkpoint::Options checkpoint = checkpoint::options_from_env();
 
   // Seed-selection exchange (the mpsim drivers; see DESIGN.md §8).
   /// Dense counter allreduce vs. sparse top-m exchange; defaults from
@@ -111,6 +122,9 @@ struct ImmResult {
   std::size_t rrr_peak_bytes = 0;
   /// Total (sample, vertex) associations stored at peak.
   std::size_t total_associations = 0;
+  /// Martingale round this run resumed from (`next_round` of the snapshot),
+  /// or -1 for a fresh (non-resumed) run.
+  std::int64_t resumed_from = -1;
   /// Structured record of this execution (metrics subsystem): phase times,
   /// theta schedule, RRR-size histogram, storage footprint, per-collective
   /// communication volume.  Serialize with report.write_json_file(path).

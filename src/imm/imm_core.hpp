@@ -8,6 +8,13 @@
 /// (Section 4.1): Sample calls made from inside the estimation loop count
 /// toward "EstimateTheta"; only the top-level Sample call after theta is
 /// fixed counts toward "Sample".
+///
+/// The skeleton is also the checkpoint/restart anchor (DESIGN.md §9): all
+/// martingale state lives in a `MartingaleProgress` value that a round hook
+/// observes at every boundary and that a resumed run feeds back in.  Because
+/// every extend is a deterministic replay from RNG coordinates, re-entering
+/// the loop at `progress.next_round` after regenerating `progress.num_samples`
+/// samples reproduces the uninterrupted run bit-for-bit.
 #ifndef RIPPLES_IMM_IMM_CORE_HPP
 #define RIPPLES_IMM_IMM_CORE_HPP
 
@@ -35,22 +42,71 @@ struct MartingaleOutcome {
   std::vector<std::uint64_t> extend_targets;
 };
 
-/// \param extend_to  void(std::uint64_t target): grow R to `target` samples.
-/// \param select     SelectionResult(): run seed selection over current R.
-template <typename ExtendFn, typename SelectFn>
-MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
-                                     std::uint32_t k, double epsilon, double l,
-                                     ExtendFn &&extend_to, SelectFn &&select,
-                                     PhaseTimers &timers) {
+/// Complete martingale-loop state at a round boundary.  This is exactly what
+/// a checkpoint stores (plus the driver's RNG coordinates): restoring it and
+/// replaying `extend_to(num_samples)` puts a fresh process in the same state
+/// the killed one reached.  The doubles carry bit-exact values — the final
+/// theta is a function of `lower_bound`, so any rounding on the resume path
+/// would change the seed set.
+struct MartingaleProgress {
+  /// Next estimation round to execute (1-based).  Rounds before it are done;
+  /// a value past the schedule maximum means estimation was exhausted.
+  std::uint32_t next_round = 1;
+  /// True once the stopping rule fired; resume then skips the loop entirely.
+  bool accepted = false;
+  double lower_bound = 1.0;
+  /// Coverage from the most recent round — the input to the exhausted-
+  /// schedule fallback lower bound, so it must survive a kill.
+  double last_coverage = 0.0;
+  std::uint32_t estimation_iterations = 0;
+  /// |R| reached at this boundary (the replay target on resume).
+  std::uint64_t num_samples = 0;
+  std::vector<std::uint64_t> extend_targets;
+};
+
+/// \param extend_to   void(std::uint64_t target): grow R to `target` samples.
+/// \param select      SelectionResult(): run seed selection over current R.
+/// \param resume      martingale state to re-enter from, or nullptr for a
+///                    fresh run.  The skeleton replays
+///                    `extend_to(resume->num_samples)` itself.
+/// \param round_hook  void(const MartingaleProgress &): called at every
+///                    round boundary (and after the final theta extend) with
+///                    the state a resume would need; drivers snapshot here.
+template <typename ExtendFn, typename SelectFn, typename RoundHook>
+MartingaleOutcome
+run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
+                   double l, ExtendFn &&extend_to, SelectFn &&select,
+                   PhaseTimers &timers, const MartingaleProgress *resume,
+                   RoundHook &&round_hook) {
   ThetaSchedule schedule(num_vertices, k, epsilon, l);
 
+  MartingaleProgress progress;
+  if (resume != nullptr)
+    progress = *resume;
+
   MartingaleOutcome outcome;
-  bool accepted = false;
-  double last_coverage = 0.0;
-  {
+  outcome.num_samples = progress.num_samples;
+  outcome.lower_bound = progress.lower_bound;
+  outcome.estimation_iterations = progress.estimation_iterations;
+  outcome.extend_targets = progress.extend_targets;
+  bool accepted = progress.accepted;
+  double last_coverage = progress.last_coverage;
+
+  if (resume != nullptr && progress.num_samples > 0) {
+    // Deterministic replay: regenerate the checkpointed |R| from RNG
+    // coordinates before re-entering the loop.  Attributed to the phase the
+    // killed run was in so resumed reports stay interpretable.
+    ScopedPhase phase(timers, accepted ? Phase::Sample : Phase::EstimateTheta);
+    trace::Span span("imm", "imm.resume_replay", "samples",
+                     progress.num_samples, "next_round", progress.next_round);
+    extend_to(progress.num_samples);
+  }
+
+  if (!accepted) {
     ScopedPhase phase(timers, Phase::EstimateTheta);
     trace::Span estimate_span("imm", "imm.estimate_theta");
-    for (std::uint32_t x = 1; x <= schedule.max_iterations(); ++x) {
+    for (std::uint32_t x = progress.next_round; x <= schedule.max_iterations();
+         ++x) {
       std::uint64_t target = schedule.target_samples(x);
       trace::Span round_span("imm", "imm.estimation_round", "x", x, "target",
                              target);
@@ -66,8 +122,17 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
         RIPPLES_LOG_DEBUG("estimation accepted at x=%u: |R|=%llu LB=%.1f", x,
                           static_cast<unsigned long long>(target),
                           outcome.lower_bound);
-        break;
       }
+      progress.next_round = x + 1;
+      progress.accepted = accepted;
+      progress.lower_bound = outcome.lower_bound;
+      progress.last_coverage = last_coverage;
+      progress.estimation_iterations = outcome.estimation_iterations;
+      progress.num_samples = outcome.num_samples;
+      progress.extend_targets = outcome.extend_targets;
+      round_hook(static_cast<const MartingaleProgress &>(progress));
+      if (accepted)
+        break;
     }
   }
   if (!accepted) {
@@ -88,6 +153,15 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
     outcome.extend_targets.push_back(outcome.theta);
     extend_to(outcome.theta);
     outcome.num_samples = outcome.theta;
+    progress.accepted = accepted;
+    progress.lower_bound = outcome.lower_bound;
+    progress.last_coverage = last_coverage;
+    progress.num_samples = outcome.num_samples;
+    progress.extend_targets = outcome.extend_targets;
+    // Boundary after the (often longest) final extend: a kill during the
+    // final selection resumes here instead of replaying the theta top-up
+    // from the acceptance snapshot.
+    round_hook(static_cast<const MartingaleProgress &>(progress));
   }
   {
     ScopedPhase phase(timers, Phase::SelectSeeds);
@@ -96,6 +170,18 @@ MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
     outcome.selection = select();
   }
   return outcome;
+}
+
+/// Checkpoint-free form used by the shared-memory drivers.
+template <typename ExtendFn, typename SelectFn>
+MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
+                                     std::uint32_t k, double epsilon, double l,
+                                     ExtendFn &&extend_to, SelectFn &&select,
+                                     PhaseTimers &timers) {
+  return run_imm_martingale(num_vertices, k, epsilon, l,
+                            std::forward<ExtendFn>(extend_to),
+                            std::forward<SelectFn>(select), timers, nullptr,
+                            [](const MartingaleProgress &) {});
 }
 
 } // namespace ripples::detail

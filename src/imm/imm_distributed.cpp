@@ -41,6 +41,7 @@
 #include <omp.h>
 #include <vector>
 
+#include "imm/imm_checkpoint.hpp"
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
 #include "imm/select.hpp"
@@ -82,7 +83,16 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   run_options.num_ranks = options.num_ranks;
   run_options.recover = options.recover_failures;
   run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
+  run_options.evict_stalled = options.evict_stalled;
   run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+
+  // Checkpoint/restart (DESIGN.md §9): the martingale state is replicated —
+  // every rank reaches each round boundary with identical progress — so the
+  // dense rank 0 alone snapshots it, together with the per-stream sample
+  // counts that let a fresh process regenerate every partition.
+  detail::DriverCheckpoint ckpt =
+      detail::prepare_driver_checkpoint("imm_distributed", graph, options,
+                                        result);
 
   mpsim::Context::run(run_options, [&](mpsim::Communicator &comm) {
     // The sample index space is partitioned by *world* coordinates for the
@@ -348,13 +358,28 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       trace::counter("rrr_sets", local.size());
     };
 
+    // Round-boundary snapshot: progress is replicated, so the current dense
+    // rank 0 writes for everyone (a healed run keeps exactly one writer).
+    // Acceptance boundaries force past the --checkpoint-every thinning —
+    // they gate the long final phase, the costliest state to lose.
+    auto round_hook = [&](const detail::MartingaleProgress &progress) {
+      if (!ckpt.enabled() || comm.rank() != 0)
+        return;
+      ckpt.manager->observe(
+          detail::snapshot_from_progress(
+              ckpt.fingerprint, progress,
+              detail::leapfrog_stream_counts(progress.num_samples, stride)),
+          progress.accepted);
+    };
+
     PhaseTimers timers;
     detail::MartingaleOutcome outcome;
     for (;;) {
       try {
         outcome = detail::run_imm_martingale(n, options.k, options.epsilon,
                                              options.l, extend_to, select,
-                                             timers);
+                                             timers, ckpt.resume_progress(),
+                                             round_hook);
         break;
       } catch (const mpsim::RankFailed &failed) {
         // Survivable failure: agree on the dead set, adopt their streams,

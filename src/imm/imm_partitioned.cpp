@@ -34,6 +34,7 @@
 #include <mutex>
 #include <vector>
 
+#include "imm/imm_checkpoint.hpp"
 #include "imm/imm_core.hpp"
 #include "imm/rrr.hpp"
 #include "imm/select.hpp"
@@ -81,6 +82,13 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
   run_options.num_ranks = options.num_ranks;
   run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
   run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+
+  // Checkpoint/restart (DESIGN.md §9): every sample slice is a pure function
+  // of (seed, sample index, vertex) via the per-(sample,vertex) Philox keys,
+  // so the snapshot needs no per-rank stream coordinates at all — an empty
+  // stream_counts vector and the martingale state fully determine the run.
+  detail::DriverCheckpoint ckpt = detail::prepare_driver_checkpoint(
+      "imm_distributed_partitioned", graph, options, result);
 
   mpsim::Context::run(run_options, [&](mpsim::Communicator &comm) {
     const auto p = static_cast<std::uint64_t>(comm.size());
@@ -277,10 +285,18 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
       return selection;
     };
 
+    auto round_hook = [&](const detail::MartingaleProgress &progress) {
+      if (!ckpt.enabled() || comm.rank() != 0)
+        return;
+      ckpt.manager->observe(
+          detail::snapshot_from_progress(ckpt.fingerprint, progress, {}),
+          progress.accepted);
+    };
+
     PhaseTimers timers;
-    auto outcome =
-        detail::run_imm_martingale(n, options.k, options.epsilon, options.l,
-                                   extend_to, select, timers);
+    auto outcome = detail::run_imm_martingale(
+        n, options.k, options.epsilon, options.l, extend_to, select, timers,
+        ckpt.resume_progress(), round_hook);
     if (comm.rank() == 0) {
       result.seeds = outcome.selection.seeds;
       result.theta = outcome.theta;

@@ -69,6 +69,11 @@ metrics::Counter &timeouts_counter() {
       metrics::Registry::instance().counter("mpsim.faults.timeouts");
   return c;
 }
+metrics::Counter &evictions_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mpsim.faults.evicted_stalls");
+  return c;
+}
 
 std::string format_rank_list(const std::vector<int> &ranks) {
   std::string text;
@@ -241,18 +246,26 @@ struct SharedState {
   void mark_dead(int world_rank) {
     {
       std::lock_guard<std::mutex> lock(mutex);
-      RIPPLES_ASSERT(alive[static_cast<std::size_t>(world_rank)]);
-      alive[static_cast<std::size_t>(world_rank)] = 0;
-      --live;
-      dead_order.push_back(world_rank);
-      dead_count.store(dead_order.size(), std::memory_order_release);
-      if (metrics::enabled()) deaths_counter().increment();
-      trace::instant("mpsim", "mpsim.rank_dead", "rank",
-                     static_cast<std::uint64_t>(world_rank));
-      if (shrink_arrived > 0 && shrink_arrived == live)
-        complete_shrink_locked();
+      mark_dead_locked(world_rank);
     }
     wake_everyone();
+  }
+
+  /// Idempotent: a rank can be declared dead twice — a watchdog eviction
+  /// races with the evicted rank's own unwind (its rank_body calls
+  /// mark_dead when it finally throws), and two waiters can evict the same
+  /// laggard concurrently.  Only the first declaration touches the ledger.
+  void mark_dead_locked(int world_rank) {
+    if (!alive[static_cast<std::size_t>(world_rank)]) return;
+    alive[static_cast<std::size_t>(world_rank)] = 0;
+    --live;
+    dead_order.push_back(world_rank);
+    dead_count.store(dead_order.size(), std::memory_order_release);
+    if (metrics::enabled()) deaths_counter().increment();
+    trace::instant("mpsim", "mpsim.rank_dead", "rank",
+                   static_cast<std::uint64_t>(world_rank));
+    if (shrink_arrived > 0 && shrink_arrived == live)
+      complete_shrink_locked();
   }
 
   void complete_shrink_locked() {
@@ -381,14 +394,23 @@ std::uint64_t Communicator::begin_collective(Collective collective) {
         throw InjectedFault(world_rank_, site, to_string(collective));
       }
       // Stall: block here without ever arriving at the rendezvous —
-      // modelling a hung peer.  The rank only unwinds once the run aborts
-      // (e.g. because a peer's watchdog diagnosed the stall); without a
-      // watchdog this hangs the run, exactly like real MPI.
+      // modelling a hung peer.  The rank unwinds once the run aborts (a
+      // peer's watchdog diagnosed the stall) or once a peer *evicted* it
+      // (RunOptions::evict_stalled declared it dead); without a watchdog
+      // this hangs the run, exactly like real MPI.
       if (metrics::enabled()) stalls_counter().increment();
       trace::instant("mpsim", "mpsim.fault_stall", "rank",
                      static_cast<std::uint64_t>(world_rank_), "site", site);
-      while (!shared_.aborted.load(std::memory_order_acquire))
+      while (!shared_.aborted.load(std::memory_order_acquire)) {
+        if (shared_.dead_count.load(std::memory_order_acquire) > 0) {
+          std::lock_guard<std::mutex> lock(shared_.mutex);
+          if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+            throw std::runtime_error(
+                "mpsim: rank " + std::to_string(world_rank_) +
+                " evicted while stalled at site " + std::to_string(site));
+        }
         std::this_thread::sleep_for(std::chrono::milliseconds{1});
+      }
       throw RankAborted();
     }
   }
@@ -423,6 +445,21 @@ void Communicator::sync(Collective collective, std::uint64_t site) {
       if (metrics::enabled()) timeouts_counter().increment();
       trace::instant("mpsim", "mpsim.collective_timeout", "rank",
                      static_cast<std::uint64_t>(world_rank_), "site", site);
+      if (shared_.options.recover && shared_.options.evict_stalled &&
+          !laggards.empty()) {
+        // Stall eviction: declare the laggards dead so this surfaces as a
+        // survivable RankFailed — same shrink/heal path as a crash —
+        // instead of a fatal diagnosis.  The stalled ranks observe their
+        // own eviction in the begin_collective stall loop and unwind.
+        for (int laggard : laggards) shared_.mark_dead_locked(laggard);
+        if (metrics::enabled()) evictions_counter().add(laggards.size());
+        trace::instant("mpsim", "mpsim.stall_evicted", "count",
+                       laggards.size(), "site", site);
+        RankFailed failure = shared_.rank_failed_since_locked(acked_deaths_);
+        lock.unlock();
+        shared_.wake_everyone();
+        throw failure;
+      }
       throw CollectiveTimeout(to_string(collective), site, std::move(laggards),
                               watchdog.elapsed());
     }

@@ -215,6 +215,13 @@ struct RunOptions {
   /// Per-collective wait deadline; zero disables the watchdog.  Also read
   /// from RIPPLES_WATCHDOG_MS when left at zero.
   std::chrono::milliseconds watchdog{0};
+  /// Treat watchdog-diagnosed stalls as rank failures: the expiring waiter
+  /// marks the laggards dead and raises RankFailed, routing them through the
+  /// same shrink/heal path a crash takes instead of aborting the run with a
+  /// CollectiveTimeout diagnosis.  Requires `recover` and a nonzero
+  /// watchdog; only the generation-barrier waits evict (the shrink and
+  /// mailbox watchdogs stay diagnose-only — see sync()).
+  bool evict_stalled = false;
   /// Deterministic fault plan; merged with RIPPLES_FAULTS when empty.
   FaultPlan faults;
 };

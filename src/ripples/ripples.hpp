@@ -20,6 +20,7 @@
 // Support
 #include "support/assert.hpp"
 #include "support/bitvector.hpp"
+#include "support/checkpoint.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/log.hpp"

@@ -171,6 +171,11 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("driver", driver);
   w.member("failed", failed);
   if (failed) w.member("failure_reason", failure_reason);
+  w.key("resumed_from");
+  if (resumed_from < 0)
+    w.null();
+  else
+    w.value(resumed_from);
 
   w.key("options");
   w.begin_object();

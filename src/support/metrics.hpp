@@ -227,7 +227,9 @@ struct RunReport {
   /// process trace epoch, so reports cross-reference trace timelines.
   /// v3: added "failed"/"failure_reason" — a run that died with an exception
   /// still lands in the log (partial, marked) instead of vanishing.
-  static constexpr std::uint32_t kSchemaVersion = 3;
+  /// v4: added "resumed_from" — the martingale round a checkpoint-resumed
+  /// run re-entered at (null for fresh runs).
+  static constexpr std::uint32_t kSchemaVersion = 4;
 
   std::string driver;
 
@@ -236,6 +238,9 @@ struct RunReport {
   bool failed = false;
   /// what() of the exception that killed the run (empty when !failed).
   std::string failure_reason;
+  /// Martingale round a checkpoint resume re-entered at; -1 (serialized as
+  /// null) for a fresh run.
+  std::int64_t resumed_from = -1;
 
   // Experiment configuration.
   double epsilon = 0.0;

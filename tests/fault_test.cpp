@@ -418,6 +418,81 @@ TEST(FaultWatchdog, TimeoutIsNeverHealedEvenWithRecoveryEnabled) {
                CollectiveTimeout);
 }
 
+// --- stall eviction ----------------------------------------------------------
+
+TEST(FaultEviction, EvictStalledRoutesTheTimeoutIntoShrinkAndSurvivorsFinish) {
+  RunOptions options;
+  options.num_ranks = 3;
+  options.recover = true;
+  options.watchdog = std::chrono::milliseconds{100};
+  options.evict_stalled = true;
+  options.faults = {{1, 2, FaultSpec::Kind::Stall}};
+  std::atomic<int> finishers{0};
+  Context::run(options, [&](Communicator &comm) {
+    std::vector<std::uint64_t> buffer(4);
+    for (int round = 0; round < 6; ++round) {
+      std::fill(buffer.begin(), buffer.end(), 1);
+      try {
+        comm.allreduce(std::span<std::uint64_t>(buffer), ReduceOp::Sum);
+      } catch (const RankFailed &failed) {
+        EXPECT_EQ(failed.dead_ranks(), std::vector<int>{1});
+        (void)comm.shrink();
+        continue;
+      }
+      for (std::uint64_t v : buffer)
+        ASSERT_EQ(v, static_cast<std::uint64_t>(comm.size()));
+    }
+    EXPECT_EQ(comm.size(), 2);
+    finishers.fetch_add(1);
+  });
+  EXPECT_EQ(finishers.load(), 2);
+}
+
+TEST(FaultEviction, WithoutTheFlagStallsStayDiagnoseOnly) {
+  // evict_stalled is opt-in: the PR 3 behavior (CollectiveTimeout, never
+  // healed) is unchanged when the flag is off — even with recovery on.
+  RunOptions options;
+  options.num_ranks = 3;
+  options.recover = true;
+  options.watchdog = std::chrono::milliseconds{100};
+  options.faults = {{1, 1, FaultSpec::Kind::Stall}};
+  EXPECT_THROW(Context::run(options,
+                            [](Communicator &comm) {
+                              for (;;) {
+                                try {
+                                  comm.barrier();
+                                } catch (const RankFailed &) {
+                                  (void)comm.shrink();
+                                }
+                              }
+                            }),
+               CollectiveTimeout);
+}
+
+TEST(FaultEviction, EvictionsAreCounted) {
+  metrics::set_enabled(true);
+  metrics::Registry &registry = metrics::Registry::instance();
+  const std::uint64_t evicted0 =
+      registry.counter("mpsim.faults.evicted_stalls").value();
+  RunOptions options;
+  options.num_ranks = 3;
+  options.recover = true;
+  options.watchdog = std::chrono::milliseconds{100};
+  options.evict_stalled = true;
+  options.faults = {{2, 1, FaultSpec::Kind::Stall}};
+  Context::run(options, [](Communicator &comm) {
+    for (int round = 0; round < 4; ++round) {
+      try {
+        comm.barrier();
+      } catch (const RankFailed &) {
+        (void)comm.shrink();
+      }
+    }
+  });
+  metrics::set_enabled(false);
+  EXPECT_GT(registry.counter("mpsim.faults.evicted_stalls").value(), evicted0);
+}
+
 TEST(FaultWatchdog, DisabledWatchdogDoesNotFireOnSlowRanks) {
   RunOptions options;
   options.num_ranks = 2;
@@ -523,6 +598,25 @@ INSTANTIATE_TEST_SUITE_P(RngModes, ImmHealingSparse,
                                       ? "counter"
                                       : "leapfrog";
                          });
+
+TEST(ImmHealing, EvictedStallHealsToTheFailureFreeSeedSet) {
+  // PR 3 left stalls diagnose-only; with evict_stalled the watchdog routes
+  // the laggard into the same RankFailed -> shrink() -> heal path a crash
+  // takes, so a stalled rank costs a watchdog deadline, not the run.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+  ASSERT_EQ(clean.seeds.size(), options.k);
+
+  options.recover_failures = true;
+  options.watchdog_ms = 150;
+  options.evict_stalled = true;
+  options.fault_plan = "rank=1,site=4,kind=stall";
+  const ImmResult healed = imm_distributed(graph, options);
+  EXPECT_EQ(healed.seeds, clean.seeds);
+  EXPECT_EQ(healed.theta, clean.theta);
+  EXPECT_EQ(healed.coverage_fraction, clean.coverage_fraction);
+}
 
 TEST(ImmHealing, TenRunsOfOnePlanAreFullyDeterministic) {
   CsrGraph graph = healing_graph();

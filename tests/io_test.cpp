@@ -60,6 +60,89 @@ TEST_F(IoTest, RejectsMalformedLines) {
   EXPECT_THROW((void)read_edge_list_text(input), std::runtime_error);
 }
 
+// --- input validation: poisoned weights, truncation, strict screens ---------
+
+void expect_rejected_naming_line(const std::string &text,
+                                 const std::string &needle,
+                                 const std::string &line,
+                                 const EdgeListValidation &validation = {}) {
+  std::istringstream input(text);
+  try {
+    (void)read_edge_list_text(input, true, validation);
+    FAIL() << "accepted: " << text;
+  } catch (const std::runtime_error &error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("line " + line),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(IoTest, RejectsMalformedWeightTokenInsteadOfReadingZero) {
+  // Pre-validation, "abc" left failbit set but weight silently at 0 for
+  // some stream states; now it is a line-numbered error.
+  expect_rejected_naming_line("0 1 0.5\n1 2 abc\n", "weight", "2");
+}
+
+TEST_F(IoTest, RejectsNegativeWeight) {
+  expect_rejected_naming_line("0 1 -0.25\n", "out of [0, 1]", "1");
+}
+
+TEST_F(IoTest, RejectsWeightAboveOne) {
+  expect_rejected_naming_line("0 1 0.5\n1 2 1.5\n", "out of [0, 1]", "2");
+}
+
+TEST_F(IoTest, RejectsNaNWeight) {
+  // Whether the platform's num_get parses "nan" (then !(w >= 0) catches it)
+  // or rejects the token (malformed weight), the line must be refused —
+  // a NaN activation probability poisons every sampler downstream.
+  std::istringstream input("0 1 nan\n");
+  EXPECT_THROW((void)read_edge_list_text(input), std::runtime_error);
+}
+
+TEST_F(IoTest, RejectsTruncatedEdgeListAgainstTheDeclaredHeaderCount) {
+  EdgeList original = erdos_renyi(30, 120, 9);
+  save_edge_list_text(path("full.txt"), original);
+  // Truncate the copy: drop the last 10 lines (partial download / full disk).
+  std::ifstream in(path("full.txt"));
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  {
+    std::ofstream out(path("cut.txt"));
+    for (std::size_t i = 0; i + 10 < lines.size(); ++i) out << lines[i] << "\n";
+  }
+  EXPECT_NO_THROW((void)load_edge_list_text(path("full.txt")));
+  try {
+    (void)load_edge_list_text(path("cut.txt"));
+    FAIL() << "truncated file accepted";
+  } catch (const std::runtime_error &error) {
+    EXPECT_NE(std::string(error.what()).find("truncated"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(IoTest, SelfLoopsAndDuplicatesLoadByDefault) {
+  // Raw SNAP data legitimately contains both; CsrGraph drops self-loops and
+  // keeps duplicates as multi-arcs, so the loader must not reject them
+  // unless asked to.
+  std::istringstream input("5 5\n0 1\n0 1\n");
+  EdgeList list = read_edge_list_text(input);
+  EXPECT_EQ(list.edges.size(), 3u);
+}
+
+TEST_F(IoTest, StrictValidationRejectsSelfLoops) {
+  EdgeListValidation strict;
+  strict.reject_self_loops = true;
+  expect_rejected_naming_line("0 1\n5 5\n", "self-loop", "2", strict);
+}
+
+TEST_F(IoTest, StrictValidationRejectsDuplicateEdges) {
+  EdgeListValidation strict;
+  strict.reject_duplicates = true;
+  expect_rejected_naming_line("0 1\n1 2\n0 1\n", "duplicate", "3", strict);
+}
+
 TEST_F(IoTest, TextRoundTripWithoutCompaction) {
   EdgeList original = erdos_renyi(60, 300, 5);
   save_edge_list_text(path("graph.txt"), original);
