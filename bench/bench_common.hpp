@@ -13,6 +13,8 @@
 ///   --scale <f>     fraction of the original dataset size (per-bench default)
 ///   --seed <n>      experiment seed (default 2019, the paper's year)
 ///   --threads <n>   OpenMP threads for _mt drivers (default: hardware)
+///   --sampler <e>   RRR engine, seq|fused (exported to RIPPLES_SAMPLER so
+///                   every driver run picks it up; byte-identical output)
 ///   --snap-dir <d>  directory with genuine SNAP .txt files (optional)
 ///   --csv <path>    also write the table as CSV
 ///   --json-report <path>  enable metrics and write the structured run
@@ -28,6 +30,7 @@
 #ifndef RIPPLES_BENCH_COMMON_HPP
 #define RIPPLES_BENCH_COMMON_HPP
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -52,9 +55,10 @@ struct BenchConfig {
   static BenchConfig parse(const CommandLine &cli, double default_scale) {
     BenchConfig config;
     config.scale = cli.get("scale", default_scale);
-    config.seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{2019}));
-    config.threads = static_cast<unsigned>(cli.get(
-        "threads", static_cast<std::int64_t>(omp_get_max_threads())));
+    config.seed =
+        static_cast<std::uint64_t>(cli.get_bounded("seed", 2019, 0, INT64_MAX));
+    config.threads = static_cast<unsigned>(cli.get_bounded(
+        "threads", omp_get_max_threads(), 1, UINT32_MAX));
     config.snap_dir = cli.get("snap-dir", std::string());
     config.csv_path = cli.get("csv", std::string());
     config.json_report = cli.get("json-report", std::string());
@@ -71,6 +75,17 @@ struct BenchConfig {
     // Checkpoint flags travel via the environment: ImmOptions defaults from
     // RIPPLES_CHECKPOINT_*, so exporting here covers every driver the bench
     // constructs without threading options through each table loop.
+    // The sampler engine travels the same way (ImmOptions defaults from
+    // RIPPLES_SAMPLER), so --sampler fused applies to every driver a bench
+    // constructs.
+    if (auto sampler = cli.value_of("sampler")) {
+      if (*sampler != "seq" && *sampler != "fused") {
+        std::fprintf(stderr, "unknown --sampler '%s' (seq|fused)\n",
+                     sampler->c_str());
+        std::exit(2);
+      }
+      setenv("RIPPLES_SAMPLER", sampler->c_str(), 1);
+    }
     if (auto dir = cli.value_of("checkpoint-dir"))
       setenv("RIPPLES_CHECKPOINT_DIR", dir->c_str(), 1);
     if (auto every = cli.value_of("checkpoint-every"))

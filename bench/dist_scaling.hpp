@@ -23,7 +23,7 @@ inline int run_dist_scaling(int argc, char **argv,
   BenchConfig config = BenchConfig::parse(cli, default_scale);
   const double epsilon = cli.get("epsilon", config.full ? 0.13 : 0.30);
   const auto k = static_cast<std::uint32_t>(
-      cli.get("k", config.full ? std::int64_t{200} : std::int64_t{50}));
+      cli.get_bounded("k", config.full ? 200 : 50, 1, UINT32_MAX));
 
   std::vector<std::string> datasets = {"com-YouTube", "com-Orkut"};
   if (config.full)

@@ -8,6 +8,8 @@
 /// harness.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "ripples/ripples.hpp"
 
 namespace ripples {
@@ -48,6 +50,88 @@ void BM_GenerateRR_IC(benchmark::State &state) {
       static_cast<double>(vertices) / static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_GenerateRR_IC);
+
+void BM_GenerateRR_IC_Fused(benchmark::State &state) {
+  const CsrGraph &graph = shared_graph();
+  FusedSampler sampler(graph);
+  std::array<RRRSet, FusedSampler::kLanes> outs;
+  std::array<std::uint64_t, FusedSampler::kLanes> indices;
+  std::uint64_t index = 0;
+  std::size_t vertices = 0;
+  for (auto _ : state) {
+    for (auto &i : indices) i = index++;
+    sampler.generate(DiffusionModel::IndependentCascade, 7, indices,
+                     outs.data());
+    for (const RRRSet &set : outs) vertices += set.size();
+    benchmark::DoNotOptimize(outs[0].data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(FusedSampler::kLanes));
+  state.counters["vertices/set"] =
+      static_cast<double>(vertices) /
+      static_cast<double>(state.iterations() * FusedSampler::kLanes);
+}
+BENCHMARK(BM_GenerateRR_IC_Fused);
+
+/// The paper's fig6 RRR-generation configs (thread_scaling.hpp's default
+/// dataset list at its default scale, uniform [0,1) IC weights): seq vs
+/// fused engine over identical sample indices.  items_per_second is RRR
+/// sets per second; the EXPERIMENTS.md throughput table records the ratio.
+const CsrGraph &fig6_graph(int which) {
+  static std::array<CsrGraph, 4> graphs = [] {
+    const char *names[] = {"cit-HepTh", "soc-Epinions1", "com-DBLP",
+                           "com-YouTube"};
+    std::array<CsrGraph, 4> gs;
+    for (int d = 0; d < 4; ++d) {
+      gs[static_cast<std::size_t>(d)] =
+          materialize(find_dataset(names[d]), 0.01, 2019, std::string());
+      assign_uniform_weights(gs[static_cast<std::size_t>(d)], 2020);
+    }
+    return gs;
+  }();
+  return graphs[static_cast<std::size_t>(which)];
+}
+
+void BM_Fig6Sample_Seq(benchmark::State &state) {
+  const CsrGraph &graph = fig6_graph(static_cast<int>(state.range(0)));
+  const std::uint64_t batch = 256;
+  for (auto _ : state) {
+    RRRCollection collection;
+    sample_sequential(graph, DiffusionModel::IndependentCascade, batch, 7,
+                      collection);
+    benchmark::DoNotOptimize(collection.total_associations());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Fig6Sample_Seq)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_Fig6Sample_Fused(benchmark::State &state) {
+  const CsrGraph &graph = fig6_graph(static_cast<int>(state.range(0)));
+  const std::uint64_t batch = 256;
+  for (auto _ : state) {
+    RRRCollection collection;
+    sample_sequential_fused(graph, DiffusionModel::IndependentCascade, batch,
+                            7, collection);
+    benchmark::DoNotOptimize(collection.total_associations());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_Fig6Sample_Fused)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_PhiloxBulk(benchmark::State &state) {
+  std::vector<std::uint64_t> out(4096);
+  std::uint64_t block = 0;
+  for (auto _ : state) {
+    philox4x32_bulk(block, out.size() / 2, 7, 1, out.data());
+    block += out.size() / 2;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_PhiloxBulk);
 
 void BM_GenerateRR_LT(benchmark::State &state) {
   const CsrGraph &graph = shared_graph_lt();

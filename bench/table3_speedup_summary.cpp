@@ -18,14 +18,14 @@ using namespace ripples::bench;
 int main(int argc, char **argv) {
   CommandLine cli(argc, argv);
   BenchConfig config = BenchConfig::parse(cli, /*default_scale=*/0.0003);
-  const int ranks = static_cast<int>(cli.get("ranks", std::int64_t{4}));
+  const int ranks = static_cast<int>(cli.get_bounded("ranks", 4, 1, INT32_MAX));
   // The paper's distributed row uses eps=0.13; that is ~15x more samples
   // than eps=0.5, so the default trims it to 0.2 to keep the bench within
   // a laptop-core budget.  --full (or --dist-epsilon) restores 0.13.
   const double dist_epsilon =
       cli.get("dist-epsilon", config.full ? 0.13 : 0.2);
   const auto dist_k = static_cast<std::uint32_t>(
-      cli.get("dist-k", config.full ? std::int64_t{200} : std::int64_t{100}));
+      cli.get_bounded("dist-k", config.full ? 200 : 100, 1, UINT32_MAX));
 
   Table table("Table 3: improvement in runtime relative to IMM",
               {"Graph", "Configuration", "Time(s)", "Speedup", "PaperSpeedup"});

@@ -20,7 +20,8 @@ inline int run_thread_scaling(int argc, char **argv, DiffusionModel model,
   CommandLine cli(argc, argv);
   BenchConfig config = BenchConfig::parse(cli, /*default_scale=*/0.01);
   const double epsilon = cli.get("epsilon", 0.5);
-  const auto k = static_cast<std::uint32_t>(cli.get("k", std::int64_t{100}));
+  const auto k =
+      static_cast<std::uint32_t>(cli.get_bounded("k", 100, 1, UINT32_MAX));
 
   std::vector<std::string> datasets = {"cit-HepTh", "soc-Epinions1",
                                        "com-DBLP", "com-YouTube"};

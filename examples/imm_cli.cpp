@@ -9,6 +9,10 @@
 ///           [--driver seq|baseline|mt|dist|dist-part|tim|ris]
 ///           [--model IC|LT] [--epsilon 0.5] [-k 50]
 ///           [--threads N] [--ranks P] [--rng counter|leapfrog]
+///           [--sampler seq|fused]         (RRR engine; fused batches 64
+///                                          samples per traversal pass,
+///                                          byte-identical output; also
+///                                          RIPPLES_SAMPLER)
 ///           [--evaluate-trials 0] [--json out.json] [--seed S]
 ///           [--json-report report.json]   (structured metrics run report)
 ///           [--trace trace.json]          (Chrome trace-event timeline,
@@ -41,6 +45,7 @@
 ///                                          edges in --input, not just
 ///                                          malformed lines/weights)
 ///   imm_cli --dataset com-DBLP --scale 0.01 ...     (surrogate input)
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -89,18 +94,31 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
                      std::uint64_t seed) {
   ImmOptions options;
   options.epsilon = cli.get("epsilon", 0.5);
-  options.k = static_cast<std::uint32_t>(cli.get("k", std::int64_t{50}));
+  options.k = static_cast<std::uint32_t>(
+      cli.get_bounded("k", 50, 1, UINT32_MAX));
   options.model = model;
   options.seed = seed;
   options.num_threads =
-      static_cast<unsigned>(cli.get("threads", std::int64_t{1}));
-  options.num_ranks = static_cast<int>(cli.get("ranks", std::int64_t{2}));
+      static_cast<unsigned>(cli.get_bounded("threads", 1, 1, UINT32_MAX));
+  options.num_ranks = static_cast<int>(cli.get_bounded("ranks", 2, 1, INT32_MAX));
   if (cli.get("rng", std::string("counter")) == "leapfrog")
     options.rng_mode = RngMode::LeapfrogLcg;
   options.recover_failures = cli.has_flag("recover");
-  options.watchdog_ms =
-      static_cast<std::uint32_t>(cli.get("watchdog-ms", std::int64_t{0}));
+  options.watchdog_ms = static_cast<std::uint32_t>(
+      cli.get_bounded("watchdog-ms", 0, 0, UINT32_MAX));
   options.fault_plan = cli.get("inject-fault", std::string());
+  // The flag overrides RIPPLES_SAMPLER (the option's default).
+  if (auto sampler = cli.value_of("sampler")) {
+    if (*sampler == "fused") {
+      options.sampler = SamplerEngine::Fused;
+    } else if (*sampler == "seq") {
+      options.sampler = SamplerEngine::Sequential;
+    } else {
+      std::fprintf(stderr, "unknown --sampler '%s' (seq|fused)\n",
+                   sampler->c_str());
+      std::exit(2);
+    }
+  }
   // The flag overrides RIPPLES_SELECTION_EXCHANGE (the option's default).
   if (auto exchange = cli.value_of("selection-exchange")) {
     if (*exchange == "sparse") {
@@ -113,15 +131,15 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
       std::exit(2);
     }
   }
-  options.selection_topm = static_cast<std::uint32_t>(
-      cli.get("selection-topm", std::int64_t{options.selection_topm}));
+  options.selection_topm = static_cast<std::uint32_t>(cli.get_bounded(
+      "selection-topm", options.selection_topm, 1, UINT32_MAX));
   options.evict_stalled = cli.has_flag("evict-stalled");
   // Flags override the RIPPLES_CHECKPOINT_* environment (the defaults).
   if (auto dir = cli.value_of("checkpoint-dir")) options.checkpoint.dir = *dir;
-  options.checkpoint.every = static_cast<std::uint32_t>(cli.get(
-      "checkpoint-every", std::int64_t{options.checkpoint.every}));
-  options.checkpoint.keep_last = static_cast<std::uint32_t>(cli.get(
-      "checkpoint-keep", std::int64_t{options.checkpoint.keep_last}));
+  options.checkpoint.every = static_cast<std::uint32_t>(cli.get_bounded(
+      "checkpoint-every", options.checkpoint.every, 1, UINT32_MAX));
+  options.checkpoint.keep_last = static_cast<std::uint32_t>(cli.get_bounded(
+      "checkpoint-keep", options.checkpoint.keep_last, 1, UINT32_MAX));
   if (cli.has_flag("resume")) options.checkpoint.resume = true;
 
   if (driver == "seq") return imm_sequential(graph, options);
@@ -193,7 +211,8 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  const auto seed = static_cast<std::uint64_t>(cli.get("seed", std::int64_t{2019}));
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_bounded("seed", 2019, 0, INT64_MAX));
   const DiffusionModel model = parse_model(cli.get("model", std::string("IC")));
   const std::string driver = cli.get("driver", std::string("mt"));
   // Enable metrics before the run so the report captures communication
@@ -253,7 +272,7 @@ int main(int argc, char **argv) {
 
   InfluenceEstimate influence;
   const auto trials = static_cast<std::uint32_t>(
-      cli.get("evaluate-trials", std::int64_t{0}));
+      cli.get_bounded("evaluate-trials", 0, 0, UINT32_MAX));
   if (trials > 0) {
     influence = estimate_influence(graph, result.seeds, model, trials, seed + 9);
     std::printf("estimated influence: %.1f +/- %.1f over %u trials\n",

@@ -10,6 +10,7 @@
 #   scripts/check.sh --no-soak   # skip the fault-injection soak stage
 #   scripts/check.sh --no-sparse # skip the sparse selection-exchange leg
 #   scripts/check.sh --no-checkpoint # skip the kill-resume soak leg
+#   scripts/check.sh --no-fused  # skip the fused sampling-engine leg
 #
 # The sparse leg reruns the selection suites (`ctest -L selection`) plus the
 # IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
@@ -17,16 +18,21 @@
 # gets; selection_exchange_test also rides in the TSan stage because the
 # sparse exchange adds new cross-rank collectives worth race-checking.
 #
+# The fused leg reruns the sampling, driver-matrix, checkpoint, and fault
+# suites with RIPPLES_SAMPLER=fused, so the env-selected fused engine sees
+# the same coverage the scalar default gets; every byte-identity assertion
+# in those suites then compares fused output against the same expectations.
+#
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
 # CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
 # barrier synchronization is invisible to TSan because libgomp is not
 # instrumented; scripts/tsan-suppressions.txt silences those known false
 # positives while keeping the std::thread-based mpsim runtime fully checked.
 #
-# The ASan stage builds with -DRIPPLES_SANITIZE=address and runs imm_test
-# and rrr_test — the drivers with the largest allocation churn (RRR
-# collections, flat storage, hypergraph index) and therefore the best
-# leak/overflow coverage per test second.
+# The ASan stage builds with -DRIPPLES_SANITIZE=address and runs imm_test,
+# rrr_test, and sampler_test — the drivers with the largest allocation
+# churn (RRR collections, flat storage, hypergraph index, fused lane-mask
+# scratch) and therefore the best leak/overflow coverage per test second.
 #
 # The UBSan stage builds with -DRIPPLES_SANITIZE=undefined
 # (-fno-sanitize-recover=all, so any UB report fails the run) and runs
@@ -57,6 +63,7 @@ run_ubsan=1
 run_soak=1
 run_sparse=1
 run_checkpoint=1
+run_fused=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -65,7 +72,8 @@ for arg in "$@"; do
     --no-soak) run_soak=0 ;;
     --no-sparse) run_sparse=0 ;;
     --no-checkpoint) run_checkpoint=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint)" >&2; exit 2 ;;
+    --no-fused) run_fused=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused)" >&2; exit 2 ;;
   esac
 done
 
@@ -83,6 +91,15 @@ if [[ "$run_sparse" == 1 ]]; then
   RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/imm_test
   RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/driver_matrix_test
   RIPPLES_SELECTION_EXCHANGE=sparse ./build/tests/fault_test
+fi
+
+if [[ "$run_fused" == 1 ]]; then
+  echo "== fused: sampling + driver + checkpoint suites under RIPPLES_SAMPLER=fused =="
+  RIPPLES_SAMPLER=fused ./build/tests/sampler_test
+  RIPPLES_SAMPLER=fused ./build/tests/imm_test
+  RIPPLES_SAMPLER=fused ./build/tests/driver_matrix_test
+  RIPPLES_SAMPLER=fused ./build/tests/checkpoint_test
+  RIPPLES_SAMPLER=fused ./build/tests/fault_test
 fi
 
 if [[ "$run_soak" == 1 ]]; then
@@ -132,11 +149,12 @@ if [[ "$run_checkpoint" == 1 ]]; then
 fi
 
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan --target \
-    mpsim_test fault_test select_test selection_exchange_test -j "$jobs"
+    mpsim_test fault_test select_test selection_exchange_test sampler_test \
+    -j "$jobs"
 
   echo "== tsan: run =="
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan-suppressions.txt"
@@ -144,17 +162,25 @@ if [[ "$run_tsan" == 1 ]]; then
   ./build-tsan/tests/fault_test
   ./build-tsan/tests/select_test
   ./build-tsan/tests/selection_exchange_test
+  # The fused engine shares only pre-grown collection slots between worker
+  # threads; run the sampler suite in both engines to race-check that claim.
+  ./build-tsan/tests/sampler_test
+  RIPPLES_SAMPLER=fused ./build-tsan/tests/sampler_test
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "== asan: build imm_test + rrr_test =="
+  echo "== asan: build imm_test + rrr_test + sampler_test =="
   cmake -B build-asan -S . -DRIPPLES_SANITIZE=address \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
-  cmake --build build-asan --target imm_test rrr_test -j "$jobs"
+  cmake --build build-asan --target imm_test rrr_test sampler_test -j "$jobs"
 
   echo "== asan: run =="
   ./build-asan/tests/imm_test
   ./build-asan/tests/rrr_test
+  # The fused kernel's counting-sort emission indexes scratch by lane mask
+  # words; ASan checks those stores stay inside the pre-sized buffers.
+  ./build-asan/tests/sampler_test
+  RIPPLES_SAMPLER=fused ./build-asan/tests/sampler_test
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then

@@ -5,6 +5,7 @@
 
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
+#include "imm/sampler_fused.hpp"
 #include "support/assert.hpp"
 #include "support/trace.hpp"
 
@@ -15,6 +16,13 @@ SelectionExchange selection_exchange_from_env() {
   if (value != nullptr && std::strcmp(value, "sparse") == 0)
     return SelectionExchange::Sparse;
   return SelectionExchange::Dense;
+}
+
+SamplerEngine sampler_engine_from_env() {
+  const char *value = std::getenv("RIPPLES_SAMPLER");
+  if (value != nullptr && std::strcmp(value, "fused") == 0)
+    return SamplerEngine::Fused;
+  return SamplerEngine::Sequential;
 }
 
 namespace detail {
@@ -80,7 +88,12 @@ ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
   RRRCollection collection;
 
   auto extend_to = [&](std::uint64_t target) {
-    sample_sequential(graph, options.model, target, options.seed, collection);
+    if (options.sampler == SamplerEngine::Fused)
+      sample_sequential_fused(graph, options.model, target, options.seed,
+                              collection);
+    else
+      sample_sequential(graph, options.model, target, options.seed,
+                        collection);
     result.rrr_peak_bytes =
         std::max(result.rrr_peak_bytes, collection.footprint_bytes());
     result.total_associations =
@@ -108,6 +121,9 @@ ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
   trace::Span driver_span("imm", "imm_baseline_hypergraph", "k", options.k);
   HypergraphCollection collection(graph.num_vertices());
 
+  // The baseline reproduces the Table 2 reference implementation, so it
+  // keeps its scalar kernel regardless of options.sampler; the fused engine
+  // is an optimization of the paper's own storage path, not the baseline's.
   auto extend_to = [&](std::uint64_t target) {
     sample_hypergraph(graph, options.model, target, options.seed, collection);
     result.rrr_peak_bytes =
@@ -140,8 +156,12 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
   RRRCollection collection;
 
   auto extend_to = [&](std::uint64_t target) {
-    sample_multithreaded(graph, options.model, target, options.seed,
-                         options.num_threads, collection);
+    if (options.sampler == SamplerEngine::Fused)
+      sample_multithreaded_fused(graph, options.model, target, options.seed,
+                                 options.num_threads, collection);
+    else
+      sample_multithreaded(graph, options.model, target, options.seed,
+                           options.num_threads, collection);
     result.rrr_peak_bytes =
         std::max(result.rrr_peak_bytes, collection.footprint_bytes());
     result.total_associations =

@@ -58,6 +58,22 @@ enum class SelectionExchange {
 /// call sites.
 [[nodiscard]] SelectionExchange selection_exchange_from_env();
 
+/// RRR-generation engine (DESIGN.md §10).  Both engines draw sample i from
+/// the Philox stream (seed, i) and produce byte-identical collections; Fused
+/// batches up to 64 samples per traversal pass over a shared per-vertex
+/// lane-mask array with bulk counter-block generation, trading per-sample
+/// control flow for word-level parallelism.
+enum class SamplerEngine {
+  Sequential,
+  Fused,
+};
+
+/// Reads RIPPLES_SAMPLER ("fused" selects Fused; anything else — including
+/// unset — selects Sequential), the same idiom as
+/// selection_exchange_from_env so check.sh can rerun the whole suite under
+/// the fused engine without touching call sites.
+[[nodiscard]] SamplerEngine sampler_engine_from_env();
+
 struct ImmOptions {
   double epsilon = 0.5;
   std::uint32_t k = 50;
@@ -71,6 +87,12 @@ struct ImmOptions {
   /// mpsim ranks (imm_distributed only).
   int num_ranks = 1;
   RngMode rng_mode = RngMode::CounterSequence;
+  /// RRR-generation engine; byte-identical results either way (DESIGN.md
+  /// §10), so this is a pure performance knob like num_threads.  Defaults
+  /// from RIPPLES_SAMPLER.  Fused applies to the counter-stream engines
+  /// (sequential, multithreaded, distributed); the LeapfrogLcg rng mode and
+  /// the partitioned driver keep their scalar kernels (documented there).
+  SamplerEngine sampler = sampler_engine_from_env();
 
   // Fault tolerance (the mpsim drivers; see DESIGN.md failure model).
   /// Survive rank failures: survivors shrink the communicator, regenerate

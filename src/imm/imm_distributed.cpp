@@ -44,6 +44,7 @@
 #include "imm/imm_checkpoint.hpp"
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
+#include "imm/sampler_fused.hpp"
 #include "imm/select.hpp"
 #include "mpsim/communicator.hpp"
 #include "rng/lcg.hpp"
@@ -58,6 +59,24 @@ metrics::Counter &regen_counter() {
   static metrics::Counter &c =
       metrics::Registry::instance().counter("imm.regen.rrr_sets");
   return c;
+}
+
+/// Counter-mode generation at explicit global indices, honoring the
+/// engine knob: the fused kernel batches 64 per-sample streams per
+/// traversal pass and is byte-identical to the scalar path (DESIGN.md
+/// §10), so both the extend and heal paths can dispatch through here.
+/// The LeapfrogLcg mode is inherently sequential per stream (one shared
+/// LCG walked draw by draw) and keeps the scalar kernel.
+std::uint64_t generate_counter_indices(const CsrGraph &graph,
+                                       const ImmOptions &options,
+                                       std::span<const std::uint64_t> indices,
+                                       RRRCollection &collection) {
+  if (options.sampler == SamplerEngine::Fused)
+    return sample_counter_indices_fused(graph, options.model, options.seed,
+                                        indices, options.num_threads,
+                                        collection);
+  return sample_counter_indices(graph, options.model, options.seed, indices,
+                                options.num_threads, collection);
 }
 
 } // namespace
@@ -149,8 +168,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
                    leapfrog_first_index(global_count, os.stream, stride);
                i < target; i += stride)
             indices.push_back(i);
-        sample_counter_indices(graph, options.model, options.seed, indices,
-                               options.num_threads, local);
+        generate_counter_indices(graph, options, indices, local);
       }
       global_count = target;
       batch_span.arg("local_sets", local.size());
@@ -347,9 +365,8 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
           std::vector<std::uint64_t> indices;
           for (std::uint64_t i = s; i < global_count; i += stride)
             indices.push_back(i);
-          regenerated += sample_counter_indices(graph, options.model,
-                                                options.seed, indices,
-                                                options.num_threads, local);
+          regenerated += generate_counter_indices(graph, options, indices,
+                                                  local);
         }
         owned.push_back({s, engine});
       }

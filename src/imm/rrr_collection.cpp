@@ -1,6 +1,43 @@
 #include "imm/rrr_collection.hpp"
 
+#include <limits>
+#include <stdexcept>
+#include <string>
+
 namespace ripples {
+
+namespace {
+
+/// Shared growth screen: the collections are grown from theta-derived
+/// totals, so a corrupted or absurd request must surface as a catchable
+/// diagnostic naming the sizes, not as a bad_alloc (or a silent size_t
+/// wrap) deep inside a parallel sampling region.
+void check_growth(const char *what, std::size_t current, std::size_t extra,
+                  std::size_t limit) {
+  if (extra > limit - current)
+    throw std::length_error(std::string(what) + " growth overflows: " +
+                            std::to_string(current) + " + " +
+                            std::to_string(extra) + " exceeds " +
+                            std::to_string(limit));
+}
+
+} // namespace
+
+std::size_t RRRCollection::grow(std::size_t count) {
+  std::size_t first = sets_.size();
+  // max_size is the allocator's theoretical ceiling; on overflow of
+  // first + count it also catches the size_t wrap.
+  check_growth("RRRCollection", first, count, sets_.max_size());
+  sets_.resize(first + count);
+  return first;
+}
+
+void FlatRRRCollection::append(std::span<const vertex_t> members) {
+  check_growth("FlatRRRCollection payload", payload_.size(), members.size(),
+               payload_.max_size());
+  payload_.insert(payload_.end(), members.begin(), members.end());
+  offsets_.push_back(payload_.size());
+}
 
 std::size_t RRRCollection::footprint_bytes() const {
   std::size_t bytes = sets_.capacity() * sizeof(RRRSet);
@@ -15,6 +52,8 @@ std::size_t RRRCollection::total_associations() const {
 }
 
 void HypergraphCollection::add(RRRSet &&set) {
+  check_growth("HypergraphCollection sample ids", sets_.size(), 1,
+               std::size_t{std::numeric_limits<std::uint32_t>::max()});
   auto sample_id = static_cast<std::uint32_t>(sets_.size());
   for (vertex_t v : set) incidence_[v].push_back(sample_id);
   sets_.push_back(std::move(set));

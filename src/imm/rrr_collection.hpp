@@ -35,11 +35,11 @@ public:
 
   /// Appends \p count empty slots and returns the index of the first, so a
   /// parallel sampler can fill disjoint slots without synchronization.
-  std::size_t grow(std::size_t count) {
-    std::size_t first = sets_.size();
-    sets_.resize(first + count);
-    return first;
-  }
+  /// Throws std::length_error with the offending sizes if the request
+  /// cannot be represented — the callers grow before entering their
+  /// parallel fill regions, so an absurd theta surfaces here as one
+  /// catchable diagnostic instead of a bad_alloc on a worker thread.
+  std::size_t grow(std::size_t count);
 
   /// Exact heap bytes held by the representation (vector headers + vertex
   /// payload capacity) — the quantity Table 2 reports per implementation.
@@ -71,11 +71,9 @@ public:
             static_cast<std::size_t>(offsets_[j + 1] - offsets_[j])};
   }
 
-  /// Appends one sample (members already sorted).
-  void append(std::span<const vertex_t> members) {
-    payload_.insert(payload_.end(), members.begin(), members.end());
-    offsets_.push_back(payload_.size());
-  }
+  /// Appends one sample (members already sorted).  Throws std::length_error
+  /// when the concatenated payload would no longer be representable.
+  void append(std::span<const vertex_t> members);
 
   [[nodiscard]] std::size_t footprint_bytes() const {
     return payload_.capacity() * sizeof(vertex_t) +
@@ -112,7 +110,10 @@ public:
     return incidence_[v];
   }
 
-  /// Adds a sample and indexes every member vertex back to it.
+  /// Adds a sample and indexes every member vertex back to it.  Throws
+  /// std::length_error past 2^32 samples: incidence ids are stored as
+  /// uint32_t (the representation under comparison), so a larger collection
+  /// would silently alias sample ids.
   void add(RRRSet &&set);
 
   [[nodiscard]] std::size_t footprint_bytes() const;

@@ -123,6 +123,9 @@ std::uint64_t sample_leapfrog_range(const CsrGraph &graph, DiffusionModel model,
     generator.generate_random_root(model, engine, set);
     collection.add(std::move(set));
     ++generated;
+    // i + num_streams may wrap for `to` near UINT64_MAX; a wrapped index
+    // would re-enter the range and loop forever.
+    if (num_streams > std::numeric_limits<std::uint64_t>::max() - i) break;
   }
   count_generated(generated);
   return generated;

@@ -1,0 +1,384 @@
+#include "imm/sampler_fused.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <omp.h>
+
+#include "rng/distributions.hpp"
+#include "support/assert.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace ripples {
+
+namespace {
+
+/// Same registry account the scalar engines feed, so fused and sequential
+/// runs are comparable on one counter.
+void count_generated(std::uint64_t batch) {
+  if (!metrics::enabled()) return;
+  static metrics::Counter &generated =
+      metrics::Registry::instance().counter("sampler.samples_generated");
+  generated.add(batch);
+}
+
+/// Fused-kernel instrumentation: distinct lane-mask words touched and
+/// frontier passes executed.  Accumulated per FusedSampler and flushed once
+/// per engine call (once per worker in the OpenMP variants) to keep atomic
+/// traffic off the traversal.
+void flush_fused_counters(const FusedSampler &sampler) {
+  if (!metrics::enabled()) return;
+  static metrics::Counter &words =
+      metrics::Registry::instance().counter("sampler.fused.words");
+  static metrics::Counter &passes =
+      metrics::Registry::instance().counter("sampler.fused.passes");
+  words.add(sampler.words_touched());
+  passes.add(sampler.passes());
+}
+
+} // namespace
+
+FusedSampler::FusedSampler(const CsrGraph &graph)
+    : graph_(graph), visited_(graph.num_vertices()),
+      touched_(graph.num_vertices() + 1) {
+  const std::uint64_t n = graph.num_vertices();
+  thresholds_.resize(graph.num_edges());
+  packed_edges_.resize(graph.num_edges());
+  for (vertex_t v = 0; v < n; ++v) {
+    auto in_neighbors = graph.in_neighbors(v);
+    const std::size_t row_begin = graph.in_offsets()[v];
+    for (std::size_t j = 0; j < in_neighbors.size(); ++j) {
+      const auto threshold = static_cast<std::uint64_t>(
+          std::ceil(static_cast<double>(in_neighbors[j].weight) * 0x1.0p53));
+      thresholds_[row_begin + j] = threshold;
+      packed_edges_[row_begin + j] =
+          ((threshold >> 22) << 32) | in_neighbors[j].vertex;
+    }
+  }
+}
+
+void FusedSampler::generate(DiffusionModel model, std::uint64_t seed,
+                            std::span<const std::uint64_t> sample_indices,
+                            RRRSet *outs) {
+  const auto lanes = static_cast<unsigned>(sample_indices.size());
+  RIPPLES_ASSERT(lanes >= 1 && lanes <= kLanes);
+  const std::uint64_t n = graph_.num_vertices();
+  touched_len_ = 0;
+  for (unsigned l = 0; l < lanes; ++l) {
+    // The stream construction of sample_stream(seed, i): counter_hi 0 is
+    // reserved for forward simulation, so sample i draws from i + 1.
+    rng_[l].reset(seed, sample_indices[l] + 1);
+    auto root = static_cast<vertex_t>(uniform_index(rng_[l], n));
+    if (visited_.set_first(root, l)) touched_[touched_len_++] = root;
+    if (model == DiffusionModel::IndependentCascade) {
+      // run_ic emits the whole sorted set (root included) from the lane
+      // masks at the end, so outs is not touched during the traversal.
+      frontier_[l].ensure(1);
+      frontier_[l].data[0] = root;
+      frontier_[l].len = 1;
+    } else {
+      outs[l].clear();
+      outs[l].push_back(root);
+      current_[l] = root;
+    }
+  }
+  if (model == DiffusionModel::IndependentCascade) {
+    run_ic(lanes, outs);
+  } else {
+    run_lt(lanes, outs);
+    for (unsigned l = 0; l < lanes; ++l)
+      std::sort(outs[l].begin(), outs[l].end());
+  }
+  words_ += touched_len_;
+  // Reset only the touched words: one clear serves all 64 lanes, where the
+  // scalar engines clear per-sample bit lists.
+  for (std::size_t t = 0; t < touched_len_; ++t)
+    visited_.clear_word(touched_[t]);
+}
+
+void FusedSampler::run_ic(unsigned lanes, RRRSet *outs) {
+  // Level-synchronous across lanes, but *within* a lane the frontier is
+  // scanned in exactly the scalar engine's discovery order and every edge
+  // decision consumes the lane's next stream draw — which is why the
+  // per-lane output is byte-identical to RRRGenerator::reverse_bfs_ic.
+  // Interleaving lanes per level is free because lanes never share draws.
+  //
+  // The edge loop is branchless: the Bernoulli outcome is an unpredictable
+  // coin flip, so the scalar engine pays a branch misprediction on nearly
+  // every live edge.  Here each edge decision is a straight-line masked
+  // sequence — the draw index advances only past unvisited targets (peek/
+  // consume on the bulk-refilled buffer, preserving the scalar engine's
+  // exact draw positions), the Bernoulli test is one integer compare
+  // against the precomputed threshold, and the visited word, next
+  // frontier, and touched list all append by masked increment.
+  std::array<std::size_t, kLanes> counts;
+  for (unsigned l = 0; l < lanes; ++l) counts[l] = 1; // the root
+  // Everything the edge loop touches lives in locals and raw pointers:
+  // member accesses through `this` cannot be register-allocated once the
+  // loop stores through uint64_t pointers (the visited words), and a
+  // memory round trip on the touched length would serialize every edge.
+  vertex_t *touched = touched_.data();
+  std::size_t touched_len = touched_len_;
+  std::uint64_t *vis = visited_.word_data();
+  const std::uint64_t *thresholds = thresholds_.data();
+  const std::uint64_t *packed = packed_edges_.data();
+  const edge_offset_t *offsets = graph_.in_offsets().data();
+  std::uint64_t passes = 0;
+  for (;;) {
+    bool any = false;
+    for (unsigned l = 0; l < lanes; ++l) {
+      FrontierBuffer &frontier = frontier_[l];
+      if (frontier.len == 0) continue;
+      any = true;
+      FrontierBuffer &next = next_[l];
+      BufferedPhilox &rng = rng_[l];
+      // One next-frontier reservation per pass (worst case: every scanned
+      // edge hits), so the masked appends below never need a capacity
+      // branch.  Summing the rows up front costs two cache-hot loads per
+      // frontier vertex and removes all bookkeeping from the edge loop.
+      std::size_t pass_edges = 0;
+      for (std::size_t fi = 0; fi < frontier.len; ++fi) {
+        const vertex_t v = frontier.data[fi];
+        pass_edges += offsets[v + 1] - offsets[v];
+      }
+      next.len = 0;
+      next.ensure(pass_edges);
+      vertex_t *next_base = next.data.get();
+      vertex_t *next_ptr = next_base;
+      vertex_t *touched_ptr = touched + touched_len;
+      // Draws are consumed lazily from the peeked buffer: one
+      // availability check per row, one consume per refill, instead of a
+      // peek/consume pair per row.  consume() never moves buffered data,
+      // so the pointer stays valid until the next peek.
+      const std::uint64_t *draws = nullptr;
+      std::size_t avail = 0;
+      std::size_t used = 0;
+      for (std::size_t fi = 0; fi < frontier.len; ++fi) {
+        const vertex_t v = frontier.data[fi];
+        const std::size_t row_begin = offsets[v];
+        const std::size_t total = offsets[v + 1] - row_begin;
+        for (std::size_t off = 0; off < total;) {
+          const std::size_t chunk =
+              std::min(total - off, BufferedPhilox::capacity());
+          if (avail - used < chunk) {
+            rng.consume(used);
+            draws = rng.peek(chunk);
+            avail = rng.buffered();
+            used = 0;
+          }
+          // Moving pointers instead of base+index pairs: the loop body
+          // has to keep every live value in registers to stay stall-free.
+          const std::uint64_t *draw_ptr = draws + used;
+          const std::uint64_t *edge = packed + row_begin + off;
+          const std::uint64_t *edge_end = edge + chunk;
+          for (; edge != edge_end; ++edge) {
+            const std::uint64_t pk = *edge;
+            const auto u = static_cast<vertex_t>(pk);
+            const std::uint64_t word = vis[u];
+            const std::uint64_t unvisited = ((word >> l) & 1) ^ 1;
+            const std::uint64_t x = *draw_ptr;
+            draw_ptr += unvisited;
+            // Exactly uniform_unit(rng) < weight: almost every draw is
+            // decided by the packed high-threshold compare; the ~2^-31
+            // ties fall back to the full 54-bit threshold (the branch is
+            // never-taken in practice, and harmless when the target is
+            // visited — hit is masked by unvisited either way).
+            std::uint64_t below = (x >> 33) < (pk >> 32);
+            if (__builtin_expect((x >> 33) == (pk >> 32), 0))
+              below = (x >> 11) < thresholds[edge - packed];
+            const std::uint64_t hit = unvisited & below;
+            vis[u] = word | (hit << l);
+            *touched_ptr = u;
+            touched_ptr += hit & static_cast<std::uint64_t>(word == 0);
+            *next_ptr = u;
+            next_ptr += hit;
+          }
+          used = static_cast<std::size_t>(draw_ptr - draws);
+          off += chunk;
+        }
+      }
+      rng.consume(used);
+      touched_len = static_cast<std::size_t>(touched_ptr - touched);
+      const auto next_len = static_cast<std::size_t>(next_ptr - next_base);
+      counts[l] += next_len;
+      next.len = next_len;
+      std::swap(frontier, next);
+    }
+    if (!any) break;
+    ++passes;
+  }
+  touched_len_ = touched_len;
+  passes_ += passes;
+  emit_sorted(lanes, counts.data(), outs);
+}
+
+void FusedSampler::emit_sorted(unsigned lanes, const std::size_t *counts,
+                               RRRSet *outs) {
+  // The visited lane masks already hold every set: bit l of word v says
+  // "lane l's set contains v".  Walking the words in ascending vertex
+  // order therefore emits each lane's set already sorted — one shared
+  // counting pass instead of 64 std::sorts.  Byte-identical to the scalar
+  // engine's sort because both produce the ascending list of the same
+  // distinct vertices.
+  std::array<vertex_t *, kLanes> out_ptr;
+  std::array<std::size_t, kLanes> out_pos;
+  for (unsigned l = 0; l < lanes; ++l) {
+    outs[l].resize(counts[l]);
+    out_ptr[l] = outs[l].data();
+    out_pos[l] = 0;
+  }
+  const std::uint64_t n = graph_.num_vertices();
+  auto emit_word = [&](vertex_t v, std::uint64_t word) {
+    while (word != 0) {
+      const unsigned l = static_cast<unsigned>(__builtin_ctzll(word));
+      word &= word - 1;
+      out_ptr[l][out_pos[l]++] = v;
+    }
+  };
+  if (touched_len_ * 8 >= n) {
+    // Dense batch: the touched list covers most of the graph, so the
+    // straight scan is cheaper than sorting it.
+    for (vertex_t v = 0; v < n; ++v) emit_word(v, visited_.word(v));
+  } else {
+    std::sort(touched_.begin(),
+              touched_.begin() + static_cast<std::ptrdiff_t>(touched_len_));
+    for (std::size_t t = 0; t < touched_len_; ++t) {
+      const vertex_t v = touched_[t];
+      emit_word(v, visited_.word(v));
+    }
+  }
+  for (unsigned l = 0; l < lanes; ++l)
+    RIPPLES_DEBUG_ASSERT(out_pos[l] == counts[l]);
+}
+
+void FusedSampler::run_lt(unsigned lanes, RRRSet *outs) {
+  // Each pass advances every live reverse walk by one step; a lane's draw
+  // order (one uniform per step, consumed before the cumulative scan) is
+  // exactly RRRGenerator::reverse_walk_lt's.
+  std::uint64_t active =
+      lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  while (active != 0) {
+    ++passes_;
+    for (unsigned l = 0; l < lanes; ++l) {
+      if (((active >> l) & 1) == 0) continue;
+      auto in_neighbors = graph_.in_neighbors(current_[l]);
+      if (in_neighbors.empty()) {
+        active &= ~(std::uint64_t{1} << l);
+        continue;
+      }
+      double x = uniform_unit(rng_[l]);
+      double cumulative = 0.0;
+      vertex_t selected = current_[l]; // sentinel: nothing selected
+      for (const Adjacency &in : in_neighbors) {
+        cumulative += in.weight;
+        if (x < cumulative) {
+          selected = in.vertex;
+          break;
+        }
+      }
+      if (selected == current_[l] || visited_.test(selected, l)) {
+        active &= ~(std::uint64_t{1} << l);
+        continue;
+      }
+      if (visited_.set_first(selected, l)) touched_[touched_len_++] = selected;
+      outs[l].push_back(selected);
+      current_[l] = selected;
+    }
+  }
+}
+
+void sample_sequential_fused(const CsrGraph &graph, DiffusionModel model,
+                             std::uint64_t target_total, std::uint64_t seed,
+                             RRRCollection &collection) {
+  if (collection.size() >= target_total) return;
+  trace::Span span("sampler", "sampler.batch_fused", "first",
+                   collection.size(), "count",
+                   target_total - collection.size());
+  std::uint64_t first = collection.grow(target_total - collection.size());
+  auto &sets = collection.mutable_sets();
+  FusedSampler sampler(graph);
+  std::array<std::uint64_t, FusedSampler::kLanes> indices;
+  for (std::uint64_t base = first; base < target_total;
+       base += FusedSampler::kLanes) {
+    const auto lanes = static_cast<unsigned>(std::min<std::uint64_t>(
+        FusedSampler::kLanes, target_total - base));
+    for (unsigned l = 0; l < lanes; ++l) indices[l] = base + l;
+    sampler.generate(model, seed, std::span(indices.data(), lanes),
+                     &sets[base]);
+  }
+  span.arg("passes", sampler.passes());
+  count_generated(target_total - first);
+  flush_fused_counters(sampler);
+  trace::counter("rrr_sets", collection.size());
+}
+
+void sample_multithreaded_fused(const CsrGraph &graph, DiffusionModel model,
+                                std::uint64_t target_total, std::uint64_t seed,
+                                unsigned num_threads,
+                                RRRCollection &collection) {
+  RIPPLES_ASSERT(num_threads >= 1);
+  if (collection.size() >= target_total) return;
+  trace::Span span("sampler", "sampler.batch_fused", "first",
+                   collection.size(), "count",
+                   target_total - collection.size());
+  std::uint64_t first = collection.grow(target_total - collection.size());
+  auto &sets = collection.mutable_sets();
+  const std::uint64_t count = target_total - first;
+  const auto num_blocks = static_cast<std::int64_t>(
+      (count + FusedSampler::kLanes - 1) / FusedSampler::kLanes);
+#pragma omp parallel num_threads(static_cast<int>(num_threads))
+  {
+    FusedSampler sampler(graph);
+    trace::Span worker("sampler", "sampler.worker_fused");
+    std::array<std::uint64_t, FusedSampler::kLanes> indices;
+    std::uint64_t generated = 0;
+    // Dynamic schedule over whole lane blocks: fused batches inherit the
+    // heavy tail of per-sample traversal cost 64 samples at a time.
+#pragma omp for schedule(dynamic, 1) nowait
+    for (std::int64_t b = 0; b < num_blocks; ++b) {
+      std::uint64_t base =
+          first + static_cast<std::uint64_t>(b) * FusedSampler::kLanes;
+      const auto lanes = static_cast<unsigned>(std::min<std::uint64_t>(
+          FusedSampler::kLanes, target_total - base));
+      for (unsigned l = 0; l < lanes; ++l) indices[l] = base + l;
+      sampler.generate(model, seed, std::span(indices.data(), lanes),
+                       &sets[base]);
+      generated += lanes;
+    }
+    worker.arg("sets", generated);
+    flush_fused_counters(sampler);
+  }
+  count_generated(count);
+  trace::counter("rrr_sets", collection.size());
+}
+
+std::uint64_t sample_counter_indices_fused(
+    const CsrGraph &graph, DiffusionModel model, std::uint64_t seed,
+    std::span<const std::uint64_t> indices, unsigned num_threads,
+    RRRCollection &collection) {
+  RIPPLES_ASSERT(num_threads >= 1);
+  if (indices.empty()) return 0;
+  std::uint64_t first_slot = collection.grow(indices.size());
+  auto &sets = collection.mutable_sets();
+  const auto num_blocks = static_cast<std::int64_t>(
+      (indices.size() + FusedSampler::kLanes - 1) / FusedSampler::kLanes);
+#pragma omp parallel num_threads(static_cast<int>(num_threads))
+  {
+    FusedSampler sampler(graph);
+#pragma omp for schedule(dynamic, 1)
+    for (std::int64_t b = 0; b < num_blocks; ++b) {
+      const std::size_t j =
+          static_cast<std::size_t>(b) * FusedSampler::kLanes;
+      const std::size_t lanes =
+          std::min<std::size_t>(FusedSampler::kLanes, indices.size() - j);
+      sampler.generate(model, seed, indices.subspan(j, lanes),
+                       &sets[first_slot + j]);
+    }
+    flush_fused_counters(sampler);
+  }
+  count_generated(indices.size());
+  return indices.size();
+}
+
+} // namespace ripples

@@ -34,6 +34,7 @@
 #include "rng/distributions.hpp"
 #include "rng/lcg.hpp"
 #include "rng/philox.hpp"
+#include "rng/philox_buffered.hpp"
 #include "rng/splitmix.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -61,6 +62,7 @@
 #include "imm/rrr.hpp"
 #include "imm/rrr_collection.hpp"
 #include "imm/sampler.hpp"
+#include "imm/sampler_fused.hpp"
 #include "imm/select.hpp"
 #include "imm/sketches.hpp"
 #include "imm/theta.hpp"

@@ -50,7 +50,12 @@ public:
     return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
   }
 
-private:
+  // The counter layout and bijection are part of the class's observable
+  // contract: the fused sampling kernel computes future counter blocks of
+  // many streams out of order (block b of stream s is bijection({lo32(b),
+  // hi32(b), lo32(s), hi32(s)}, key)) and must produce the words this
+  // class's operator() would.  Keeping them public lets that kernel stay a
+  // separate translation unit instead of a friend.
   using Block = std::array<std::uint32_t, 4>;
   using Key = std::array<std::uint32_t, 2>;
 
@@ -77,6 +82,7 @@ private:
     return ctr;
   }
 
+private:
   void advance_counter() {
     if (++counter_[0] == 0) ++counter_[1];
   }

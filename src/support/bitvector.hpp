@@ -72,6 +72,77 @@ private:
   std::vector<std::uint64_t> words_;
 };
 
+/// Word-mask variant of BitVector: one full 64-bit lane mask per entry,
+/// the "visited" structure of the fused sampling kernel.  Entry v holds one
+/// bit per concurrently generated sample (lane), so a single load answers
+/// "which of the 64 in-flight simulations already visited v" and a single
+/// OR merges a lane's visit — the word-parallel technique of Göktürk &
+/// Kaya (arXiv 2008.03095).
+class LaneMaskVector {
+public:
+  LaneMaskVector() = default;
+  explicit LaneMaskVector(std::size_t num_entries) : words_(num_entries, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return words_.size(); }
+
+  [[nodiscard]] std::uint64_t word(std::size_t i) const {
+    RIPPLES_DEBUG_ASSERT(i < words_.size());
+    return words_[i];
+  }
+
+  [[nodiscard]] bool test(std::size_t i, unsigned lane) const {
+    RIPPLES_DEBUG_ASSERT(i < words_.size() && lane < 64);
+    return (words_[i] >> lane) & 1u;
+  }
+
+  void set(std::size_t i, unsigned lane) {
+    RIPPLES_DEBUG_ASSERT(i < words_.size() && lane < 64);
+    words_[i] |= std::uint64_t{1} << lane;
+  }
+
+  void or_word(std::size_t i, std::uint64_t mask) {
+    RIPPLES_DEBUG_ASSERT(i < words_.size());
+    words_[i] |= mask;
+  }
+
+  /// Replaces entry \p i wholesale — the store half of a branchless
+  /// load/modify/store sequence over word(i).
+  void store_word(std::size_t i, std::uint64_t value) {
+    RIPPLES_DEBUG_ASSERT(i < words_.size());
+    words_[i] = value;
+  }
+
+  /// Raw word storage, for hot kernels that hoist the pointer out of their
+  /// inner loops (member accesses through `this` defeat the compiler's
+  /// alias analysis once the loop also stores through uint64_t pointers).
+  [[nodiscard]] std::uint64_t *word_data() { return words_.data(); }
+
+  /// Sets bit \p lane of entry \p i and reports whether the whole word was
+  /// previously zero — the "first lane to touch this vertex" primitive that
+  /// drives the fused kernel's touched-vertex list.
+  bool set_first(std::size_t i, unsigned lane) {
+    RIPPLES_DEBUG_ASSERT(i < words_.size() && lane < 64);
+    std::uint64_t &w = words_[i];
+    bool was_zero = w == 0;
+    w |= std::uint64_t{1} << lane;
+    return was_zero;
+  }
+
+  void clear_word(std::size_t i) {
+    RIPPLES_DEBUG_ASSERT(i < words_.size());
+    words_[i] = 0;
+  }
+
+  /// Clears every word; O(entries).
+  void reset() { std::fill(words_.begin(), words_.end(), 0); }
+
+  /// Resizes to \p num_entries, clearing all content.
+  void assign(std::size_t num_entries) { words_.assign(num_entries, 0); }
+
+private:
+  std::vector<std::uint64_t> words_;
+};
+
 } // namespace ripples
 
 #endif // RIPPLES_SUPPORT_BITVECTOR_HPP

@@ -1,8 +1,11 @@
 #include "support/cli.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
+
+#include "support/assert.hpp"
 
 namespace ripples {
 
@@ -63,9 +66,15 @@ double CommandLine::get(const std::string &name, double fallback) const {
   auto v = value_of(name);
   if (!v) return fallback;
   char *end = nullptr;
+  errno = 0;
   double parsed = std::strtod(v->c_str(), &end);
   if (end == v->c_str() || *end != '\0') {
     std::fprintf(stderr, "%s: option --%s expects a number, got '%s'\n",
+                 program_.c_str(), name.c_str(), v->c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "%s: option --%s value '%s' is out of range\n",
                  program_.c_str(), name.c_str(), v->c_str());
     std::exit(2);
   }
@@ -77,10 +86,34 @@ std::int64_t CommandLine::get(const std::string &name,
   auto v = value_of(name);
   if (!v) return fallback;
   char *end = nullptr;
+  errno = 0;
   long long parsed = std::strtoll(v->c_str(), &end, 10);
   if (end == v->c_str() || *end != '\0') {
     std::fprintf(stderr, "%s: option --%s expects an integer, got '%s'\n",
                  program_.c_str(), name.c_str(), v->c_str());
+    std::exit(2);
+  }
+  // strtoll saturates on overflow (returning LLONG_MIN/MAX with ERANGE);
+  // saturation silently substituted for the requested value once, corrupting
+  // a benchmark sweep, so it is a hard parse error.
+  if (errno == ERANGE) {
+    std::fprintf(stderr, "%s: option --%s value '%s' is out of range\n",
+                 program_.c_str(), name.c_str(), v->c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+std::int64_t CommandLine::get_bounded(const std::string &name,
+                                      std::int64_t fallback, std::int64_t lo,
+                                      std::int64_t hi) const {
+  RIPPLES_DEBUG_ASSERT(lo <= hi && fallback >= lo && fallback <= hi);
+  std::int64_t parsed = get(name, fallback);
+  if (parsed < lo || parsed > hi) {
+    std::fprintf(stderr,
+                 "%s: option --%s expects a value in [%lld, %lld], got %lld\n",
+                 program_.c_str(), name.c_str(), static_cast<long long>(lo),
+                 static_cast<long long>(hi), static_cast<long long>(parsed));
     std::exit(2);
   }
   return parsed;

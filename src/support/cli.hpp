@@ -41,6 +41,17 @@ public:
                                  std::int64_t fallback) const;
   [[nodiscard]] bool get(const std::string &name, bool fallback) const;
 
+  /// Integer getter with an inclusive range screen: a parsed value outside
+  /// [lo, hi] terminates with a named-flag diagnostic and exit code 2, the
+  /// same way a malformed number does.  Options destined for unsigned or
+  /// narrower storage pass their real bounds here so `--checkpoint-every -1`
+  /// or an oversized `--watchdog-ms` is rejected at the parser instead of
+  /// wrapping through a later narrowing cast.
+  [[nodiscard]] std::int64_t get_bounded(const std::string &name,
+                                         std::int64_t fallback,
+                                         std::int64_t lo,
+                                         std::int64_t hi) const;
+
   /// Positional (non-option) arguments in order of appearance.
   [[nodiscard]] const std::vector<std::string> &positional() const {
     return positional_;

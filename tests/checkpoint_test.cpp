@@ -303,7 +303,8 @@ CsrGraph checkpoint_graph() {
   return graph;
 }
 
-using ResumeCell = std::tuple<const char *, int, RngMode, SelectionExchange>;
+using ResumeCell =
+    std::tuple<const char *, int, RngMode, SelectionExchange, SamplerEngine>;
 
 ImmOptions cell_options(const ResumeCell &cell) {
   ImmOptions options;
@@ -314,6 +315,11 @@ ImmOptions cell_options(const ResumeCell &cell) {
   options.num_ranks = std::get<1>(cell);
   options.rng_mode = std::get<2>(cell);
   options.selection_exchange = std::get<3>(cell);
+  // The engine axis must be outcome-invisible: a run checkpointed under
+  // one engine and resumed under the same one lands on the same results
+  // the scalar engine produces (the fused engine's byte-identity promise
+  // composes with mid-run resume).
+  options.sampler = std::get<4>(cell);
   options.checkpoint = {}; // isolate from any ambient RIPPLES_CHECKPOINT_*
   return options;
 }
@@ -400,11 +406,12 @@ TEST_P(CheckpointResume, ResumeFromAnyRoundReproducesTheUninterruptedRun) {
 
 std::string resume_cell_name(
     const ::testing::TestParamInfo<ResumeCell> &info) {
-  const auto &[driver, ranks, rng, exchange] = info.param;
+  const auto &[driver, ranks, rng, exchange, engine] = info.param;
   std::string name = driver;
   name += "_p" + std::to_string(ranks);
   name += rng == RngMode::CounterSequence ? "_counter" : "_leapfrog";
   name += exchange == SelectionExchange::Sparse ? "_sparse" : "_dense";
+  name += engine == SamplerEngine::Fused ? "_fused" : "";
   // "dist-part" contains an invalid character for a test name.
   for (char &c : name)
     if (c == '-') c = '_';
@@ -418,7 +425,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(RngMode::CounterSequence,
                                          RngMode::LeapfrogLcg),
                        ::testing::Values(SelectionExchange::Dense,
-                                         SelectionExchange::Sparse)),
+                                         SelectionExchange::Sparse),
+                       ::testing::Values(SamplerEngine::Sequential,
+                                         SamplerEngine::Fused)),
     resume_cell_name);
 
 // --- abnormal death, refusal, and composition with fault healing -------------
@@ -430,7 +439,8 @@ TEST_F(CheckpointKill, SnapshotsSurviveAnAbruptDeathAndResumeToIdenticalSeeds) {
   // unwinds the whole run mid-martingale.  Whatever snapshots were written
   // before the death must carry a --resume run to the clean outcome.
   const CsrGraph graph = checkpoint_graph();
-  ResumeCell cell{"dist", 3, RngMode::CounterSequence, SelectionExchange::Dense};
+  ResumeCell cell{"dist", 3, RngMode::CounterSequence,
+                  SelectionExchange::Dense, SamplerEngine::Fused};
   ImmOptions options = cell_options(cell);
   const ImmResult clean = imm_distributed(graph, options);
 
@@ -451,7 +461,8 @@ TEST_F(CheckpointKill, ResumeIntoAnEmptyDirectoryStartsFresh) {
   // Killed before the first boundary: nothing on disk, --resume must fall
   // back to a fresh run, not fail.
   const CsrGraph graph = checkpoint_graph();
-  ResumeCell cell{"dist", 2, RngMode::CounterSequence, SelectionExchange::Dense};
+  ResumeCell cell{"dist", 2, RngMode::CounterSequence,
+                  SelectionExchange::Dense, SamplerEngine::Sequential};
   ImmOptions options = cell_options(cell);
   const ImmResult clean = imm_distributed(graph, options);
   options.checkpoint.dir = dir();
@@ -463,15 +474,17 @@ TEST_F(CheckpointKill, ResumeIntoAnEmptyDirectoryStartsFresh) {
 
 TEST_F(CheckpointKill, ResumeWithoutADirectoryIsRefused) {
   const CsrGraph graph = checkpoint_graph();
-  ImmOptions options = cell_options(
-      {"dist", 2, RngMode::CounterSequence, SelectionExchange::Dense});
+  ImmOptions options = cell_options({"dist", 2, RngMode::CounterSequence,
+                                     SelectionExchange::Dense,
+                                     SamplerEngine::Sequential});
   options.checkpoint.resume = true;
   EXPECT_THROW((void)imm_distributed(graph, options), std::runtime_error);
 }
 
 TEST_F(CheckpointKill, MismatchedResumeIsRefusedNotSilentlyWrong) {
   const CsrGraph graph = checkpoint_graph();
-  ResumeCell cell{"dist", 2, RngMode::CounterSequence, SelectionExchange::Dense};
+  ResumeCell cell{"dist", 2, RngMode::CounterSequence,
+                  SelectionExchange::Dense, SamplerEngine::Sequential};
   ImmOptions options = cell_options(cell);
   options.checkpoint.dir = dir();
   (void)imm_distributed(graph, options);
@@ -527,7 +540,8 @@ TEST_F(CheckpointKill, CheckpointingComposesWithFaultHealing) {
   // carry a resume to that same outcome (the healed run keeps exactly one
   // writer: the current dense rank 0).
   const CsrGraph graph = checkpoint_graph();
-  ResumeCell cell{"dist", 3, RngMode::LeapfrogLcg, SelectionExchange::Sparse};
+  ResumeCell cell{"dist", 3, RngMode::LeapfrogLcg,
+                  SelectionExchange::Sparse, SamplerEngine::Sequential};
   ImmOptions options = cell_options(cell);
   const ImmResult clean = imm_distributed(graph, options);
 
@@ -546,8 +560,9 @@ TEST_F(CheckpointKill, CheckpointingComposesWithFaultHealing) {
 
 TEST_F(CheckpointKill, WritesAndBytesAreCounted) {
   const CsrGraph graph = checkpoint_graph();
-  ImmOptions options = cell_options(
-      {"dist", 2, RngMode::CounterSequence, SelectionExchange::Dense});
+  ImmOptions options = cell_options({"dist", 2, RngMode::CounterSequence,
+                                     SelectionExchange::Dense,
+                                     SamplerEngine::Sequential});
   options.checkpoint.dir = dir();
   metrics::set_enabled(true);
   metrics::Registry &registry = metrics::Registry::instance();

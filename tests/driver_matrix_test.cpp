@@ -53,12 +53,12 @@ ImmResult run(Driver driver, const CsrGraph &graph, const ImmOptions &options) {
 }
 
 using Cell = std::tuple<Driver, DiffusionModel, double, std::uint32_t,
-                        SelectionExchange>;
+                        SelectionExchange, SamplerEngine>;
 
 class DriverMatrix : public ::testing::TestWithParam<Cell> {};
 
 TEST_P(DriverMatrix, SatisfiesContractAndSequentialAgreement) {
-  auto [driver, model, epsilon, k, exchange] = GetParam();
+  auto [driver, model, epsilon, k, exchange, engine] = GetParam();
 
   CsrGraph graph(barabasi_albert(400, 3, 77));
   assign_uniform_weights(graph, 78);
@@ -73,6 +73,10 @@ TEST_P(DriverMatrix, SatisfiesContractAndSequentialAgreement) {
   // Only the mpsim drivers consult the knob; the shared-memory drivers must
   // ignore it, which running them in both modes verifies for free.
   options.selection_exchange = exchange;
+  // The fused engine promises byte-identical collections, so every
+  // contract and agreement check below must hold cell-for-cell in both
+  // engines; the reference below always runs the scalar engine.
+  options.sampler = engine;
 
   ImmResult result = run(driver, graph, options);
 
@@ -91,9 +95,13 @@ TEST_P(DriverMatrix, SatisfiesContractAndSequentialAgreement) {
   // the sequential reference, so the seed set must be identical.  The
   // partitioned driver uses per-(sample, vertex) streams and is checked
   // for rank invariance in imm_partitioned_test instead.
+  // A fused sequential cell is still checked against the scalar-engine
+  // reference: that comparison IS the fused byte-identity claim.
   if (driver != Driver::DistributedPartitioned &&
-      driver != Driver::Sequential) {
-    ImmResult reference = imm_sequential(graph, options);
+      (driver != Driver::Sequential || engine == SamplerEngine::Fused)) {
+    ImmOptions reference_options = options;
+    reference_options.sampler = SamplerEngine::Sequential;
+    ImmResult reference = imm_sequential(graph, reference_options);
     EXPECT_EQ(result.seeds, reference.seeds) << name_of(driver);
     EXPECT_EQ(result.theta, reference.theta);
   }
@@ -110,7 +118,57 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(0.4, 0.5),
         ::testing::Values(2u, 12u),
         ::testing::Values(SelectionExchange::Dense,
-                          SelectionExchange::Sparse)));
+                          SelectionExchange::Sparse),
+        ::testing::Values(SamplerEngine::Sequential, SamplerEngine::Fused)));
+
+// Fused acceptance sweep over rank counts: for every ranks in {1,2,4,8} x
+// rng mode x exchange protocol, the distributed driver under the fused
+// engine must agree bit-exactly with the same configuration under the
+// scalar engine (the engines promise identical collections), and in
+// counter mode with the sequential reference as well.  Leap-frog mode
+// keeps its scalar kernel, so there the check pins the fused flag as a
+// strict no-op.
+class FusedRankSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, RngMode, SelectionExchange>> {};
+
+TEST_P(FusedRankSweep, FusedDistributedMatchesScalarEngine) {
+  auto [ranks, rng_mode, exchange] = GetParam();
+
+  CsrGraph graph(barabasi_albert(400, 3, 77));
+  assign_uniform_weights(graph, 78);
+
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.model = DiffusionModel::IndependentCascade;
+  options.seed = 4242;
+  options.num_ranks = ranks;
+  options.rng_mode = rng_mode;
+  options.selection_exchange = exchange;
+
+  options.sampler = SamplerEngine::Fused;
+  ImmResult fused = imm_distributed(graph, options);
+  options.sampler = SamplerEngine::Sequential;
+  ImmResult scalar = imm_distributed(graph, options);
+  EXPECT_EQ(fused.seeds, scalar.seeds);
+  EXPECT_EQ(fused.theta, scalar.theta);
+  EXPECT_EQ(fused.coverage_fraction, scalar.coverage_fraction);
+
+  if (rng_mode == RngMode::CounterSequence) {
+    ImmResult reference = imm_sequential(graph, options);
+    EXPECT_EQ(fused.seeds, reference.seeds);
+    EXPECT_EQ(fused.theta, reference.theta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksRngExchange, FusedRankSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(RngMode::CounterSequence,
+                                         RngMode::LeapfrogLcg),
+                       ::testing::Values(SelectionExchange::Dense,
+                                         SelectionExchange::Sparse)));
 
 // Deterministic word-count regression: at p >= 4 and k >= 8 the sparse
 // protocol must move strictly fewer selection-exchange words than the dense

@@ -11,6 +11,7 @@
 #include "rng/distributions.hpp"
 #include "rng/lcg.hpp"
 #include "rng/philox.hpp"
+#include "rng/philox_buffered.hpp"
 #include "rng/splitmix.hpp"
 #include "rng/xoshiro.hpp"
 
@@ -220,6 +221,85 @@ TEST(Distributions, UniformRealRespectsRange) {
     EXPECT_GE(x, -2.5);
     EXPECT_LT(x, 7.5);
   }
+}
+
+// --- bulk / buffered Philox --------------------------------------------------
+//
+// The fused sampling engine's byte-identity rests on one property: every
+// consumption pattern of BufferedPhilox emits the exact draw sequence of
+// the scalar Philox4x32 on the same (key, counter_hi) stream.
+
+TEST(PhiloxBulk, BlocksMatchTheScalarEngineDrawForDraw) {
+  const std::uint64_t key = 0xDEADBEEF, stream = 42;
+  std::vector<std::uint64_t> bulk(2 * 1000);
+  philox4x32_bulk(0, 1000, key, stream, bulk.data());
+  Philox4x32 scalar(key, stream);
+  for (std::size_t i = 0; i < bulk.size(); ++i)
+    ASSERT_EQ(bulk[i], scalar()) << "draw " << i;
+}
+
+TEST(PhiloxBulk, ArbitraryFirstBlockContinuesTheStream) {
+  const std::uint64_t key = 7, stream = 3;
+  Philox4x32 scalar(key, stream);
+  for (int i = 0; i < 2 * 317; ++i) (void)scalar();
+  std::vector<std::uint64_t> bulk(2 * 5);
+  philox4x32_bulk(317, 5, key, stream, bulk.data());
+  for (std::size_t i = 0; i < bulk.size(); ++i)
+    ASSERT_EQ(bulk[i], scalar()) << "draw " << i;
+}
+
+TEST(BufferedPhilox, OperatorMatchesScalarAcrossManyRefills) {
+  BufferedPhilox buffered;
+  buffered.reset(11, 5);
+  Philox4x32 scalar(11, 5);
+  // 3x capacity forces several refills through the quantum ramp.
+  for (std::size_t i = 0; i < 3 * BufferedPhilox::capacity(); ++i)
+    ASSERT_EQ(buffered(), scalar()) << "draw " << i;
+}
+
+TEST(BufferedPhilox, InterleavedPeekConsumeEmitsTheScalarSequence) {
+  BufferedPhilox buffered;
+  buffered.reset(13, 9);
+  Philox4x32 scalar(13, 9);
+  // Mixed consumption: peek a chunk, consume only part of it (as the fused
+  // kernel does when edges are masked off), occasionally draw directly.
+  const std::size_t chunks[] = {1, 3, 8, 2, 60, 7, 128, 1, 30, 256, 5, 90};
+  for (std::size_t round = 0; round < 4; ++round) {
+    for (std::size_t chunk : chunks) {
+      const std::uint64_t *draws = buffered.peek(chunk);
+      ASSERT_GE(buffered.buffered(), chunk);
+      std::size_t used = chunk - chunk / 3;
+      for (std::size_t i = 0; i < used; ++i)
+        ASSERT_EQ(draws[i], scalar()) << "chunk " << chunk << " draw " << i;
+      buffered.consume(used);
+    }
+    ASSERT_EQ(buffered(), scalar());
+  }
+}
+
+TEST(BufferedPhilox, EnsureKeepsAlreadyBufferedDrawsStable) {
+  BufferedPhilox buffered;
+  buffered.reset(17, 2);
+  const std::uint64_t first = buffered.peek(4)[0];
+  buffered.ensure(BufferedPhilox::capacity());
+  EXPECT_EQ(buffered.peek(1)[0], first);
+  Philox4x32 scalar(17, 2);
+  EXPECT_EQ(buffered(), scalar());
+}
+
+TEST(BufferedPhilox, ResetRetargetsTheStreamExactly) {
+  BufferedPhilox buffered;
+  buffered.reset(19, 1);
+  for (int i = 0; i < 100; ++i) (void)buffered();
+  // Re-point mid-buffer at another stream: no draws of the old stream may
+  // leak, and the quantum ramp restarts (short streams stay cheap).
+  buffered.reset(19, 2);
+  Philox4x32 scalar(19, 2);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(buffered(), scalar()) << "draw " << i;
+  // And back to the first stream, from the top.
+  buffered.reset(19, 1);
+  Philox4x32 scalar1(19, 1);
+  for (int i = 0; i < 50; ++i) ASSERT_EQ(buffered(), scalar1());
 }
 
 } // namespace

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "imm/rrr.hpp"
+#include "imm/rrr_collection.hpp"
 #include "rng/xoshiro.hpp"
 
 namespace ripples {
@@ -207,6 +211,26 @@ TEST(RRRGenerator, GenerateRandomRootCoversVertexSpace) {
     ++root_histogram[set[0]];
   }
   for (int count : root_histogram) EXPECT_GT(count, 0);
+}
+
+TEST(RRRCollectionGrowth, AbsurdGrowthThrowsADiagnosticNotBadAlloc) {
+  // theta-derived totals reach grow() before any parallel fill region; a
+  // corrupted total must surface as a catchable length_error naming the
+  // sizes, not as a size_t wrap (grow(SIZE_MAX) on a non-empty collection
+  // wraps to a tiny resize) or an allocator abort on a worker thread.
+  RRRCollection collection;
+  collection.grow(3);
+  const std::size_t huge = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW((void)collection.grow(huge), std::length_error);
+  EXPECT_THROW((void)collection.grow(huge - 2), std::length_error);
+  EXPECT_EQ(collection.size(), 3u) << "failed growth must not change state";
+  try {
+    (void)collection.grow(huge);
+  } catch (const std::length_error &error) {
+    EXPECT_NE(std::string(error.what()).find("RRRCollection"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 } // namespace

@@ -3,9 +3,12 @@
 // the compact and hypergraph storage paths.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/generators.hpp"
 #include "graph/weights.hpp"
 #include "imm/sampler.hpp"
+#include "imm/sampler_fused.hpp"
 
 namespace ripples {
 namespace {
@@ -163,6 +166,161 @@ TEST(RRRCollectionStorage, FootprintGrowsWithSamples) {
                     collection);
   EXPECT_GT(collection.footprint_bytes(), small);
   EXPECT_GT(collection.total_associations(), 0u);
+}
+
+// --- fused engine ----------------------------------------------------------
+//
+// The fused kernel's whole contract is byte-identity with the scalar
+// engine: same (graph, model, seed, |R|) -> same collection, whatever the
+// batch geometry.  The sweep crosses both models with graph shapes chosen
+// to stress different kernel paths: hub-heavy preferential attachment
+// (long frontier rows), sparse uniform random (many single-vertex sets),
+// a ring lattice (uniform short rows), a bidirectional star (every lane
+// collides on the hub immediately), a path (deep narrow walks), and a
+// small complete graph (fewer vertices than lanes, dense emission path).
+struct FusedShape {
+  const char *name;
+  EdgeList (*make)();
+};
+
+const FusedShape kFusedShapes[] = {
+    {"barabasi_albert", [] { return barabasi_albert(400, 3, 21); }},
+    {"erdos_renyi", [] { return erdos_renyi(300, 900, 22); }},
+    {"watts_strogatz", [] { return watts_strogatz(256, 4, 0.1, 23); }},
+    {"star", [] { return star_graph(100, true); }},
+    {"path", [] { return path_graph(50); }},
+    {"complete", [] { return complete_graph(40); }},
+};
+
+class FusedIdentity
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, int>> {};
+
+TEST_P(FusedIdentity, FusedMatchesSequentialBitExactly) {
+  auto [model, shape_index] = GetParam();
+  const FusedShape &shape = kFusedShapes[shape_index];
+  CsrGraph graph(shape.make());
+  assign_uniform_weights(graph, 91);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+
+  // 130 = two full 64-lane batches plus a 2-lane remainder batch.
+  RRRCollection scalar, fused;
+  sample_sequential(graph, model, 130, 37, scalar);
+  sample_sequential_fused(graph, model, 130, 37, fused);
+  ASSERT_EQ(scalar.size(), fused.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    EXPECT_EQ(scalar.sets()[i], fused.sets()[i])
+        << shape.name << " sample " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndShapes, FusedIdentity,
+    ::testing::Combine(::testing::Values(DiffusionModel::IndependentCascade,
+                                         DiffusionModel::LinearThreshold),
+                       ::testing::Range(0, 6)));
+
+TEST(FusedSamplerEngine, SingleSampleBatchMatchesSequential) {
+  CsrGraph graph = test_graph(12);
+  RRRCollection scalar, fused;
+  sample_sequential(graph, DiffusionModel::IndependentCascade, 1, 41, scalar);
+  sample_sequential_fused(graph, DiffusionModel::IndependentCascade, 1, 41,
+                          fused);
+  ASSERT_EQ(fused.size(), 1u);
+  EXPECT_EQ(scalar.sets()[0], fused.sets()[0]);
+}
+
+TEST(FusedSamplerEngine, IncrementalExtensionMatchesOneShot) {
+  // Extension re-batches from an unaligned start (40 -> 90 -> 200), so lane
+  // assignments differ between the two runs; identity must hold anyway.
+  CsrGraph graph = test_graph(13);
+  RRRCollection one_shot, incremental;
+  sample_sequential_fused(graph, DiffusionModel::IndependentCascade, 200, 43,
+                          one_shot);
+  sample_sequential_fused(graph, DiffusionModel::IndependentCascade, 40, 43,
+                          incremental);
+  sample_sequential_fused(graph, DiffusionModel::IndependentCascade, 90, 43,
+                          incremental);
+  sample_sequential_fused(graph, DiffusionModel::IndependentCascade, 200, 43,
+                          incremental);
+  ASSERT_EQ(one_shot.size(), incremental.size());
+  for (std::size_t i = 0; i < one_shot.size(); ++i)
+    EXPECT_EQ(one_shot.sets()[i], incremental.sets()[i]) << "sample " << i;
+}
+
+class FusedThreadInvariance
+    : public ::testing::TestWithParam<std::tuple<DiffusionModel, unsigned>> {};
+
+TEST_P(FusedThreadInvariance, MultithreadedFusedMatchesSequentialBitExactly) {
+  auto [model, threads] = GetParam();
+  CsrGraph graph = test_graph(4);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+
+  RRRCollection scalar, fused;
+  sample_sequential(graph, model, 200, 11, scalar);
+  sample_multithreaded_fused(graph, model, 200, 11, threads, fused);
+  ASSERT_EQ(scalar.size(), fused.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    EXPECT_EQ(scalar.sets()[i], fused.sets()[i]) << "sample " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndThreads, FusedThreadInvariance,
+    ::testing::Combine(::testing::Values(DiffusionModel::IndependentCascade,
+                                         DiffusionModel::LinearThreshold),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+TEST(FusedSamplerEngine, CounterIndicesMatchScalarOnScatteredIndices) {
+  // The healing path regenerates arbitrary index subsets; the fused batch
+  // must reproduce each stream regardless of which lanes its neighbors
+  // occupy.  Indices are deliberately non-contiguous and unsorted-adjacent.
+  CsrGraph graph = test_graph(14);
+  std::vector<std::uint64_t> indices;
+  for (std::uint64_t i = 0; i < 150; i += 3) indices.push_back(i ^ 1);
+  RRRCollection scalar, fused;
+  sample_counter_indices(graph, DiffusionModel::IndependentCascade, 47,
+                         indices, 2, scalar);
+  sample_counter_indices_fused(graph, DiffusionModel::IndependentCascade, 47,
+                               indices, 2, fused);
+  ASSERT_EQ(scalar.size(), fused.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    EXPECT_EQ(scalar.sets()[i], fused.sets()[i]) << "index " << indices[i];
+}
+
+// --- leap-frog index arithmetic --------------------------------------------
+
+TEST(LeapfrogFirstIndex, FindsTheNextStreamMember) {
+  EXPECT_EQ(leapfrog_first_index(0, 0, 4), 0u);
+  EXPECT_EQ(leapfrog_first_index(0, 3, 4), 3u);
+  EXPECT_EQ(leapfrog_first_index(7, 3, 5), 8u);
+  EXPECT_EQ(leapfrog_first_index(8, 3, 5), 8u);
+  EXPECT_EQ(leapfrog_first_index(9, 3, 5), 13u);
+}
+
+TEST(LeapfrogFirstIndex, SaturatesInsteadOfWrappingNearMax) {
+  // from = 2^64 - 2 is congruent to 2 mod 4; stream 0's next index would be
+  // 2^64, which must saturate to UINT64_MAX (an unreachable sample index),
+  // not wrap to 0 and regenerate the whole range.
+  const std::uint64_t max = std::numeric_limits<std::uint64_t>::max();
+  EXPECT_EQ(leapfrog_first_index(max - 1, 0, 4), max);
+  // A reachable index just below the edge still comes out exact:
+  // 2^64 - 2 is congruent to 2 mod 4, so it is stream 2's own member.
+  EXPECT_EQ(leapfrog_first_index(max - 1, 2, 4), max - 1);
+}
+
+TEST(SampleLeapfrogRange, TerminatesWhenStrideWrapsPastMax) {
+  // num_streams = 2^63 puts exactly two indices of stream 5 in
+  // [0, UINT64_MAX): 5 and 5 + 2^63.  The next candidate, 5 + 2^64, wraps
+  // to 5 again — without the wrap guard this loop never terminates.
+  CsrGraph graph = test_graph(15);
+  const std::uint64_t huge_stride = std::uint64_t{1} << 63;
+  Lcg64 engine = Lcg64::leapfrog_stream(99, 5, huge_stride);
+  RRRCollection collection;
+  std::uint64_t generated = sample_leapfrog_range(
+      graph, DiffusionModel::IndependentCascade, engine, 5, huge_stride, 0,
+      std::numeric_limits<std::uint64_t>::max(), collection);
+  EXPECT_EQ(generated, 2u);
+  EXPECT_EQ(collection.size(), 2u);
 }
 
 TEST(SamplerDeterminism, DifferentSeedsGiveDifferentCollections) {

@@ -183,6 +183,53 @@ TEST(CommandLine, SingleDashAlias) {
   EXPECT_EQ(cli.get("k", std::int64_t{0}), 25);
 }
 
+TEST(CommandLineDeathTest, MalformedIntegerExitsNamingTheFlag) {
+  const char *argv[] = {"prog", "--k", "fifty"};
+  CommandLine cli(3, argv);
+  EXPECT_EXIT((void)cli.get("k", std::int64_t{0}),
+              ::testing::ExitedWithCode(2), "--k expects an integer");
+}
+
+TEST(CommandLineDeathTest, OverflowedIntegerIsRejectedNotSaturated) {
+  // strtoll would silently clamp to LLONG_MAX; the parser must treat
+  // out-of-range the same as malformed.
+  const char *argv[] = {"prog", "--watchdog-ms", "99999999999999999999999"};
+  CommandLine cli(3, argv);
+  EXPECT_EXIT((void)cli.get("watchdog-ms", std::int64_t{0}),
+              ::testing::ExitedWithCode(2), "--watchdog-ms.*out of range");
+}
+
+TEST(CommandLineDeathTest, OverflowedDoubleIsRejected) {
+  const char *argv[] = {"prog", "--epsilon", "1e999"};
+  CommandLine cli(3, argv);
+  EXPECT_EXIT((void)cli.get("epsilon", 0.5), ::testing::ExitedWithCode(2),
+              "--epsilon.*out of range");
+}
+
+TEST(CommandLineDeathTest, BoundedRejectsNegativeForUnsignedOptions) {
+  const char *argv[] = {"prog", "--checkpoint-every=-1"};
+  CommandLine cli(2, argv);
+  EXPECT_EXIT((void)cli.get_bounded("checkpoint-every", 1, 1, 1000),
+              ::testing::ExitedWithCode(2),
+              "--checkpoint-every expects a value in \\[1, 1000\\], got -1");
+}
+
+TEST(CommandLineDeathTest, BoundedRejectsValuesPastTheUpperBound) {
+  const char *argv[] = {"prog", "--threads", "5000000000"};
+  CommandLine cli(3, argv);
+  EXPECT_EXIT((void)cli.get_bounded("threads", 1, 1, 4294967295LL),
+              ::testing::ExitedWithCode(2), "--threads expects a value in");
+}
+
+TEST(CommandLine, BoundedAcceptsInRangeValuesAndDefaults) {
+  const char *argv[] = {"prog", "--k", "25"};
+  CommandLine cli(3, argv);
+  EXPECT_EQ(cli.get_bounded("k", 50, 1, 4294967295LL), 25);
+  EXPECT_EQ(cli.get_bounded("ranks", 2, 1, 1 << 20), 2);
+  // The bounds are inclusive on both ends.
+  EXPECT_EQ(cli.get_bounded("k", 50, 25, 25), 25);
+}
+
 // --- bit vector ------------------------------------------------------------------
 
 TEST(BitVector, SetTestClear) {
@@ -222,6 +269,55 @@ TEST(BitVector, AssignResizes) {
   EXPECT_EQ(bits.count(), 0u);
   bits.set(299);
   EXPECT_TRUE(bits.test(299));
+}
+
+// --- lane-mask vector --------------------------------------------------------
+
+TEST(LaneMaskVector, PerLaneBitsAreIndependent) {
+  LaneMaskVector visited(100);
+  EXPECT_EQ(visited.size(), 100u);
+  visited.set(7, 0);
+  visited.set(7, 63);
+  visited.set(8, 5);
+  EXPECT_TRUE(visited.test(7, 0));
+  EXPECT_TRUE(visited.test(7, 63));
+  EXPECT_FALSE(visited.test(7, 5));
+  EXPECT_FALSE(visited.test(8, 0));
+  EXPECT_TRUE(visited.test(8, 5));
+  EXPECT_EQ(visited.word(7), (std::uint64_t{1} << 63) | 1u);
+}
+
+TEST(LaneMaskVector, SetFirstReportsOnlyTheFirstLaneToTouchAVertex) {
+  LaneMaskVector visited(10);
+  EXPECT_TRUE(visited.set_first(4, 9));
+  EXPECT_FALSE(visited.set_first(4, 9));
+  EXPECT_FALSE(visited.set_first(4, 10));
+  EXPECT_TRUE(visited.set_first(5, 10));
+  EXPECT_EQ(visited.word(4), (std::uint64_t{1} << 9) | (std::uint64_t{1} << 10));
+}
+
+TEST(LaneMaskVector, WordOperationsComposeWithBitOperations) {
+  LaneMaskVector visited(10);
+  visited.or_word(2, 0xF0);
+  EXPECT_TRUE(visited.test(2, 4));
+  visited.store_word(2, 0x0F);
+  EXPECT_FALSE(visited.test(2, 4));
+  EXPECT_TRUE(visited.test(2, 0));
+  visited.word_data()[2] |= std::uint64_t{1} << 40;
+  EXPECT_TRUE(visited.test(2, 40));
+  visited.clear_word(2);
+  EXPECT_EQ(visited.word(2), 0u);
+}
+
+TEST(LaneMaskVector, ResetAndAssignClearEverything) {
+  LaneMaskVector visited(20);
+  visited.set(1, 1);
+  visited.reset();
+  EXPECT_EQ(visited.word(1), 0u);
+  visited.set(2, 2);
+  visited.assign(64);
+  EXPECT_EQ(visited.size(), 64u);
+  EXPECT_EQ(visited.word(2), 0u);
 }
 
 } // namespace
