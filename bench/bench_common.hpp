@@ -21,6 +21,10 @@
 ///                   reports (one per driver execution) at process exit
 ///   --trace <path>  enable span tracing and write a Chrome trace-event
 ///                   JSON timeline (Perfetto-loadable) at process exit
+///   --profile-mem   arm the background resource sampler: every driver run's
+///                   report carries the memory timeline, and the trace (when
+///                   enabled) gains mem.* counter tracks
+///   --profile-mem-hz <hz>  sampling rate (default 10)
 ///   --checkpoint-dir <d>  snapshot martingale state of the mpsim drivers
 ///                   (plus --checkpoint-every/--checkpoint-keep/--resume);
 ///                   exported to RIPPLES_CHECKPOINT_* so every driver run
@@ -72,6 +76,12 @@ struct BenchConfig {
     // Same pattern for the timeline: spans buffer during the run and the
     // atexit hook writes one Chrome trace-event document.
     if (!config.trace_path.empty()) trace::start(config.trace_path);
+    // Resource sampler: benches run drivers in-process, so one start() here
+    // covers every run; the atexit stop (registered by start, LIFO before
+    // the flush hooks) makes it quiescent before the artifacts are written.
+    if (cli.has_flag("profile-mem") || cli.value_of("profile-mem-hz"))
+      ResourceSampler::instance().start(
+          cli.get_bounded("profile-mem-hz", 10.0, 0.1, 1000.0));
     // Checkpoint flags travel via the environment: ImmOptions defaults from
     // RIPPLES_CHECKPOINT_*, so exporting here covers every driver the bench
     // constructs without threading options through each table loop.

@@ -17,6 +17,11 @@
 ///           [--json-report report.json]   (structured metrics run report)
 ///           [--trace trace.json]          (Chrome trace-event timeline,
 ///                                          loadable in Perfetto)
+///           [--profile-mem]               (background resource sampler:
+///                                          memory timeline in the report
+///                                          and counter tracks in the
+///                                          trace; also RIPPLES_PROFILE_MEM)
+///           [--profile-mem-hz HZ]         (sampling rate; default 10)
 ///           [--recover]                   (dist: survive rank failures by
 ///                                          shrinking + regenerating)
 ///           [--watchdog-ms N]             (collective stall deadline; 0=off)
@@ -224,6 +229,11 @@ int main(int argc, char **argv) {
   // works too; --trace <path> both enables it and names the output.
   const std::string trace_path = cli.get("trace", std::string());
   if (!trace_path.empty()) trace::set_enabled(true);
+  // Background resource sampler: memory timeline in the report, counter
+  // tracks in the trace.  Stopped before either artifact is written.
+  if (cli.has_flag("profile-mem") || cli.value_of("profile-mem-hz"))
+    ResourceSampler::instance().start(
+        cli.get_bounded("profile-mem-hz", 10.0, 0.1, 1000.0));
   // Graceful shutdown: Ctrl-C or a scheduler's TERM writes any pending
   // checkpoint and flushes the report log and trace buffers before exiting
   // 128+signum, leaving the same resumable state a round boundary would.
@@ -251,6 +261,7 @@ int main(int argc, char **argv) {
     // partial report and whatever the trace ring buffers held when the
     // exception unwound the driver.
     std::fprintf(stderr, "run failed: %s\n", error.what());
+    ResourceSampler::instance().stop(); // quiesce before the flushes below
     if (!report_path.empty()) {
       metrics::mark_run_failed(driver, error.what());
       if (metrics::flush_reports_now())
@@ -262,6 +273,10 @@ int main(int argc, char **argv) {
                    trace_path.c_str());
     return 1;
   }
+  // The run is over: make the sampler quiescent so the explicit trace write
+  // below sees a stable buffer (the report already snapshotted its timeline
+  // at finalize).
+  ResourceSampler::instance().stop();
   std::printf("theta=%llu samples=%llu coverage=%.3f\n",
               static_cast<unsigned long long>(result.theta),
               static_cast<unsigned long long>(result.num_samples),

@@ -11,6 +11,7 @@
 #   scripts/check.sh --no-sparse # skip the sparse selection-exchange leg
 #   scripts/check.sh --no-checkpoint # skip the kill-resume soak leg
 #   scripts/check.sh --no-fused  # skip the fused sampling-engine leg
+#   scripts/check.sh --no-observability # skip the trace/analyze leg
 #
 # The sparse leg reruns the selection suites (`ctest -L selection`) plus the
 # IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
@@ -22,6 +23,14 @@
 # suites with RIPPLES_SAMPLER=fused, so the env-selected fused engine sees
 # the same coverage the scalar default gets; every byte-identity assertion
 # in those suites then compares fused output against the same expectations.
+#
+# The observability leg runs a 4-rank fused+sparse imm_cli with --trace
+# --profile-mem --json-report and pushes the artifacts through the full
+# analysis pipeline: validate_trace.py with flow-pairing and counter-track
+# enforcement, then analyze_trace.py (critical-path decomposition must sum
+# within tolerance of each round's wall time).  This is the one place the
+# whole observatory — flow events, round ledger, resource sampler, and
+# both scripts — is exercised end to end against a real multi-rank run.
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
 # CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
@@ -64,6 +73,7 @@ run_soak=1
 run_sparse=1
 run_checkpoint=1
 run_fused=1
+run_observability=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -73,7 +83,8 @@ for arg in "$@"; do
     --no-sparse) run_sparse=0 ;;
     --no-checkpoint) run_checkpoint=0 ;;
     --no-fused) run_fused=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused)" >&2; exit 2 ;;
+    --no-observability) run_observability=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused | --no-observability)" >&2; exit 2 ;;
   esac
 done
 
@@ -148,12 +159,50 @@ if [[ "$run_checkpoint" == 1 ]]; then
   done
 fi
 
+if [[ "$run_observability" == 1 ]]; then
+  echo "== observability: 4-rank trace + memory profile through the analysis pipeline =="
+  # No EXIT trap here — the checkpoint leg owns it; clean up explicitly.
+  obs_work=$(mktemp -d)
+  ./build/examples/imm_cli --driver dist --ranks 4 --sampler fused \
+    --selection-exchange sparse --dataset cit-HepTh --scale 0.1 \
+    --epsilon 0.5 -k 16 --seed 2019 \
+    --trace "$obs_work/trace.json" --profile-mem \
+    --json-report "$obs_work/report.json" > /dev/null \
+    || { rm -rf "$obs_work"; echo "observability run failed" >&2; exit 1; }
+  python3 scripts/validate_trace.py "$obs_work/trace.json" \
+    --require-categories imm,sampler,select,mpsim,flow \
+    --require-counters mem.tracker_live_bytes,mem.tracker_peak_bytes,mem.rss_bytes \
+    --check-flows \
+    || { rm -rf "$obs_work"; echo "observability: trace validation failed" >&2; exit 1; }
+  python3 scripts/analyze_trace.py "$obs_work/trace.json" \
+    || { rm -rf "$obs_work"; echo "observability: trace analysis failed" >&2; exit 1; }
+  # The report must carry the v5 observability payload: a rounds ledger row
+  # set covering all 4 ranks and a non-empty memory timeline.
+  python3 - "$obs_work/report.json" <<'EOF' \
+    || { rm -rf "$obs_work"; echo "observability: report payload check failed" >&2; exit 1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+report = doc["reports"][0]
+rounds = report["rounds"]
+assert rounds, "empty rounds ledger"
+ranks = {entry["rank"] for r in rounds for entry in r["per_rank"]}
+assert ranks == set(range(4)), f"rounds cover ranks {sorted(ranks)}, expected 0..3"
+assert all("imbalance_factor" in r for r in rounds)
+assert report["memory_timeline"], "empty memory timeline"
+assert report["storage"]["tracker_peak_bytes"] >= 0
+assert report["storage"]["peak_rss_bytes"] > 0
+print(f"  report: {len(rounds)} rounds, {len(report['memory_timeline'])} memory samples")
+EOF
+  rm -rf "$obs_work"
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test + trace_test + metrics_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan --target \
     mpsim_test fault_test select_test selection_exchange_test sampler_test \
+    trace_test metrics_test \
     -j "$jobs"
 
   echo "== tsan: run =="
@@ -162,6 +211,11 @@ if [[ "$run_tsan" == 1 ]]; then
   ./build-tsan/tests/fault_test
   ./build-tsan/tests/select_test
   ./build-tsan/tests/selection_exchange_test
+  # The observatory's concurrency surface: flow-id allocation and ring
+  # publication from rank threads, the completer's id-block handoff, the
+  # background resource sampler against tracker updates and ledger appends.
+  ./build-tsan/tests/trace_test
+  ./build-tsan/tests/metrics_test
   # The fused engine shares only pre-grown collection slots between worker
   # threads; run the sampler suite in both engines to race-check that claim.
   ./build-tsan/tests/sampler_test

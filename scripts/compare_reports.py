@@ -22,6 +22,14 @@ Four families of checks, each with its own threshold:
   * registry counters (report-log `registry.counters`, when both files are
     report logs): values may grow by --counter-tolerance (relative, default
     0.25 — timing counters like graph.*.micros are noisy).
+  * memory (`storage.{rrr_peak_bytes,tracker_peak_bytes,peak_rss_bytes}`):
+    candidate may exceed baseline by --memory-tolerance (relative, default
+    0.25 — RSS is allocator- and kernel-dependent).
+  * per-round imbalance (`rounds[].imbalance_factor`, schema v5): rounds are
+    matched by round number; candidate imbalance may exceed baseline by
+    --imbalance-tolerance (relative, default 0.5 — timing-derived and
+    noisy).  Per-rank `rrr_sets` counts are deterministic and compared
+    exactly.
   * result identity (--check-seeds): the seeds array, theta value, sample
     count, and selection coverage must match EXACTLY.  This is the
     kill/resume equivalence check — a checkpoint-resumed run is only correct
@@ -33,6 +41,11 @@ diff, never a silent pass: a collective or registry counter appearing means
 new communication/instrumentation, one disappearing means a regression run
 would be comparing nothing (--allow-missing downgrades these to notes).
 
+Schema versions: the two files must declare the SAME schema_version (taken
+from the report-log envelope, falling back to the first report's field).
+Comparing across schema revisions silently skips whatever fields one side
+lacks, so a mismatch is a hard error, not a note.
+
 Exit status: 0 when no check fails, 1 on any regression or match failure.
 """
 
@@ -42,14 +55,19 @@ import sys
 
 
 def load_reports(path):
-    """Returns (reports, registry); registry is None for standalone docs."""
+    """Returns (reports, registry, schema_version); registry is None for
+    standalone docs."""
     with open(path, encoding="utf-8") as handle:
         doc = json.load(handle)
     if isinstance(doc, dict) and isinstance(doc.get("reports"), list):
         registry = doc.get("registry")
-        return doc["reports"], registry if isinstance(registry, dict) else None
+        version = doc.get("schema_version")
+        if version is None and doc["reports"]:
+            version = doc["reports"][0].get("schema_version")
+        return (doc["reports"],
+                registry if isinstance(registry, dict) else None, version)
     if isinstance(doc, dict) and "driver" in doc:
-        return [doc], None
+        return [doc], None, doc.get("schema_version")
     raise ValueError(f"{path}: neither a report log nor a single run report")
 
 
@@ -174,6 +192,45 @@ class Comparison:
                 dig(cand, "samples", "size_histogram", field),
                 self.args.histogram_tolerance)
 
+        for field in ("rrr_peak_bytes", "tracker_peak_bytes",
+                      "peak_rss_bytes"):
+            base_value = dig(base, "storage", field)
+            cand_value = dig(cand, "storage", field)
+            if base_value is None and cand_value is None:
+                continue  # pre-v5 reports lack the tracker/RSS fields
+            if base_value is None or cand_value is None:
+                self.presence_diff(f"{label}.storage.{field}",
+                                   base_value is not None)
+                continue
+            self.check_relative(f"{label}.storage.{field}", base_value,
+                                cand_value, self.args.memory_tolerance)
+
+        self.compare_rounds(label, base, cand)
+
+    def compare_rounds(self, label, base, cand):
+        """Per-round ledger (schema v5): imbalance within tolerance, RRR set
+        counts exact (sampling is deterministic for a fixed config)."""
+        base_rounds = {r.get("round"): r for r in dig(base, "rounds") or []}
+        cand_rounds = {r.get("round"): r for r in dig(cand, "rounds") or []}
+        if not base_rounds and not cand_rounds:
+            return
+        for number in sorted(set(base_rounds) | set(cand_rounds)):
+            if number not in base_rounds or number not in cand_rounds:
+                self.presence_diff(f"{label}.rounds[{number}]",
+                                   number in base_rounds)
+                continue
+            self.check_relative(
+                f"{label}.rounds[{number}].imbalance_factor",
+                dig(base_rounds[number], "imbalance_factor"),
+                dig(cand_rounds[number], "imbalance_factor"),
+                self.args.imbalance_tolerance)
+            base_sets = sorted((e.get("rank"), e.get("rrr_sets"))
+                               for e in base_rounds[number].get("per_rank", []))
+            cand_sets = sorted((e.get("rank"), e.get("rrr_sets"))
+                               for e in cand_rounds[number].get("per_rank", []))
+            self.check_exact(f"{label}.rounds[{number}].per_rank.rrr_sets",
+                             base_sets, cand_sets)
+
     def compare_registries(self, base_registry, cand_registry):
         """Registry counters: presence mismatches are diffs, values may grow
         by --counter-tolerance."""
@@ -208,6 +265,12 @@ def main():
     parser.add_argument("--counter-tolerance", type=float, default=0.25,
                         help="relative growth allowed per registry counter "
                              "(default 0.25; timing counters are noisy)")
+    parser.add_argument("--memory-tolerance", type=float, default=0.25,
+                        help="relative growth allowed for storage peaks "
+                             "(default 0.25; RSS is allocator-dependent)")
+    parser.add_argument("--imbalance-tolerance", type=float, default=0.5,
+                        help="relative growth allowed per round imbalance "
+                             "factor (default 0.5; timing-derived)")
     parser.add_argument("--check-seeds", action="store_true",
                         help="require EXACT equality of seeds, theta, sample "
                              "count, and coverage (kill/resume equivalence)")
@@ -217,10 +280,18 @@ def main():
     args = parser.parse_args()
 
     try:
-        baseline, base_registry = load_reports(args.baseline)
-        candidate, cand_registry = load_reports(args.candidate)
+        baseline, base_registry, base_version = load_reports(args.baseline)
+        candidate, cand_registry, cand_version = load_reports(args.candidate)
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if base_version != cand_version:
+        print(f"error: schema_version mismatch: baseline declares "
+              f"{base_version!r}, candidate declares {cand_version!r} — "
+              "comparing across schema revisions would silently skip fields; "
+              "regenerate the baseline with the current binary",
+              file=sys.stderr)
         return 1
 
     pairs, missing, extra = pair_reports(baseline, candidate)

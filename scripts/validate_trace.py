@@ -3,14 +3,18 @@
 
 Checks the structural schema that Perfetto / chrome://tracing require (the
 JSON Object Format: a top-level object with a `traceEvents` array of events
-carrying name/ph/ts/pid/tid, durations on complete events) plus the
-ripples-specific envelope (`otherData` with a drop count).  Optionally
-enforces that specific categories were traced, which is how the test suite
-pins the "spans from >= 4 subsystems" acceptance bar.
+carrying name/ph/ts/pid/tid, durations on complete events, nonzero binding
+ids on flow events) plus the ripples-specific envelope (`otherData` with a
+drop count).  Optionally enforces that specific categories were traced,
+which is how the test suite pins the "spans from >= 4 subsystems"
+acceptance bar; that flow events pair up (--check-flows); and that named
+counter tracks are present (--require-counters).
 
 Usage:
   validate_trace.py trace.json [--require-categories imm,sampler,select,mpsim]
                                [--min-events N]
+                               [--check-flows]
+                               [--require-counters mem.rss_bytes,...]
 
 Exit status: 0 when valid, 1 on any violation (each is printed).
 """
@@ -19,10 +23,12 @@ import argparse
 import json
 import sys
 
-VALID_PHASES = {"X", "i", "C", "M"}
+VALID_PHASES = {"X", "i", "C", "M", "s", "t", "f"}
+FLOW_PHASES = {"s", "t", "f"}
 
 
-def validate(doc, require_categories, min_events):
+def validate(doc, require_categories, min_events, check_flows,
+             require_counters):
     errors = []
 
     def check(condition, message):
@@ -41,7 +47,11 @@ def validate(doc, require_categories, min_events):
 
     categories = set()
     pids = set()
+    counters = set()
     data_events = 0
+    flow_starts = {}   # id -> [ts, ...]
+    flow_steps = {}
+    flow_ends = {}
     for index, event in enumerate(events):
         where = f"traceEvents[{index}]"
         if not check(isinstance(event, dict), f"{where}: not an object"):
@@ -70,6 +80,20 @@ def validate(doc, require_categories, min_events):
         if phase == "i":
             check(event.get("s") in ("t", "p", "g"),
                   f"{where}: instant needs scope s")
+        if phase == "C":
+            counters.add(event.get("name"))
+        if phase in FLOW_PHASES:
+            flow_id = event.get("id")
+            if not check(isinstance(flow_id, int) and flow_id != 0,
+                         f"{where}: flow event needs a nonzero id, "
+                         f"got {flow_id!r}"):
+                continue
+            if phase == "f":
+                check(event.get("bp") == "e",
+                      f"{where}: flow end needs bp=e (enclosing-slice "
+                      "binding)")
+            bucket = {"s": flow_starts, "t": flow_steps, "f": flow_ends}[phase]
+            bucket.setdefault(flow_id, []).append(ts)
 
     check(data_events >= min_events,
           f"expected >= {min_events} data events, found {data_events}")
@@ -77,11 +101,47 @@ def validate(doc, require_categories, min_events):
         check(category in categories,
               f"required category {category!r} absent "
               f"(traced: {sorted(c for c in categories if c)})")
+    for counter in require_counters:
+        check(counter in counters,
+              f"required counter track {counter!r} absent "
+              f"(traced: {sorted(c for c in counters if c)})")
+
+    if check_flows:
+        dropped = (other or {}).get("dropped_events", 0)
+        check(dropped == 0,
+              f"flow pairing unreliable: {dropped} events were dropped by "
+              "the ring buffer (raise trace::set_buffer_capacity)")
+        # Every binding id must carry exactly one start and exactly one end
+        # (Perfetto draws the arrow from s to f; a dangling or duplicated
+        # side renders wrong or not at all), every step/end must have its
+        # start, and time must not run backwards along the flow.
+        for flow_id, starts in sorted(flow_starts.items()):
+            check(len(starts) == 1,
+                  f"flow id {flow_id}: {len(starts)} start events "
+                  "(expected exactly 1)")
+            ends = flow_ends.get(flow_id, [])
+            check(len(ends) == 1,
+                  f"flow id {flow_id}: {len(ends)} end events "
+                  "(expected exactly 1)")
+            if len(starts) == 1 and len(ends) == 1:
+                check(ends[0] >= starts[0],
+                      f"flow id {flow_id}: end ts {ends[0]} precedes "
+                      f"start ts {starts[0]}")
+            for step_ts in flow_steps.get(flow_id, []):
+                check(step_ts >= starts[0],
+                      f"flow id {flow_id}: step ts {step_ts} precedes "
+                      f"start ts {starts[0]}")
+        for flow_id in sorted(set(flow_steps) - set(flow_starts)):
+            check(False, f"flow id {flow_id}: step without a start")
+        for flow_id in sorted(set(flow_ends) - set(flow_starts)):
+            check(False, f"flow id {flow_id}: end without a start")
 
     summary = {
         "events": data_events,
         "categories": sorted(c for c in categories if c),
         "pids": sorted(pids),
+        "flows": len(flow_starts),
+        "counters": sorted(c for c in counters if c),
         "dropped": (other or {}).get("dropped_events"),
     }
     return errors, summary
@@ -94,6 +154,12 @@ def main():
                         help="comma-separated categories that must appear")
     parser.add_argument("--min-events", type=int, default=1,
                         help="minimum number of data events (default 1)")
+    parser.add_argument("--check-flows", action="store_true",
+                        help="require every flow start to pair with exactly "
+                             "one end (clean-run invariant)")
+    parser.add_argument("--require-counters", default="",
+                        help="comma-separated counter-track names that must "
+                             "appear")
     args = parser.parse_args()
 
     try:
@@ -104,7 +170,9 @@ def main():
         return 1
 
     required = [c for c in args.require_categories.split(",") if c]
-    errors, summary = validate(doc, required, args.min_events)
+    required_counters = [c for c in args.require_counters.split(",") if c]
+    errors, summary = validate(doc, required, args.min_events,
+                               args.check_flows, required_counters)
     if errors:
         for message in errors:
             print(f"error: {message}", file=sys.stderr)
@@ -113,7 +181,7 @@ def main():
         return 1
     print(f"{args.trace}: valid trace with {summary['events']} events, "
           f"categories={summary['categories']}, pids={summary['pids']}, "
-          f"dropped={summary['dropped']}")
+          f"flows={summary['flows']}, dropped={summary['dropped']}")
     return 0
 
 

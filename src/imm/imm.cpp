@@ -7,6 +7,7 @@
 #include "imm/sampler.hpp"
 #include "imm/sampler_fused.hpp"
 #include "support/assert.hpp"
+#include "support/memory.hpp"
 #include "support/trace.hpp"
 
 namespace ripples {
@@ -56,6 +57,21 @@ void finalize_run_report(ImmResult &result, const char *driver,
   report.coverage_fraction = result.coverage_fraction;
   report.seeds.assign(result.seeds.begin(), result.seeds.end());
   report.resumed_from = result.resumed_from;
+  // Process-wide memory view (v5): the logical tracker peak and the kernel
+  // high-water mark at report time, for every driver — the Table 2 harness
+  // no longer reads 0 outside imm_partitioned.
+  report.tracker_peak_bytes = MemoryTracker::instance().peak_bytes();
+  report.peak_rss_bytes = ripples::peak_rss_bytes();
+  // Background profiler series, when --profile-mem armed it.  Snapshot at
+  // finalize: each report carries the timeline up to its own completion.
+  for (const ResourceSample &sample : ResourceSampler::instance().samples()) {
+    metrics::MemorySample out;
+    out.t_seconds = sample.t_seconds;
+    out.tracker_live_bytes = sample.tracker_live_bytes;
+    out.tracker_peak_bytes = sample.tracker_peak_bytes;
+    out.rss_bytes = sample.rss_bytes;
+    report.memory_timeline.push_back(out);
+  }
   if (metrics::enabled()) metrics::report_log().add(report);
 }
 
@@ -103,10 +119,16 @@ ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
     return select_seeds(graph.num_vertices(), options.k, collection.sets());
   };
 
-  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
-                                            options.epsilon, options.l,
-                                            extend_to, select, result.timers);
+  detail::RoundLedger ledger;
+  detail::RoundAccounting acct{&ledger, 0, [&] {
+    return std::pair<std::uint64_t, std::uint64_t>(collection.sets().size(),
+                                                   collection.footprint_bytes());
+  }};
+  auto outcome = detail::run_imm_martingale(
+      graph.num_vertices(), options.k, options.epsilon, options.l, extend_to,
+      select, result.timers, acct);
   finalize_result(result, outcome);
+  result.report.rounds = ledger.entries();
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
   record_sample_sizes(result.report, collection.sets());
@@ -135,10 +157,16 @@ ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
     return select_seeds_hypergraph(graph.num_vertices(), options.k, collection);
   };
 
-  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
-                                            options.epsilon, options.l,
-                                            extend_to, select, result.timers);
+  detail::RoundLedger ledger;
+  detail::RoundAccounting acct{&ledger, 0, [&] {
+    return std::pair<std::uint64_t, std::uint64_t>(collection.sets().size(),
+                                                   collection.footprint_bytes());
+  }};
+  auto outcome = detail::run_imm_martingale(
+      graph.num_vertices(), options.k, options.epsilon, options.l, extend_to,
+      select, result.timers, acct);
   finalize_result(result, outcome);
+  result.report.rounds = ledger.entries();
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
   record_sample_sizes(result.report, collection.sets());
@@ -172,10 +200,16 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
                                       collection.sets(), options.num_threads);
   };
 
-  auto outcome = detail::run_imm_martingale(graph.num_vertices(), options.k,
-                                            options.epsilon, options.l,
-                                            extend_to, select, result.timers);
+  detail::RoundLedger ledger;
+  detail::RoundAccounting acct{&ledger, 0, [&] {
+    return std::pair<std::uint64_t, std::uint64_t>(collection.sets().size(),
+                                                   collection.footprint_bytes());
+  }};
+  auto outcome = detail::run_imm_martingale(
+      graph.num_vertices(), options.k, options.epsilon, options.l, extend_to,
+      select, result.timers, acct);
   finalize_result(result, outcome);
+  result.report.rounds = ledger.entries();
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
   record_sample_sizes(result.report, collection.sets());

@@ -19,14 +19,58 @@
 #define RIPPLES_IMM_IMM_CORE_HPP
 
 #include <algorithm>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "imm/select.hpp"
 #include "imm/theta.hpp"
 #include "support/log.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
 namespace ripples::detail {
+
+/// Thread-safe collector for per-round, per-rank phase accounting
+/// (DESIGN.md §11).  Every rank thread records its own RoundEntry at each
+/// round boundary; because mpsim ranks share one address space, the
+/// "reduction over ranks" is a mutex append (the same pattern as the
+/// drivers' histogram merge) rather than a collective — which keeps the
+/// fault-injection site numbering and comm stats byte-identical to an
+/// unledgered run.  RunReport groups the entries by round at serialization.
+class RoundLedger {
+public:
+  void record(const metrics::RoundEntry &entry) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(entry);
+  }
+
+  [[nodiscard]] std::vector<metrics::RoundEntry> entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::vector<metrics::RoundEntry> entries_;
+};
+
+/// Hooks one rank's pass through the martingale skeleton up to a ledger.
+/// `storage` reports the rank-local {RRR sets, footprint bytes} after each
+/// round.  With a null ledger (or metrics disabled) the skeleton records
+/// nothing — the zero-events-when-disabled contract.
+struct RoundAccounting {
+  RoundLedger *ledger = nullptr;
+  std::int32_t rank = 0;
+  std::function<std::pair<std::uint64_t, std::uint64_t>()> storage;
+};
 
 struct MartingaleOutcome {
   SelectionResult selection;
@@ -72,12 +116,14 @@ struct MartingaleProgress {
 /// \param round_hook  void(const MartingaleProgress &): called at every
 ///                    round boundary (and after the final theta extend) with
 ///                    the state a resume would need; drivers snapshot here.
+/// \param acct        optional per-rank round accounting (ledger + storage
+///                    probe); default-constructed means none.
 template <typename ExtendFn, typename SelectFn, typename RoundHook>
 MartingaleOutcome
 run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
                    double l, ExtendFn &&extend_to, SelectFn &&select,
                    PhaseTimers &timers, const MartingaleProgress *resume,
-                   RoundHook &&round_hook) {
+                   RoundHook &&round_hook, const RoundAccounting &acct = {}) {
   ThetaSchedule schedule(num_vertices, k, epsilon, l);
 
   MartingaleProgress progress;
@@ -92,6 +138,35 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
   bool accepted = progress.accepted;
   double last_coverage = progress.last_coverage;
 
+  const bool ledgered = acct.ledger != nullptr && metrics::enabled();
+  // Sampler→selection flows: each extend batch starts one flow ("s" when
+  // the batch is complete), steps through every estimation selection that
+  // consumes it ("t"), and terminates at the final selection ("f") — so the
+  // timeline shows exactly which selection rounds read which batches.
+  std::vector<std::uint64_t> batch_flows;
+  auto batch_ready = [&] {
+    if (!trace::enabled()) return;
+    std::uint64_t id = trace::new_flow_id();
+    trace::flow_begin("flow", "flow.rrr_batch", id);
+    batch_flows.push_back(id);
+  };
+  auto record_round = [&](std::uint32_t round, double sample_seconds,
+                          double select_seconds, double wait_seconds) {
+    if (!ledgered) return;
+    metrics::RoundEntry entry;
+    entry.round = round;
+    entry.rank = acct.rank;
+    entry.sample_seconds = sample_seconds;
+    entry.select_seconds = select_seconds;
+    entry.collective_wait_seconds = wait_seconds;
+    if (acct.storage) {
+      auto [sets, bytes] = acct.storage();
+      entry.rrr_sets = sets;
+      entry.rrr_bytes = bytes;
+    }
+    acct.ledger->record(entry);
+  };
+
   if (resume != nullptr && progress.num_samples > 0) {
     // Deterministic replay: regenerate the checkpointed |R| from RNG
     // coordinates before re-entering the loop.  Attributed to the phase the
@@ -99,7 +174,13 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
     ScopedPhase phase(timers, accepted ? Phase::Sample : Phase::EstimateTheta);
     trace::Span span("imm", "imm.resume_replay", "samples",
                      progress.num_samples, "next_round", progress.next_round);
+    double wait_before = metrics::thread_collective_wait_seconds();
+    StopWatch watch;
     extend_to(progress.num_samples);
+    batch_ready();
+    // Ledgered as round 0: replay work is real but belongs to no round.
+    record_round(0, watch.elapsed_seconds(), 0.0,
+                 metrics::thread_collective_wait_seconds() - wait_before);
   }
 
   if (!accepted) {
@@ -113,8 +194,18 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
       outcome.num_samples = std::max(outcome.num_samples, target);
       outcome.estimation_iterations = x;
       outcome.extend_targets.push_back(target);
+      double wait_before = metrics::thread_collective_wait_seconds();
+      StopWatch round_watch;
       extend_to(target);
+      double sample_seconds = round_watch.elapsed_seconds();
+      batch_ready();
       SelectionResult trial = select();
+      double select_seconds = round_watch.elapsed_seconds() - sample_seconds;
+      if (trace::enabled())
+        for (std::uint64_t id : batch_flows)
+          trace::flow_step("flow", "flow.rrr_batch", id);
+      record_round(x, sample_seconds, select_seconds,
+                   metrics::thread_collective_wait_seconds() - wait_before);
       last_coverage = trial.coverage_fraction();
       if (schedule.accept(x, last_coverage, &outcome.lower_bound)) {
         accepted = true;
@@ -147,11 +238,16 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
   }
 
   outcome.theta = schedule.final_theta(outcome.lower_bound);
+  double final_wait_before = metrics::thread_collective_wait_seconds();
+  double final_sample_seconds = 0.0;
   if (outcome.theta > outcome.num_samples) {
     ScopedPhase phase(timers, Phase::Sample);
     trace::Span span("imm", "imm.sample", "theta", outcome.theta);
     outcome.extend_targets.push_back(outcome.theta);
+    StopWatch watch;
     extend_to(outcome.theta);
+    final_sample_seconds = watch.elapsed_seconds();
+    batch_ready();
     outcome.num_samples = outcome.theta;
     progress.accepted = accepted;
     progress.lower_bound = outcome.lower_bound;
@@ -167,7 +263,19 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
     ScopedPhase phase(timers, Phase::SelectSeeds);
     trace::Span span("imm", "imm.select_seeds", "k", k, "samples",
                      outcome.num_samples);
+    StopWatch select_watch;
     outcome.selection = select();
+    double final_select_seconds = select_watch.elapsed_seconds();
+    // The final selection consumes every outstanding batch: terminate the
+    // flows while the select span is still open so the arrows land on it.
+    if (trace::enabled()) {
+      for (std::uint64_t id : batch_flows)
+        trace::flow_end("flow", "flow.rrr_batch", id);
+      batch_flows.clear();
+    }
+    record_round(outcome.estimation_iterations + 1, final_sample_seconds,
+                 final_select_seconds,
+                 metrics::thread_collective_wait_seconds() - final_wait_before);
   }
   return outcome;
 }
@@ -177,11 +285,12 @@ template <typename ExtendFn, typename SelectFn>
 MartingaleOutcome run_imm_martingale(std::uint64_t num_vertices,
                                      std::uint32_t k, double epsilon, double l,
                                      ExtendFn &&extend_to, SelectFn &&select,
-                                     PhaseTimers &timers) {
+                                     PhaseTimers &timers,
+                                     const RoundAccounting &acct = {}) {
   return run_imm_martingale(num_vertices, k, epsilon, l,
                             std::forward<ExtendFn>(extend_to),
                             std::forward<SelectFn>(select), timers, nullptr,
-                            [](const MartingaleProgress &) {});
+                            [](const MartingaleProgress &) {}, acct);
 }
 
 } // namespace ripples::detail

@@ -97,6 +97,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
   detail::MartingaleOutcome report_outcome;
   std::mutex report_mutex; // guards the cross-rank histogram merge
+  detail::RoundLedger ledger; // per-rank, per-round phase accounting (v5)
 
   mpsim::RunOptions run_options;
   run_options.num_ranks = options.num_ranks;
@@ -391,12 +392,19 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
 
     PhaseTimers timers;
     detail::MartingaleOutcome outcome;
+    // A healing restart replays the loop, so a rank that survives a failure
+    // contributes one ledger row per round per attempt — truthful accounting
+    // of the work actually done, not of the logical round structure.
+    detail::RoundAccounting acct{&ledger, comm.world_rank(), [&] {
+      return std::pair<std::uint64_t, std::uint64_t>(local.size(),
+                                                     local.footprint_bytes());
+    }};
     for (;;) {
       try {
         outcome = detail::run_imm_martingale(n, options.k, options.epsilon,
                                              options.l, extend_to, select,
                                              timers, ckpt.resume_progress(),
-                                             round_hook);
+                                             round_hook, acct);
         break;
       } catch (const mpsim::RankFailed &failed) {
         // Survivable failure: agree on the dead set, adopt their streams,
@@ -434,6 +442,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
   result.report.collectives = mpsim::comm_stats().since(comm_before).nonzero();
+  result.report.rounds = ledger.entries();
   detail::finalize_run_report(result, "imm_distributed", graph, options,
                               report_outcome);
   return result;

@@ -80,6 +80,7 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
   const mpsim::CommStatsSnapshot comm_before = mpsim::comm_stats();
   detail::MartingaleOutcome report_outcome;
   std::mutex report_mutex; // guards the cross-rank histogram merge
+  detail::RoundLedger ledger; // per-rank, per-round phase accounting (v5)
 
   // The partitioned driver takes the watchdog and fault plan but not
   // recovery: graph slices are not recomputable from RNG coordinates the
@@ -301,9 +302,16 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
     };
 
     PhaseTimers timers;
+    detail::RoundAccounting acct{&ledger, comm.world_rank(), [&] {
+      std::uint64_t bytes = 0;
+      for (const auto &slice : slices)
+        bytes += slice.capacity() * sizeof(vertex_t) +
+                 sizeof(std::vector<vertex_t>);
+      return std::pair<std::uint64_t, std::uint64_t>(slices.size(), bytes);
+    }};
     auto outcome = detail::run_imm_martingale(
         n, options.k, options.epsilon, options.l, extend_to, select, timers,
-        ckpt.resume_progress(), round_hook);
+        ckpt.resume_progress(), round_hook, acct);
     if (comm.rank() == 0) {
       result.seeds = outcome.selection.seeds;
       result.theta = outcome.theta;
@@ -328,6 +336,7 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
   result.report.collectives = mpsim::comm_stats().since(comm_before).nonzero();
+  result.report.rounds = ledger.entries();
   detail::finalize_run_report(result, "imm_distributed_partitioned", graph,
                               options, report_outcome);
   return result;

@@ -9,6 +9,8 @@
 #include <mutex>
 #include <thread>
 
+#include "support/timer.hpp"
+
 namespace ripples::mpsim {
 
 // --- communication metrics --------------------------------------------------
@@ -351,6 +353,15 @@ struct SharedState {
   std::uint64_t generation = 0;
   std::vector<char> in_barrier;
 
+  // Collective flow arrows (trace only): the completing rank of a flow-
+  // flagged generation allocates world_size consecutive flow ids and stamps
+  // them here; each released waiter reads `flow_base + world_rank` under
+  // the lock to terminate its arrow on its own row.  Stable until every
+  // waiter has read it — the next generation cannot complete before all of
+  // them re-arrive.
+  std::uint64_t flow_base = 0;
+  std::uint64_t flow_generation = ~std::uint64_t{0};
+
   // Shrink barrier (recovery agreement), same structure.  shrink_epoch is
   // the death-ledger length acknowledged by the last completed shrink —
   // every participant adopts exactly this prefix, which is what makes the
@@ -417,7 +428,19 @@ std::uint64_t Communicator::begin_collective(Collective collective) {
   return site;
 }
 
-void Communicator::sync(Collective collective, std::uint64_t site) {
+void Communicator::sync(Collective collective, std::uint64_t site, bool flow) {
+  // Declared before the lock so the destructor accounts after release: all
+  // time inside sync() — including lock acquisition and the straggler wait
+  // — is collective-wait from the round ledger's point of view.  Accounts
+  // on the throwing exits too.
+  struct WaitAccount {
+    bool armed;
+    StopWatch watch;
+    ~WaitAccount() {
+      if (armed) metrics::add_thread_collective_wait(watch.elapsed_seconds());
+    }
+  } wait_account{metrics::enabled(), {}};
+
   std::unique_lock<std::mutex> lock(shared_.mutex);
   if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
   if (shared_.dead_order.size() > acked_deaths_)
@@ -426,8 +449,34 @@ void Communicator::sync(Collective collective, std::uint64_t site) {
   const std::uint64_t my_generation = shared_.generation;
   shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 1;
   if (++shared_.arrived == shared_.live) {
+    // Completer: last to arrive, so every other in_barrier rank is a waiter
+    // this completion releases.  Publish a block of flow ids for them and
+    // start the arrows on this row, stamped at the completion instant.
+    std::uint64_t flow_base = 0;
+    std::uint64_t flow_ts = 0;
+    std::vector<int> released;
+    if (flow && trace::enabled()) {
+      for (int r = 0; r < shared_.world_size; ++r)
+        if (r != world_rank_ && shared_.in_barrier[static_cast<std::size_t>(r)])
+          released.push_back(r);
+      if (!released.empty()) {
+        flow_base =
+            trace::new_flow_ids(static_cast<std::uint64_t>(shared_.world_size));
+        shared_.flow_base = flow_base;
+        shared_.flow_generation = my_generation;
+        // Stamp before the release below: a woken waiter can emit its "f"
+        // before this thread runs again, and a flow must not end before it
+        // starts.
+        flow_ts = trace::timestamp_us();
+      }
+    }
     shared_.complete_generation_locked();
     shared_.cv.notify_all();
+    lock.unlock();
+    if (flow_base != 0)
+      for (int r : released)
+        trace::flow_begin("flow", "flow.collective",
+                          flow_base + static_cast<std::uint64_t>(r), flow_ts);
     return;
   }
 
@@ -485,13 +534,23 @@ void Communicator::sync(Collective collective, std::uint64_t site) {
       throw shared_.rank_failed_since_locked(acked_deaths_);
     }
   }
+
+  // Released by a completed generation: terminate this rank's arrow.  The
+  // id is only valid if the completer published for *our* generation (it
+  // skips publication when tracing was off at completion time).
+  std::uint64_t flow_id = 0;
+  if (flow && trace::enabled() && shared_.flow_generation == my_generation)
+    flow_id = shared_.flow_base + static_cast<std::uint64_t>(world_rank_);
+  lock.unlock();
+  if (flow_id != 0)
+    trace::flow_end("flow", "flow.collective", flow_id);
 }
 
 void Communicator::barrier() {
   const std::uint64_t site = begin_collective(Collective::Barrier);
   record(Collective::Barrier, 0);
   trace::Span span("mpsim", "mpsim.barrier");
-  sync(Collective::Barrier, site);
+  sync(Collective::Barrier, site, /*flow=*/true);
 }
 
 ShrinkResult Communicator::shrink() {

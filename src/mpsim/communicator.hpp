@@ -267,7 +267,7 @@ public:
     trace::Span span("mpsim", "mpsim.allreduce", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Allreduce, site);
+    sync(Collective::Allreduce, site, /*flow=*/true);
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
     sync(Collective::Allreduce, site);
   }
@@ -282,7 +282,7 @@ public:
     trace::Span span("mpsim", "mpsim.reduce", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Reduce, site);
+    sync(Collective::Reduce, site, /*flow=*/true);
     combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
     sync(Collective::Reduce, site);
   }
@@ -296,7 +296,7 @@ public:
     trace::Span span("mpsim", "mpsim.broadcast", "bytes",
                      buffer.size() * sizeof(T));
     post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Broadcast, site);
+    sync(Collective::Broadcast, site, /*flow=*/true);
     if (my_index_ != root) {
       const void *src = peer_pointer(members_[static_cast<std::size_t>(root)]);
       std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
@@ -312,7 +312,7 @@ public:
     record(Collective::Allgather, sizeof(T));
     trace::Span span("mpsim", "mpsim.allgather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
-    sync(Collective::Allgather, site);
+    sync(Collective::Allgather, site, /*flow=*/true);
     std::vector<T> gathered(members_.size());
     for (std::size_t i = 0; i < members_.size(); ++i)
       std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
@@ -329,7 +329,7 @@ public:
     record(Collective::Gather, sizeof(T));
     trace::Span span("mpsim", "mpsim.gather", "bytes", sizeof(T));
     post_pointer(&value, sizeof(T));
-    sync(Collective::Gather, site);
+    sync(Collective::Gather, site, /*flow=*/true);
     std::vector<T> gathered;
     if (my_index_ == root) {
       gathered.resize(members_.size());
@@ -352,7 +352,7 @@ public:
     record(Collective::Scatter, sizeof(T));
     trace::Span span("mpsim", "mpsim.scatter", "bytes", sizeof(T));
     post_pointer(values.data(), values.size() * sizeof(T));
-    sync(Collective::Scatter, site);
+    sync(Collective::Scatter, site, /*flow=*/true);
     T mine;
     std::memcpy(
         &mine,
@@ -390,7 +390,7 @@ public:
     trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
                      local.size() * sizeof(T));
     post_pointer(local.data(), local.size() * sizeof(T));
-    sync(Collective::Allgatherv, site);
+    sync(Collective::Allgatherv, site, /*flow=*/true);
     std::vector<T> gathered;
     for (int member : members_) {
       std::size_t bytes = peer_size(member);
@@ -416,7 +416,7 @@ public:
     trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
                      local.size() * sizeof(T));
     post_pointer(local.data(), local.size() * sizeof(T));
-    sync(Collective::Allgatherv, site);
+    sync(Collective::Allgatherv, site, /*flow=*/true);
     std::vector<std::vector<T>> sections(members_.size());
     for (std::size_t i = 0; i < members_.size(); ++i) {
       const std::size_t bytes = peer_size(members_[i]);
@@ -448,7 +448,13 @@ private:
   /// barrier(), it is not counted as a Barrier call.  Throws RankAborted
   /// when a peer rank failed (recovery off), RankFailed when a peer died
   /// (recovery on), or CollectiveTimeout when the watchdog deadline passed.
-  void sync(Collective collective, std::uint64_t site);
+  /// Time spent blocked here feeds the per-thread collective-wait
+  /// accounting (metrics::add_thread_collective_wait).  With \p flow set
+  /// (the arrival rendezvous of each collective — the one that absorbs
+  /// straggler imbalance), the completing rank starts one trace flow per
+  /// released waiter and each waiter terminates its own, drawing
+  /// completer→waiter arrows across rank rows in Perfetto.
+  void sync(Collective collective, std::uint64_t site, bool flow = false);
 
   void post_pointer(const void *data, std::size_t bytes);
   [[nodiscard]] const void *peer_pointer(int world_peer) const;

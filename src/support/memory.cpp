@@ -1,7 +1,14 @@
 #include "support/memory.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
+
+#include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace ripples {
 
@@ -52,5 +59,136 @@ std::string format_bytes(std::size_t bytes) {
     std::snprintf(buf, sizeof(buf), "%.2f %s", value, units[unit]);
   return buf;
 }
+
+// --- ResourceSampler --------------------------------------------------------
+
+ResourceSampler &ResourceSampler::instance() {
+  // Intentionally leaked (same atexit ordering constraint as the trace and
+  // metrics state): the atexit stop() must run against a live object, and
+  // process-lifetime state has no destruction order to get wrong.
+  static ResourceSampler *sampler = new ResourceSampler;
+  return *sampler;
+}
+
+void ResourceSampler::start(double hz) {
+  hz = std::clamp(hz, 0.1, 1000.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) return;
+  stop_requested_ = false;
+  period_seconds_ = 1.0 / hz;
+  running_ = true;
+  thread_ = std::thread([this] { run(); });
+  // Joining at exit makes the sampler quiescent before the trace/report
+  // atexit flushes walk their buffers (those hooks were registered earlier;
+  // atexit runs LIFO).
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit([] { instance().stop(); });
+  }
+}
+
+void ResourceSampler::stop() {
+  std::thread worker;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) return;
+    stop_requested_ = true;
+    running_ = false;
+    worker = std::move(thread_);
+    cv_.notify_all();
+  }
+  if (worker.joinable()) worker.join();
+}
+
+bool ResourceSampler::running() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return running_;
+}
+
+std::vector<ResourceSample> ResourceSampler::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void ResourceSampler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_.clear();
+  compactions_ = 0;
+}
+
+void ResourceSampler::set_capacity(std::size_t max_samples) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = std::max<std::size_t>(max_samples, 2);
+}
+
+std::uint64_t ResourceSampler::compactions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return compactions_;
+}
+
+void ResourceSampler::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    record_once();
+    lock.lock();
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(period_seconds_),
+                 [this] { return stop_requested_; });
+  }
+}
+
+void ResourceSampler::record_once() {
+  ResourceSample sample;
+  sample.t_seconds = process_now_seconds();
+  sample.tracker_live_bytes = MemoryTracker::instance().live_bytes();
+  sample.tracker_peak_bytes = MemoryTracker::instance().peak_bytes();
+  sample.rss_bytes = current_rss_bytes();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(sample);
+    if (samples_.size() > capacity_) {
+      // Decimate (keep every other sample) and halve the rate: unlike the
+      // trace ring's recent-window overwrite, the memory series wants the
+      // whole-run shape, so overflow trades resolution, not span.
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < samples_.size(); i += 2)
+        samples_[kept++] = samples_[i];
+      samples_.resize(kept);
+      period_seconds_ *= 2.0;
+      ++compactions_;
+    }
+  }
+  if (trace::enabled()) {
+    trace::counter("mem.tracker_live_bytes", sample.tracker_live_bytes);
+    trace::counter("mem.tracker_peak_bytes", sample.tracker_peak_bytes);
+    trace::counter("mem.rss_bytes", sample.rss_bytes);
+  }
+}
+
+namespace {
+
+/// RIPPLES_PROFILE_MEM mirrors the other env toggles: a truthy value starts
+/// the sampler at the 10 Hz default; a number is taken as the rate in Hz.
+struct ProfileMemEnvInit {
+  ProfileMemEnvInit() {
+    const char *env = std::getenv("RIPPLES_PROFILE_MEM");
+    if (env == nullptr) return;
+    std::string_view v(env);
+    if (v.empty() || v == "0" || v == "false" || v == "off" || v == "no")
+      return;
+    char *end = nullptr;
+    double hz = std::strtod(env, &end);
+    if (end != env && *end == '\0' && hz > 0.0)
+      ResourceSampler::instance().start(hz);
+    else
+      ResourceSampler::instance().start();
+  }
+};
+
+ProfileMemEnvInit profile_mem_env_init; // NOLINT: intentional side effect
+
+} // namespace
 
 } // namespace ripples

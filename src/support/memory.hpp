@@ -12,9 +12,14 @@
 #define RIPPLES_SUPPORT_MEMORY_HPP
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace ripples {
 
@@ -96,6 +101,78 @@ public:
 
 /// Formats a byte count as a human-readable string ("12.3 MB").
 [[nodiscard]] std::string format_bytes(std::size_t bytes);
+
+/// One tick of the ResourceSampler: logical tracker bytes and kernel RSS at
+/// \p t_seconds on the process trace epoch (see process_now_seconds()), so
+/// the series aligns with trace spans and RunReport phase starts.
+struct ResourceSample {
+  double t_seconds = 0.0;
+  std::uint64_t tracker_live_bytes = 0;
+  std::uint64_t tracker_peak_bytes = 0;
+  std::uint64_t rss_bytes = 0;
+};
+
+/// Low-rate background memory profiler (`--profile-mem`, default 10 Hz).
+///
+/// A dedicated thread samples MemoryTracker live/peak and /proc RSS,
+/// appending to a bounded in-memory series and — when tracing is enabled —
+/// emitting `mem.tracker_live_bytes` / `mem.tracker_peak_bytes` /
+/// `mem.rss_bytes` counter tracks, which Perfetto renders as area charts
+/// under rank 0.  When the series hits its capacity it halves itself (keep
+/// every other sample) and doubles the sampling period, so an arbitrarily
+/// long run costs bounded memory at degrading resolution — the same
+/// recent-window-survives spirit as the trace ring, but here the *shape*
+/// of the whole run matters more than the tail, hence decimation over
+/// overwrite.
+///
+/// start()/stop() are idempotent and thread-safe; stop() joins the thread
+/// (also registered atexit, so the sampler is quiescent before the trace
+/// and report atexit flushes run — they were armed earlier, and atexit
+/// runs LIFO).
+class ResourceSampler {
+public:
+  static ResourceSampler &instance();
+
+  /// Starts the sampler thread at \p hz (clamped to [0.1, 1000]); no-op if
+  /// already running.
+  void start(double hz = 10.0);
+
+  /// Stops and joins the sampler thread; no-op if not running.
+  void stop();
+
+  [[nodiscard]] bool running() const;
+
+  /// Snapshot of the collected series (thread-safe).
+  [[nodiscard]] std::vector<ResourceSample> samples() const;
+
+  /// Drops all collected samples (the thread, if running, keeps sampling).
+  void clear();
+
+  /// Caps the series length (>= 2); exceeding it triggers decimation.
+  /// Mainly for tests exercising the overflow policy.
+  void set_capacity(std::size_t max_samples);
+
+  /// How many keep-every-other compactions have happened (tests).
+  [[nodiscard]] std::uint64_t compactions() const;
+
+  ResourceSampler(const ResourceSampler &) = delete;
+  ResourceSampler &operator=(const ResourceSampler &) = delete;
+
+private:
+  ResourceSampler() = default;
+  void run();
+  void record_once();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  double period_seconds_ = 0.1;
+  std::size_t capacity_ = 1 << 16;
+  std::uint64_t compactions_ = 0;
+  std::vector<ResourceSample> samples_;
+};
 
 } // namespace ripples
 

@@ -1,5 +1,6 @@
 #include "support/metrics.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -25,6 +26,37 @@ std::atomic<bool> g_enabled{env_enabled()};
 
 void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// --- collective-wait accounting ---------------------------------------------
+
+namespace {
+thread_local double t_collective_wait_seconds = 0.0;
+} // namespace
+
+double thread_collective_wait_seconds() { return t_collective_wait_seconds; }
+
+void add_thread_collective_wait(double seconds) {
+  t_collective_wait_seconds += seconds;
+}
+
+// --- RoundEntry -------------------------------------------------------------
+
+double round_imbalance_factor(const std::vector<RoundEntry> &ranks) {
+  if (ranks.size() < 2) return 1.0;
+  std::vector<double> compute;
+  compute.reserve(ranks.size());
+  for (const RoundEntry &entry : ranks)
+    compute.push_back(std::max(0.0, entry.sample_seconds +
+                                        entry.select_seconds -
+                                        entry.collective_wait_seconds));
+  std::sort(compute.begin(), compute.end());
+  // Lower median for even counts, so a 2-rank round reads max/min instead
+  // of the degenerate max/max = 1.
+  double median = compute[(compute.size() - 1) / 2];
+  double max = compute.back();
+  if (median <= 0.0) return 1.0;
+  return max / median;
 }
 
 // --- HistogramData ----------------------------------------------------------
@@ -244,6 +276,8 @@ void RunReport::to_json(JsonWriter &w) const {
   w.begin_object();
   w.member("rrr_peak_bytes", rrr_peak_bytes);
   w.member("total_associations", total_associations);
+  w.member("tracker_peak_bytes", tracker_peak_bytes);
+  w.member("peak_rss_bytes", peak_rss_bytes);
   w.end_object();
 
   w.key("selection");
@@ -264,6 +298,53 @@ void RunReport::to_json(JsonWriter &w) const {
     w.end_object();
   }
   w.end_object();
+
+  // Per-round accounting, grouped by round in first-appearance order (the
+  // ledger appends rounds as they complete, so that is chronological); each
+  // group carries its derived imbalance factor.
+  w.key("rounds");
+  w.begin_array();
+  {
+    std::vector<std::uint32_t> order;
+    for (const RoundEntry &entry : rounds)
+      if (std::find(order.begin(), order.end(), entry.round) == order.end())
+        order.push_back(entry.round);
+    for (std::uint32_t round : order) {
+      std::vector<RoundEntry> ranks;
+      for (const RoundEntry &entry : rounds)
+        if (entry.round == round) ranks.push_back(entry);
+      w.begin_object();
+      w.member("round", round);
+      w.member("imbalance_factor", round_imbalance_factor(ranks));
+      w.key("per_rank");
+      w.begin_array();
+      for (const RoundEntry &entry : ranks) {
+        w.begin_object();
+        w.member("rank", static_cast<std::int64_t>(entry.rank));
+        w.member("sample_seconds", entry.sample_seconds);
+        w.member("select_seconds", entry.select_seconds);
+        w.member("collective_wait_seconds", entry.collective_wait_seconds);
+        w.member("rrr_sets", entry.rrr_sets);
+        w.member("rrr_bytes", entry.rrr_bytes);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("memory_timeline");
+  w.begin_array();
+  for (const MemorySample &sample : memory_timeline) {
+    w.begin_object();
+    w.member("t_seconds", sample.t_seconds);
+    w.member("tracker_live_bytes", sample.tracker_live_bytes);
+    w.member("tracker_peak_bytes", sample.tracker_peak_bytes);
+    w.member("rss_bytes", sample.rss_bytes);
+    w.end_object();
+  }
+  w.end_array();
 
   w.key("seeds");
   w.begin_array();

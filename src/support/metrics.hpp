@@ -217,6 +217,42 @@ struct CollectiveStats {
   std::uint64_t bytes = 0;
 };
 
+/// One rank's phase accounting for one martingale round, recorded by the
+/// RoundLedger (imm_core.hpp) and reduced into RunReport.rounds.  The
+/// sample/select times are inclusive wall seconds; collective_wait_seconds
+/// is the portion of both spent blocked in mpsim collectives, so per-rank
+/// compute is (sample + select - collective_wait).
+struct RoundEntry {
+  std::uint32_t round = 0; ///< 1-based; estimation rounds then the final one.
+  std::int32_t rank = 0;
+  double sample_seconds = 0.0;
+  double select_seconds = 0.0;
+  double collective_wait_seconds = 0.0;
+  std::uint64_t rrr_sets = 0;  ///< Rank-local sets held after the round.
+  std::uint64_t rrr_bytes = 0; ///< Rank-local storage footprint bytes.
+};
+
+/// Load-imbalance factor of one round: max over ranks of per-rank compute
+/// (sample + select - collective_wait, clamped at 0) divided by the median.
+/// 1.0 for perfectly balanced or degenerate (<=1 rank, zero median) rounds.
+[[nodiscard]] double round_imbalance_factor(const std::vector<RoundEntry> &ranks);
+
+/// One tick of the background resource sampler (memory.hpp): logical
+/// tracker bytes and kernel RSS on the shared process trace epoch.
+struct MemorySample {
+  double t_seconds = 0.0;
+  std::uint64_t tracker_live_bytes = 0;
+  std::uint64_t tracker_peak_bytes = 0;
+  std::uint64_t rss_bytes = 0;
+};
+
+/// Per-thread collective-wait accounting: mpsim's rendezvous adds the
+/// seconds a rank thread spends blocked in sync() (gated on enabled());
+/// the martingale skeleton reads deltas at round boundaries.  Thread-local,
+/// so concurrent ranks never contend.
+[[nodiscard]] double thread_collective_wait_seconds();
+void add_thread_collective_wait(double seconds);
+
 /// Structured record of one influence-maximization execution — the
 /// machine-readable sibling of the printf summaries.  Drivers always fill
 /// it (the bookkeeping is negligible next to the run itself); only the
@@ -229,7 +265,11 @@ struct RunReport {
   /// still lands in the log (partial, marked) instead of vanishing.
   /// v4: added "resumed_from" — the martingale round a checkpoint-resumed
   /// run re-entered at (null for fresh runs).
-  static constexpr std::uint32_t kSchemaVersion = 4;
+  /// v5: added "rounds" (per-round, per-rank phase accounting with derived
+  /// imbalance factors), "storage.tracker_peak_bytes" /
+  /// "storage.peak_rss_bytes", and the optional "memory_timeline" series
+  /// from the background resource sampler.
+  static constexpr std::uint32_t kSchemaVersion = 5;
 
   std::string driver;
 
@@ -274,9 +314,14 @@ struct RunReport {
   std::uint64_t num_samples = 0;
   HistogramData rrr_sizes;
 
-  // Storage (Table 2's metrics).
+  // Storage (Table 2's metrics).  rrr_peak_bytes is the RRR-collection
+  // footprint the driver itself tracked; tracker_peak_bytes/peak_rss_bytes
+  // are the process-lifetime MemoryTracker peak and /proc VmHWM at report
+  // time, filled for every driver by finalize_run_report.
   std::uint64_t rrr_peak_bytes = 0;
   std::uint64_t total_associations = 0;
+  std::uint64_t tracker_peak_bytes = 0;
+  std::uint64_t peak_rss_bytes = 0;
 
   // Seed selection (Alg. 4).
   std::uint32_t selection_rounds = 0;
@@ -288,6 +333,14 @@ struct RunReport {
   // summed over ranks.  Empty for shared-memory drivers or when metrics
   // were disabled during the run.
   std::vector<CollectiveStats> collectives;
+
+  /// Per-round, per-rank phase accounting (v5).  Entries arrive in ledger
+  /// order; serialization groups them by round and derives the imbalance
+  /// factor.  Empty when metrics were disabled during the run.
+  std::vector<RoundEntry> rounds;
+
+  /// Background resource-sampler series (v5); empty unless --profile-mem.
+  std::vector<MemorySample> memory_timeline;
 
   std::vector<std::uint64_t> seeds;
 

@@ -34,6 +34,7 @@ struct Event {
   const char *name = nullptr;
   std::uint64_t ts_us = 0;
   std::uint64_t dur_us = 0;
+  std::uint64_t id = 0; ///< Flow binding id (flow events only; 0 otherwise).
   const char *arg_keys[kMaxArgs] = {};
   std::uint64_t arg_values[kMaxArgs] = {};
   std::int32_t pid = 0;
@@ -132,9 +133,16 @@ const char *phase_code(EventType type) {
   case EventType::Span: return "X";
   case EventType::Instant: return "i";
   case EventType::Counter: return "C";
+  case EventType::FlowStart: return "s";
+  case EventType::FlowStep: return "t";
+  case EventType::FlowEnd: return "f";
   }
   return "X";
 }
+
+/// Flow binding ids are process-global so arrows can cross rank rows; the
+/// counter starts at 1 because 0 marks "not a flow event".
+std::atomic<std::uint64_t> g_next_flow_id{1};
 
 void flush_at_exit() {
   TraceState &s = state();
@@ -178,7 +186,7 @@ namespace detail {
 void emit(EventType type, const char *category, const char *name,
           std::uint64_t ts_us, std::uint64_t dur_us,
           const char *const *arg_keys, const std::uint64_t *arg_values,
-          unsigned num_args) {
+          unsigned num_args, std::uint64_t id) {
   ThreadBuffer &buffer = thread_buffer();
   Event &slot = buffer.slots[static_cast<std::size_t>(
       buffer.count % buffer.capacity)];
@@ -186,6 +194,7 @@ void emit(EventType type, const char *category, const char *name,
   slot.name = name;
   slot.ts_us = ts_us;
   slot.dur_us = dur_us;
+  slot.id = id;
   slot.pid = t_rank;
   slot.type = type;
   slot.num_args = static_cast<std::uint8_t>(std::min(num_args, kMaxArgs));
@@ -201,6 +210,14 @@ void emit(EventType type, const char *category, const char *name,
 
 void set_enabled(bool on) {
   detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t new_flow_id() {
+  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t new_flow_ids(std::uint64_t count) {
+  return g_next_flow_id.fetch_add(count, std::memory_order_relaxed);
 }
 
 void start(const std::string &path) {
@@ -271,6 +288,10 @@ std::string to_json_string() {
       w.member("ts", event.ts_us);
       if (event.type == EventType::Span) w.member("dur", event.dur_us);
       if (event.type == EventType::Instant) w.member("s", "t");
+      if (event.id != 0) w.member("id", event.id);
+      // Bind the arrow head to the enclosing slice rather than the next
+      // slice to start — the consumer's span IS the landing site.
+      if (event.type == EventType::FlowEnd) w.member("bp", "e");
       w.member("pid", static_cast<std::int64_t>(event.pid));
       w.member("tid", static_cast<std::uint64_t>(buffer->tid));
       if (event.num_args > 0) {

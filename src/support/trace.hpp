@@ -10,7 +10,11 @@
 ///  * `Span`        — RAII scoped duration ("X" complete events), with up to
 ///    two numeric args (bytes, sample counts, round indices);
 ///  * `instant()`   — point-in-time markers ("i" events);
-///  * `counter()`   — counter tracks ("C" events, e.g. |R| over time).
+///  * `counter()`   — counter tracks ("C" events, e.g. |R| over time);
+///  * `flow_begin()`/`flow_step()`/`flow_end()` — causal arrows ("s"/"t"/"f"
+///    events sharing a binding id), which Perfetto renders across rank rows:
+///    sampler batch → the selection round that consumes it, collective
+///    completer → each released waiter.
 ///
 /// Events land in per-thread ring buffers: the owning thread appends with no
 /// locks or atomics on shared state (one relaxed publish store); a full ring
@@ -49,16 +53,24 @@ namespace detail {
 /// RIPPLES_TRACE environment variable (a truthy value or an output path).
 extern std::atomic<bool> g_enabled;
 
-enum class EventType : std::uint8_t { Span, Instant, Counter };
+enum class EventType : std::uint8_t {
+  Span,
+  Instant,
+  Counter,
+  FlowStart,
+  FlowStep,
+  FlowEnd,
+};
 
 inline constexpr unsigned kMaxArgs = 2;
 
 /// Appends one event to the calling thread's ring buffer (creating the
-/// buffer on first use).  Out-of-line so call sites stay small.
+/// buffer on first use).  Out-of-line so call sites stay small.  \p id is
+/// the flow binding id (0 for non-flow events).
 void emit(EventType type, const char *category, const char *name,
           std::uint64_t ts_us, std::uint64_t dur_us,
           const char *const *arg_keys, const std::uint64_t *arg_values,
-          unsigned num_args);
+          unsigned num_args, std::uint64_t id = 0);
 
 } // namespace detail
 
@@ -136,6 +148,54 @@ inline void counter(const char *track, std::uint64_t value) {
     detail::emit(detail::EventType::Counter, "counter", track, timestamp_us(),
                  0, &key, &value, 1);
   }
+}
+
+// --- flow events -------------------------------------------------------------
+//
+// A flow is one causal arrow (or chain): exactly one "s" start, zero or more
+// "t" steps, and one terminating "f" end, all sharing a process-unique
+// binding id and the same category/name.  Perfetto draws the arrow from the
+// enclosing slice of each emission to the next, so flows connect spans
+// across threads and rank rows.  Ids come from new_flow_id(); 0 is never a
+// valid flow id.
+
+/// Allocates one process-unique flow binding id (never 0).
+[[nodiscard]] std::uint64_t new_flow_id();
+
+/// Allocates \p count consecutive flow ids and returns the first — used
+/// when one completer fans out an arrow to every waiter it releases.
+[[nodiscard]] std::uint64_t new_flow_ids(std::uint64_t count);
+
+/// Starts a flow at \p ts_us (pass timestamp_us() for "now").  The explicit
+/// timestamp lets a collective completer stamp arrows at the completion
+/// instant even though the events are emitted just after.
+inline void flow_begin(const char *category, const char *name,
+                       std::uint64_t id, std::uint64_t ts_us) {
+  if (enabled())
+    detail::emit(detail::EventType::FlowStart, category, name, ts_us, 0,
+                 nullptr, nullptr, 0, id);
+}
+
+inline void flow_begin(const char *category, const char *name,
+                       std::uint64_t id) {
+  flow_begin(category, name, id, timestamp_us());
+}
+
+/// Intermediate flow step (optional; chains the arrow through this thread).
+inline void flow_step(const char *category, const char *name,
+                      std::uint64_t id) {
+  if (enabled())
+    detail::emit(detail::EventType::FlowStep, category, name, timestamp_us(),
+                 0, nullptr, nullptr, 0, id);
+}
+
+/// Terminates a flow ("f" with binding point "e": the arrow lands on the
+/// slice enclosing this emission).
+inline void flow_end(const char *category, const char *name,
+                     std::uint64_t id) {
+  if (enabled())
+    detail::emit(detail::EventType::FlowEnd, category, name, timestamp_us(),
+                 0, nullptr, nullptr, 0, id);
 }
 
 /// RAII scoped span: measures construction-to-destruction as one complete

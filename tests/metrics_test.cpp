@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <map>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -284,6 +286,17 @@ void check_report_schema(const JsonValue &report, const char *driver) {
   ASSERT_NE(storage, nullptr);
   EXPECT_GT(storage->find("rrr_peak_bytes")->number, 0.0);
   EXPECT_GT(storage->find("total_associations")->number, 0.0);
+  // v5: process-wide memory view for every driver.
+  ASSERT_NE(storage->find("tracker_peak_bytes"), nullptr);
+  ASSERT_NE(storage->find("peak_rss_bytes"), nullptr);
+  EXPECT_GT(storage->find("peak_rss_bytes")->number, 0.0);
+
+  // v5: the per-round ledger and memory timeline are always present as
+  // arrays (empty when metrics are disabled or no sampler ran).
+  ASSERT_NE(report.find("rounds"), nullptr);
+  ASSERT_TRUE(report.find("rounds")->is_array());
+  ASSERT_NE(report.find("memory_timeline"), nullptr);
+  ASSERT_TRUE(report.find("memory_timeline")->is_array());
 
   const JsonValue *selection = report.find("selection");
   ASSERT_NE(selection, nullptr);
@@ -370,6 +383,154 @@ TEST(RunReport, DisabledMetricsSkipTheReportLog) {
   // The in-result report is still fully populated.
   EXPECT_FALSE(result.report.driver.empty());
   EXPECT_GT(result.report.rrr_sizes.count, 0u);
+}
+
+// --- round ledger (schema v5) -------------------------------------------------
+
+TEST(RoundLedger, ImbalanceFactorIsMaxOverMedianOfCompute) {
+  using metrics::RoundEntry;
+  auto entry = [](double sample, double select, double wait) {
+    RoundEntry e;
+    e.sample_seconds = sample;
+    e.select_seconds = select;
+    e.collective_wait_seconds = wait;
+    return e;
+  };
+  // Degenerate inputs read as balanced.
+  EXPECT_DOUBLE_EQ(metrics::round_imbalance_factor({}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::round_imbalance_factor({entry(1, 1, 0)}), 1.0);
+  // Two ranks: lower median = min, so the factor is max/min, not 1.0.
+  EXPECT_DOUBLE_EQ(
+      metrics::round_imbalance_factor({entry(1, 0, 0), entry(3, 0, 0)}), 3.0);
+  // Compute excludes the time spent waiting in collectives.
+  EXPECT_DOUBLE_EQ(metrics::round_imbalance_factor(
+                       {entry(2, 2, 2), entry(4, 2, 0)}),
+                   3.0);
+  // Perfectly balanced ranks read exactly 1.
+  EXPECT_DOUBLE_EQ(metrics::round_imbalance_factor(
+                       {entry(1, 1, 0), entry(1, 1, 0), entry(1, 1, 0)}),
+                   1.0);
+  // Wait exceeding the recorded phases clamps to zero compute; a zero
+  // median yields the balanced sentinel instead of infinity.
+  EXPECT_DOUBLE_EQ(metrics::round_imbalance_factor(
+                       {entry(0, 0, 5), entry(1, 0, 5)}),
+                   1.0);
+}
+
+TEST(RoundLedger, SerializationGroupsRanksByRoundWithImbalance) {
+  metrics::RunReport report;
+  report.driver = "test";
+  auto entry = [](std::uint32_t round, std::int32_t rank, double sample) {
+    metrics::RoundEntry e;
+    e.round = round;
+    e.rank = rank;
+    e.sample_seconds = sample;
+    e.select_seconds = 0.5;
+    e.collective_wait_seconds = 0.25;
+    e.rrr_sets = 100 + rank;
+    e.rrr_bytes = 1000 + rank;
+    return e;
+  };
+  // Appended in completion order: both ranks' round 1, then round 2.
+  report.rounds = {entry(1, 0, 1.0), entry(1, 1, 3.25), entry(2, 0, 2.0),
+                   entry(2, 1, 2.0)};
+  report.memory_timeline = {{0.5, 111, 222, 333}, {1.0, 444, 555, 666}};
+
+  auto parsed = JsonValue::parse(report.to_json_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("schema_version")->number, 5.0);
+
+  const JsonValue *rounds = parsed->find("rounds");
+  ASSERT_NE(rounds, nullptr);
+  ASSERT_EQ(rounds->array.size(), 2u);
+
+  const JsonValue &first = rounds->array[0];
+  EXPECT_EQ(first.find("round")->number, 1.0);
+  // Rank 0 computes 1.0+0.5-0.25 = 1.25, rank 1 computes 3.25+0.5-0.25 =
+  // 3.5; two ranks -> lower median = 1.25, factor = 2.8.
+  EXPECT_DOUBLE_EQ(first.find("imbalance_factor")->number, 2.8);
+  ASSERT_EQ(first.find("per_rank")->array.size(), 2u);
+  const JsonValue &rank0 = first.find("per_rank")->array[0];
+  EXPECT_EQ(rank0.find("rank")->number, 0.0);
+  EXPECT_EQ(rank0.find("sample_seconds")->number, 1.0);
+  EXPECT_EQ(rank0.find("select_seconds")->number, 0.5);
+  EXPECT_EQ(rank0.find("collective_wait_seconds")->number, 0.25);
+  EXPECT_EQ(rank0.find("rrr_sets")->number, 100.0);
+  EXPECT_EQ(rank0.find("rrr_bytes")->number, 1000.0);
+
+  const JsonValue &second = rounds->array[1];
+  EXPECT_EQ(second.find("round")->number, 2.0);
+  EXPECT_DOUBLE_EQ(second.find("imbalance_factor")->number, 1.0);
+
+  const JsonValue *timeline = parsed->find("memory_timeline");
+  ASSERT_NE(timeline, nullptr);
+  ASSERT_EQ(timeline->array.size(), 2u);
+  EXPECT_EQ(timeline->array[0].find("t_seconds")->number, 0.5);
+  EXPECT_EQ(timeline->array[0].find("tracker_live_bytes")->number, 111.0);
+  EXPECT_EQ(timeline->array[1].find("tracker_peak_bytes")->number, 555.0);
+  EXPECT_EQ(timeline->array[1].find("rss_bytes")->number, 666.0);
+}
+
+TEST(RoundLedger, SequentialDriverLedgersEveryRoundWhenEnabled) {
+  ScopedMetrics on(true);
+  ImmResult result = imm_sequential(report_test_graph(), report_test_options());
+  ASSERT_FALSE(result.report.rounds.empty());
+  // One entry per estimation round plus the final extend+select round, all
+  // rank 0, in chronological order, each with the storage probe attached.
+  std::uint32_t expected_rounds = result.report.theta_iterations + 1;
+  EXPECT_EQ(result.report.rounds.size(), expected_rounds);
+  std::uint32_t previous = 0;
+  for (const metrics::RoundEntry &entry : result.report.rounds) {
+    EXPECT_EQ(entry.rank, 0);
+    EXPECT_GT(entry.round, previous);
+    previous = entry.round;
+    EXPECT_GT(entry.rrr_sets, 0u);
+    EXPECT_GT(entry.rrr_bytes, 0u);
+    EXPECT_GE(entry.sample_seconds, 0.0);
+    EXPECT_GE(entry.select_seconds, 0.0);
+    EXPECT_EQ(entry.collective_wait_seconds, 0.0); // no collectives here
+  }
+  // The final round holds every generated sample.
+  EXPECT_EQ(result.report.rounds.back().rrr_sets, result.num_samples);
+}
+
+TEST(RoundLedger, DistributedDriverLedgersEveryRankWithWait) {
+  ScopedMetrics on(true);
+  ImmOptions options = report_test_options();
+  options.num_ranks = 3;
+  ImmResult result = imm_distributed(report_test_graph(), options);
+  ASSERT_FALSE(result.report.rounds.empty());
+
+  std::map<std::uint32_t, std::set<std::int32_t>> ranks_per_round;
+  double total_wait = 0.0;
+  for (const metrics::RoundEntry &entry : result.report.rounds) {
+    ranks_per_round[entry.round].insert(entry.rank);
+    total_wait += entry.collective_wait_seconds;
+  }
+  // Every round was recorded by all three ranks — the reduction over ranks
+  // at round boundaries lost nobody.
+  for (const auto &[round, ranks] : ranks_per_round)
+    EXPECT_EQ(ranks.size(), 3u) << "round " << round;
+  // The martingale runs at least one estimation round plus the final.
+  EXPECT_GE(ranks_per_round.size(), 2u);
+  // Collectives ran, so somebody waited.
+  EXPECT_GT(total_wait, 0.0);
+
+  // The serialized form carries one imbalance factor per round group.
+  auto parsed = JsonValue::parse(result.report.to_json_string());
+  ASSERT_TRUE(parsed.has_value());
+  const JsonValue *rounds = parsed->find("rounds");
+  ASSERT_EQ(rounds->array.size(), ranks_per_round.size());
+  for (const JsonValue &group : rounds->array)
+    EXPECT_GE(group.find("imbalance_factor")->number, 1.0);
+}
+
+TEST(RoundLedger, DisabledMetricsRecordNoRounds) {
+  metrics::set_enabled(false);
+  ImmOptions options = report_test_options();
+  options.num_ranks = 2;
+  ImmResult result = imm_distributed(report_test_graph(), options);
+  EXPECT_TRUE(result.report.rounds.empty());
 }
 
 } // namespace

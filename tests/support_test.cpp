@@ -108,6 +108,84 @@ TEST(Memory, FormatBytesUnits) {
   EXPECT_EQ(format_bytes(3 * 1024 * 1024), "3.00 MB");
 }
 
+// --- resource sampler --------------------------------------------------------
+
+/// Leaves the process-wide sampler stopped and empty whatever the test did.
+struct ScopedSampler {
+  ~ScopedSampler() {
+    ResourceSampler::instance().stop();
+    ResourceSampler::instance().clear();
+    ResourceSampler::instance().set_capacity(std::size_t{1} << 16);
+  }
+};
+
+TEST(ResourceSampler, CollectsSamplesAndStopsCleanly) {
+  ScopedSampler guard;
+  ResourceSampler &sampler = ResourceSampler::instance();
+  sampler.clear();
+  sampler.start(200.0); // fast so the test stays short
+  EXPECT_TRUE(sampler.running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  sampler.stop();
+  EXPECT_FALSE(sampler.running());
+
+  std::vector<ResourceSample> samples = sampler.samples();
+  ASSERT_GE(samples.size(), 2u); // first sample is immediate, then ~5ms apart
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_GT(samples[i].rss_bytes, 1u << 20);
+    EXPECT_GE(samples[i].tracker_peak_bytes, samples[i].tracker_live_bytes);
+    if (i > 0) EXPECT_GE(samples[i].t_seconds, samples[i - 1].t_seconds);
+  }
+  // The series is stable after stop: no background thread keeps appending.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(sampler.samples().size(), samples.size());
+}
+
+TEST(ResourceSampler, StartAndStopAreIdempotent) {
+  ScopedSampler guard;
+  ResourceSampler &sampler = ResourceSampler::instance();
+  sampler.clear();
+  sampler.start(100.0);
+  sampler.start(100.0); // second start is a no-op, not a second thread
+  EXPECT_TRUE(sampler.running());
+  sampler.stop();
+  sampler.stop(); // second stop is a no-op, not a double join
+  EXPECT_FALSE(sampler.running());
+}
+
+TEST(ResourceSampler, OverflowDecimatesInsteadOfTruncating) {
+  ScopedSampler guard;
+  ResourceSampler &sampler = ResourceSampler::instance();
+  sampler.clear();
+  sampler.set_capacity(8);
+  sampler.start(1000.0);
+  // At 1 kHz a 100 ms window wants ~100 samples against capacity 8, so the
+  // keep-every-other compaction must have fired at least once.
+  for (int i = 0; i < 100 && sampler.compactions() == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sampler.stop();
+  EXPECT_GE(sampler.compactions(), 1u);
+  std::vector<ResourceSample> samples = sampler.samples();
+  EXPECT_LE(samples.size(), 8u + 1);
+  // Decimation preserves the whole-run span: the series still starts near
+  // the beginning of the window, rather than keeping only a recent window.
+  ASSERT_GE(samples.size(), 2u);
+  EXPECT_LT(samples.front().t_seconds, samples.back().t_seconds);
+}
+
+TEST(ResourceSampler, ClearResetsSeriesAndCompactions) {
+  ScopedSampler guard;
+  ResourceSampler &sampler = ResourceSampler::instance();
+  sampler.clear();
+  sampler.start(500.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  EXPECT_FALSE(sampler.samples().empty());
+  sampler.clear();
+  EXPECT_TRUE(sampler.samples().empty());
+  EXPECT_EQ(sampler.compactions(), 0u);
+}
+
 // --- tables -------------------------------------------------------------------
 
 TEST(Table, PrintsAlignedColumns) {

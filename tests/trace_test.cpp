@@ -69,7 +69,8 @@ void check_trace_schema(const JsonValue &doc) {
     const JsonValue *ph = event.find("ph");
     ASSERT_NE(ph, nullptr);
     const std::string &code = ph->string;
-    ASSERT_TRUE(code == "X" || code == "i" || code == "C" || code == "M")
+    ASSERT_TRUE(code == "X" || code == "i" || code == "C" || code == "M" ||
+                code == "s" || code == "t" || code == "f")
         << code;
     ASSERT_NE(event.find("pid"), nullptr);
     if (code == "M") continue; // metadata: no timestamp
@@ -82,6 +83,13 @@ void check_trace_schema(const JsonValue &doc) {
       EXPECT_GE(event.find("dur")->number, 0.0);
     }
     if (code == "i") EXPECT_EQ(event.find("s")->string, "t");
+    if (code == "s" || code == "t" || code == "f") {
+      ASSERT_NE(event.find("id"), nullptr);
+      EXPECT_GT(event.find("id")->number, 0.0);
+    }
+    // Flow ends bind to the enclosing slice so the arrow lands on the
+    // consumer's span, not on whatever slice starts next.
+    if (code == "f") EXPECT_EQ(event.find("bp")->string, "e");
   }
 }
 
@@ -260,6 +268,66 @@ TEST(Trace, OverflowKeepsTheNewestWindowAndCountsDrops) {
             static_cast<double>(kEmitted - kCapacity));
 }
 
+TEST(Trace, FlowEventsCarryBindingIdsAndSchema) {
+  ScopedTrace on;
+  const std::uint64_t id = trace::new_flow_id();
+  {
+    trace::Span producer("trace_test", "trace_test.producer");
+    trace::flow_begin("trace_test", "trace_test.flow", id);
+  }
+  {
+    trace::Span relay("trace_test", "trace_test.relay");
+    trace::flow_step("trace_test", "trace_test.flow", id);
+  }
+  {
+    trace::Span consumer("trace_test", "trace_test.consumer");
+    trace::flow_end("trace_test", "trace_test.flow", id);
+  }
+
+  JsonValue doc = parse_trace();
+  check_trace_schema(doc);
+  double start_ts = -1.0, step_ts = -1.0, end_ts = -1.0;
+  for (const JsonValue *event : data_events(doc)) {
+    if (event->find("name")->string != "trace_test.flow") continue;
+    EXPECT_EQ(event->find("id")->number, static_cast<double>(id));
+    const std::string &code = event->find("ph")->string;
+    if (code == "s") start_ts = event->find("ts")->number;
+    if (code == "t") step_ts = event->find("ts")->number;
+    if (code == "f") end_ts = event->find("ts")->number;
+  }
+  ASSERT_GE(start_ts, 0.0);
+  ASSERT_GE(step_ts, 0.0);
+  ASSERT_GE(end_ts, 0.0);
+  EXPECT_LE(start_ts, step_ts);
+  EXPECT_LE(step_ts, end_ts);
+}
+
+TEST(Trace, FlowIdsAreProcessUniqueAndBlocksDoNotOverlap) {
+  ScopedTrace on;
+  std::set<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    std::uint64_t id = trace::new_flow_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+  // Block allocation hands out `count` consecutive ids none of which can
+  // collide with ids minted before or after the block.
+  const std::uint64_t base = trace::new_flow_ids(4);
+  for (std::uint64_t offset = 0; offset < 4; ++offset)
+    EXPECT_TRUE(ids.insert(base + offset).second);
+  EXPECT_TRUE(ids.insert(trace::new_flow_id()).second);
+}
+
+TEST(Trace, DisabledTracingEmitsNoFlowEvents) {
+  ScopedTrace off(false);
+  const std::uint64_t id = trace::new_flow_id();
+  trace::flow_begin("trace_test", "trace_test.flow", id);
+  trace::flow_step("trace_test", "trace_test.flow", id);
+  trace::flow_end("trace_test", "trace_test.flow", id);
+  JsonValue doc = parse_trace();
+  EXPECT_TRUE(data_events(doc).empty());
+}
+
 TEST(Trace, ClearDiscardsBufferedEvents) {
   ScopedTrace on;
   trace::instant("trace_test", "trace_test.to_discard");
@@ -328,6 +396,67 @@ TEST(Trace, DistributedDriverCoversRanksAndCollectives) {
   EXPECT_TRUE(pids.count(0.0));
   EXPECT_TRUE(pids.count(1.0));
   ASSERT_NE(find_event(doc, "mpsim.rank"), nullptr);
+}
+
+TEST(Trace, DistributedDriverFlowsPairAndBindUniquely) {
+  ScopedTrace on;
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 5;
+  options.seed = 2019;
+  options.num_ranks = 2;
+  (void)imm_distributed(trace_test_graph(), options);
+
+  JsonValue doc = parse_trace();
+  check_trace_schema(doc);
+  // Collect the flow events by binding id.  Clean-run invariant: every
+  // start pairs with exactly one end whose timestamp does not precede it;
+  // no id carries two starts (uniqueness is what makes Perfetto draw one
+  // arrow per batch/collective rather than a tangle).
+  std::map<double, int> starts, ends;
+  std::map<double, double> start_ts, end_ts;
+  std::size_t batch_flows = 0, collective_flows = 0;
+  for (const JsonValue *event : data_events(doc)) {
+    const std::string &code = event->find("ph")->string;
+    if (code != "s" && code != "f") continue;
+    const double id = event->find("id")->number;
+    if (code == "s") {
+      ++starts[id];
+      start_ts[id] = event->find("ts")->number;
+      const std::string &name = event->find("name")->string;
+      if (name == "flow.rrr_batch") ++batch_flows;
+      if (name == "flow.collective") ++collective_flows;
+    } else {
+      ++ends[id];
+      end_ts[id] = event->find("ts")->number;
+    }
+  }
+  // Both flow families must be present: each rank's sampler batches feed
+  // selection, and the collectives link completer to released waiters.
+  EXPECT_GE(batch_flows, 2u); // >= 1 batch per rank
+  EXPECT_GE(collective_flows, 1u);
+  ASSERT_FALSE(starts.empty());
+  for (const auto &[id, count] : starts) {
+    EXPECT_EQ(count, 1) << "flow id " << id << " started twice";
+    ASSERT_EQ(ends.count(id), 1u) << "flow id " << id << " never ended";
+    EXPECT_EQ(ends[id], 1) << "flow id " << id << " ended twice";
+    EXPECT_GE(end_ts[id], start_ts[id]) << "flow id " << id;
+  }
+  for (const auto &[id, count] : ends)
+    EXPECT_EQ(starts.count(id), 1u) << "flow id " << id << " has no start";
+}
+
+TEST(Trace, DistributedDriverWithTracingOffEmitsNothing) {
+  ScopedTrace off(false);
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 5;
+  options.seed = 2019;
+  options.num_ranks = 2;
+  (void)imm_distributed(trace_test_graph(), options);
+  JsonValue doc = parse_trace();
+  EXPECT_TRUE(data_events(doc).empty());
+  EXPECT_EQ(doc.find("otherData")->find("dropped_events")->number, 0.0);
 }
 
 } // namespace
