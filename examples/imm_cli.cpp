@@ -25,9 +25,20 @@
 ///           [--recover]                   (dist: survive rank failures by
 ///                                          shrinking + regenerating)
 ///           [--watchdog-ms N]             (collective stall deadline; 0=off)
-///           [--inject-fault rank=R,site=N[,kind=crash|stall]]
+///           [--inject-fault rank=R,site=N[,kind=crash|stall|oom]]
 ///                                         (deterministic fault plan; also
-///                                          RIPPLES_FAULTS)
+///                                          RIPPLES_FAULTS. kind=oom fails
+///                                          rank R's Nth tracked memory
+///                                          reservation, sticky)
+///           [--mem-budget BYTES]          (RRR memory budget; 0 = unlimited.
+///                                          Over-budget runs degrade:
+///                                          compress, shed batches, certify
+///                                          a looser epsilon; also
+///                                          RIPPLES_MEM_BUDGET)
+///           [--rrr-compress auto|always|off]
+///                                         (delta+varint RRR encoding; auto
+///                                          switches under budget pressure;
+///                                          also RIPPLES_RRR_COMPRESS)
 ///           [--selection-exchange dense|sparse]
 ///                                         (dist/dist-part seed-selection
 ///                                          protocol; also
@@ -112,6 +123,24 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
   options.watchdog_ms = static_cast<std::uint32_t>(
       cli.get_bounded("watchdog-ms", 0, 0, UINT32_MAX));
   options.fault_plan = cli.get("inject-fault", std::string());
+  // The flag overrides RIPPLES_MEM_BUDGET (the option's default).
+  options.mem_budget = static_cast<std::size_t>(cli.get_bounded(
+      "mem-budget", static_cast<std::int64_t>(options.mem_budget), 0,
+      INT64_MAX));
+  // The flag overrides RIPPLES_RRR_COMPRESS (the option's default).
+  if (auto compress = cli.value_of("rrr-compress")) {
+    if (*compress == "auto") {
+      options.rrr_compress = CompressMode::Auto;
+    } else if (*compress == "always") {
+      options.rrr_compress = CompressMode::Always;
+    } else if (*compress == "off") {
+      options.rrr_compress = CompressMode::Off;
+    } else {
+      std::fprintf(stderr, "unknown --rrr-compress '%s' (auto|always|off)\n",
+                   compress->c_str());
+      std::exit(2);
+    }
+  }
   // The flag overrides RIPPLES_SAMPLER (the option's default).
   if (auto sampler = cli.value_of("sampler")) {
     if (*sampler == "fused") {
@@ -284,6 +313,10 @@ int main(int argc, char **argv) {
   std::printf("phases: %s\n", result.timers.summary().c_str());
   std::printf("rrr storage peak: %s\n",
               format_bytes(result.rrr_peak_bytes).c_str());
+  if (result.degraded)
+    std::printf("degraded: memory budget reached; certified epsilon %.4f "
+                "(requested %.4f)\n",
+                result.epsilon_achieved, cli.get("epsilon", 0.5));
 
   InfluenceEstimate influence;
   const auto trials = static_cast<std::uint32_t>(

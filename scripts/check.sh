@@ -12,6 +12,7 @@
 #   scripts/check.sh --no-checkpoint # skip the kill-resume soak leg
 #   scripts/check.sh --no-fused  # skip the fused sampling-engine leg
 #   scripts/check.sh --no-observability # skip the trace/analyze leg
+#   scripts/check.sh --no-membudget # skip the memory-budget leg
 #
 # The sparse leg reruns the selection suites (`ctest -L selection`) plus the
 # IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
@@ -31,6 +32,15 @@
 # within tolerance of each round's wall time).  This is the one place the
 # whole observatory — flow events, round ledger, resource sampler, and
 # both scripts — is exercised end to end against a real multi-rank run.
+#
+# The memory-budget leg (DESIGN.md §12) runs `ctest -L memory`, then drives
+# imm_cli through the degradation ladder end to end: a forced-compression
+# fig6-style run must report >= 3x lower RRR peak with seeds byte-identical
+# to the unlimited reference; a tight budget must switch to compression
+# (mem.budget.compress_switches >= 1) and still finish complete with the
+# reference seeds; and a below-floor budget soak — the whole ladder under an
+# RLIMIT_AS cap — must end in a degraded-but-valid report (shared-memory)
+# or a diagnosed MemoryBudgetExceeded (dist), never a raw bad_alloc.
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
 # CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
@@ -74,6 +84,7 @@ run_sparse=1
 run_checkpoint=1
 run_fused=1
 run_observability=1
+run_membudget=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -84,7 +95,8 @@ for arg in "$@"; do
     --no-checkpoint) run_checkpoint=0 ;;
     --no-fused) run_fused=0 ;;
     --no-observability) run_observability=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused | --no-observability)" >&2; exit 2 ;;
+    --no-membudget) run_membudget=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused | --no-observability | --no-membudget)" >&2; exit 2 ;;
   esac
 done
 
@@ -196,13 +208,117 @@ EOF
   rm -rf "$obs_work"
 fi
 
+if [[ "$run_membudget" == 1 ]]; then
+  echo "== membudget: ctest -L memory =="
+  ctest --test-dir build -L memory --output-on-failure -j "$jobs"
+
+  echo "== membudget: degradation ladder end to end =="
+  # No EXIT trap here — the checkpoint leg owns it; clean up explicitly.
+  mem_work=$(mktemp -d)
+  mem_cli=./build/examples/imm_cli
+  mem_args=(--driver mt --threads 3 --dataset cit-HepTh --scale 0.1
+            --epsilon 0.5 -k 16 --seed 2019)
+  # Plain-representation reference: records the peak to beat and the seed
+  # set every governed run below must reproduce byte-identically.  A
+  # generous (never-binding) budget keeps the tracker charged so the
+  # tracker_peak_bytes and mem.budget.* families are present on both sides
+  # of every diff below.
+  "$mem_cli" "${mem_args[@]}" --rrr-compress off --mem-budget 1073741824 \
+    --json-report "$mem_work/reference.json" > /dev/null \
+    || { rm -rf "$mem_work"; echo "membudget: reference run failed" >&2; exit 1; }
+  # Rung 1, forced: --rrr-compress always must cut the RRR peak >= 3x while
+  # changing nothing the algorithm can observe.
+  "$mem_cli" "${mem_args[@]}" --rrr-compress always \
+    --json-report "$mem_work/compressed.json" > /dev/null \
+    || { rm -rf "$mem_work"; echo "membudget: forced-compression run failed" >&2; exit 1; }
+  python3 scripts/compare_reports.py --check-seeds --allow-missing \
+    --phase-tolerance 2.0 --counter-tolerance 10 \
+    "$mem_work/reference.json" "$mem_work/compressed.json" > /dev/null \
+    || { rm -rf "$mem_work"; echo "membudget: compressed seeds diverged from the reference" >&2; exit 1; }
+  tight_budget=$(python3 - "$mem_work/reference.json" "$mem_work/compressed.json" <<'EOF'
+import json, sys
+ref = json.load(open(sys.argv[1]))["reports"][0]
+comp = json.load(open(sys.argv[2]))["reports"][0]
+plain = ref["storage"]["rrr_peak_bytes"]
+squeezed = comp["storage"]["rrr_peak_bytes"]
+assert squeezed * 3 <= plain, \
+    f"compression saved only {plain / max(squeezed, 1):.2f}x (need >= 3x)"
+assert not comp.get("degraded"), "forced compression must not degrade"
+print(plain // 2)
+EOF
+  ) || { rm -rf "$mem_work"; echo "membudget: compression-ratio check failed" >&2; exit 1; }
+  echo "  forced compression: >= 3x peak reduction, seeds identical"
+  # Rung 2, under pressure: a budget of half the plain peak must trip the
+  # governor into compression mid-run and still finish complete — same
+  # seeds, not degraded.
+  "$mem_cli" "${mem_args[@]}" --mem-budget "$tight_budget" \
+    --json-report "$mem_work/tight.json" > /dev/null \
+    || { rm -rf "$mem_work"; echo "membudget: tight-budget run failed" >&2; exit 1; }
+  python3 - "$mem_work/tight.json" <<'EOF' \
+    || { rm -rf "$mem_work"; echo "membudget: tight-budget payload check failed" >&2; exit 1; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+counters = doc["registry"]["counters"]
+assert counters.get("mem.budget.reservations", 0) >= 1, "budget never consulted"
+assert counters.get("mem.budget.compress_switches", 0) >= 1, \
+    "governor never switched to compression"
+assert not doc["reports"][0].get("degraded"), \
+    "tight budget should finish complete, not degraded"
+EOF
+  # Identity is the point; the memory families are relaxed because a run
+  # that switches representation mid-flight legitimately reserves and peaks
+  # differently from the plain reference it must still agree with.
+  python3 scripts/compare_reports.py --check-seeds --allow-missing \
+    --phase-tolerance 2.0 --counter-tolerance 10 --memory-tolerance 2.0 \
+    "$mem_work/reference.json" "$mem_work/tight.json" > /dev/null \
+    || { rm -rf "$mem_work"; echo "membudget: tight-budget seeds diverged from the reference" >&2; exit 1; }
+  echo "  tight budget ($tight_budget bytes): switched to compression, seeds identical"
+  # Rung 3, below the floor: soak the whole ladder under an RLIMIT_AS cap.
+  # The shared-memory driver must end in a degraded-but-certified report
+  # (exit 0, "degraded" on stdout) and the distributed driver in a diagnosed
+  # MemoryBudgetExceeded (nonzero exit); neither may ever surface a raw
+  # bad_alloc or reach terminate().
+  for floor_budget in 65536 262144 1048576; do
+    if ! bash -c "ulimit -v 4194304; exec '$mem_cli' --driver mt --threads 3 \
+          --dataset cit-HepTh --scale 0.1 --epsilon 0.5 -k 16 --seed 2019 \
+          --mem-budget $floor_budget" \
+          > "$mem_work/floor-mt-$floor_budget.log" 2>&1; then
+      cat "$mem_work/floor-mt-$floor_budget.log" >&2
+      rm -rf "$mem_work"
+      echo "membudget: shared-memory run under a $floor_budget-byte floor must degrade, not fail" >&2
+      exit 1
+    fi
+    grep -q "degraded: memory budget reached" \
+        "$mem_work/floor-mt-$floor_budget.log" \
+      || { rm -rf "$mem_work"; echo "membudget: mt floor run at $floor_budget finished without degrading" >&2; exit 1; }
+    if bash -c "ulimit -v 4194304; exec '$mem_cli' --driver dist --ranks 3 \
+          --dataset cit-HepTh --scale 0.1 --epsilon 0.5 -k 16 --seed 2019 \
+          --mem-budget $floor_budget" \
+          > "$mem_work/floor-dist-$floor_budget.log" 2>&1; then
+      rm -rf "$mem_work"
+      echo "membudget: distributed run under a $floor_budget-byte floor must refuse, not succeed" >&2
+      exit 1
+    fi
+    grep -q "memory budget exceeded" "$mem_work/floor-dist-$floor_budget.log" \
+      || { cat "$mem_work/floor-dist-$floor_budget.log" >&2; rm -rf "$mem_work";
+           echo "membudget: dist floor run at $floor_budget died without the budget diagnostic" >&2; exit 1; }
+    if grep -qE "bad_alloc|terminate called" "$mem_work"/floor-*-"$floor_budget".log; then
+      rm -rf "$mem_work"
+      echo "membudget: a floor run at $floor_budget surfaced a raw allocation failure" >&2
+      exit 1
+    fi
+    echo "  floor budget $floor_budget: mt degraded with certificate, dist refused with diagnostic"
+  done
+  rm -rf "$mem_work"
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test + trace_test + metrics_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test + trace_test + metrics_test + memory_budget_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan --target \
     mpsim_test fault_test select_test selection_exchange_test sampler_test \
-    trace_test metrics_test \
+    trace_test metrics_test memory_budget_test \
     -j "$jobs"
 
   echo "== tsan: run =="
@@ -220,13 +336,17 @@ if [[ "$run_tsan" == 1 ]]; then
   # threads; run the sampler suite in both engines to race-check that claim.
   ./build-tsan/tests/sampler_test
   RIPPLES_SAMPLER=fused ./build-tsan/tests/sampler_test
+  # The memory governor's tracker and oom-fault registry are shared across
+  # rank threads; the budget suite races try_reserve against the ladder.
+  ./build-tsan/tests/memory_budget_test
 fi
 
 if [[ "$run_asan" == 1 ]]; then
-  echo "== asan: build imm_test + rrr_test + sampler_test =="
+  echo "== asan: build imm_test + rrr_test + sampler_test + memory_budget_test =="
   cmake -B build-asan -S . -DRIPPLES_SANITIZE=address \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
-  cmake --build build-asan --target imm_test rrr_test sampler_test -j "$jobs"
+  cmake --build build-asan --target imm_test rrr_test sampler_test \
+    memory_budget_test -j "$jobs"
 
   echo "== asan: run =="
   ./build-asan/tests/imm_test
@@ -235,6 +355,10 @@ if [[ "$run_asan" == 1 ]]; then
   # words; ASan checks those stores stay inside the pre-sized buffers.
   ./build-asan/tests/sampler_test
   RIPPLES_SAMPLER=fused ./build-asan/tests/sampler_test
+  # The compressed store's varint encoder/decoder and the ladder's window
+  # hand-off are the newest pointer arithmetic in the repo; leak/overflow
+  # check them under both the plain and forced-compression paths.
+  ./build-asan/tests/memory_budget_test
 fi
 
 if [[ "$run_ubsan" == 1 ]]; then

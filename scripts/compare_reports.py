@@ -24,7 +24,16 @@ Four families of checks, each with its own threshold:
     0.25 — timing counters like graph.*.micros are noisy).
   * memory (`storage.{rrr_peak_bytes,tracker_peak_bytes,peak_rss_bytes}`):
     candidate may exceed baseline by --memory-tolerance (relative, default
-    0.25 — RSS is allocator- and kernel-dependent).
+    0.25 — RSS is allocator- and kernel-dependent).  The memory governor's
+    registry counters (`mem.budget.*`) ride in this family too: how often a
+    budgeted run reserved, refused, switched to compression, or shed batches
+    is a memory-behaviour property, not a timing one.
+  * degraded-run parity (`degraded` / `epsilon_achieved`, DESIGN.md §12): a
+    run that stopped early under a memory budget is only comparable to
+    another degraded run, so one side degrading while the other completed is
+    ALWAYS a hard failure — --allow-missing does not downgrade it.  When
+    both sides degraded, their certified epsilon values must match exactly
+    (the certificate is deterministic for a fixed configuration).
   * per-round imbalance (`rounds[].imbalance_factor`, schema v5): rounds are
     matched by round number; candidate imbalance may exceed baseline by
     --imbalance-tolerance (relative, default 0.5 — timing-derived and
@@ -149,6 +158,8 @@ class Comparison:
         driver, index = key
         label = f"{driver}[{index}]"
 
+        self.compare_degradation(label, base, cand)
+
         if self.args.check_seeds:
             self.check_exact(f"{label}.seeds", dig(base, "seeds"),
                              dig(cand, "seeds"))
@@ -207,6 +218,26 @@ class Comparison:
 
         self.compare_rounds(label, base, cand)
 
+    def compare_degradation(self, label, base, cand):
+        """Degraded-run parity (DESIGN.md §12): every other family would
+        otherwise diff a complete run against a truncated one and report
+        nonsense, so a degraded/complete mismatch is unconditionally fatal."""
+        base_degraded = bool(dig(base, "degraded"))
+        cand_degraded = bool(dig(cand, "degraded"))
+        if not base_degraded and not cand_degraded:
+            return
+        self.checked += 1
+        if base_degraded != cand_degraded:
+            side = "baseline" if base_degraded else "candidate"
+            self.fail(f"{label}.degraded: only the {side} run degraded under "
+                      "its memory budget — a complete and a degraded run are "
+                      "not comparable")
+            return
+        print(f"ok    {label}.degraded: both runs degraded under budget")
+        self.check_exact(f"{label}.epsilon_achieved",
+                         dig(base, "epsilon_achieved"),
+                         dig(cand, "epsilon_achieved"))
+
     def compare_rounds(self, label, base, cand):
         """Per-round ledger (schema v5): imbalance within tolerance, RRR set
         counts exact (sampling is deterministic for a fixed config)."""
@@ -233,7 +264,9 @@ class Comparison:
 
     def compare_registries(self, base_registry, cand_registry):
         """Registry counters: presence mismatches are diffs, values may grow
-        by --counter-tolerance."""
+        by --counter-tolerance — except the memory governor's mem.budget.*
+        family, which diffs under --memory-tolerance alongside the storage
+        peaks it governs."""
         base_counters = dig(base_registry, "counters") or {}
         cand_counters = dig(cand_registry, "counters") or {}
         for name in sorted(set(base_counters) | set(cand_counters)):
@@ -241,9 +274,12 @@ class Comparison:
                 self.presence_diff(f"registry.counters.{name}",
                                    name in base_counters)
                 continue
+            tolerance = (self.args.memory_tolerance
+                         if name.startswith("mem.budget.")
+                         else self.args.counter_tolerance)
             self.check_relative(f"registry.counters.{name}",
                                 base_counters[name], cand_counters[name],
-                                self.args.counter_tolerance)
+                                tolerance)
 
 
 def main():

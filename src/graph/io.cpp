@@ -135,6 +135,22 @@ EdgeList load_edge_list_binary(const std::string &path) {
   if (magic_version[1] != kBinaryVersion)
     fail("unsupported binary version in '" + path + "'");
 
+  // The edge count drives a preallocation, so validate it against the
+  // bytes actually present before trusting it: a corrupt (or hostile)
+  // header declaring 10^15 edges must produce this diagnostic, not a
+  // multi-terabyte resize that the allocator kills the process over.
+  const auto header_bytes = static_cast<std::uint64_t>(input.tellg());
+  input.seekg(0, std::ios::end);
+  const auto file_bytes = static_cast<std::uint64_t>(input.tellg());
+  input.seekg(static_cast<std::streamoff>(header_bytes), std::ios::beg);
+  const std::uint64_t payload_capacity =
+      (file_bytes - header_bytes) / sizeof(WeightedEdge);
+  if (m > payload_capacity)
+    fail("header of '" + path + "' declares " + std::to_string(m) +
+         " edges but the file can hold at most " +
+         std::to_string(payload_capacity) +
+         " (corrupt header or truncated payload)");
+
   EdgeList list;
   list.num_vertices = static_cast<vertex_t>(n);
   list.edges.resize(m);

@@ -1,0 +1,243 @@
+#include "imm/budget.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+#include "mpsim/fault.hpp"
+#include "support/assert.hpp"
+#include "support/checkpoint.hpp"
+#include "support/trace.hpp"
+
+namespace ripples {
+
+CompressMode compress_mode_from_env() {
+  const char *value = std::getenv("RIPPLES_RRR_COMPRESS");
+  if (value == nullptr || *value == '\0' || std::strcmp(value, "auto") == 0)
+    return CompressMode::Auto;
+  if (std::strcmp(value, "always") == 0) return CompressMode::Always;
+  if (std::strcmp(value, "off") == 0) return CompressMode::Off;
+  std::fprintf(stderr,
+               "RIPPLES_RRR_COMPRESS: expected auto|always|off, got '%s'\n",
+               value);
+  std::exit(2);
+}
+
+std::size_t mem_budget_from_env() {
+  const char *value = std::getenv("RIPPLES_MEM_BUDGET");
+  if (value == nullptr || *value == '\0') return 0;
+  char *end = nullptr;
+  const unsigned long long bytes = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr,
+                 "RIPPLES_MEM_BUDGET: expected a byte count, got '%s'\n",
+                 value);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(bytes);
+}
+
+namespace detail {
+
+namespace {
+
+metrics::Counter &compress_switches_counter() {
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("mem.budget.compress_switches");
+  return counter;
+}
+
+metrics::Counter &shed_batches_counter() {
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("mem.budget.shed_batches");
+  return counter;
+}
+
+} // namespace
+
+std::vector<OomFaultSpec> oom_faults_from_plan(const std::string &fault_plan) {
+  const mpsim::FaultPlan plan = fault_plan.empty()
+                                    ? mpsim::fault_plan_from_env()
+                                    : mpsim::parse_fault_plan(fault_plan);
+  std::vector<OomFaultSpec> faults;
+  for (const mpsim::FaultSpec &fault : plan)
+    if (fault.kind == mpsim::FaultSpec::Kind::Oom)
+      faults.push_back({fault.rank, fault.site});
+  return faults;
+}
+
+ScopedBudget::ScopedBudget(std::size_t budget_bytes, CompressMode compress,
+                           std::vector<OomFaultSpec> oom_faults)
+    : governed_(budget_bytes > 0 || compress == CompressMode::Always ||
+                !oom_faults.empty()) {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  tracker.set_budget(budget_bytes);
+  if (!oom_faults.empty()) tracker.install_oom_faults(std::move(oom_faults));
+}
+
+ScopedBudget::~ScopedBudget() {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  tracker.set_budget(0);
+  tracker.clear_oom_faults();
+}
+
+RRRStore::RRRStore(const Policy &policy) : policy_(policy) {
+  RIPPLES_ASSERT(policy_.chunk >= 1);
+  if (policy_.compress == CompressMode::Always) compressed_active_ = true;
+}
+
+RRRStore::~RRRStore() {
+  if (charged_ != 0) MemoryTracker::instance().release(charged_);
+}
+
+std::size_t RRRStore::estimate_bytes(std::uint64_t count) const {
+  // Bytes per *window* index, learned from what is already admitted (the
+  // distributed driver owns only ~1/p of every window; a per-index average
+  // absorbs that without knowing p).  The first batch uses a fixed guess —
+  // enforcement converges after one reconciliation.
+  const double per_unit =
+      window_units_ > 0
+          ? static_cast<double>(charged_) / static_cast<double>(window_units_)
+          : 64.0;
+  return static_cast<std::size_t>(
+      std::max(1.0, std::ceil(per_unit * static_cast<double>(count))));
+}
+
+void RRRStore::extend_window(std::uint64_t from, std::uint64_t to,
+                             const WindowGenerator &generate) {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  std::uint64_t next = from;
+  while (next < to) {
+    std::uint64_t count = std::min<std::uint64_t>(policy_.chunk, to - next);
+    std::size_t reserved = 0;
+    for (;;) {
+      const std::size_t estimate = estimate_bytes(count);
+      if (tracker.try_reserve(estimate, policy_.consumer)) {
+        reserved = estimate;
+        break;
+      }
+      if (!compressed_active_ && policy_.compress != CompressMode::Off) {
+        switch_to_compressed();
+        continue;
+      }
+      if (count > 1) {
+        count /= 2;
+        if (metrics::enabled()) shed_batches_counter().add(1);
+        trace::instant("mem", "mem.budget", "shed_to_samples", count);
+        continue;
+      }
+      stop_or_throw(estimate);
+    }
+    RRRCollection scratch;
+    generate(scratch, next, count);
+    admit(scratch, count);
+    tracker.release(reserved);
+    reconcile();
+    next += count;
+  }
+}
+
+void RRRStore::admit(RRRCollection &scratch, std::uint64_t window_units) {
+  if (compressed_active_) {
+    for (const RRRSet &set : scratch.sets()) compressed_.append(set);
+  } else {
+    std::vector<RRRSet> &dest = plain_.mutable_sets();
+    std::vector<RRRSet> &src = scratch.mutable_sets();
+    dest.insert(dest.end(), std::make_move_iterator(src.begin()),
+                std::make_move_iterator(src.end()));
+  }
+  window_units_ += window_units;
+}
+
+void RRRStore::switch_to_compressed() {
+  RIPPLES_ASSERT(!compressed_active_);
+  const std::size_t before = plain_.footprint_bytes();
+  for (const RRRSet &set : plain_.sets()) compressed_.append(set);
+  compressed_.shrink_to_fit();
+  plain_ = RRRCollection{}; // release, not clear: the slack is the point
+  compressed_active_ = true;
+  if (metrics::enabled()) compress_switches_counter().add(1);
+  trace::instant("mem", "mem.budget", "compressed_sets", compressed_.size(),
+                 "from_bytes", before);
+  reconcile();
+}
+
+void RRRStore::reconcile() {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  const std::size_t actual = footprint_bytes();
+  if (actual > charged_)
+    tracker.force_reserve(actual - charged_);
+  else if (actual < charged_)
+    tracker.release(charged_ - actual);
+  charged_ = actual;
+}
+
+void RRRStore::stop_or_throw(std::size_t refused_bytes) {
+  MemoryTracker &tracker = MemoryTracker::instance();
+  if (policy_.hard_refusal) {
+    // Make the run's resumable state durable before diagnosing: the caller
+    // will surface the refusal as a run failure, and a re-run with a larger
+    // budget must be able to --resume past the work already done.
+    checkpoint::flush_pending_snapshots();
+    throw MemoryBudgetExceeded(policy_.consumer, refused_bytes,
+                               tracker.reserved_bytes(), tracker.budget());
+  }
+  throw BudgetEarlyStop{size()};
+}
+
+SelectionResult RRRStore::select(vertex_t num_vertices, std::uint32_t k,
+                                 unsigned num_threads) const {
+  if (compressed_active_)
+    return select_seeds_compressed(num_vertices, k, compressed_);
+  if (num_threads > 1)
+    return select_seeds_multithreaded(num_vertices, k, plain_.sets(),
+                                      num_threads);
+  return select_seeds(num_vertices, k, plain_.sets());
+}
+
+void RRRStore::count_into(std::span<std::uint32_t> counters) const {
+  if (compressed_active_)
+    count_memberships(compressed_, counters);
+  else
+    count_memberships(plain_.sets(), counters);
+}
+
+std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
+                               std::vector<std::uint8_t> &retired) const {
+  return compressed_active_
+             ? retire_samples_containing(seed, compressed_, counters, retired)
+             : retire_samples_containing(seed, plain_.sets(), counters,
+                                         retired);
+}
+
+std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
+                               std::vector<std::uint8_t> &retired,
+                               std::span<std::uint32_t> pending_dec,
+                               std::vector<vertex_t> &pending_touched) const {
+  return compressed_active_
+             ? retire_samples_containing(seed, compressed_, counters, retired,
+                                         pending_dec, pending_touched)
+             : retire_samples_containing(seed, plain_.sets(), counters,
+                                         retired, pending_dec,
+                                         pending_touched);
+}
+
+void RRRStore::record_sizes(metrics::HistogramData &out) const {
+  if (compressed_active_) {
+    CompressedRRRCollection::Cursor cursor = compressed_.cursor();
+    while (!cursor.at_end()) {
+      const std::uint32_t count = cursor.next_header();
+      cursor.skip_members(count);
+      out.record(count);
+    }
+  } else {
+    for (const RRRSet &set : plain_.sets()) out.record(set.size());
+  }
+}
+
+} // namespace detail
+} // namespace ripples

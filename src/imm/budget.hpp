@@ -1,0 +1,189 @@
+/// \file budget.hpp
+/// \brief The RRR memory-budget governor (DESIGN.md §12).
+///
+/// At scale the RRR collection is the dominant allocation of every IMM
+/// driver, and theta is data-dependent: a run that fits on one graph OOM-kills
+/// on the next.  The governor turns that cliff into a ladder.  Admission of
+/// new samples is chunked and charged against MemoryTracker's budget
+/// *before* generation (estimate-ahead: the reservation is the enforcement
+/// point and the deterministic oom-fault site; actual footprints are
+/// reconciled after admission with unchecked bookkeeping).  When a
+/// reservation is refused the store degrades in documented order:
+///
+///   1. switch the stored sets to CompressedRRRCollection (re-encode in
+///      place, typically 3-10x smaller; selection decodes on iterate);
+///   2. shed the in-flight batch and re-admit at halved granularity, down
+///      to one sample at a time;
+///   3. stop: shared-memory drivers raise BudgetEarlyStop, caught by the
+///      martingale skeleton which finishes selection over the samples it
+///      has and reports `degraded` with the certified epsilon'
+///      (theta.hpp::certified_epsilon); the distributed driver instead
+///      flushes pending checkpoint snapshots and throws
+///      MemoryBudgetExceeded naming the consumer — rank-local truncation
+///      would silently break the cross-rank theta agreement.
+///
+/// Every outcome is a valid answer or a diagnostic; no path aborts.  A run
+/// with no budget, no forced compression, and no oom faults never
+/// constructs a governed store — the drivers keep their exact pre-governor
+/// code path (the <2% disabled-overhead criterion).
+#ifndef RIPPLES_IMM_BUDGET_HPP
+#define RIPPLES_IMM_BUDGET_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "imm/rrr_collection.hpp"
+#include "imm/select.hpp"
+#include "support/memory.hpp"
+#include "support/metrics.hpp"
+
+namespace ripples {
+
+/// When the governor may switch RRR storage to the compressed
+/// representation.  `Auto` compresses only under budget pressure; `Always`
+/// forces it from the first sample (the determinism tests and the
+/// compression leg of check.sh use this); `Off` removes the rung — the
+/// ladder goes straight from shedding to stopping.
+enum class CompressMode { Auto, Always, Off };
+
+/// RIPPLES_RRR_COMPRESS: `auto` (default), `always`, or `off`.  Any other
+/// value terminates with a diagnostic — a typo'd mode would silently turn a
+/// forced-compression test into a false pass.
+[[nodiscard]] CompressMode compress_mode_from_env();
+
+/// RIPPLES_MEM_BUDGET: RRR budget in bytes, 0/unset = unlimited.  A
+/// non-numeric value terminates with a diagnostic.
+[[nodiscard]] std::size_t mem_budget_from_env();
+
+namespace detail {
+
+/// Control-flow signal of ladder rung 3 on the shared-memory drivers: the
+/// store cannot admit more samples, \p achieved is what it holds.  Caught
+/// by run_imm_martingale, which finishes with what it has and marks the
+/// report degraded.  Never escapes to callers.
+struct BudgetEarlyStop {
+  std::uint64_t achieved = 0;
+};
+
+/// kind=oom entries of \p fault_plan translated for
+/// MemoryTracker::install_oom_faults; falls back to RIPPLES_FAULTS when the
+/// plan string is empty, mirroring the communicator's merge rule.
+[[nodiscard]] std::vector<OomFaultSpec>
+oom_faults_from_plan(const std::string &fault_plan);
+
+/// RAII installation of one run's budget and oom-fault plan into the
+/// process-wide MemoryTracker; the destructor restores the unlimited,
+/// fault-free state.  Drivers construct one for the duration of the run.
+class ScopedBudget {
+public:
+  ScopedBudget(std::size_t budget_bytes, CompressMode compress,
+               std::vector<OomFaultSpec> oom_faults);
+  ~ScopedBudget();
+
+  ScopedBudget(const ScopedBudget &) = delete;
+  ScopedBudget &operator=(const ScopedBudget &) = delete;
+
+  /// True when the run needs a governed store at all: a finite budget, a
+  /// forced representation, or an installed oom fault.  (A fault with no
+  /// governed store would never reach a reservation site and silently turn
+  /// a failure test into a false pass, so faults alone force governance.)
+  [[nodiscard]] bool governed() const { return governed_; }
+
+private:
+  bool governed_;
+};
+
+/// Budget-governed RRR storage: holds either the plain or the compressed
+/// representation behind the admission ladder above.  Only constructed when
+/// ScopedBudget::governed(); the ungoverned drivers never route through it.
+class RRRStore {
+public:
+  struct Policy {
+    std::size_t budget_bytes = 0;
+    CompressMode compress = CompressMode::Auto;
+    /// Rung 3 behaviour: true (distributed) throws MemoryBudgetExceeded
+    /// after flushing pending checkpoint snapshots; false (shared-memory)
+    /// raises BudgetEarlyStop for the certified-early-stop path.
+    bool hard_refusal = false;
+    /// Name reported by MemoryBudgetExceeded and the mem.budget trace.
+    const char *consumer = "imm.rrr";
+    /// Initial admission granularity in samples; halved on shed, floor 1.
+    std::uint64_t chunk = 16384;
+  };
+
+  explicit RRRStore(const Policy &policy);
+  ~RRRStore();
+
+  RRRStore(const RRRStore &) = delete;
+  RRRStore &operator=(const RRRStore &) = delete;
+
+  [[nodiscard]] bool using_compressed() const { return compressed_active_; }
+  [[nodiscard]] std::size_t size() const {
+    return compressed_active_ ? compressed_.size() : plain_.size();
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return compressed_active_ ? compressed_.footprint_bytes()
+                              : plain_.footprint_bytes();
+  }
+  [[nodiscard]] std::size_t total_associations() const {
+    return compressed_active_ ? compressed_.total_associations()
+                              : plain_.total_associations();
+  }
+
+  /// Generator for one admission batch: produce the caller's samples for
+  /// the global index window [first, first + count) into \p scratch.  On
+  /// the shared-memory drivers every index is the caller's; the distributed
+  /// driver generates only its rank's leapfrog slice of the window.
+  using WindowGenerator = std::function<void(
+      RRRCollection &scratch, std::uint64_t first, std::uint64_t count)>;
+
+  /// Admits the window [from, to) in budget-charged chunks, walking the
+  /// degradation ladder on refusal.  \p from must be the end of the
+  /// previously admitted window (the drivers' extend_to contract).
+  void extend_window(std::uint64_t from, std::uint64_t to,
+                     const WindowGenerator &generate);
+
+  /// Seed selection over the active representation — identical seeds and
+  /// tie-breaking in either (the determinism tests assert it).
+  [[nodiscard]] SelectionResult select(vertex_t num_vertices, std::uint32_t k,
+                                       unsigned num_threads) const;
+
+  // Kernels of the distributed selection protocol, dispatched to the active
+  // representation.
+  void count_into(std::span<std::uint32_t> counters) const;
+  std::uint64_t retire(vertex_t seed, std::span<std::uint32_t> counters,
+                       std::vector<std::uint8_t> &retired) const;
+  std::uint64_t retire(vertex_t seed, std::span<std::uint32_t> counters,
+                       std::vector<std::uint8_t> &retired,
+                       std::span<std::uint32_t> pending_dec,
+                       std::vector<vertex_t> &pending_touched) const;
+
+  /// Records every stored sample's size into \p out (the report histogram).
+  void record_sizes(metrics::HistogramData &out) const;
+
+private:
+  [[nodiscard]] std::size_t estimate_bytes(std::uint64_t count) const;
+  void admit(RRRCollection &scratch, std::uint64_t window_units);
+  void switch_to_compressed();
+  void reconcile();
+  [[noreturn]] void stop_or_throw(std::size_t refused_bytes);
+
+  Policy policy_;
+  RRRCollection plain_;
+  CompressedRRRCollection compressed_;
+  bool compressed_active_ = false;
+  /// Bytes currently reserved in MemoryTracker for the stored sets.
+  std::size_t charged_ = 0;
+  /// Window indices admitted so far — the denominator of the running
+  /// bytes-per-index estimate (on the distributed driver a rank owns only
+  /// ~1/p of each window; estimating per *window* index absorbs that).
+  std::uint64_t window_units_ = 0;
+};
+
+} // namespace detail
+} // namespace ripples
+
+#endif // RIPPLES_IMM_BUDGET_HPP

@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
+#include <optional>
 
 #include "imm/imm_core.hpp"
 #include "imm/sampler.hpp"
@@ -41,6 +43,12 @@ void finalize_run_report(ImmResult &result, const char *driver,
   report.num_ranks = options.num_ranks;
   report.rng_mode =
       options.rng_mode == RngMode::LeapfrogLcg ? "leapfrog" : "counter";
+  report.mem_budget = options.mem_budget;
+  report.rrr_compress = options.rrr_compress == CompressMode::Always ? "always"
+                        : options.rrr_compress == CompressMode::Off  ? "off"
+                                                                     : "auto";
+  report.degraded = result.degraded;
+  report.epsilon_achieved = result.epsilon_achieved;
   report.graph_vertices = graph.num_vertices();
   report.graph_edges = graph.num_edges();
   report.phases = result.timers;
@@ -86,6 +94,8 @@ void finalize_result(ImmResult &result, const detail::MartingaleOutcome &outcome
   result.num_samples = outcome.num_samples;
   result.lower_bound = outcome.lower_bound;
   result.coverage_fraction = outcome.selection.coverage_fraction();
+  result.degraded = outcome.degraded;
+  result.epsilon_achieved = outcome.epsilon_achieved;
 }
 
 /// Records each sample's member count into the report's size histogram.
@@ -95,15 +105,72 @@ void record_sample_sizes(metrics::RunReport &report,
     report.rrr_sizes.record(sample.size());
 }
 
+/// Builds the governed store of a shared-memory driver when the run needs
+/// one (finite budget, forced compression, or an installed oom fault);
+/// nullopt otherwise, and the driver keeps its exact ungoverned path.
+std::optional<detail::RRRStore>
+make_governed_store(const ImmOptions &options, const detail::ScopedBudget &budget,
+                    const char *consumer) {
+  if (!budget.governed()) return std::nullopt;
+  detail::RRRStore::Policy policy;
+  policy.budget_bytes = options.mem_budget;
+  policy.compress = options.rrr_compress;
+  policy.consumer = consumer;
+  return std::optional<detail::RRRStore>(std::in_place, policy);
+}
+
+/// One governed admission batch: the RRR sets at global indices
+/// [first, first + count), drawn from their per-sample counter streams —
+/// byte-identical to the ungoverned samplers' output for the same indices.
+/// A governed fused window pre-reserves its per-thread lane structures and
+/// falls back to the scalar kernel (same bytes out) when refused — the lane
+/// arrays are real memory the budget must see (DESIGN.md §12).
+void sample_governed_window(const CsrGraph &graph, const ImmOptions &options,
+                            unsigned num_threads, RRRCollection &scratch,
+                            std::uint64_t first, std::uint64_t count) {
+  std::vector<std::uint64_t> indices(count);
+  std::iota(indices.begin(), indices.end(), first);
+  if (options.sampler == SamplerEngine::Fused) {
+    const std::size_t lane_bytes =
+        FusedSampler::lane_bytes(graph) * num_threads;
+    if (MemoryTracker::instance().try_reserve(lane_bytes,
+                                              "sampler.fused_lanes")) {
+      sample_counter_indices_fused(graph, options.model, options.seed, indices,
+                                   num_threads, scratch);
+      MemoryTracker::instance().release(lane_bytes);
+      return;
+    }
+  }
+  sample_counter_indices(graph, options.model, options.seed, indices,
+                         num_threads, scratch);
+}
+
 } // namespace
 
 ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
   ImmResult result;
   StopWatch total;
   trace::Span driver_span("imm", "imm_sequential", "k", options.k);
+  detail::ScopedBudget budget(options.mem_budget, options.rrr_compress,
+                              detail::oom_faults_from_plan(options.fault_plan));
   RRRCollection collection;
+  std::optional<detail::RRRStore> store =
+      make_governed_store(options, budget, "imm_sequential.rrr");
 
   auto extend_to = [&](std::uint64_t target) {
+    if (store) {
+      store->extend_window(store->size(), target,
+                           [&](RRRCollection &scratch, std::uint64_t first,
+                               std::uint64_t count) {
+                             sample_governed_window(graph, options, 1, scratch,
+                                                    first, count);
+                           });
+      result.rrr_peak_bytes =
+          std::max(result.rrr_peak_bytes, store->footprint_bytes());
+      result.total_associations =
+          std::max(result.total_associations, store->total_associations());
+      return;
+    }
     if (options.sampler == SamplerEngine::Fused)
       sample_sequential_fused(graph, options.model, target, options.seed,
                               collection);
@@ -116,11 +183,15 @@ ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
         std::max(result.total_associations, collection.total_associations());
   };
   auto select = [&] {
+    if (store) return store->select(graph.num_vertices(), options.k, 1);
     return select_seeds(graph.num_vertices(), options.k, collection.sets());
   };
 
   detail::RoundLedger ledger;
   detail::RoundAccounting acct{&ledger, 0, [&] {
+    if (store)
+      return std::pair<std::uint64_t, std::uint64_t>(store->size(),
+                                                     store->footprint_bytes());
     return std::pair<std::uint64_t, std::uint64_t>(collection.sets().size(),
                                                    collection.footprint_bytes());
   }};
@@ -131,7 +202,10 @@ ImmResult imm_sequential(const CsrGraph &graph, const ImmOptions &options) {
   result.report.rounds = ledger.entries();
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
-  record_sample_sizes(result.report, collection.sets());
+  if (store)
+    store->record_sizes(result.report.rrr_sizes);
+  else
+    record_sample_sizes(result.report, collection.sets());
   detail::finalize_run_report(result, "imm_sequential", graph, options, outcome);
   return result;
 }
@@ -146,6 +220,9 @@ ImmResult imm_baseline_hypergraph(const CsrGraph &graph,
   // The baseline reproduces the Table 2 reference implementation, so it
   // keeps its scalar kernel regardless of options.sampler; the fused engine
   // is an optimization of the paper's own storage path, not the baseline's.
+  // It also ignores the memory-budget governor for the same reason: its
+  // dual-direction storage is the memory-hungry reference the governed
+  // drivers are measured against (DESIGN.md §12).
   auto extend_to = [&](std::uint64_t target) {
     sample_hypergraph(graph, options.model, target, options.seed, collection);
     result.rrr_peak_bytes =
@@ -181,9 +258,27 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
   StopWatch total;
   trace::Span driver_span("imm", "imm_multithreaded", "k", options.k,
                           "threads", options.num_threads);
+  detail::ScopedBudget budget(options.mem_budget, options.rrr_compress,
+                              detail::oom_faults_from_plan(options.fault_plan));
   RRRCollection collection;
+  std::optional<detail::RRRStore> store =
+      make_governed_store(options, budget, "imm_multithreaded.rrr");
 
   auto extend_to = [&](std::uint64_t target) {
+    if (store) {
+      store->extend_window(store->size(), target,
+                           [&](RRRCollection &scratch, std::uint64_t first,
+                               std::uint64_t count) {
+                             sample_governed_window(graph, options,
+                                                    options.num_threads,
+                                                    scratch, first, count);
+                           });
+      result.rrr_peak_bytes =
+          std::max(result.rrr_peak_bytes, store->footprint_bytes());
+      result.total_associations =
+          std::max(result.total_associations, store->total_associations());
+      return;
+    }
     if (options.sampler == SamplerEngine::Fused)
       sample_multithreaded_fused(graph, options.model, target, options.seed,
                                  options.num_threads, collection);
@@ -196,12 +291,18 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
         std::max(result.total_associations, collection.total_associations());
   };
   auto select = [&] {
+    if (store)
+      return store->select(graph.num_vertices(), options.k,
+                           options.num_threads);
     return select_seeds_multithreaded(graph.num_vertices(), options.k,
                                       collection.sets(), options.num_threads);
   };
 
   detail::RoundLedger ledger;
   detail::RoundAccounting acct{&ledger, 0, [&] {
+    if (store)
+      return std::pair<std::uint64_t, std::uint64_t>(store->size(),
+                                                     store->footprint_bytes());
     return std::pair<std::uint64_t, std::uint64_t>(collection.sets().size(),
                                                    collection.footprint_bytes());
   }};
@@ -212,7 +313,10 @@ ImmResult imm_multithreaded(const CsrGraph &graph, const ImmOptions &options) {
   result.report.rounds = ledger.entries();
   result.timers.add(Phase::Other,
                     total.elapsed_seconds() - result.timers.total());
-  record_sample_sizes(result.report, collection.sets());
+  if (store)
+    store->record_sizes(result.report.rrr_sizes);
+  else
+    record_sample_sizes(result.report, collection.sets());
   detail::finalize_run_report(result, "imm_multithreaded", graph, options,
                               outcome);
   return result;

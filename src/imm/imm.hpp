@@ -24,6 +24,7 @@
 
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
+#include "imm/budget.hpp"
 #include "support/checkpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
@@ -104,8 +105,10 @@ struct ImmOptions {
   /// stalled rank then surfaces as mpsim::CollectiveTimeout naming the
   /// site and laggard instead of hanging the run.
   std::uint32_t watchdog_ms = 0;
-  /// Deterministic fault plan, `rank=R,site=N[,kind=crash|stall][;...]`
+  /// Deterministic fault plan, `rank=R,site=N[,kind=crash|stall|oom][;...]`
   /// (see mpsim/fault.hpp).  Empty means faults only from RIPPLES_FAULTS.
+  /// `kind=oom` entries are consumed by the memory-budget governor rather
+  /// than the communicator (DESIGN.md §12).
   std::string fault_plan;
   /// Treat watchdog-detected stalls as failures: the detecting rank evicts
   /// the laggards through the RankFailed -> shrink() -> heal path instead of
@@ -126,6 +129,19 @@ struct ImmOptions {
   /// fewer fallbacks but more words per round; 16 certifies nearly every
   /// round on the paper's benchmark graphs.
   std::uint32_t selection_topm = 16;
+
+  // Memory-pressure resilience (DESIGN.md §12).
+  /// Enforced RRR reservation budget in bytes, 0 = unlimited; defaults from
+  /// RIPPLES_MEM_BUDGET (`--mem-budget` in imm_cli).  A finite budget (or a
+  /// kind=oom fault, or rrr_compress == Always) routes RRR storage through
+  /// the budget governor; otherwise the drivers keep their ungoverned path.
+  /// The baseline-hypergraph and partitioned drivers stay ungoverned: the
+  /// former *is* Table 2's memory-hungry reference, the latter stores
+  /// per-rank sample slices whose budget story is future work.
+  std::size_t mem_budget = mem_budget_from_env();
+  /// When the governor may switch to the compressed RRR representation;
+  /// defaults from RIPPLES_RRR_COMPRESS (`--rrr-compress` in imm_cli).
+  CompressMode rrr_compress = compress_mode_from_env();
 };
 
 struct ImmResult {
@@ -147,6 +163,14 @@ struct ImmResult {
   /// Martingale round this run resumed from (`next_round` of the snapshot),
   /// or -1 for a fresh (non-resumed) run.
   std::int64_t resumed_from = -1;
+  /// True when the memory budget forced a certified early stop: the seeds
+  /// are a valid IMM answer at accuracy `epsilon_achieved` (>= the requested
+  /// epsilon) rather than the requested one (DESIGN.md §12).
+  bool degraded = false;
+  /// The accuracy actually certified by the samples generated: equals the
+  /// requested epsilon on a non-degraded run, the certified_epsilon()
+  /// value on a degraded one.
+  double epsilon_achieved = 0;
   /// Structured record of this execution (metrics subsystem): phase times,
   /// theta schedule, RRR-size histogram, storage footprint, per-collective
   /// communication volume.  Serialize with report.write_json_file(path).

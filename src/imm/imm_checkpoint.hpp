@@ -28,7 +28,11 @@ namespace ripples::detail {
 /// replayed.  Everything that changes R or the selection decision sequence
 /// is included; presentation-only options (threads, watchdog, faults) are
 /// deliberately not — resuming a crashed 4-thread run with 8 threads is
-/// legitimate, resuming with a different epsilon is not.
+/// legitimate, resuming with a different epsilon is not.  The memory
+/// governor (mem_budget, rrr_compress) is likewise excluded: it changes
+/// where samples live, never which samples exist, so a run refused under a
+/// tight budget may be resumed under a larger one and continues
+/// bit-identically.
 inline checkpoint::RunFingerprint
 make_run_fingerprint(const char *driver, const CsrGraph &graph,
                      const ImmOptions &options) {

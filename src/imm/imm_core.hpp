@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "imm/budget.hpp"
 #include "imm/select.hpp"
 #include "imm/theta.hpp"
 #include "support/log.hpp"
@@ -84,6 +85,13 @@ struct MartingaleOutcome {
   /// doubling schedule plus the final top-up when theta overshoots |R|.
   /// Feeds the run report's theta section.
   std::vector<std::uint64_t> extend_targets;
+  /// True when the memory budget stopped sample generation early
+  /// (BudgetEarlyStop): the selection covers only `num_samples` samples and
+  /// certifies `epsilon_achieved` instead of the requested epsilon.
+  bool degraded = false;
+  /// Accuracy certified by the samples actually generated: the requested
+  /// epsilon normally, certified_epsilon() on a degraded run.
+  double epsilon_achieved = 0.0;
 };
 
 /// Complete martingale-loop state at a round boundary.  This is exactly what
@@ -137,6 +145,10 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
   outcome.extend_targets = progress.extend_targets;
   bool accepted = progress.accepted;
   double last_coverage = progress.last_coverage;
+  // Set when an extend raises BudgetEarlyStop (shared-memory governed runs,
+  // ladder rung 3): generation is over, but selection over what R holds is
+  // still a valid IMM answer at a weaker epsilon — finish, don't abort.
+  bool early_stopped = false;
 
   const bool ledgered = acct.ledger != nullptr && metrics::enabled();
   // Sampler→selection flows: each extend batch starts one flow ("s" when
@@ -176,14 +188,19 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
                      progress.num_samples, "next_round", progress.next_round);
     double wait_before = metrics::thread_collective_wait_seconds();
     StopWatch watch;
-    extend_to(progress.num_samples);
+    try {
+      extend_to(progress.num_samples);
+    } catch (const BudgetEarlyStop &stop) {
+      early_stopped = true;
+      outcome.num_samples = stop.achieved;
+    }
     batch_ready();
     // Ledgered as round 0: replay work is real but belongs to no round.
     record_round(0, watch.elapsed_seconds(), 0.0,
                  metrics::thread_collective_wait_seconds() - wait_before);
   }
 
-  if (!accepted) {
+  if (!accepted && !early_stopped) {
     ScopedPhase phase(timers, Phase::EstimateTheta);
     trace::Span estimate_span("imm", "imm.estimate_theta");
     for (std::uint32_t x = progress.next_round; x <= schedule.max_iterations();
@@ -196,9 +213,16 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
       outcome.extend_targets.push_back(target);
       double wait_before = metrics::thread_collective_wait_seconds();
       StopWatch round_watch;
-      extend_to(target);
+      try {
+        extend_to(target);
+      } catch (const BudgetEarlyStop &stop) {
+        early_stopped = true;
+        outcome.num_samples = stop.achieved;
+      }
       double sample_seconds = round_watch.elapsed_seconds();
       batch_ready();
+      // On an early stop the selection still runs: its coverage feeds the
+      // fallback lower bound the certified epsilon' is derived from.
       SelectionResult trial = select();
       double select_seconds = round_watch.elapsed_seconds() - sample_seconds;
       if (trace::enabled())
@@ -207,7 +231,10 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
       record_round(x, sample_seconds, select_seconds,
                    metrics::thread_collective_wait_seconds() - wait_before);
       last_coverage = trial.coverage_fraction();
-      if (schedule.accept(x, last_coverage, &outcome.lower_bound)) {
+      // Acceptance needs the full theta_x samples behind it; a truncated
+      // round never accepts.
+      if (!early_stopped &&
+          schedule.accept(x, last_coverage, &outcome.lower_bound)) {
         accepted = true;
         trace::instant("imm", "imm.estimation_accepted", "x", x);
         RIPPLES_LOG_DEBUG("estimation accepted at x=%u: |R|=%llu LB=%.1f", x,
@@ -222,7 +249,7 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
       progress.num_samples = outcome.num_samples;
       progress.extend_targets = outcome.extend_targets;
       round_hook(static_cast<const MartingaleProgress &>(progress));
-      if (accepted)
+      if (accepted || early_stopped)
         break;
     }
   }
@@ -240,15 +267,20 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
   outcome.theta = schedule.final_theta(outcome.lower_bound);
   double final_wait_before = metrics::thread_collective_wait_seconds();
   double final_sample_seconds = 0.0;
-  if (outcome.theta > outcome.num_samples) {
+  if (outcome.theta > outcome.num_samples && !early_stopped) {
     ScopedPhase phase(timers, Phase::Sample);
     trace::Span span("imm", "imm.sample", "theta", outcome.theta);
     outcome.extend_targets.push_back(outcome.theta);
     StopWatch watch;
-    extend_to(outcome.theta);
+    try {
+      extend_to(outcome.theta);
+      outcome.num_samples = outcome.theta;
+    } catch (const BudgetEarlyStop &stop) {
+      early_stopped = true;
+      outcome.num_samples = stop.achieved;
+    }
     final_sample_seconds = watch.elapsed_seconds();
     batch_ready();
-    outcome.num_samples = outcome.theta;
     progress.accepted = accepted;
     progress.lower_bound = outcome.lower_bound;
     progress.last_coverage = last_coverage;
@@ -276,6 +308,20 @@ run_imm_martingale(std::uint64_t num_vertices, std::uint32_t k, double epsilon,
     record_round(outcome.estimation_iterations + 1, final_sample_seconds,
                  final_select_seconds,
                  metrics::thread_collective_wait_seconds() - final_wait_before);
+  }
+  outcome.degraded = early_stopped;
+  outcome.epsilon_achieved =
+      early_stopped ? certified_epsilon(num_vertices, k, epsilon, l,
+                                        outcome.lower_bound,
+                                        outcome.num_samples)
+                    : epsilon;
+  if (early_stopped) {
+    trace::instant("imm", "imm.degraded", "samples", outcome.num_samples);
+    RIPPLES_LOG_INFO(
+        "memory budget stopped sampling at |R|=%llu; certified epsilon=%.4f "
+        "(requested %.4f)",
+        static_cast<unsigned long long>(outcome.num_samples),
+        outcome.epsilon_achieved, epsilon);
   }
   return outcome;
 }

@@ -39,6 +39,7 @@
 #include <algorithm>
 #include <mutex>
 #include <omp.h>
+#include <optional>
 #include <vector>
 
 #include "imm/imm_checkpoint.hpp"
@@ -67,14 +68,31 @@ metrics::Counter &regen_counter() {
 /// §10), so both the extend and heal paths can dispatch through here.
 /// The LeapfrogLcg mode is inherently sequential per stream (one shared
 /// LCG walked draw by draw) and keeps the scalar kernel.
+/// \p governed additionally routes the fused engine's per-thread lane
+/// structures through the budget (consumer "sampler.fused_lanes"),
+/// falling back to the byte-identical scalar kernel when refused —
+/// DESIGN.md §12's fused-lane rung.
 std::uint64_t generate_counter_indices(const CsrGraph &graph,
                                        const ImmOptions &options,
                                        std::span<const std::uint64_t> indices,
-                                       RRRCollection &collection) {
-  if (options.sampler == SamplerEngine::Fused)
-    return sample_counter_indices_fused(graph, options.model, options.seed,
-                                        indices, options.num_threads,
-                                        collection);
+                                       RRRCollection &collection,
+                                       bool governed = false) {
+  if (options.sampler == SamplerEngine::Fused) {
+    if (!governed)
+      return sample_counter_indices_fused(graph, options.model, options.seed,
+                                          indices, options.num_threads,
+                                          collection);
+    const std::size_t lane_bytes =
+        FusedSampler::lane_bytes(graph) * options.num_threads;
+    if (MemoryTracker::instance().try_reserve(lane_bytes,
+                                              "sampler.fused_lanes")) {
+      const std::uint64_t generated = sample_counter_indices_fused(
+          graph, options.model, options.seed, indices, options.num_threads,
+          collection);
+      MemoryTracker::instance().release(lane_bytes);
+      return generated;
+    }
+  }
   return sample_counter_indices(graph, options.model, options.seed, indices,
                                 options.num_threads, collection);
 }
@@ -106,6 +124,13 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   run_options.evict_stalled = options.evict_stalled;
   run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
 
+  // Memory governance (DESIGN.md §12): the budget and kind=oom plan are
+  // process-wide (ranks are threads sharing one MemoryTracker); fault sites
+  // count per rank via the trace rank, so a plan can starve one rank while
+  // its peers keep reserving — the heal-composition scenario.
+  detail::ScopedBudget budget(options.mem_budget, options.rrr_compress,
+                              detail::oom_faults_from_plan(options.fault_plan));
+
   // Checkpoint/restart (DESIGN.md §9): the martingale state is replicated —
   // every rank reaches each round boundary with identical progress — so the
   // dense rank 0 alone snapshots it, together with the per-stream sample
@@ -126,6 +151,30 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     const vertex_t n = graph.num_vertices();
 
     RRRCollection local; // union of the streams this rank currently holds
+    // Governed alternative to `local` (budget, forced compression, or oom
+    // faults): every admission is budget-charged, and refusal — after the
+    // compress and shed rungs — is a *hard* MemoryBudgetExceeded here
+    // rather than a certified early stop, because a rank-local truncation
+    // would silently break the cross-rank agreement on |R|.  The refusing
+    // rank flushes pending checkpoint snapshots first and, under
+    // --recover, dies like any other failed rank: survivors whose
+    // reservations still succeed adopt its streams and continue.
+    std::optional<detail::RRRStore> store;
+    if (budget.governed()) {
+      detail::RRRStore::Policy policy;
+      policy.budget_bytes = options.mem_budget;
+      policy.compress = options.rrr_compress;
+      policy.hard_refusal = true;
+      policy.consumer = "imm_distributed.rrr";
+      store.emplace(policy);
+    }
+    auto local_size = [&] { return store ? store->size() : local.size(); };
+    auto local_footprint = [&] {
+      return store ? store->footprint_bytes() : local.footprint_bytes();
+    };
+    auto local_assoc = [&] {
+      return store ? store->total_associations() : local.total_associations();
+    };
     std::uint64_t global_count = 0;
 
     // The streams this rank holds, each with its leap-frog engine
@@ -150,12 +199,36 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     std::vector<int> stream_owner(static_cast<std::size_t>(p));
     for (int s = 0; s < p; ++s) stream_owner[static_cast<std::size_t>(s)] = s;
 
+    // This rank's slice of the global window [lo, lo + count): the governed
+    // admission batch.  Leap-frog engines are carried across batches —
+    // extend_window walks windows in ascending order, so each engine
+    // resumes exactly where the previous batch left it.
+    auto generate_slice = [&](RRRCollection &scratch, std::uint64_t lo,
+                              std::uint64_t count) {
+      const std::uint64_t hi = lo + count;
+      if (options.rng_mode == RngMode::LeapfrogLcg) {
+        for (OwnedStream &os : owned)
+          sample_leapfrog_range(graph, options.model, os.engine, os.stream,
+                                stride, lo, hi, scratch);
+      } else {
+        std::vector<std::uint64_t> indices;
+        for (const OwnedStream &os : owned)
+          for (std::uint64_t i = leapfrog_first_index(lo, os.stream, stride);
+               i < hi; i += stride)
+            indices.push_back(i);
+        generate_counter_indices(graph, options, indices, scratch,
+                                 /*governed=*/true);
+      }
+    };
+
     auto extend_to = [&](std::uint64_t target) {
       if (target <= global_count) return;
       // Rank-local slice of the batch; the sets arg is attached at the end
       // because leap-frog generation doesn't know its count upfront.
       trace::Span batch_span("sampler", "sampler.dist_batch", "target", target);
-      if (options.rng_mode == RngMode::LeapfrogLcg) {
+      if (store) {
+        store->extend_window(global_count, target, generate_slice);
+      } else if (options.rng_mode == RngMode::LeapfrogLcg) {
         for (OwnedStream &os : owned)
           sample_leapfrog_range(graph, options.model, os.engine, os.stream,
                                 stride, global_count, target, local);
@@ -172,13 +245,12 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
         generate_counter_indices(graph, options, indices, local);
       }
       global_count = target;
-      batch_span.arg("local_sets", local.size());
-      trace::counter("rrr_sets", local.size());
+      batch_span.arg("local_sets", local_size());
+      trace::counter("rrr_sets", local_size());
 
       // Aggregate representation footprint across ranks (the paper reports
       // per-node memory pressure; the sum is the cluster-wide cost).
-      std::uint64_t footprint[2] = {local.footprint_bytes(),
-                                    local.total_associations()};
+      std::uint64_t footprint[2] = {local_footprint(), local_assoc()};
       comm.allreduce(std::span<std::uint64_t>(footprint, 2),
                      mpsim::ReduceOp::Sum);
       if (comm.rank() == 0) {
@@ -196,15 +268,18 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     const std::uint32_t topm = std::max<std::uint32_t>(1, options.selection_topm);
     auto select = [&]() -> SelectionResult {
       trace::Span span("select", "select.distributed", "k", options.k,
-                       "samples", local.size());
+                       "samples", local_size());
       // Local membership counts over this rank's partition...
       std::fill(local_counts.begin(), local_counts.end(), 0);
       {
         trace::Span count_span("select", "select.count_memberships");
-        count_memberships(local.sets(), local_counts);
+        if (store)
+          store->count_into(local_counts);
+        else
+          count_memberships(local.sets(), local_counts);
       }
 
-      std::vector<std::uint8_t> retired(local.size(), 0);
+      std::vector<std::uint8_t> retired(local_size(), 0);
       std::vector<std::uint8_t> selected(n, 0);
 
       // Sparse-exchange state, all local to this invocation: a healing
@@ -323,15 +398,21 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
         // mode additionally logs the decrements so stage 3 can delta-sync.
         selected[seed] = 1;
         selection.seeds.push_back(seed);
-        local_covered +=
-            sparse ? retire_samples_containing(seed, local.sets(), local_counts,
-                                               retired, pending_dec,
-                                               pending_touched)
-                   : retire_samples_containing(seed, local.sets(), local_counts,
-                                               retired);
+        if (store)
+          local_covered +=
+              sparse ? store->retire(seed, local_counts, retired, pending_dec,
+                                     pending_touched)
+                     : store->retire(seed, local_counts, retired);
+        else
+          local_covered +=
+              sparse ? retire_samples_containing(seed, local.sets(),
+                                                 local_counts, retired,
+                                                 pending_dec, pending_touched)
+                     : retire_samples_containing(seed, local.sets(),
+                                                 local_counts, retired);
       }
 
-      std::uint64_t totals[2] = {local_covered, local.size()};
+      std::uint64_t totals[2] = {local_covered, local_size()};
       comm.allreduce(std::span<std::uint64_t>(totals, 2), mpsim::ReduceOp::Sum);
       selection.covered_samples = totals[0];
       selection.total_samples = totals[1];
@@ -359,7 +440,30 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
         stream_owner[static_cast<std::size_t>(s)] = new_holder;
         if (new_holder != comm.world_rank()) continue;
         Lcg64 engine = Lcg64::leapfrog_stream(options.seed, s, stride);
-        if (options.rng_mode == RngMode::LeapfrogLcg) {
+        if (store) {
+          // Governed healing: the adopted stream's regeneration is admitted
+          // through the same budget-charged ladder as fresh sampling —
+          // composition means an adopting rank can itself be refused, and
+          // the refusal is the same diagnosed failure as anywhere else.
+          store->extend_window(
+              0, global_count,
+              [&](RRRCollection &scratch, std::uint64_t lo,
+                  std::uint64_t count) {
+                const std::uint64_t hi = lo + count;
+                if (options.rng_mode == RngMode::LeapfrogLcg) {
+                  regenerated += sample_leapfrog_range(graph, options.model,
+                                                       engine, s, stride, lo,
+                                                       hi, scratch);
+                } else {
+                  std::vector<std::uint64_t> indices;
+                  for (std::uint64_t i = leapfrog_first_index(lo, s, stride);
+                       i < hi; i += stride)
+                    indices.push_back(i);
+                  regenerated += generate_counter_indices(
+                      graph, options, indices, scratch, /*governed=*/true);
+                }
+              });
+        } else if (options.rng_mode == RngMode::LeapfrogLcg) {
           regenerated += sample_leapfrog_range(graph, options.model, engine, s,
                                                stride, 0, global_count, local);
         } else {
@@ -373,7 +477,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       }
       if (metrics::enabled()) regen_counter().add(regenerated);
       span.arg("regenerated", regenerated);
-      trace::counter("rrr_sets", local.size());
+      trace::counter("rrr_sets", local_size());
     };
 
     // Round-boundary snapshot: progress is replicated, so the current dense
@@ -396,8 +500,8 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     // contributes one ledger row per round per attempt — truthful accounting
     // of the work actually done, not of the logical round structure.
     detail::RoundAccounting acct{&ledger, comm.world_rank(), [&] {
-      return std::pair<std::uint64_t, std::uint64_t>(local.size(),
-                                                     local.footprint_bytes());
+      return std::pair<std::uint64_t, std::uint64_t>(local_size(),
+                                                     local_footprint());
     }};
     for (;;) {
       try {
@@ -424,6 +528,8 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       result.num_samples = outcome.num_samples;
       result.lower_bound = outcome.lower_bound;
       result.coverage_fraction = outcome.selection.coverage_fraction();
+      result.degraded = outcome.degraded;
+      result.epsilon_achieved = outcome.epsilon_achieved;
       result.timers = timers;
       report_outcome = std::move(outcome);
     }
@@ -432,7 +538,11 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     // per-rank histograms yields the exact global size distribution — the
     // adopted streams stand in for the dead ranks' contributions.
     metrics::HistogramData local_sizes;
-    for (const RRRSet &sample : local.sets()) local_sizes.record(sample.size());
+    if (store)
+      store->record_sizes(local_sizes);
+    else
+      for (const RRRSet &sample : local.sets())
+        local_sizes.record(sample.size());
     {
       std::lock_guard<std::mutex> lock(report_mutex);
       result.report.rrr_sizes.merge(local_sizes);

@@ -51,6 +51,76 @@ std::size_t RRRCollection::total_associations() const {
   return total;
 }
 
+// --- CompressedRRRCollection ------------------------------------------------
+
+void CompressedRRRCollection::put_varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    payload_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  payload_.push_back(static_cast<std::uint8_t>(value));
+}
+
+void CompressedRRRCollection::append(std::span<const vertex_t> members) {
+  // Worst case: 5 bytes per uint32 varint, plus the count header.
+  check_growth("CompressedRRRCollection payload", payload_.size(),
+               10 + 5 * members.size(), payload_.max_size());
+  if (num_sets_ % kBlockSize == 0) block_offsets_.push_back(payload_.size());
+  put_varint(members.size());
+  vertex_t previous = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    RIPPLES_DEBUG_ASSERT(i == 0 || members[i] > previous);
+    put_varint(i == 0 ? static_cast<std::uint64_t>(members[i])
+                      : static_cast<std::uint64_t>(members[i]) - previous);
+    previous = members[i];
+  }
+  ++num_sets_;
+  total_associations_ += members.size();
+}
+
+std::uint64_t CompressedRRRCollection::Cursor::read_varint() {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    RIPPLES_DEBUG_ASSERT(p_ != end_);
+    const std::uint8_t byte = *p_++;
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint32_t CompressedRRRCollection::Cursor::next_header() {
+  return static_cast<std::uint32_t>(read_varint());
+}
+
+void CompressedRRRCollection::Cursor::decode_members(
+    std::uint32_t count, std::vector<vertex_t> &out) {
+  out.clear();
+  std::uint64_t value = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    value += read_varint();
+    out.push_back(static_cast<vertex_t>(value));
+  }
+}
+
+void CompressedRRRCollection::Cursor::skip_members(std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    while ((*p_ & 0x80) != 0) ++p_;
+    ++p_;
+  }
+}
+
+void CompressedRRRCollection::decode_set(std::size_t j,
+                                         std::vector<vertex_t> &out) const {
+  RIPPLES_DEBUG_ASSERT(j < num_sets_);
+  Cursor cursor(*this);
+  cursor.p_ = payload_.data() + block_offsets_[j / kBlockSize];
+  for (std::size_t skip = j % kBlockSize; skip > 0; --skip)
+    cursor.skip_members(cursor.next_header());
+  cursor.decode_members(cursor.next_header(), out);
+}
+
 void HypergraphCollection::add(RRRSet &&set) {
   check_growth("HypergraphCollection sample ids", sets_.size(), 1,
                std::size_t{std::numeric_limits<std::uint32_t>::max()});

@@ -95,6 +95,89 @@ private:
   std::vector<std::uint64_t> offsets_{0};
 };
 
+/// Delta+varint compressed arena (DESIGN.md §12): each sample is one record
+/// `[varint member_count][varint first][varint deltas...]` — members are
+/// sorted and unique, so consecutive differences are small positive integers
+/// that LEB128 encodes in 1-2 bytes on the paper's graphs (HBMax, arXiv
+/// 2208.00613, and Wang et al., arXiv 2311.07554, report 3-10x on exactly
+/// this structure).  Selection decodes on iterate: the greedy kernels only
+/// ever scan the collection front to back, so the index stores one byte
+/// offset per kBlockSize sets (amortized ~0 bytes/set) instead of one per
+/// set, and retired sets are *skipped* (continuation-bit scan, no value
+/// decode).  The budget governor switches RRR storage to this
+/// representation when the uncompressed arena would exceed the budget.
+class CompressedRRRCollection {
+public:
+  /// Sets per index block; random access decodes at most this many headers.
+  static constexpr std::size_t kBlockSize = 256;
+
+  [[nodiscard]] std::size_t size() const { return num_sets_; }
+  [[nodiscard]] std::size_t total_associations() const {
+    return total_associations_;
+  }
+  [[nodiscard]] std::size_t footprint_bytes() const {
+    return payload_.capacity() * sizeof(std::uint8_t) +
+           block_offsets_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Appends one sample (members sorted ascending, unique).  Throws
+  /// std::length_error when the encoded payload would no longer be
+  /// representable, mirroring FlatRRRCollection::append.
+  void append(std::span<const vertex_t> members);
+
+  /// Decodes sample \p j into \p out (cleared first).  Block-indexed: seeks
+  /// to the enclosing block, then skips at most kBlockSize - 1 records.
+  void decode_set(std::size_t j, std::vector<vertex_t> &out) const;
+
+  /// Releases growth slack after the collection stops growing.
+  void shrink_to_fit() {
+    payload_.shrink_to_fit();
+    block_offsets_.shrink_to_fit();
+  }
+
+  void clear() {
+    payload_.clear();
+    block_offsets_.clear();
+    num_sets_ = 0;
+    total_associations_ = 0;
+  }
+
+  /// Sequential decode-on-iterate reader, the access pattern of every
+  /// selection kernel.  next_header() positions at a record's members and
+  /// returns its member count; the caller then either decode_members() or
+  /// skip_members() (retired sets cost a continuation-bit scan only).
+  class Cursor {
+  public:
+    explicit Cursor(const CompressedRRRCollection &collection)
+        : p_(collection.payload_.data()),
+          end_(collection.payload_.data() + collection.payload_.size()) {}
+
+    [[nodiscard]] bool at_end() const { return p_ == end_; }
+    [[nodiscard]] std::uint32_t next_header();
+    /// Decodes the current record's \p count members into \p out (cleared
+    /// first; members come out sorted, exactly as encoded).
+    void decode_members(std::uint32_t count, std::vector<vertex_t> &out);
+    /// Skips the current record's \p count member varints without decoding.
+    void skip_members(std::uint32_t count);
+
+  private:
+    friend class CompressedRRRCollection;
+    [[nodiscard]] std::uint64_t read_varint();
+    const std::uint8_t *p_;
+    const std::uint8_t *end_;
+  };
+
+  [[nodiscard]] Cursor cursor() const { return Cursor(*this); }
+
+private:
+  void put_varint(std::uint64_t value);
+
+  std::vector<std::uint8_t> payload_;
+  std::vector<std::uint64_t> block_offsets_; // byte offset of set kBlockSize*i
+  std::size_t num_sets_ = 0;
+  std::size_t total_associations_ = 0;
+};
+
 /// Dual-direction storage: samples plus, per vertex, the ids of the samples
 /// containing it.  ~2x the associations of RRRCollection, as the paper
 /// describes for prior implementations.

@@ -58,6 +58,14 @@ FusedSampler::FusedSampler(const CsrGraph &graph)
   }
 }
 
+std::size_t FusedSampler::lane_bytes(const CsrGraph &graph) {
+  const std::size_t n = graph.num_vertices();
+  const std::size_t m = graph.num_edges();
+  return n * sizeof(std::uint64_t)            // visited_ lane masks
+         + (n + 1) * sizeof(vertex_t)         // touched_
+         + m * sizeof(std::uint64_t) * 2;     // thresholds_ + packed_edges_
+}
+
 void FusedSampler::generate(DiffusionModel model, std::uint64_t seed,
                             std::span<const std::uint64_t> sample_indices,
                             RRRSet *outs) {

@@ -52,6 +52,14 @@ public:
   [[nodiscard]] std::uint64_t words_touched() const { return words_; }
   [[nodiscard]] std::uint64_t passes() const { return passes_; }
 
+  /// Heap bytes one instance's lane structures hold for \p graph (the
+  /// visited lane masks, touched list, and packed edge/threshold streams —
+  /// the frontier buffers grow on demand and are excluded).  The budget
+  /// governor pre-reserves this per sampling thread before a governed fused
+  /// window (consumer "sampler.fused_lanes") and falls back to the scalar
+  /// engine — byte-identical output — when refused (DESIGN.md §12).
+  [[nodiscard]] static std::size_t lane_bytes(const CsrGraph &graph);
+
 private:
   /// Growable uninitialized append buffer for the per-lane BFS frontiers.
   /// std::vector::resize would value-initialize the headroom the branchless

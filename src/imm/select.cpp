@@ -69,6 +69,74 @@ std::uint64_t retire_samples_containing(vertex_t seed,
   return retired_count;
 }
 
+void count_memberships(const CompressedRRRCollection &collection,
+                       std::span<std::uint32_t> counters) {
+  auto cursor = collection.cursor();
+  std::vector<vertex_t> members;
+  for (std::size_t j = 0; j < collection.size(); ++j) {
+    cursor.decode_members(cursor.next_header(), members);
+    for (vertex_t v : members) {
+      RIPPLES_DEBUG_ASSERT(v < counters.size());
+      ++counters[v];
+    }
+  }
+}
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        const CompressedRRRCollection &collection,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired) {
+  std::uint64_t retired_count = 0;
+  auto cursor = collection.cursor();
+  std::vector<vertex_t> members;
+  for (std::size_t j = 0; j < collection.size(); ++j) {
+    const std::uint32_t count = cursor.next_header();
+    if (retired[j]) {
+      cursor.skip_members(count);
+      continue;
+    }
+    cursor.decode_members(count, members);
+    if (!std::binary_search(members.begin(), members.end(), seed)) continue;
+    retired[j] = 1;
+    ++retired_count;
+    for (vertex_t u : members) {
+      RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+      --counters[u];
+    }
+  }
+  RIPPLES_DEBUG_ASSERT(counters[seed] == 0);
+  return retired_count;
+}
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        const CompressedRRRCollection &collection,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired,
+                                        std::span<std::uint32_t> pending_dec,
+                                        std::vector<vertex_t> &pending_touched) {
+  std::uint64_t retired_count = 0;
+  auto cursor = collection.cursor();
+  std::vector<vertex_t> members;
+  for (std::size_t j = 0; j < collection.size(); ++j) {
+    const std::uint32_t count = cursor.next_header();
+    if (retired[j]) {
+      cursor.skip_members(count);
+      continue;
+    }
+    cursor.decode_members(count, members);
+    if (!std::binary_search(members.begin(), members.end(), seed)) continue;
+    retired[j] = 1;
+    ++retired_count;
+    for (vertex_t u : members) {
+      RIPPLES_DEBUG_ASSERT(counters[u] > 0);
+      --counters[u];
+      if (pending_dec[u]++ == 0) pending_touched.push_back(u);
+    }
+  }
+  RIPPLES_DEBUG_ASSERT(counters[seed] == 0);
+  return retired_count;
+}
+
 vertex_t argmax_counter(std::span<const std::uint32_t> counters,
                         std::span<const std::uint8_t> selected) {
   vertex_t best = 0;
@@ -271,6 +339,36 @@ SelectionResult select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
         --counters[u];
       }
     }
+  }
+  return result;
+}
+
+SelectionResult select_seeds_compressed(vertex_t num_vertices, std::uint32_t k,
+                                        const CompressedRRRCollection &collection) {
+  RIPPLES_ASSERT(k >= 1 && k <= num_vertices);
+  trace::Span span("select", "select.compressed", "k", k, "samples",
+                   collection.size());
+  std::vector<std::uint32_t> counters(num_vertices, 0);
+  {
+    trace::Span count_span("select", "select.count_memberships");
+    count_memberships(collection, counters);
+  }
+
+  std::vector<std::uint8_t> retired(collection.size(), 0);
+  std::vector<std::uint8_t> selected(num_vertices, 0);
+
+  SelectionResult result;
+  result.total_samples = collection.size();
+  result.seeds.reserve(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    trace::Span round("select", "select.round", "round", i);
+    vertex_t seed = argmax_counter(counters, selected);
+    selected[seed] = 1;
+    result.seeds.push_back(seed);
+    std::uint64_t covered =
+        retire_samples_containing(seed, collection, counters, retired);
+    result.covered_samples += covered;
+    round.arg("covered", covered);
   }
   return result;
 }

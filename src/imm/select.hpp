@@ -70,6 +70,14 @@ select_seeds_hypergraph(vertex_t num_vertices, std::uint32_t k,
 select_seeds_flat(vertex_t num_vertices, std::uint32_t k,
                   const FlatRRRCollection &collection);
 
+/// Selection over the compressed representation (DESIGN.md §12): identical
+/// greedy and tie-breaking, decode-on-iterate — every kernel pass walks the
+/// arena front to back with a cursor, decoding live sets into a scratch
+/// buffer and skipping retired ones at continuation-bit-scan cost.
+[[nodiscard]] SelectionResult
+select_seeds_compressed(vertex_t num_vertices, std::uint32_t k,
+                        const CompressedRRRCollection &collection);
+
 /// Lazy-greedy selection (the paper's future-work item "exploitation of
 /// problem properties such as submodularity", realized CELF-style at the
 /// coverage level): a max-heap of cached counter values replaces the O(n)
@@ -108,6 +116,25 @@ std::uint64_t retire_samples_containing(vertex_t seed,
 /// global counter vector by exchanging only the touched entries.
 std::uint64_t retire_samples_containing(vertex_t seed,
                                         std::span<const RRRSet> samples,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired,
+                                        std::span<std::uint32_t> pending_dec,
+                                        std::vector<vertex_t> &pending_touched);
+
+/// Compressed counterparts of the three kernels above: same counters, same
+/// retirement semantics, decode-on-iterate access.  The distributed driver
+/// dispatches to these when its budget governor has switched the rank-local
+/// partition to the compressed representation.
+void count_memberships(const CompressedRRRCollection &collection,
+                       std::span<std::uint32_t> counters);
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        const CompressedRRRCollection &collection,
+                                        std::span<std::uint32_t> counters,
+                                        std::vector<std::uint8_t> &retired);
+
+std::uint64_t retire_samples_containing(vertex_t seed,
+                                        const CompressedRRRCollection &collection,
                                         std::span<std::uint32_t> counters,
                                         std::vector<std::uint8_t> &retired,
                                         std::span<std::uint32_t> pending_dec,

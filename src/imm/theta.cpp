@@ -92,4 +92,18 @@ std::uint64_t ThetaSchedule::final_theta(double lower_bound) const {
       std::max(1.0, std::ceil(lambda_star_ / lower_bound)));
 }
 
+double certified_epsilon(std::uint64_t num_vertices, std::uint32_t k,
+                         double epsilon, double l, double lower_bound,
+                         std::uint64_t achieved) {
+  if (achieved == 0) return ThetaSchedule::kMaxCertifiedEpsilon;
+  ThetaSchedule schedule(num_vertices, k, epsilon, l);
+  // theta(eps'') <= achieved  <=>  eps'' >= eps * sqrt(lambda*(eps) /
+  // (LB * achieved)); the max with 1 clamps at the requested accuracy.
+  const double needed =
+      schedule.lambda_star() /
+      (std::max(1.0, lower_bound) * static_cast<double>(achieved));
+  const double eps = epsilon * std::sqrt(std::max(1.0, needed));
+  return std::min(eps, ThetaSchedule::kMaxCertifiedEpsilon);
+}
+
 } // namespace ripples

@@ -59,6 +59,10 @@ public:
   [[nodiscard]] double lambda_prime() const { return lambda_prime_; }
   [[nodiscard]] double lambda_star() const { return lambda_star_; }
 
+  /// Value reported as the achieved epsilon when certification is impossible
+  /// (zero samples survived the budget): effectively "no guarantee".
+  static constexpr double kMaxCertifiedEpsilon = 1e4;
+
 private:
   double num_vertices_;
   double epsilon_;
@@ -67,6 +71,19 @@ private:
   double lambda_star_;
   std::uint32_t max_iterations_;
 };
+
+/// The accuracy parameter actually certified by a budget-truncated run
+/// (DESIGN.md §12): the smallest eps'' >= \p epsilon whose final sample
+/// requirement lambda*(eps'') / \p lower_bound is met by \p achieved
+/// samples.  lambda* scales as 1/eps^2 with (n, k, l) fixed, so the answer
+/// has the closed form eps * sqrt(lambda*(eps) / (LB * achieved)), clamped
+/// below by eps (more samples than needed certify the requested accuracy,
+/// up to the final-theta ceil) and above by
+/// ThetaSchedule::kMaxCertifiedEpsilon (achieved == 0 certifies nothing).
+[[nodiscard]] double certified_epsilon(std::uint64_t num_vertices,
+                                       std::uint32_t k, double epsilon,
+                                       double l, double lower_bound,
+                                       std::uint64_t achieved);
 
 } // namespace ripples
 

@@ -398,6 +398,10 @@ std::uint64_t Communicator::begin_collective(Collective collective) {
   if (!shared_.options.faults.empty()) {
     for (const FaultSpec &fault : shared_.options.faults) {
       if (fault.rank != world_rank_ || fault.site != site) continue;
+      // Oom faults fire at memory-reservation sites (MemoryTracker), not at
+      // communication sites; the communicator's site counter never matches
+      // them by design, so skip rather than fall through to the stall path.
+      if (fault.kind == FaultSpec::Kind::Oom) continue;
       if (fault.kind == FaultSpec::Kind::Crash) {
         if (metrics::enabled()) crashes_counter().increment();
         trace::instant("mpsim", "mpsim.fault_crash", "rank",

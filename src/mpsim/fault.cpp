@@ -58,8 +58,10 @@ FaultSpec parse_one(const std::string &spec) {
         fault.kind = FaultSpec::Kind::Crash;
       } else if (value == "stall") {
         fault.kind = FaultSpec::Kind::Stall;
+      } else if (value == "oom") {
+        fault.kind = FaultSpec::Kind::Oom;
       } else {
-        throw std::invalid_argument("fault plan: kind must be crash|stall, "
+        throw std::invalid_argument("fault plan: kind must be crash|stall|oom, "
                                     "got '" + value + "'");
       }
     } else {

@@ -17,8 +17,16 @@
 ///    (RunOptions::watchdog) converts the peers' indefinite wait into a
 ///    diagnosed `CollectiveTimeout`; without a watchdog a stall hangs, just
 ///    like real MPI.
+///  * `oom` — the rank's Nth *tracked memory reservation* (not communication
+///    operation: site N counts MemoryTracker::try_reserve attempts on that
+///    rank) is refused, and stickily so — every later reservation on the
+///    rank fails too, modelling a hard per-rank memory ceiling.  The budget
+///    governor then walks its degradation ladder deterministically
+///    (DESIGN.md §12): compress, shed, and finally a certified early stop
+///    or a diagnosed MemoryBudgetExceeded.  The communicator ignores oom
+///    entries; MemoryTracker::install_oom_faults consumes them.
 ///
-/// Plans are written `rank=R,site=N[,kind=crash|stall]`, multiple faults
+/// Plans are written `rank=R,site=N[,kind=crash|stall|oom]`, multiple faults
 /// separated by `;`.  They arrive programmatically (RunOptions::faults,
 /// ImmOptions::fault_plan, imm_cli --inject-fault) or via the
 /// `RIPPLES_FAULTS` environment variable.  Because site counting is
@@ -39,7 +47,7 @@ namespace ripples::mpsim {
 /// entry (0-based, counted per rank over collectives and point-to-point
 /// operations alike).
 struct FaultSpec {
-  enum class Kind { Crash, Stall };
+  enum class Kind { Crash, Stall, Oom };
 
   int rank = 0;
   std::uint64_t site = 0;
@@ -50,7 +58,7 @@ struct FaultSpec {
 
 using FaultPlan = std::vector<FaultSpec>;
 
-/// Parses `rank=R,site=N[,kind=crash|stall][;rank=...]`.  The empty string
+/// Parses `rank=R,site=N[,kind=crash|stall|oom][;rank=...]`.  The empty string
 /// yields an empty plan; malformed specs throw std::invalid_argument with a
 /// message naming the offending token.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string &spec);

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <string_view>
 
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 #include "support/trace.hpp"
 
@@ -15,6 +16,115 @@ namespace ripples {
 MemoryTracker &MemoryTracker::instance() {
   static MemoryTracker tracker;
   return tracker;
+}
+
+// --- budget & reservations --------------------------------------------------
+
+namespace {
+
+std::string budget_exceeded_message(const std::string &consumer,
+                                    std::size_t requested, std::size_t reserved,
+                                    std::size_t budget) {
+  std::string message = "memory budget exceeded: " + consumer + " requested " +
+                        format_bytes(requested) + " with " +
+                        format_bytes(reserved) + " already reserved";
+  if (budget > 0)
+    message += " of the " + format_bytes(budget) + " budget";
+  else
+    message += " (refused by injected oom fault)";
+  return message;
+}
+
+metrics::Counter &reservations_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mem.budget.reservations");
+  return c;
+}
+
+metrics::Counter &refusals_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("mem.budget.refusals");
+  return c;
+}
+
+} // namespace
+
+MemoryBudgetExceeded::MemoryBudgetExceeded(const std::string &consumer,
+                                           std::size_t requested,
+                                           std::size_t reserved,
+                                           std::size_t budget)
+    : std::runtime_error(
+          budget_exceeded_message(consumer, requested, reserved, budget)),
+      consumer_(consumer), requested_(requested) {}
+
+bool MemoryTracker::oom_fault_fires() {
+  const int rank = trace::thread_rank();
+  std::lock_guard<std::mutex> lock(oom_mutex_);
+  const auto slot = static_cast<std::size_t>(rank < 0 ? 0 : rank);
+  if (slot >= oom_sites_.size()) {
+    oom_sites_.resize(slot + 1, 0);
+    oom_sticky_.resize(slot + 1, 0);
+  }
+  const std::uint64_t site = oom_sites_[slot]++;
+  if (!oom_sticky_[slot]) {
+    for (const OomFaultSpec &fault : oom_faults_)
+      if (fault.rank == rank && fault.site == site) {
+        // Sticky from here on: the rank hit its modelled ceiling, so the
+        // ladder's later rungs (compress, shed) deterministically fail too.
+        oom_sticky_[slot] = 1;
+        break;
+      }
+  }
+  return oom_sticky_[slot] != 0;
+}
+
+bool MemoryTracker::try_reserve(std::size_t bytes, const char *consumer) {
+  if (metrics::enabled()) reservations_counter().increment();
+  bool refused = false;
+  if (have_oom_faults_.load(std::memory_order_relaxed) && oom_fault_fires()) {
+    refused = true;
+  } else {
+    const std::size_t budget = budget_.load(std::memory_order_relaxed);
+    if (budget == 0) {
+      reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    } else {
+      std::size_t current = reserved_.load(std::memory_order_relaxed);
+      for (;;) {
+        if (bytes > budget || current > budget - bytes) {
+          refused = true;
+          break;
+        }
+        if (reserved_.compare_exchange_weak(current, current + bytes,
+                                            std::memory_order_relaxed))
+          break;
+      }
+    }
+  }
+  if (refused) {
+    if (metrics::enabled()) refusals_counter().increment();
+    trace::instant("mem", "mem.budget", "refused_bytes", bytes, "reserved",
+                   reserved_.load(std::memory_order_relaxed));
+    (void)consumer;
+    return false;
+  }
+  allocate(bytes);
+  return true;
+}
+
+void MemoryTracker::install_oom_faults(std::vector<OomFaultSpec> faults) {
+  std::lock_guard<std::mutex> lock(oom_mutex_);
+  oom_faults_ = std::move(faults);
+  oom_sites_.clear();
+  oom_sticky_.clear();
+  have_oom_faults_.store(!oom_faults_.empty(), std::memory_order_relaxed);
+}
+
+void MemoryTracker::clear_oom_faults() {
+  std::lock_guard<std::mutex> lock(oom_mutex_);
+  oom_faults_.clear();
+  oom_sites_.clear();
+  oom_sticky_.clear();
+  have_oom_faults_.store(false, std::memory_order_relaxed);
 }
 
 namespace {
@@ -99,6 +209,11 @@ void ResourceSampler::stop() {
     cv_.notify_all();
   }
   if (worker.joinable()) worker.join();
+  // Final sample at the stop boundary: a run shorter than one period would
+  // otherwise leave the series empty (the loop records, then waits, and a
+  // stop during the first wait skipped the recording entirely), so short
+  // --profile-mem runs had an empty memory_timeline.
+  record_once();
 }
 
 bool ResourceSampler::running() const {

@@ -17,17 +17,59 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 namespace ripples {
 
+/// Diagnostic refusal of a tracked memory reservation: the named consumer
+/// asked for more than the enforced budget (or an injected oom fault) allows.
+/// Thrown only by callers that opted into hard refusal (the distributed
+/// driver); the shared-memory drivers degrade to a certified early stop
+/// instead (DESIGN.md §12).  The message names the consumer and the sizes so
+/// an out-of-budget run is a one-line diagnosis, never a raw bad_alloc.
+class MemoryBudgetExceeded : public std::runtime_error {
+public:
+  MemoryBudgetExceeded(const std::string &consumer, std::size_t requested,
+                       std::size_t reserved, std::size_t budget);
+
+  [[nodiscard]] const std::string &consumer() const { return consumer_; }
+  [[nodiscard]] std::size_t requested_bytes() const { return requested_; }
+
+private:
+  std::string consumer_;
+  std::size_t requested_;
+};
+
+/// One planned reservation failure: the \p site-th tracked reservation
+/// attempted by mpsim world rank \p rank (thread-local trace rank; 0 on the
+/// shared-memory drivers) is refused, and — modelling a hard per-rank
+/// ceiling — every later reservation on that rank is refused too.  The
+/// sticky semantics make the whole degradation ladder deterministic: the
+/// compress and shed rungs re-reserve, fail again, and the run ends in the
+/// same certified early stop (or diagnosed refusal) on every execution.
+/// Mirrors mpsim::FaultSpec, but lives here so support/ stays independent
+/// of the mpsim layer; the drivers translate `kind=oom` plan entries.
+struct OomFaultSpec {
+  int rank = 0;
+  std::uint64_t site = 0;
+};
+
 /// Process-wide live/peak byte counter for tracked data structures.
 ///
 /// Thread-safe: sampling engines update it concurrently.  The counter is
 /// *logical* (bytes of tracked containers), not an allocator hook, so it
 /// measures exactly the representation cost that Table 2 compares.
+///
+/// The tracker doubles as the budget authority (DESIGN.md §12): consumers
+/// that can react to memory pressure route their growth through
+/// try_reserve()/release() and the reserved total is checked against the
+/// enforced budget (`--mem-budget` / RIPPLES_MEM_BUDGET).  Reservations are
+/// *cooperative* — an untracked allocation is not stopped — which keeps
+/// refusal a catchable decision point on the requesting thread instead of a
+/// bad_alloc inside a parallel region.
 class MemoryTracker {
 public:
   /// The single process-wide instance.
@@ -61,9 +103,68 @@ public:
     peak_.store(0, std::memory_order_relaxed);
   }
 
+  // --- budget & reservations (DESIGN.md §12) ------------------------------
+
+  /// Sets the enforced reservation budget in bytes; 0 means unlimited.
+  void set_budget(std::size_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t budget() const {
+    return budget_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t reserved_bytes() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// Attempts to reserve \p bytes against the budget on behalf of
+  /// \p consumer.  Success charges both the reservation total and the
+  /// live/peak counters; failure (budget exceeded, or an installed oom
+  /// fault) changes nothing and returns false.  Counted in
+  /// `mem.budget.reservations` / `mem.budget.refusals`.
+  bool try_reserve(std::size_t bytes, const char *consumer);
+
+  /// Unchecked reservation bookkeeping: used to reconcile an estimate-ahead
+  /// admission with the bytes a batch actually occupies.  Never refused, not
+  /// an oom fault site — admission decisions stay at try_reserve.
+  void force_reserve(std::size_t bytes) {
+    reserved_.fetch_add(bytes, std::memory_order_relaxed);
+    allocate(bytes);
+  }
+
+  /// Returns \p bytes of reservation.
+  void release(std::size_t bytes) {
+    reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+    deallocate(bytes);
+  }
+
+  /// Installs the deterministic reservation-failure plan (`kind=oom` fault
+  /// specs; see mpsim/fault.hpp).  Each rank's try_reserve calls are
+  /// numbered from this installation; once rank R reaches its planned site
+  /// its reservations fail *stickily* from then on.  Replaces any previous
+  /// plan and resets the per-rank site counters.
+  void install_oom_faults(std::vector<OomFaultSpec> faults);
+
+  /// Removes the fault plan and resets the site counters and sticky state.
+  void clear_oom_faults();
+
 private:
+  /// Fault check for one reservation attempt; returns true when the attempt
+  /// must be refused.  Only called when a plan is installed.
+  bool oom_fault_fires();
+
   std::atomic<std::size_t> live_{0};
   std::atomic<std::size_t> peak_{0};
+  std::atomic<std::size_t> budget_{0};
+  std::atomic<std::size_t> reserved_{0};
+
+  // Oom fault state: guarded by a mutex — reservations are per-batch, not
+  // per-sample, so this is far off every hot path, and only ever touched
+  // when a plan is installed (have_oom_faults_ gates with one relaxed load).
+  std::atomic<bool> have_oom_faults_{false};
+  std::mutex oom_mutex_;
+  std::vector<OomFaultSpec> oom_faults_;
+  std::vector<std::uint64_t> oom_sites_;  // per-rank attempt counters
+  std::vector<std::uint8_t> oom_sticky_;  // per-rank "ceiling hit" flags
 };
 
 /// Allocator adaptor that reports every allocation to the MemoryTracker.

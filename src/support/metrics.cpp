@@ -203,6 +203,8 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("driver", driver);
   w.member("failed", failed);
   if (failed) w.member("failure_reason", failure_reason);
+  w.member("degraded", degraded);
+  w.member("epsilon_achieved", epsilon_achieved);
   w.key("resumed_from");
   if (resumed_from < 0)
     w.null();
@@ -218,6 +220,8 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("threads", static_cast<std::uint64_t>(num_threads));
   w.member("ranks", static_cast<std::int64_t>(num_ranks));
   w.member("rng_mode", rng_mode);
+  w.member("mem_budget", mem_budget);
+  w.member("rrr_compress", rrr_compress);
   w.end_object();
 
   w.key("graph");

@@ -269,7 +269,10 @@ struct RunReport {
   /// imbalance factors), "storage.tracker_peak_bytes" /
   /// "storage.peak_rss_bytes", and the optional "memory_timeline" series
   /// from the background resource sampler.
-  static constexpr std::uint32_t kSchemaVersion = 5;
+  /// v6: added "degraded" / "epsilon_achieved" — the memory-budget
+  /// governor's certified-early-stop outcome (DESIGN.md §12), plus
+  /// "options.mem_budget" / "options.rrr_compress".
+  static constexpr std::uint32_t kSchemaVersion = 6;
 
   std::string driver;
 
@@ -290,6 +293,18 @@ struct RunReport {
   unsigned num_threads = 1;
   int num_ranks = 1;
   std::string rng_mode;
+  /// Enforced RRR reservation budget in bytes (0 = unlimited) and the
+  /// compression policy ("auto"/"always"/"off") the run executed under.
+  std::uint64_t mem_budget = 0;
+  std::string rrr_compress;
+
+  /// True when the memory budget forced a certified early stop (v6): the
+  /// seeds are valid at accuracy epsilon_achieved rather than the
+  /// requested epsilon (DESIGN.md §12).
+  bool degraded = false;
+  /// Accuracy certified by the samples actually generated; equals epsilon
+  /// on a non-degraded run.
+  double epsilon_achieved = 0.0;
 
   // Input shape.
   std::uint64_t graph_vertices = 0;

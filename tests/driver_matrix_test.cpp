@@ -170,6 +170,49 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(SelectionExchange::Dense,
                                          SelectionExchange::Sparse)));
 
+// Forced-compression axis: under --rrr-compress always every governed
+// driver must return byte-identical seeds to its plain-representation run —
+// the compressed store changes where samples live, never which samples
+// exist or how the greedy breaks ties.  The ungoverned drivers (baseline,
+// dist-part) are swept too, pinning the flag as a strict no-op there.
+class CompressionSweep
+    : public ::testing::TestWithParam<std::tuple<Driver, DiffusionModel>> {};
+
+TEST_P(CompressionSweep, ForcedCompressionMatchesPlainSeeds) {
+  auto [driver, model] = GetParam();
+
+  CsrGraph graph(barabasi_albert(400, 3, 77));
+  assign_uniform_weights(graph, 78);
+  if (model == DiffusionModel::LinearThreshold)
+    renormalize_linear_threshold(graph);
+
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.model = model;
+  options.seed = 4242;
+
+  options.rrr_compress = CompressMode::Off;
+  ImmResult plain = run(driver, graph, options);
+  options.rrr_compress = CompressMode::Always;
+  ImmResult compressed = run(driver, graph, options);
+
+  EXPECT_EQ(compressed.seeds, plain.seeds) << name_of(driver);
+  EXPECT_EQ(compressed.theta, plain.theta);
+  EXPECT_EQ(compressed.num_samples, plain.num_samples);
+  EXPECT_EQ(compressed.coverage_fraction, plain.coverage_fraction);
+  EXPECT_FALSE(compressed.degraded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDrivers, CompressionSweep,
+    ::testing::Combine(
+        ::testing::Values(Driver::Sequential, Driver::Baseline,
+                          Driver::Multithreaded, Driver::Distributed,
+                          Driver::DistributedPartitioned),
+        ::testing::Values(DiffusionModel::IndependentCascade,
+                          DiffusionModel::LinearThreshold)));
+
 // Deterministic word-count regression: at p >= 4 and k >= 8 the sparse
 // protocol must move strictly fewer selection-exchange words than the dense
 // allreduce on the same workload.  Counted from the metrics registry, which

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <set>
@@ -47,6 +48,14 @@ TEST(FaultPlan, ParsesExplicitKindsAndMultipleSpecs) {
   EXPECT_EQ(plan[0].rank, 0);
   EXPECT_EQ(plan[1].kind, FaultSpec::Kind::Crash);
   EXPECT_EQ(plan[1].site, 9u);
+}
+
+TEST(FaultPlan, ParsesOomKind) {
+  FaultPlan plan = parse_fault_plan("rank=1,site=6,kind=oom");
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].kind, FaultSpec::Kind::Oom);
+  EXPECT_EQ(plan[0].rank, 1);
+  EXPECT_EQ(plan[0].site, 6u);
 }
 
 TEST(FaultPlan, EmptyStringYieldsEmptyPlan) {
@@ -651,6 +660,106 @@ TEST(ImmHealing, WithoutRecoveryTheInjectedFaultPropagates) {
   ImmOptions options = healing_options(RngMode::CounterSequence);
   options.fault_plan = "rank=1,site=5";
   EXPECT_THROW((void)imm_distributed(graph, options), mpsim::InjectedFault);
+}
+
+// --- kind=oom: budget refusal composing with healing and checkpointing -------
+
+TEST(ImmOom, RefusalWithoutRecoveryPropagatesTheDiagnostic) {
+  // An injected reservation failure walks the whole degradation ladder
+  // (compress, shed, stop); the distributed rung-3 policy is a hard refusal
+  // naming the consumer — never an unhandled bad_alloc.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  options.fault_plan = "rank=1,site=1,kind=oom";
+  try {
+    (void)imm_distributed(graph, options);
+    FAIL() << "injected oom was not diagnosed";
+  } catch (const std::exception &error) {
+    EXPECT_NE(std::string(error.what()).find("memory budget exceeded"),
+              std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("imm_distributed.rrr"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ImmOom, RefusedRankHealsLikeACrashedRankAtEverySite) {
+  // Composition with recovery: the budget-refused rank is evictable — the
+  // survivors shrink, adopt its streams, and regenerate its samples
+  // bit-identically, exactly as they would for a crash.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+  ASSERT_EQ(clean.seeds.size(), options.k);
+
+  options.recover_failures = true;
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    for (std::uint64_t site : {std::uint64_t{0}, std::uint64_t{1}}) {
+      options.fault_plan = "rank=" + std::to_string(rank) +
+                           ",site=" + std::to_string(site) + ",kind=oom";
+      const ImmResult healed = imm_distributed(graph, options);
+      // The heal guarantee is the crash-heal guarantee: the failure-free
+      // *seed set*.  (An oom refusal fires mid-extend, not at a collective
+      // boundary, so the martingale may accept one round later than the
+      // clean run — theta equality is only promised for boundary faults.)
+      EXPECT_EQ(healed.seeds, clean.seeds)
+          << "healed seed set diverged for " << options.fault_plan;
+      EXPECT_FALSE(healed.degraded) << options.fault_plan;
+    }
+  }
+}
+
+TEST(ImmOom, RefusalFlushesACheckpointAndALargerBudgetResumesBitIdentically) {
+  // Composition with checkpointing: the refusal flushes the pending
+  // snapshot before throwing, and a rerun with a roomier budget resumes
+  // from it — the governor is excluded from the fingerprint — finishing
+  // with exactly the failure-free seed set.
+  namespace fs = std::filesystem;
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ripples_oom_resume_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  options.checkpoint.dir = dir.string();
+  options.checkpoint.every = 1;
+
+  // Site 1 is the round-2 admission: the round-1 boundary snapshot
+  // is already on disk when the refusal fires.
+  options.fault_plan = "rank=0,site=1,kind=oom";
+  EXPECT_THROW((void)imm_distributed(graph, options), std::exception);
+  ASSERT_FALSE(fs::is_empty(dir)) << "refusal left no snapshot behind";
+
+  options.fault_plan.clear();
+  options.checkpoint.resume = true;
+  const ImmResult resumed = imm_distributed(graph, options);
+  EXPECT_EQ(resumed.seeds, clean.seeds);
+  EXPECT_EQ(resumed.theta, clean.theta);
+  EXPECT_EQ(resumed.coverage_fraction, clean.coverage_fraction);
+  fs::remove_all(dir);
+}
+
+TEST(ImmOom, RefusalsAndReservationsAreCounted) {
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  options.recover_failures = true;
+  options.fault_plan = "rank=1,site=1,kind=oom";
+  metrics::set_enabled(true);
+  const std::uint64_t reservations0 =
+      metrics::Registry::instance().counter("mem.budget.reservations").value();
+  const std::uint64_t refusals0 =
+      metrics::Registry::instance().counter("mem.budget.refusals").value();
+  (void)imm_distributed(graph, options);
+  metrics::set_enabled(false);
+  EXPECT_GT(
+      metrics::Registry::instance().counter("mem.budget.reservations").value(),
+      reservations0);
+  EXPECT_GT(
+      metrics::Registry::instance().counter("mem.budget.refusals").value(),
+      refusals0);
 }
 
 TEST(ImmHealing, FailedRunLeavesAMarkedReport) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -200,6 +201,48 @@ TEST_F(IoTest, BinaryRejectsTruncatedPayload) {
   std::filesystem::resize_file(path("trunc.bin"),
                                std::filesystem::file_size(path("trunc.bin")) / 2);
   EXPECT_THROW((void)load_edge_list_binary(path("trunc.bin")),
+               std::runtime_error);
+}
+
+// A corrupt header declaring an absurd edge count must be diagnosed from
+// the file size, not discovered as a multi-terabyte allocation.  The edge
+// count in the header is rewritten in place (bytes [16, 24) of the fixed
+// layout) so magic, version, and payload stay valid.
+TEST_F(IoTest, BinaryRejectsLyingHeaderBeforeAllocating) {
+  EdgeList original = erdos_renyi(50, 400, 17);
+  save_edge_list_binary(path("liar.bin"), original);
+  {
+    std::fstream patch(path("liar.bin"),
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(16);
+    const std::uint64_t absurd = 1000ull * 1000 * 1000 * 1000;
+    patch.write(reinterpret_cast<const char *>(&absurd), sizeof(absurd));
+  }
+  try {
+    (void)load_edge_list_binary(path("liar.bin"));
+    FAIL() << "lying header accepted";
+  } catch (const std::runtime_error &error) {
+    EXPECT_NE(std::string(error.what()).find("can hold at most"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+// Off-by-one flavour of the same defence: declaring exactly one more edge
+// than the payload holds is rejected, declaring exactly the payload count
+// loads.
+TEST_F(IoTest, BinaryHeaderCapIsExact) {
+  EdgeList original = erdos_renyi(30, 200, 19);
+  save_edge_list_binary(path("exact.bin"), original);
+  EXPECT_NO_THROW((void)load_edge_list_binary(path("exact.bin")));
+  {
+    std::fstream patch(path("exact.bin"),
+                       std::ios::binary | std::ios::in | std::ios::out);
+    patch.seekp(16);
+    const std::uint64_t one_more = original.edges.size() + 1;
+    patch.write(reinterpret_cast<const char *>(&one_more), sizeof(one_more));
+  }
+  EXPECT_THROW((void)load_edge_list_binary(path("exact.bin")),
                std::runtime_error);
 }
 

@@ -438,7 +438,8 @@ TEST(RoundLedger, SerializationGroupsRanksByRoundWithImbalance) {
 
   auto parsed = JsonValue::parse(report.to_json_string());
   ASSERT_TRUE(parsed.has_value());
-  EXPECT_EQ(parsed->find("schema_version")->number, 5.0);
+  EXPECT_EQ(parsed->find("schema_version")->number,
+            static_cast<double>(metrics::RunReport::kSchemaVersion));
 
   const JsonValue *rounds = parsed->find("rounds");
   ASSERT_NE(rounds, nullptr);

@@ -141,6 +141,29 @@ TEST(ResourceSampler, CollectsSamplesAndStopsCleanly) {
   EXPECT_EQ(sampler.samples().size(), samples.size());
 }
 
+TEST(ResourceSampler, StopRecordsOneFinalSample) {
+  // The sampler thread wakes at its period; without a final sample at
+  // stop(), anything that happened after the last periodic wake — e.g. the
+  // peak of a short run at a slow --profile-mem-hz — would be invisible in
+  // the timeline.  Start at a rate far slower than the test, allocate
+  // tracked memory only *after* the immediate first sample, and stop: the
+  // closing sample must exist and see the allocation.
+  ScopedSampler guard;
+  ResourceSampler &sampler = ResourceSampler::instance();
+  sampler.clear();
+  sampler.start(0.5); // one periodic sample every 2 s — never fires here
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const std::size_t before = sampler.samples().size();
+  constexpr std::size_t kBytes = 32 << 20;
+  MemoryTracker::instance().allocate(kBytes);
+  sampler.stop();
+  MemoryTracker::instance().deallocate(kBytes);
+
+  std::vector<ResourceSample> samples = sampler.samples();
+  ASSERT_GT(samples.size(), before);
+  EXPECT_GE(samples.back().tracker_live_bytes, kBytes);
+}
+
 TEST(ResourceSampler, StartAndStopAreIdempotent) {
   ScopedSampler guard;
   ResourceSampler &sampler = ResourceSampler::instance();
