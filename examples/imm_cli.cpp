@@ -45,6 +45,18 @@
 ///                                          RIPPLES_SELECTION_EXCHANGE)
 ///           [--selection-topm N]          (candidates per rank per sparse
 ///                                          round; default 16)
+///           [--steal on|off|intra|inter]  (work-stealing sampler scope;
+///                                          byte-identical seeds in every
+///                                          mode — placement only; counter
+///                                          rng, dist driver; also
+///                                          RIPPLES_STEAL)
+///           [--steal-chunk N]             (draws per stealable chunk;
+///                                          default 64; also
+///                                          RIPPLES_STEAL_CHUNK)
+///           [--steal-skew]                (benchmark knob: home every
+///                                          stream on the first live rank —
+///                                          the fig7 pathological partition;
+///                                          also RIPPLES_STEAL_SKEW)
 ///           [--checkpoint-dir DIR]        (dist/dist-part: snapshot the
 ///                                          martingale state at round
 ///                                          boundaries; also
@@ -167,6 +179,26 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
   }
   options.selection_topm = static_cast<std::uint32_t>(cli.get_bounded(
       "selection-topm", options.selection_topm, 1, UINT32_MAX));
+  // The flag overrides RIPPLES_STEAL (the option's default).
+  if (auto steal = cli.value_of("steal")) {
+    if (*steal == "on") {
+      options.steal = StealMode::On;
+    } else if (*steal == "off") {
+      options.steal = StealMode::Off;
+    } else if (*steal == "intra") {
+      options.steal = StealMode::Intra;
+    } else if (*steal == "inter") {
+      options.steal = StealMode::Inter;
+    } else {
+      std::fprintf(stderr, "unknown --steal '%s' (on|off|intra|inter)\n",
+                   steal->c_str());
+      std::exit(2);
+    }
+  }
+  options.steal_chunk = static_cast<std::uint64_t>(cli.get_bounded(
+      "steal-chunk", static_cast<std::int64_t>(options.steal_chunk), 1,
+      INT64_MAX));
+  if (cli.has_flag("steal-skew")) options.steal_skew = true;
   options.evict_stalled = cli.has_flag("evict-stalled");
   // Flags override the RIPPLES_CHECKPOINT_* environment (the defaults).
   if (auto dir = cli.value_of("checkpoint-dir")) options.checkpoint.dir = *dir;

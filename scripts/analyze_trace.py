@@ -28,11 +28,18 @@ Checks (nonzero exit on violation, same contract as compare_reports.py):
   * every flow start pairs with exactly one flow end;
   * every sampler batch span is covered by a batch flow on its pid;
   * optional --max-imbalance bound on every round's max/median compute
-    imbalance factor.
+    imbalance factor; --imbalance-min-wall-ms restricts that gate to
+    rounds long enough to measure (sub-millisecond rounds are scheduler
+    noise, not load imbalance).
+
+--print-imbalance emits one machine-parseable line per round on stdout
+(`IMBALANCE<TAB>label<TAB>wall_ms<TAB>factor`) so callers (check.sh's
+stealing leg) can compute before/after ratios without scraping the table.
 
 Usage:
   analyze_trace.py trace.json [--sum-tolerance 0.05] [--max-imbalance F]
-                              [--quiet]
+                              [--imbalance-min-wall-ms MS]
+                              [--print-imbalance] [--quiet]
 """
 
 import argparse
@@ -207,6 +214,13 @@ def main():
     parser.add_argument("--max-imbalance", type=float, default=None,
                         help="fail when any round's compute imbalance "
                              "factor exceeds this bound")
+    parser.add_argument("--imbalance-min-wall-ms", type=float, default=0.0,
+                        help="apply --max-imbalance only to rounds whose "
+                             "wall time is at least this many milliseconds "
+                             "(default 0: gate every round)")
+    parser.add_argument("--print-imbalance", action="store_true",
+                        help="emit one IMBALANCE\\tlabel\\twall_ms\\tfactor "
+                             "line per round for machine consumption")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-round table, print only "
                              "failures and the summary line")
@@ -306,9 +320,13 @@ def main():
                 f"covers {accounted / 1000.0:.3f}ms of {wall / 1000.0:.3f}ms "
                 f"wall ({gap * 100.0:.1f}% gap > "
                 f"{args.sum_tolerance * 100.0:.0f}% tolerance)")
-        if args.max_imbalance is not None and factor > args.max_imbalance:
+        if (args.max_imbalance is not None and
+                wall / 1000.0 >= args.imbalance_min_wall_ms and
+                factor > args.max_imbalance):
             failures.append(f"{label}: imbalance factor {factor:.2f} exceeds "
                             f"--max-imbalance {args.max_imbalance:.2f}")
+        if args.print_imbalance:
+            print(f"IMBALANCE\t{label}\t{wall / 1000.0:.3f}\t{factor:.4f}")
 
         totals["wall"] += wall
         totals["sample"] += sample

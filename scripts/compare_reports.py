@@ -45,6 +45,13 @@ Four families of checks, each with its own threshold:
     if it is bit-identical to the uninterrupted run, so there is no
     tolerance to configure.
 
+--ignore-placement skips the families that encode WHERE work ran rather
+than WHAT was computed: mpsim collective traffic, storage peaks, and the
+per-round ledger (per-rank rrr_sets and imbalance).  check.sh's stealing
+leg uses it to compare a work-stealing run against its no-steal baseline —
+the runs must agree on every result-identity and sampling-distribution
+check while legitimately differing in placement.
+
 A metric present on one side and absent on the other is always a reported
 diff, never a silent pass: a collective or registry counter appearing means
 new communication/instrumentation, one disappearing means a regression run
@@ -182,8 +189,10 @@ class Comparison:
                 self.args.phase_tolerance,
                 self.args.phase_min_seconds)
 
-        base_comm = dig(base, "mpsim") or {}
-        cand_comm = dig(cand, "mpsim") or {}
+        base_comm = {} if self.args.ignore_placement else (
+            dig(base, "mpsim") or {})
+        cand_comm = {} if self.args.ignore_placement else (
+            dig(cand, "mpsim") or {})
         for collective in sorted(set(base_comm) | set(cand_comm)):
             if collective not in base_comm or collective not in cand_comm:
                 self.presence_diff(f"{label}.mpsim.{collective}",
@@ -203,8 +212,9 @@ class Comparison:
                 dig(cand, "samples", "size_histogram", field),
                 self.args.histogram_tolerance)
 
-        for field in ("rrr_peak_bytes", "tracker_peak_bytes",
-                      "peak_rss_bytes"):
+        for field in (() if self.args.ignore_placement else
+                      ("rrr_peak_bytes", "tracker_peak_bytes",
+                       "peak_rss_bytes")):
             base_value = dig(base, "storage", field)
             cand_value = dig(cand, "storage", field)
             if base_value is None and cand_value is None:
@@ -216,7 +226,8 @@ class Comparison:
             self.check_relative(f"{label}.storage.{field}", base_value,
                                 cand_value, self.args.memory_tolerance)
 
-        self.compare_rounds(label, base, cand)
+        if not self.args.ignore_placement:
+            self.compare_rounds(label, base, cand)
 
     def compare_degradation(self, label, base, cand):
         """Degraded-run parity (DESIGN.md §12): every other family would
@@ -310,6 +321,13 @@ def main():
     parser.add_argument("--check-seeds", action="store_true",
                         help="require EXACT equality of seeds, theta, sample "
                              "count, and coverage (kill/resume equivalence)")
+    parser.add_argument("--ignore-placement", action="store_true",
+                        help="skip the placement-sensitive families (mpsim "
+                             "collective traffic, storage peaks, per-round "
+                             "ledger) when comparing runs whose work "
+                             "placement legitimately differs, e.g. stealing "
+                             "on vs off; result identity and the RRR "
+                             "histogram still apply")
     parser.add_argument("--allow-missing", action="store_true",
                         help="don't fail when a baseline report has no "
                              "candidate counterpart")

@@ -28,6 +28,42 @@ SamplerEngine sampler_engine_from_env() {
   return SamplerEngine::Sequential;
 }
 
+StealMode steal_mode_from_env() {
+  const char *value = std::getenv("RIPPLES_STEAL");
+  if (value == nullptr) return StealMode::Off;
+  if (std::strcmp(value, "on") == 0) return StealMode::On;
+  if (std::strcmp(value, "intra") == 0) return StealMode::Intra;
+  if (std::strcmp(value, "inter") == 0) return StealMode::Inter;
+  return StealMode::Off;
+}
+
+std::uint64_t steal_chunk_from_env() {
+  const char *value = std::getenv("RIPPLES_STEAL_CHUNK");
+  if (value != nullptr) {
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end != value && *end == '\0' && parsed > 0)
+      return static_cast<std::uint64_t>(parsed);
+  }
+  return 64; // one fused batch per chunk
+}
+
+bool steal_skew_from_env() {
+  const char *value = std::getenv("RIPPLES_STEAL_SKEW");
+  return value != nullptr &&
+         (std::strcmp(value, "1") == 0 || std::strcmp(value, "on") == 0);
+}
+
+const char *to_string(StealMode mode) {
+  switch (mode) {
+  case StealMode::Off: return "off";
+  case StealMode::Intra: return "intra";
+  case StealMode::Inter: return "inter";
+  case StealMode::On: return "on";
+  }
+  return "?";
+}
+
 namespace detail {
 
 void finalize_run_report(ImmResult &result, const char *driver,
@@ -47,6 +83,9 @@ void finalize_run_report(ImmResult &result, const char *driver,
   report.rrr_compress = options.rrr_compress == CompressMode::Always ? "always"
                         : options.rrr_compress == CompressMode::Off  ? "off"
                                                                      : "auto";
+  report.steal = to_string(options.steal);
+  report.steal_chunk = options.steal_chunk;
+  report.steal_skew = options.steal_skew;
   report.degraded = result.degraded;
   report.epsilon_achieved = result.epsilon_achieved;
   report.graph_vertices = graph.num_vertices();

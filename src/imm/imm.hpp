@@ -75,6 +75,38 @@ enum class SamplerEngine {
 /// the fused engine without touching call sites.
 [[nodiscard]] SamplerEngine sampler_engine_from_env();
 
+/// Work-stealing scope of the sampling phase (DESIGN.md §13).  Because the
+/// counter-mode RNG derives each draw from its global stream index, moving a
+/// chunk between executors cannot change the emitted bytes — stealing is a
+/// pure placement knob, byte-identical on vs. off.  Requires
+/// RngMode::CounterSequence; the leapfrog mode silently keeps its pinned
+/// placement (tests assert the no-op).  Inter-rank stealing additionally
+/// requires the ungoverned path (budget admission windows are rank-local).
+enum class StealMode {
+  /// No stealing: every draw runs where the static partition homed it.
+  Off,
+  /// Threads within a rank steal chunks from each other's queues.
+  Intra,
+  /// Ranks donate their chunk list to the mpsim steal channel and any rank
+  /// may execute any chunk.
+  Inter,
+  /// Both levels (the `--steal on` setting).
+  On,
+};
+
+/// Reads RIPPLES_STEAL ("on", "intra", "inter"; anything else — including
+/// unset — selects Off), same idiom as sampler_engine_from_env.
+[[nodiscard]] StealMode steal_mode_from_env();
+
+[[nodiscard]] const char *to_string(StealMode mode);
+
+/// Reads RIPPLES_STEAL_CHUNK (draws per chunk; 0/unset/garbage selects the
+/// default of 64 — one fused batch per chunk).
+[[nodiscard]] std::uint64_t steal_chunk_from_env();
+
+/// Reads RIPPLES_STEAL_SKEW ("1"/"on" enables).
+[[nodiscard]] bool steal_skew_from_env();
+
 struct ImmOptions {
   double epsilon = 0.5;
   std::uint32_t k = 50;
@@ -142,6 +174,24 @@ struct ImmOptions {
   /// When the governor may switch to the compressed RRR representation;
   /// defaults from RIPPLES_RRR_COMPRESS (`--rrr-compress` in imm_cli).
   CompressMode rrr_compress = compress_mode_from_env();
+
+  // Work-stealing sampler (DESIGN.md §13).
+  /// Steal scope (`--steal`); defaults from RIPPLES_STEAL.  A placement
+  /// knob only — seeds/theta/|R|/coverage are byte-identical in every mode
+  /// and under every steal schedule (stealing_test sweeps them).  Counter
+  /// rng mode only; imm_distributed is the consumer (Intra/On chunk the
+  /// in-rank sampling loop, Inter/On additionally donate chunks to the
+  /// mpsim steal channel); the other drivers ignore the knob.
+  StealMode steal = steal_mode_from_env();
+  /// Draws per stealable chunk (`--steal-chunk`); defaults from
+  /// RIPPLES_STEAL_CHUNK, 0 is clamped to 1.
+  std::uint64_t steal_chunk = steal_chunk_from_env();
+  /// Test/benchmark knob (`--steal-skew`): home every stream's generation
+  /// on the first live rank, manufacturing the fig7 pathological partition.
+  /// With stealing off this is the worst-case baseline; with inter stealing
+  /// on, thieves spread the same draws — byte-identical seeds either way.
+  /// Counter mode, imm_distributed, ungoverned path only.
+  bool steal_skew = steal_skew_from_env();
 };
 
 struct ImmResult {

@@ -47,9 +47,11 @@
 #include "imm/sampler.hpp"
 #include "imm/sampler_fused.hpp"
 #include "imm/select.hpp"
+#include "imm/steal.hpp"
 #include "mpsim/communicator.hpp"
 #include "rng/lcg.hpp"
 #include "support/assert.hpp"
+#include "support/steal_schedule.hpp"
 #include "support/trace.hpp"
 
 namespace ripples {
@@ -59,6 +61,18 @@ namespace {
 metrics::Counter &regen_counter() {
   static metrics::Counter &c =
       metrics::Registry::instance().counter("imm.regen.rrr_sets");
+  return c;
+}
+
+metrics::Counter &stolen_chunks_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.steal.chunks_stolen");
+  return c;
+}
+
+metrics::Counter &stolen_sets_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("imm.steal.sets_stolen");
   return c;
 }
 
@@ -77,22 +91,44 @@ std::uint64_t generate_counter_indices(const CsrGraph &graph,
                                        std::span<const std::uint64_t> indices,
                                        RRRCollection &collection,
                                        bool governed = false) {
+  // Intra-rank stealing (DESIGN.md §13): route multi-threaded generation
+  // through the chunked per-thread queues.  Byte-identical to the unchunked
+  // kernels — every position writes its pre-grown slot — so the dispatch is
+  // placement-only, exactly like the fused/scalar engine choice.
+  const bool intra =
+      (options.steal == StealMode::Intra || options.steal == StealMode::On) &&
+      options.num_threads > 1;
   if (options.sampler == SamplerEngine::Fused) {
-    if (!governed)
+    if (!governed) {
+      if (intra)
+        return detail::sample_counter_chunked(
+            graph, options.model, options.seed, indices, options.num_threads,
+            options.steal_chunk, /*fused=*/true, collection);
       return sample_counter_indices_fused(graph, options.model, options.seed,
                                           indices, options.num_threads,
                                           collection);
+    }
     const std::size_t lane_bytes =
         FusedSampler::lane_bytes(graph) * options.num_threads;
     if (MemoryTracker::instance().try_reserve(lane_bytes,
                                               "sampler.fused_lanes")) {
-      const std::uint64_t generated = sample_counter_indices_fused(
-          graph, options.model, options.seed, indices, options.num_threads,
-          collection);
+      const std::uint64_t generated =
+          intra ? detail::sample_counter_chunked(
+                      graph, options.model, options.seed, indices,
+                      options.num_threads, options.steal_chunk, /*fused=*/true,
+                      collection)
+                : sample_counter_indices_fused(graph, options.model,
+                                               options.seed, indices,
+                                               options.num_threads, collection);
       MemoryTracker::instance().release(lane_bytes);
       return generated;
     }
   }
+  if (intra)
+    return detail::sample_counter_chunked(graph, options.model, options.seed,
+                                          indices, options.num_threads,
+                                          options.steal_chunk, /*fused=*/false,
+                                          collection);
   return sample_counter_indices(graph, options.model, options.seed, indices,
                                 options.num_threads, collection);
 }
@@ -199,6 +235,25 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
     std::vector<int> stream_owner(static_cast<std::size_t>(p));
     for (int s = 0; s < p; ++s) stream_owner[static_cast<std::size_t>(s)] = s;
 
+    // Work-stealing placement (DESIGN.md §13).  Every knob requires the
+    // index-addressable counter streams — under LeapfrogLcg the one global
+    // LCG is walked draw by draw per stream, so stealing and skew are
+    // silent no-ops there (stealing_test pins this, the fused-engine
+    // precedent).  Inter stealing and skew additionally require the
+    // ungoverned path: budget admission windows are rank-local, so a
+    // migrated chunk would be charged to the wrong rank's ladder.
+    const bool counter_mode = options.rng_mode == RngMode::CounterSequence;
+    const bool steal_inter =
+        counter_mode && !store && p > 1 &&
+        (options.steal == StealMode::Inter || options.steal == StealMode::On);
+    const bool skew = options.steal_skew && counter_mode && !store;
+    // With inter stealing or a skewed partition the stream -> rank map no
+    // longer says where samples live, so each rank records the global draw
+    // ranges it actually executed; healing then gathers the survivors'
+    // inventories and regenerates exactly the ranges nobody holds.
+    const bool flexible_placement = steal_inter || skew;
+    detail::StreamInventory inventory;
+
     // This rank's slice of the global window [lo, lo + count): the governed
     // admission batch.  Leap-frog engines are carried across batches —
     // extend_window walks windows in ascending order, so each engine
@@ -232,6 +287,88 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
         for (OwnedStream &os : owned)
           sample_leapfrog_range(graph, options.model, os.engine, os.stream,
                                 stride, global_count, target, local);
+      } else if (flexible_placement) {
+        // Placement-flexible counter generation: this window's draws become
+        // chunks keyed by (stream, global-index range).  Under skew the
+        // first live member homes every stream's chunks (the manufactured
+        // fig7 pathology); otherwise each rank chunks its own streams.
+        std::vector<detail::ChunkRange> mine;
+        if (!skew || comm.world_rank() == comm.members().front()) {
+          auto chunk_stream = [&](std::uint64_t s) {
+            std::vector<detail::ChunkRange> chunks = detail::make_stream_chunks(
+                global_count, target, s, stride, options.steal_chunk);
+            mine.insert(mine.end(), chunks.begin(), chunks.end());
+          };
+          if (skew)
+            for (std::uint64_t s = 0; s < stride; ++s) chunk_stream(s);
+          else
+            for (const OwnedStream &os : owned) chunk_stream(os.stream);
+        }
+        // Executing a chunk is executor-independent: the RNG coordinates
+        // come from the chunk's global stream indices, so a stolen chunk
+        // emits byte-for-byte the sets its home rank would have.
+        auto execute_chunk = [&](const detail::ChunkRange &c, bool stolen) {
+          std::vector<std::uint64_t> indices;
+          for (std::uint64_t i =
+                   leapfrog_first_index(c.begin, c.stream, stride);
+               i < c.end; i += stride) {
+            indices.push_back(i);
+            if (stride > ~std::uint64_t{0} - i) break;
+          }
+          if (indices.empty()) return;
+          // Same category as the enclosing sampler.dist_batch span, so
+          // analyze_trace's toplevel-coverage invariants see one batch.
+          trace::Span chunk_span("sampler", "sampler.steal_chunk", "stream",
+                                 c.stream, "count", indices.size());
+          if (stolen) chunk_span.arg("stolen", 1);
+          generate_counter_indices(graph, options, indices, local);
+          inventory.add(c.stream, c.begin, c.end);
+          if (stolen && metrics::enabled()) {
+            stolen_chunks_counter().increment();
+            stolen_sets_counter().add(indices.size());
+          }
+        };
+        if (!steal_inter) {
+          for (const detail::ChunkRange &c : mine) execute_chunk(c, false);
+        } else {
+          // Publish unconditionally — an empty list included — so every
+          // rank consumes the same steal site before its first acquire and
+          // early fault-site numbering stays deterministic.
+          std::vector<mpsim::Communicator::StealItem> items;
+          items.reserve(mine.size());
+          for (const detail::ChunkRange &c : mine)
+            items.push_back({c.stream, c.begin, c.end});
+          comm.steal_publish(items);
+          // Publish visibility barrier: a thief whose own list is empty
+          // (the skewed case) reaches the drain loop immediately, and
+          // without this sync it can scan every queue before the loaded
+          // rank has published, conclude the window is drained, and leave
+          // all the work where the static partition put it.  After the
+          // barrier, queues only shrink, so empty-everywhere really means
+          // the window's chunks are all claimed.
+          comm.barrier();
+          // Drain-and-steal loop.  No further termination protocol needed:
+          // a rank finding every queue empty proceeds to the footprint
+          // allreduce below, which is the window's real barrier.
+          std::uint64_t step = 0;
+          for (;;) {
+            const steal_schedule::Decision d =
+                steal_schedule::decide(comm.world_rank(), step++);
+            mpsim::Communicator::StealItem item;
+            bool have = false;
+            bool stolen = false;
+            bool tried = false;
+            auto acquire = [&] {
+              tried = true;
+              return comm.steal_acquire(item, d.victim_offset);
+            };
+            if (d.allow_steal && d.steal_first) stolen = have = acquire();
+            if (!have) have = comm.steal_pop(item);
+            if (!have && d.allow_steal && !tried) stolen = have = acquire();
+            if (!have) break;
+            execute_chunk({item.tag, item.begin, item.end}, stolen);
+          }
+        }
       } else {
         // Counter mode: per-sample Philox streams keyed by the global index,
         // so R is independent of p; local generation may additionally use
@@ -434,6 +571,43 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
           lost.push_back(s);
       }
       std::uint64_t regenerated = 0;
+      if (flexible_placement) {
+        // Inventory-based healing: with stealing or skew the dead ranks may
+        // have executed anyone's chunks (and survivors theirs), so the
+        // stream map cannot say what died.  Reassign ownership first (the
+        // same deterministic round-robin, keeping future windows balanced),
+        // then gather every survivor's executed-range inventory and
+        // regenerate exactly the gaps — each on the stream's new owner.
+        for (std::size_t j = 0; j < lost.size(); ++j) {
+          const std::uint64_t s = lost[j];
+          const int new_holder = shrink.members[j % shrink.members.size()];
+          stream_owner[static_cast<std::size_t>(s)] = new_holder;
+          if (new_holder == comm.world_rank())
+            owned.push_back({s, Lcg64::leapfrog_stream(options.seed, s,
+                                                       stride)});
+        }
+        const std::vector<std::uint64_t> flat = inventory.serialize();
+        const std::vector<std::uint64_t> gathered =
+            comm.allgatherv(std::span<const std::uint64_t>(flat));
+        for (const detail::ChunkRange &m :
+             detail::missing_ranges(gathered, stride, global_count)) {
+          if (stream_owner[static_cast<std::size_t>(m.stream)] !=
+              comm.world_rank())
+            continue;
+          std::vector<std::uint64_t> indices;
+          for (std::uint64_t i =
+                   leapfrog_first_index(m.begin, m.stream, stride);
+               i < m.end; i += stride)
+            indices.push_back(i);
+          regenerated += generate_counter_indices(graph, options, indices,
+                                                  local);
+          inventory.add(m.stream, m.begin, m.end);
+        }
+        if (metrics::enabled()) regen_counter().add(regenerated);
+        span.arg("regenerated", regenerated);
+        trace::counter("rrr_sets", local_size());
+        return;
+      }
       for (std::size_t j = 0; j < lost.size(); ++j) {
         const std::uint64_t s = lost[j];
         const int new_holder = shrink.members[j % shrink.members.size()];

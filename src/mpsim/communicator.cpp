@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -27,6 +28,7 @@ const char *to_string(Collective collective) {
   case Collective::Allgatherv: return "allgatherv";
   case Collective::Send: return "send";
   case Collective::Recv: return "recv";
+  case Collective::Steal: return "steal";
   }
   return "?";
 }
@@ -213,6 +215,15 @@ struct Mailbox {
   bool posted = false;
 };
 
+/// One rank's published stealable work.  Unlike the mailboxes, the steal
+/// queues never rendezvous: a publish replaces the owner's queue, pops and
+/// steals are lock-then-go, and nobody ever waits on a queue — which is why
+/// a dead rank's queue stays safely readable for the rest of the window.
+struct StealQueue {
+  std::mutex mutex;
+  std::deque<Communicator::StealItem> items;
+};
+
 struct SharedState {
   explicit SharedState(const RunOptions &run_options)
       : options(run_options), world_size(run_options.num_ranks),
@@ -220,6 +231,7 @@ struct SharedState {
         sizes(static_cast<std::size_t>(world_size), 0),
         mailboxes(static_cast<std::size_t>(world_size) *
                   static_cast<std::size_t>(world_size)),
+        steal_queues(static_cast<std::size_t>(world_size)),
         in_barrier(static_cast<std::size_t>(world_size), 0),
         in_shrink(static_cast<std::size_t>(world_size), 0),
         alive(static_cast<std::size_t>(world_size), 1), live(world_size) {}
@@ -339,6 +351,7 @@ struct SharedState {
   std::vector<const void *> pointers;
   std::vector<std::size_t> sizes;
   std::vector<Mailbox> mailboxes;
+  std::vector<StealQueue> steal_queues;
 
   // Central mutex: guards the generation barrier, the shrink barrier, and
   // the membership ledger below.  `aborted` and `dead_count` double as
@@ -730,6 +743,82 @@ void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
   box.posted = false;
   box.data = nullptr;
   box.cv.notify_all();
+}
+
+// --- Steal channel ----------------------------------------------------------
+//
+// Nonblocking by construction: every operation is lock-then-go on one queue
+// mutex (steal_acquire touches the victim's queue first, its own second —
+// acyclic because thieves never hold another queue while taking a victim's).
+// No rendezvous means no watchdog is needed here; a rank that dies at a
+// steal site is diagnosed by the phase's next real collective, where the
+// standard watchdog/eviction machinery already applies.
+
+void Communicator::steal_publish(std::span<const StealItem> items) {
+  const std::uint64_t site = begin_collective(Collective::Steal);
+  record(Collective::Steal, items.size() * sizeof(StealItem));
+  trace::Span span("mpsim", "mpsim.steal_publish", "items", items.size(),
+                   "site", site);
+  detail::StealQueue &queue =
+      shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  queue.items.assign(items.begin(), items.end());
+}
+
+bool Communicator::steal_pop(StealItem &out) {
+  detail::StealQueue &queue =
+      shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.items.empty()) return false;
+  out = queue.items.front();
+  queue.items.pop_front();
+  return true;
+}
+
+bool Communicator::steal_acquire(StealItem &out, std::uint64_t victim_offset) {
+  const std::uint64_t site = begin_collective(Collective::Steal);
+  (void)site; // fault hook only; the channel has no rendezvous to tag
+  const std::size_t p = members_.size();
+  if (p <= 1) return false;
+  const auto me = static_cast<std::size_t>(my_index_);
+  for (std::size_t off = 0; off < p; ++off) {
+    const std::size_t victim_index =
+        (me + 1 + static_cast<std::size_t>(victim_offset % p) + off) % p;
+    if (victim_index == me) continue;
+    const int victim_world = members_[victim_index];
+    // Copy the split out of the victim's lock before touching our own
+    // queue; holding two queue mutexes at once would require a global
+    // locking order the thieves cannot agree on.
+    std::vector<StealItem> taken;
+    {
+      detail::StealQueue &victim =
+          shared_.steal_queues[static_cast<std::size_t>(victim_world)];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      const std::size_t n = victim.items.size();
+      if (n == 0) continue;
+      const std::size_t keep = n - (n + 1) / 2; // thief takes ceil(n/2)
+      taken.assign(victim.items.begin() + static_cast<std::ptrdiff_t>(keep),
+                   victim.items.end());
+      victim.items.erase(victim.items.begin() +
+                             static_cast<std::ptrdiff_t>(keep),
+                         victim.items.end());
+    }
+    record(Collective::Steal, taken.size() * sizeof(StealItem));
+    trace::instant("mpsim", "mpsim.steal_acquire", "victim",
+                   static_cast<std::uint64_t>(victim_world), "items",
+                   static_cast<std::uint64_t>(taken.size()));
+    out = taken.front();
+    if (taken.size() > 1) {
+      detail::StealQueue &mine =
+          shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      // Back of our queue: peers split from the back, so the surplus stays
+      // re-stealable ahead of our own front-pop order.
+      mine.items.insert(mine.items.end(), taken.begin() + 1, taken.end());
+    }
+    return true;
+  }
+  return false;
 }
 
 // --- Context ----------------------------------------------------------------

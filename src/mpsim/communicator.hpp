@@ -150,9 +150,10 @@ enum class Collective : std::size_t {
   Allgatherv,
   Send,
   Recv,
+  Steal,
 };
 
-inline constexpr std::size_t kNumCollectives = 10;
+inline constexpr std::size_t kNumCollectives = 11;
 
 [[nodiscard]] const char *to_string(Collective collective);
 
@@ -427,6 +428,40 @@ public:
     sync(Collective::Allgatherv, site);
     return sections;
   }
+
+  /// One stealable unit of work on the donate/steal channel: an opaque
+  /// (tag, begin, end) triple whose meaning belongs to the caller (the IMM
+  /// sampler uses tag = leapfrog stream and [begin, end) = global draw
+  /// index bounds).
+  struct StealItem {
+    std::uint64_t tag = 0;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+  };
+
+  /// Nonblocking donate: replaces this rank's steal queue with \p items.
+  /// Unlike the collectives, the steal channel never rendezvouses — there
+  /// is no sync, so a dead peer can neither block a publish nor a steal;
+  /// the surrounding phase's next real collective is the only barrier.
+  /// Counts one fault site (a planned crash here dies *while donating*).
+  void steal_publish(std::span<const StealItem> items);
+
+  /// Nonblocking owner-side pop from this rank's own queue.  Hot path: no
+  /// fault site, no rendezvous — a rank draining its own queue must not
+  /// perturb the fault-site numbering of runs that never steal.
+  bool steal_pop(StealItem &out);
+
+  /// Nonblocking steal: scans the *live* membership in dense order starting
+  /// after this rank (rotated by \p victim_offset), splits ceil(n/2) items
+  /// off the back of the first non-empty victim queue, returns one in
+  /// \p out and re-queues the rest locally (where peers may steal them
+  /// back).  Returns false when every victim queue is empty.  Counts one
+  /// fault site (a planned crash here dies *at a steal site*).  Queues of
+  /// ranks that died mid-window stay readable — a steal request to a dead
+  /// rank completes instead of hanging — and shrink() removes the dead
+  /// rank from the scan, so its unfinished items are never stolen after
+  /// the membership acknowledges the death (healing regenerates them).
+  bool steal_acquire(StealItem &out, std::uint64_t victim_offset = 0);
 
 private:
   friend class Context;

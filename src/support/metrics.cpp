@@ -222,6 +222,9 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("rng_mode", rng_mode);
   w.member("mem_budget", mem_budget);
   w.member("rrr_compress", rrr_compress);
+  w.member("steal", steal);
+  w.member("steal_chunk", steal_chunk);
+  w.member("steal_skew", steal_skew);
   w.end_object();
 
   w.key("graph");

@@ -272,7 +272,10 @@ struct RunReport {
   /// v6: added "degraded" / "epsilon_achieved" — the memory-budget
   /// governor's certified-early-stop outcome (DESIGN.md §12), plus
   /// "options.mem_budget" / "options.rrr_compress".
-  static constexpr std::uint32_t kSchemaVersion = 6;
+  /// v7: added "options.steal" / "options.steal_chunk" /
+  /// "options.steal_skew" — the work-stealing sampler's placement knobs
+  /// (DESIGN.md §13).
+  static constexpr std::uint32_t kSchemaVersion = 7;
 
   std::string driver;
 
@@ -297,6 +300,12 @@ struct RunReport {
   /// compression policy ("auto"/"always"/"off") the run executed under.
   std::uint64_t mem_budget = 0;
   std::string rrr_compress;
+  /// Work-stealing placement knobs (v7): the steal scope
+  /// ("off"/"intra"/"inter"/"on"), the chunk size in draws, and whether the
+  /// skewed-partition benchmark knob was on (DESIGN.md §13).
+  std::string steal;
+  std::uint64_t steal_chunk = 0;
+  bool steal_skew = false;
 
   /// True when the memory budget forced a certified early stop (v6): the
   /// seeds are valid at accuracy epsilon_achieved rather than the

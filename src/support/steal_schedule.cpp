@@ -1,0 +1,57 @@
+#include "support/steal_schedule.hpp"
+
+#include <atomic>
+
+namespace ripples::steal_schedule {
+namespace {
+
+std::atomic<int> g_mode{static_cast<int>(Mode::Default)};
+std::atomic<std::uint64_t> g_seed{0};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+} // namespace
+
+void set_plan(const Plan &plan) {
+  g_seed.store(plan.seed, std::memory_order_relaxed);
+  g_mode.store(static_cast<int>(plan.mode), std::memory_order_release);
+}
+
+void reset() { set_plan(Plan{}); }
+
+bool active() {
+  return g_mode.load(std::memory_order_relaxed) !=
+         static_cast<int>(Mode::Default);
+}
+
+Decision decide(int executor, std::uint64_t step) {
+  switch (static_cast<Mode>(g_mode.load(std::memory_order_acquire))) {
+  case Mode::Default:
+    return Decision{};
+  case Mode::StealNothing:
+    return Decision{false, false, 0};
+  case Mode::StealEverything:
+    return Decision{true, true, 0};
+  case Mode::Seeded: {
+    std::uint64_t h = splitmix64(
+        splitmix64(g_seed.load(std::memory_order_relaxed) ^
+                   (static_cast<std::uint64_t>(executor) << 32)) ^
+        step);
+    Decision d;
+    // Deny stealing one step in four so seeded schedules also exercise the
+    // drain-your-own-queue path, not just victim rotation.
+    d.allow_steal = (h & 3u) != 0;
+    d.steal_first = ((h >> 2) & 1u) != 0;
+    d.victim_offset = (h >> 3) & 0xffu;
+    return d;
+  }
+  }
+  return Decision{};
+}
+
+} // namespace ripples::steal_schedule

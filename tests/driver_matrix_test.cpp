@@ -170,6 +170,62 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(SelectionExchange::Dense,
                                          SelectionExchange::Sparse)));
 
+// Stealing axis (DESIGN.md §13): for every ranks in {1,2,4,8} x rng mode x
+// exchange protocol x engine, the distributed driver with work-stealing on
+// (and the skewed fig7 partition manufactured, so inter steals actually
+// move chunks) must agree bit-exactly with the same configuration with
+// stealing off — stealing is a pure placement knob.  Counter mode is also
+// pinned to the sequential reference; leap-frog mode keeps its pinned
+// placement, so there the sweep asserts the knob is a strict no-op.
+class StealSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, RngMode, SelectionExchange, SamplerEngine>> {};
+
+TEST_P(StealSweep, StealingOnMatchesStealingOff) {
+  auto [ranks, rng_mode, exchange, engine] = GetParam();
+
+  CsrGraph graph(barabasi_albert(400, 3, 77));
+  assign_uniform_weights(graph, 78);
+
+  ImmOptions options;
+  options.epsilon = 0.5;
+  options.k = 8;
+  options.model = DiffusionModel::IndependentCascade;
+  options.seed = 4242;
+  options.num_ranks = ranks;
+  options.rng_mode = rng_mode;
+  options.selection_exchange = exchange;
+  options.sampler = engine;
+  options.steal = StealMode::Off;
+  options.steal_chunk = 16;
+
+  ImmResult off = imm_distributed(graph, options);
+  options.steal = StealMode::On;
+  options.steal_skew = true;
+  ImmResult on = imm_distributed(graph, options);
+
+  EXPECT_EQ(on.seeds, off.seeds);
+  EXPECT_EQ(on.theta, off.theta);
+  EXPECT_EQ(on.num_samples, off.num_samples);
+  EXPECT_EQ(on.coverage_fraction, off.coverage_fraction);
+
+  if (rng_mode == RngMode::CounterSequence) {
+    ImmResult reference = imm_sequential(graph, options);
+    EXPECT_EQ(on.seeds, reference.seeds);
+    EXPECT_EQ(on.theta, reference.theta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RanksRngExchangeEngine, StealSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(RngMode::CounterSequence,
+                                         RngMode::LeapfrogLcg),
+                       ::testing::Values(SelectionExchange::Dense,
+                                         SelectionExchange::Sparse),
+                       ::testing::Values(SamplerEngine::Sequential,
+                                         SamplerEngine::Fused)));
+
 // Forced-compression axis: under --rrr-compress always every governed
 // driver must return byte-identical seeds to its plain-representation run —
 // the compressed store changes where samples live, never which samples

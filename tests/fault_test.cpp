@@ -6,6 +6,7 @@
 // failure-free seed set).
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -26,6 +27,7 @@
 #include "mpsim/communicator.hpp"
 #include "support/json.hpp"
 #include "support/metrics.hpp"
+#include "support/steal_schedule.hpp"
 
 namespace ripples::mpsim {
 namespace {
@@ -308,6 +310,56 @@ TEST(FaultRecovery, TwoSequentialDeathsShrinkTwice) {
     finishers.fetch_add(1);
   });
   EXPECT_EQ(finishers.load(), 2);
+}
+
+TEST(FaultRecovery, StealRequestToADeadRankNeverHangsOrServesStaleItems) {
+  // The steal queues are deliberately outside the abort protocol: a
+  // victim's queue stays readable after its owner dies, so a thief's
+  // steal-request to a dead rank returns (item or empty) instead of
+  // hanging — and after shrink() the dead rank leaves members_, so its
+  // stale items become unreachable (healing regenerates those draws; a
+  // thief serving them too would execute them twice).
+  RunOptions options = crash_plan(3, 1, 1); // publish is site 0; barrier dies
+  options.recover = true;
+  std::array<std::vector<std::uint64_t>, 3> collected;
+  Context::run(options, [&](Communicator &comm) {
+    using Item = Communicator::StealItem;
+    std::vector<Item> items;
+    for (std::uint64_t t = 0; t < 8; ++t) {
+      const std::uint64_t tag =
+          static_cast<std::uint64_t>(comm.world_rank()) * 100 + t;
+      items.push_back({tag, t, t + 1});
+    }
+    comm.steal_publish(items);
+    try {
+      for (;;) comm.barrier();
+    } catch (const RankFailed &failed) {
+      EXPECT_EQ(failed.dead_ranks(), std::vector<int>{1});
+      (void)comm.shrink();
+    }
+    // Survivors drain: own pops plus steals that now scan live members
+    // only.  Dead rank 1 published 8 items nobody may ever serve.
+    Item item;
+    auto &mine = collected[static_cast<std::size_t>(comm.world_rank())];
+    for (;;) {
+      if (comm.steal_pop(item)) {
+        mine.push_back(item.tag);
+      } else if (comm.steal_acquire(item)) {
+        mine.push_back(item.tag);
+      } else {
+        break;
+      }
+    }
+  });
+  std::vector<std::uint64_t> all;
+  for (const auto &part : collected)
+    all.insert(all.end(), part.begin(), part.end());
+  std::sort(all.begin(), all.end());
+  // Exactly the 16 live items, each exactly once, none from the dead rank.
+  std::vector<std::uint64_t> expected;
+  for (std::uint64_t t = 0; t < 8; ++t) expected.push_back(t);
+  for (std::uint64_t t = 0; t < 8; ++t) expected.push_back(200 + t);
+  EXPECT_EQ(all, expected);
 }
 
 TEST(FaultRecovery, WithoutRecoveryTheOriginalExceptionSurfaces) {
@@ -621,6 +673,65 @@ TEST(ImmHealing, EvictedStallHealsToTheFailureFreeSeedSet) {
   options.watchdog_ms = 150;
   options.evict_stalled = true;
   options.fault_plan = "rank=1,site=4,kind=stall";
+  const ImmResult healed = imm_distributed(graph, options);
+  EXPECT_EQ(healed.seeds, clean.seeds);
+  EXPECT_EQ(healed.theta, clean.theta);
+  EXPECT_EQ(healed.coverage_fraction, clean.coverage_fraction);
+}
+
+TEST(ImmStealHealing, CrashAtStealSitesHealsToTheFailureFreeSeedSet) {
+  // DESIGN.md §13: with the skewed partition and the steal-everything
+  // schedule forced, every rank's early fault sites land on steal publishes
+  // and acquires as well as collectives (acquire counts are
+  // timing-dependent, so *which* operation a given site names varies run
+  // to run — healing must cope with all of them, including a crash
+  // mid-migration and subsequent steal-requests to the dead rank's queue).
+  // The inventory heal regenerates exactly the complement of the
+  // survivors' executed ranges, so every plan must return the
+  // failure-free, stealing-off seed set.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+  ASSERT_EQ(clean.seeds.size(), options.k);
+
+  steal_schedule::ScopedPlan forced(
+      {steal_schedule::Mode::StealEverything, 0});
+  options.steal = StealMode::On;
+  options.steal_skew = true;
+  {
+    const ImmResult stealing = imm_distributed(graph, options);
+    ASSERT_EQ(stealing.seeds, clean.seeds) << "fault-free stealing run";
+  }
+
+  options.recover_failures = true;
+  for (int rank = 0; rank < options.num_ranks; ++rank) {
+    for (std::uint64_t site = 0; site <= 12; site += 2) {
+      options.fault_plan = "rank=" + std::to_string(rank) +
+                           ",site=" + std::to_string(site);
+      const ImmResult healed = imm_distributed(graph, options);
+      EXPECT_EQ(healed.seeds, clean.seeds)
+          << "stealing healed seed set diverged for " << options.fault_plan;
+    }
+  }
+}
+
+TEST(ImmStealHealing, EvictedStallAtAStealSiteHealsToo) {
+  // kind=stall coverage for the steal primitive: the stalled rank blocks
+  // inside a steal-channel operation, the survivors park in the footprint
+  // allreduce, and the watchdog + eviction route the laggard into the same
+  // shrink -> inventory-heal path a crash takes.
+  CsrGraph graph = healing_graph();
+  ImmOptions options = healing_options(RngMode::CounterSequence);
+  const ImmResult clean = imm_distributed(graph, options);
+
+  steal_schedule::ScopedPlan forced(
+      {steal_schedule::Mode::StealEverything, 0});
+  options.steal = StealMode::On;
+  options.steal_skew = true;
+  options.recover_failures = true;
+  options.watchdog_ms = 150;
+  options.evict_stalled = true;
+  options.fault_plan = "rank=2,site=3,kind=stall";
   const ImmResult healed = imm_distributed(graph, options);
   EXPECT_EQ(healed.seeds, clean.seeds);
   EXPECT_EQ(healed.theta, clean.theta);
