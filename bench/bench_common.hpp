@@ -103,6 +103,19 @@ struct BenchConfig {
     if (auto keep = cli.value_of("checkpoint-keep"))
       setenv("RIPPLES_CHECKPOINT_KEEP", keep->c_str(), 1);
     if (cli.has_flag("resume")) setenv("RIPPLES_CHECKPOINT_RESUME", "1", 1);
+    // Data-integrity knobs ride the same environment path (ImmOptions
+    // defaults from RIPPLES_VERIFY_COLLECTIVES / RIPPLES_SCRUB_RRR), so the
+    // overhead benches flip them without touching each table loop.
+    if (cli.has_flag("verify-collectives"))
+      setenv("RIPPLES_VERIFY_COLLECTIVES", "1", 1);
+    if (auto scrub = cli.value_of("scrub-rrr")) {
+      if (*scrub != "off" && *scrub != "on" && *scrub != "paranoid") {
+        std::fprintf(stderr, "unknown --scrub-rrr '%s' (off|on|paranoid)\n",
+                     scrub->c_str());
+        std::exit(2);
+      }
+      setenv("RIPPLES_SCRUB_RRR", scrub->c_str(), 1);
+    }
     // Graceful shutdown: SIGINT/SIGTERM writes any pending checkpoint and
     // flushes the report log + trace buffers before exiting 128+signum.
     checkpoint::install_signal_flush();

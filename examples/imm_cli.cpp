@@ -25,11 +25,20 @@
 ///           [--recover]                   (dist: survive rank failures by
 ///                                          shrinking + regenerating)
 ///           [--watchdog-ms N]             (collective stall deadline; 0=off)
-///           [--inject-fault rank=R,site=N[,kind=crash|stall|oom]]
+///           [--inject-fault rank=R,site=N
+///                           [,kind=crash|stall|oom|corrupt|flaky]
+///                           [,sticky][,attempts=M]]
 ///                                         (deterministic fault plan; also
 ///                                          RIPPLES_FAULTS. kind=oom fails
 ///                                          rank R's Nth tracked memory
-///                                          reservation, sticky)
+///                                          reservation, sticky.
+///                                          kind=corrupt flips a payload
+///                                          bit at the Nth communication
+///                                          entry — once, or on every
+///                                          retransmission with `sticky`.
+///                                          kind=flaky fails delivery of
+///                                          the first M attempts there,
+///                                          then succeeds)
 ///           [--mem-budget BYTES]          (RRR memory budget; 0 = unlimited.
 ///                                          Over-budget runs degrade:
 ///                                          compress, shed batches, certify
@@ -57,6 +66,14 @@
 ///                                          stream on the first live rank —
 ///                                          the fig7 pathological partition;
 ///                                          also RIPPLES_STEAL_SKEW)
+///           [--verify-collectives]        (CRC-32 every collective/steal
+///                                          payload; mismatches retry with
+///                                          capped backoff, then heal; also
+///                                          RIPPLES_VERIFY_COLLECTIVES)
+///           [--scrub-rrr off|on|paranoid] (verify + self-repair stored RRR
+///                                          arena checksums before selection
+///                                          (on) or every kernel (paranoid);
+///                                          also RIPPLES_SCRUB_RRR)
 ///           [--checkpoint-dir DIR]        (dist/dist-part: snapshot the
 ///                                          martingale state at round
 ///                                          boundaries; also
@@ -199,6 +216,22 @@ ImmResult run_driver(const std::string &driver, const CsrGraph &graph,
       "steal-chunk", static_cast<std::int64_t>(options.steal_chunk), 1,
       INT64_MAX));
   if (cli.has_flag("steal-skew")) options.steal_skew = true;
+  // The flag overrides RIPPLES_VERIFY_COLLECTIVES (the option's default).
+  if (cli.has_flag("verify-collectives")) options.verify_collectives = true;
+  // The flag overrides RIPPLES_SCRUB_RRR (the option's default).
+  if (auto scrub = cli.value_of("scrub-rrr")) {
+    if (*scrub == "off") {
+      options.scrub_rrr = ScrubMode::Off;
+    } else if (*scrub == "on") {
+      options.scrub_rrr = ScrubMode::On;
+    } else if (*scrub == "paranoid") {
+      options.scrub_rrr = ScrubMode::Paranoid;
+    } else {
+      std::fprintf(stderr, "unknown --scrub-rrr '%s' (off|on|paranoid)\n",
+                   scrub->c_str());
+      std::exit(2);
+    }
+  }
   options.evict_stalled = cli.has_flag("evict-stalled");
   // Flags override the RIPPLES_CHECKPOINT_* environment (the defaults).
   if (auto dir = cli.value_of("checkpoint-dir")) options.checkpoint.dir = *dir;

@@ -14,6 +14,7 @@
 #   scripts/check.sh --no-observability # skip the trace/analyze leg
 #   scripts/check.sh --no-membudget # skip the memory-budget leg
 #   scripts/check.sh --no-stealing # skip the work-stealing leg
+#   scripts/check.sh --no-integrity # skip the data-integrity leg
 #
 # The sparse leg reruns the selection suites (`ctest -L selection`) plus the
 # IMM driver tier-1 subset with RIPPLES_SELECTION_EXCHANGE=sparse, so the
@@ -52,6 +53,17 @@
 # >= 3x reduction, and compare_reports.py --check-seeds --ignore-placement
 # must find every steal-on run byte-identical in seeds/theta/|R|/coverage
 # to its no-steal baseline — stealing moves work, never results.
+#
+# The integrity leg (DESIGN.md §14) runs `ctest -L integrity`, then drives
+# the corruption machinery end to end on a 4-rank fused+sparse+steal run:
+# a transient bit-flip is injected at EVERY communication site (the sweep
+# walks site indices, rotating the victim rank, until the plan stops firing
+# on any rank) and each run must detect the flip, retry it away, and finish
+# with seeds byte-identical to the clean verified reference; sticky flips
+# at a spread of sites must exhaust the retry budget and escalate through
+# shrink-and-heal to the same seeds; flaky delivery must be absorbed by the
+# retry budget without escalation.  A corrupted payload may cost retries or
+# a heal, but never a silently wrong seed set.
 #
 # The TSan stage builds with -DRIPPLES_SANITIZE=thread (see the top-level
 # CMakeLists.txt) and runs mpsim_test, fault_test, and select_test.  OpenMP
@@ -97,6 +109,7 @@ run_fused=1
 run_observability=1
 run_membudget=1
 run_stealing=1
+run_integrity=1
 for arg in "$@"; do
   case "$arg" in
     --no-tsan) run_tsan=0 ;;
@@ -109,7 +122,8 @@ for arg in "$@"; do
     --no-observability) run_observability=0 ;;
     --no-membudget) run_membudget=0 ;;
     --no-stealing) run_stealing=0 ;;
-    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused | --no-observability | --no-membudget | --no-stealing)" >&2; exit 2 ;;
+    --no-integrity) run_integrity=0 ;;
+    *) echo "unknown option: $arg (--no-tsan | --no-asan | --no-ubsan | --no-soak | --no-sparse | --no-checkpoint | --no-fused | --no-observability | --no-membudget | --no-stealing | --no-integrity)" >&2; exit 2 ;;
   esac
 done
 
@@ -402,13 +416,192 @@ EOF
   rm -rf "$steal_work"
 fi
 
+if [[ "$run_integrity" == 1 ]]; then
+  echo "== integrity: ctest -L integrity =="
+  ctest --test-dir build -L integrity --output-on-failure -j "$jobs"
+
+  echo "== integrity: corruption sweep over every communication site (4-rank fused+sparse+steal) =="
+  # No EXIT trap here — the checkpoint leg owns it; clean up explicitly.
+  int_work=$(mktemp -d)
+  int_cli=./build/examples/imm_cli
+  int_args=(--driver dist --ranks 4 --sampler fused --selection-exchange sparse
+            --steal on --dataset cit-HepTh --scale 0.1 --epsilon 0.5 -k 16
+            --seed 2019)
+  # References: the unverified run proves the checksum layer changes nothing
+  # observable; the verified run is the byte-identity baseline every injected
+  # run below must reproduce.
+  "$int_cli" "${int_args[@]}" --json-report "$int_work/plain.json" > /dev/null \
+    || { rm -rf "$int_work"; echo "integrity: unverified reference run failed" >&2; exit 1; }
+  "$int_cli" "${int_args[@]}" --verify-collectives --scrub-rrr on \
+    --json-report "$int_work/clean.json" > /dev/null \
+    || { rm -rf "$int_work"; echo "integrity: verified reference run failed" >&2; exit 1; }
+  # --ignore-placement: with --steal on, who ends up doing which chunk is
+  # timing-dependent, and the CRC work shifts timing — results must still
+  # be byte-identical.
+  python3 scripts/compare_reports.py --check-seeds --ignore-placement \
+    --allow-missing --phase-tolerance 2.0 --counter-tolerance 100 \
+    "$int_work/plain.json" "$int_work/clean.json" > /dev/null \
+    || { rm -rf "$int_work"; echo "integrity: enabling verification changed the results" >&2; exit 1; }
+  # Paranoid scrubbing re-checks every RRR block on every iterate; it may
+  # cost time but must be invisible to the algorithm.
+  "$int_cli" "${int_args[@]}" --verify-collectives --scrub-rrr paranoid \
+    --json-report "$int_work/paranoid.json" > /dev/null \
+    || { rm -rf "$int_work"; echo "integrity: paranoid scrub run failed" >&2; exit 1; }
+  python3 scripts/compare_reports.py --check-seeds --ignore-placement \
+    --allow-missing --phase-tolerance 2.0 --counter-tolerance 100 \
+    "$int_work/plain.json" "$int_work/paranoid.json" > /dev/null \
+    || { rm -rf "$int_work"; echo "integrity: paranoid scrubbing changed the results" >&2; exit 1; }
+
+  # Transient flip at EVERY communication site: the CRC must catch it, the
+  # bounded retry must retransmit clean bytes, and the run must finish with
+  # the reference seeds — detected and retried, never silently wrong, never
+  # escalated.  Site numbering is per rank, so the victim rank rotates while
+  # the site index walks the space; a site that fires on no rank is a
+  # payload-less operation (a barrier carries nothing to corrupt), so the
+  # sweep only concludes the space is exhausted after eight consecutive
+  # all-rank misses, well past any hole the collective schedule contains.
+  transient_runs=0
+  site=0
+  last_fired=-1
+  miss_streak=0
+  while :; do
+    if (( site >= 512 )); then
+      rm -rf "$int_work"
+      echo "integrity: transient sweep did not terminate within 512 sites" >&2
+      exit 1
+    fi
+    fired=0
+    for probe in 0 1 2 3; do
+      rank=$(( (site + probe) % 4 ))
+      "$int_cli" "${int_args[@]}" --verify-collectives --scrub-rrr on \
+        --inject-fault "rank=$rank,site=$site,kind=corrupt" \
+        --json-report "$int_work/corrupt.json" > /dev/null \
+        || { rm -rf "$int_work"; echo "integrity: transient flip at rank=$rank site=$site was not survived" >&2; exit 1; }
+      fired=$(python3 - "$int_work/corrupt.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["registry"]["counters"]
+if not counters.get("integrity.injected_corruptions", 0):
+    print(0)  # site is beyond this rank's last communication operation
+    sys.exit(0)
+assert counters.get("integrity.corruptions_detected", 0) >= 1, "flip not detected"
+assert counters.get("integrity.retries", 0) >= 1, "no retry recorded"
+assert not counters.get("integrity.escalations", 0), "transient flip escalated"
+print(1)
+EOF
+      ) || { rm -rf "$int_work"; echo "integrity: transient counter check failed at rank=$rank site=$site" >&2; exit 1; }
+      [[ "$fired" == 1 ]] && break
+    done
+    if [[ "$fired" == 0 ]]; then
+      miss_streak=$(( miss_streak + 1 ))
+      if (( miss_streak >= 8 )); then
+        break
+      fi
+      site=$(( site + 1 ))
+      continue
+    fi
+    miss_streak=0
+    last_fired=$site
+    python3 scripts/compare_reports.py --check-seeds --ignore-placement \
+      --allow-missing --phase-tolerance 2.0 --counter-tolerance 100 \
+      "$int_work/clean.json" "$int_work/corrupt.json" > /dev/null \
+      || { rm -rf "$int_work"; echo "integrity: seeds diverged after a transient flip at rank=$rank site=$site" >&2; exit 1; }
+    transient_runs=$(( transient_runs + 1 ))
+    site=$(( site + 1 ))
+  done
+  sites=$(( last_fired + 1 ))
+  if (( sites < 16 )); then
+    rm -rf "$int_work"
+    echo "integrity: sweep found only $sites communication sites — the probe looks broken" >&2
+    exit 1
+  fi
+  echo "  transient flips: all $transient_runs sites detected, retried, byte-identical"
+
+  # Sticky flips re-corrupt every retransmission, so the retry budget must
+  # exhaust and escalate the corrupter through the crash path — shrink,
+  # heal, regenerate — to the same seeds.  The spread covers early setup,
+  # mid-run sampling/steal traffic, and late selection.
+  sticky_runs=0
+  for slot in 0 1 2 3 4 5 6 7; do
+    site=$(( slot * (sites - 1) / 7 ))
+    # As in the transient sweep, probe all four victims: with --steal on a
+    # given rank's site count is placement-dependent, so a fixed rank may
+    # simply never reach this site index.  A site that fires on no rank is
+    # a payload-less hole (barrier) — skip it, the floor below catches a
+    # broken spread.
+    for probe in 0 1 2 3; do
+      rank=$(( (slot + probe) % 4 ))
+      "$int_cli" "${int_args[@]}" --verify-collectives --scrub-rrr on --recover \
+        --inject-fault "rank=$rank,site=$site,kind=corrupt,sticky" \
+        --json-report "$int_work/sticky.json" > /dev/null \
+        || { rm -rf "$int_work"; echo "integrity: sticky flip at rank=$rank site=$site was not healed" >&2; exit 1; }
+      fired=$(python3 - "$int_work/sticky.json" <<'EOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["registry"]["counters"]
+if not counters.get("integrity.injected_corruptions", 0):
+    print(0)
+    sys.exit(0)
+assert counters.get("integrity.corruptions_detected", 0) >= 1, "flip not detected"
+assert counters.get("integrity.escalations", 0) >= 1, "sticky flip never escalated"
+print(1)
+EOF
+      ) || { rm -rf "$int_work"; echo "integrity: sticky counter check failed at rank=$rank site=$site" >&2; exit 1; }
+      [[ "$fired" == 1 ]] || continue
+      # --seeds-only, not --check-seeds: escalation kills the corrupter, and
+      # the heal contract promises the failure-free SEED SET — a non-boundary
+      # site may shift martingale acceptance by a round, moving theta.  The
+      # phase floor mutes timing noise: a heal legitimately spends tens of
+      # milliseconds in backoff + shrink + regeneration that the clean run
+      # never pays, and this whole run is only ~half a second.
+      python3 scripts/compare_reports.py --seeds-only --ignore-placement \
+        --allow-missing --phase-tolerance 2.0 --phase-min-seconds 1.0 \
+        --counter-tolerance 100 \
+        "$int_work/clean.json" "$int_work/sticky.json" > /dev/null \
+        || { rm -rf "$int_work"; echo "integrity: seeds diverged after healing a sticky flip at rank=$rank site=$site" >&2; exit 1; }
+      sticky_runs=$(( sticky_runs + 1 ))
+      break
+    done
+  done
+  if (( sticky_runs < 6 )); then
+    rm -rf "$int_work"
+    echo "integrity: only $sticky_runs/8 sticky flips fired — the spread looks broken" >&2
+    exit 1
+  fi
+  echo "  sticky flips: $sticky_runs/8 escalated through shrink-and-heal, byte-identical"
+
+  # Flaky delivery fails verification M times then passes; the retry budget
+  # (4 attempts) must absorb it — retried, never escalated, no rank loss.
+  for spec in 0:1 1:2 2:3 3:2; do
+    rank=${spec%%:*}
+    attempts=${spec##*:}
+    site=$(( (rank + 1) * (sites - 1) / 5 ))
+    "$int_cli" "${int_args[@]}" --verify-collectives --scrub-rrr on \
+      --inject-fault "rank=$rank,site=$site,kind=flaky,attempts=$attempts" \
+      --json-report "$int_work/flaky.json" > /dev/null \
+      || { rm -rf "$int_work"; echo "integrity: flaky delivery at rank=$rank site=$site was not absorbed" >&2; exit 1; }
+    python3 - "$int_work/flaky.json" <<EOF \
+      || { rm -rf "$int_work"; echo "integrity: flaky counter check failed at rank=$rank site=$site" >&2; exit 1; }
+import json
+counters = json.load(open("$int_work/flaky.json"))["registry"]["counters"]
+assert counters.get("integrity.injected_flaky", 0) >= 1, "flaky fault never fired"
+assert counters.get("integrity.retries", 0) >= $attempts, "retry budget not exercised"
+assert not counters.get("integrity.escalations", 0), "flaky delivery escalated"
+EOF
+    python3 scripts/compare_reports.py --check-seeds --ignore-placement \
+      --allow-missing --phase-tolerance 2.0 --counter-tolerance 100 \
+      "$int_work/clean.json" "$int_work/flaky.json" > /dev/null \
+      || { rm -rf "$int_work"; echo "integrity: seeds diverged after flaky delivery at rank=$rank site=$site" >&2; exit 1; }
+  done
+  echo "  flaky delivery: 4/4 absorbed by the retry budget, byte-identical"
+  rm -rf "$int_work"
+fi
+
 if [[ "$run_tsan" == 1 ]]; then
-  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test + trace_test + metrics_test + memory_budget_test + stealing_test =="
+  echo "== tsan: build mpsim_test + fault_test + select_test + selection_exchange_test + sampler_test + trace_test + metrics_test + memory_budget_test + stealing_test + integrity_test =="
   cmake -B build-tsan -S . -DRIPPLES_SANITIZE=thread \
     -DRIPPLES_ENABLE_BENCHMARKS=OFF -DRIPPLES_ENABLE_EXAMPLES=OFF >/dev/null
   cmake --build build-tsan --target \
     mpsim_test fault_test select_test selection_exchange_test sampler_test \
-    trace_test metrics_test memory_budget_test stealing_test \
+    trace_test metrics_test memory_budget_test stealing_test integrity_test \
     -j "$jobs"
 
   echo "== tsan: run =="
@@ -433,6 +626,11 @@ if [[ "$run_tsan" == 1 ]]; then
   # are lock-based cross-thread handoff; the perturbation sweep drives
   # every schedule through them under the race detector.
   ./build-tsan/tests/stealing_test
+  # The verified-exchange protocol hashes every member's posted payload from
+  # every rank between two barriers; the corruption/retry/escalation suite
+  # drives those cross-thread reads, the backoff clock hook, and the scrub
+  # counters under the race detector.
+  ./build-tsan/tests/integrity_test
 fi
 
 if [[ "$run_asan" == 1 ]]; then

@@ -21,7 +21,17 @@ Four families of checks, each with its own threshold:
     is 0 as well.
   * registry counters (report-log `registry.counters`, when both files are
     report logs): values may grow by --counter-tolerance (relative, default
-    0.25 — timing counters like graph.*.micros are noisy).
+    0.25 — timing counters like graph.*.micros are noisy).  The integrity
+    layer's `integrity.*` family (DESIGN.md §14: checks, corruptions
+    detected, retries, escalations, injected faults, scrub passes/repairs)
+    rides under --counter-tolerance too, but as a symmetric band: a
+    candidate that verifies fewer payloads or scrubs fewer blocks than its
+    baseline has LOST coverage, so a shrink beyond tolerance fails just
+    like a growth — the one-sided rule that treats smaller counters as
+    improvements does not apply to checking work.  The detection-side
+    counters only exist on runs that detected something — a fault-injected
+    candidate diffed against a clean baseline reports them as one-sided
+    presence diffs, which --allow-missing downgrades to notes.
   * memory (`storage.{rrr_peak_bytes,tracker_peak_bytes,peak_rss_bytes}`):
     candidate may exceed baseline by --memory-tolerance (relative, default
     0.25 — RSS is allocator- and kernel-dependent).  The memory governor's
@@ -43,7 +53,10 @@ Four families of checks, each with its own threshold:
     count, and selection coverage must match EXACTLY.  This is the
     kill/resume equivalence check — a checkpoint-resumed run is only correct
     if it is bit-identical to the uninterrupted run, so there is no
-    tolerance to configure.
+    tolerance to configure.  --seeds-only checks just the seed array: the
+    shrink-and-heal contract after a mid-run rank loss promises the
+    failure-free seed set, but a fault that fires away from a martingale
+    boundary may shift acceptance by one round, moving theta slightly.
 
 --ignore-placement skips the families that encode WHERE work ran rather
 than WHAT was computed: mpsim collective traffic, storage peaks, and the
@@ -153,6 +166,26 @@ class Comparison:
         else:
             print(f"ok    {label}: {base:g} -> {cand:g}")
 
+    def check_band(self, label, base, cand, tolerance):
+        """Flags cand leaving the symmetric band around base.  Used for the
+        integrity.* counters, where a shrink matters as much as a growth: a
+        candidate that verifies fewer payloads or scrubs fewer blocks than
+        its baseline has lost coverage, which the one-sided growth check
+        would silently wave through."""
+        self.checked += 1
+        if base is None or cand is None:
+            self.fail(f"{label}: missing value (baseline={base}, "
+                      f"candidate={cand})")
+            return
+        limit = abs(base) * tolerance
+        if abs(cand - base) > limit:
+            moved = (cand / base - 1.0) * 100.0 if base else float("inf")
+            self.fail(f"{label}: {base:g} -> {cand:g} "
+                      f"({moved:+.1f}% outside the +/-{tolerance * 100:.0f}% "
+                      "band)")
+        else:
+            print(f"ok    {label}: {base:g} -> {cand:g}")
+
     def check_exact(self, label, base, cand):
         """Bit-for-bit equality; used for the resume-equivalence fields."""
         self.checked += 1
@@ -167,9 +200,10 @@ class Comparison:
 
         self.compare_degradation(label, base, cand)
 
-        if self.args.check_seeds:
+        if self.args.check_seeds or self.args.seeds_only:
             self.check_exact(f"{label}.seeds", dig(base, "seeds"),
                              dig(cand, "seeds"))
+        if self.args.check_seeds:
             self.check_exact(f"{label}.theta.value",
                              dig(base, "theta", "value"),
                              dig(cand, "theta", "value"))
@@ -277,13 +311,23 @@ class Comparison:
         """Registry counters: presence mismatches are diffs, values may grow
         by --counter-tolerance — except the memory governor's mem.budget.*
         family, which diffs under --memory-tolerance alongside the storage
-        peaks it governs."""
+        peaks it governs, and the integrity.* family (verification checks,
+        detections, retries, escalations, injected faults, scrub activity),
+        which diffs as a symmetric band under --counter-tolerance — losing
+        checking work is as much a regression as adding it.  Detection-side
+        integrity counters appear only on runs that detected something, so
+        against a clean baseline they surface as presence diffs."""
         base_counters = dig(base_registry, "counters") or {}
         cand_counters = dig(cand_registry, "counters") or {}
         for name in sorted(set(base_counters) | set(cand_counters)):
             if name not in base_counters or name not in cand_counters:
                 self.presence_diff(f"registry.counters.{name}",
                                    name in base_counters)
+                continue
+            if name.startswith("integrity."):
+                self.check_band(f"registry.counters.{name}",
+                                base_counters[name], cand_counters[name],
+                                self.args.counter_tolerance)
                 continue
             tolerance = (self.args.memory_tolerance
                          if name.startswith("mem.budget.")
@@ -321,6 +365,12 @@ def main():
     parser.add_argument("--check-seeds", action="store_true",
                         help="require EXACT equality of seeds, theta, sample "
                              "count, and coverage (kill/resume equivalence)")
+    parser.add_argument("--seeds-only", action="store_true",
+                        help="require EXACT equality of the seed set but not "
+                             "theta or the sample count (the shrink-and-heal "
+                             "guarantee: a non-boundary fault may shift the "
+                             "martingale by a round, so theta equality is "
+                             "only promised for boundary faults)")
     parser.add_argument("--ignore-placement", action="store_true",
                         help="skip the placement-sensitive families (mpsim "
                              "collective traffic, storage peaks, per-round "

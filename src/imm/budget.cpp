@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <iterator>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "mpsim/fault.hpp"
@@ -41,6 +43,27 @@ std::size_t mem_budget_from_env() {
   return static_cast<std::size_t>(bytes);
 }
 
+ScrubMode scrub_mode_from_env() {
+  const char *value = std::getenv("RIPPLES_SCRUB_RRR");
+  if (value == nullptr || *value == '\0' || std::strcmp(value, "off") == 0)
+    return ScrubMode::Off;
+  if (std::strcmp(value, "on") == 0) return ScrubMode::On;
+  if (std::strcmp(value, "paranoid") == 0) return ScrubMode::Paranoid;
+  std::fprintf(stderr,
+               "RIPPLES_SCRUB_RRR: expected off|on|paranoid, got '%s'\n",
+               value);
+  std::exit(2);
+}
+
+const char *to_string(ScrubMode mode) {
+  switch (mode) {
+  case ScrubMode::On: return "on";
+  case ScrubMode::Paranoid: return "paranoid";
+  case ScrubMode::Off: break;
+  }
+  return "off";
+}
+
 namespace detail {
 
 namespace {
@@ -54,6 +77,24 @@ metrics::Counter &compress_switches_counter() {
 metrics::Counter &shed_batches_counter() {
   static metrics::Counter &counter =
       metrics::Registry::instance().counter("mem.budget.shed_batches");
+  return counter;
+}
+
+metrics::Counter &scrub_passes_counter() {
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("integrity.scrub_passes");
+  return counter;
+}
+
+metrics::Counter &scrub_corrupt_counter() {
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("integrity.scrub_corrupt_blocks");
+  return counter;
+}
+
+metrics::Counter &scrub_repaired_counter() {
+  static metrics::Counter &counter =
+      metrics::Registry::instance().counter("integrity.scrub_repaired_blocks");
   return counter;
 }
 
@@ -88,6 +129,9 @@ ScopedBudget::~ScopedBudget() {
 RRRStore::RRRStore(const Policy &policy) : policy_(policy) {
   RIPPLES_ASSERT(policy_.chunk >= 1);
   if (policy_.compress == CompressMode::Always) compressed_active_ = true;
+  // Checksums are accumulated on append, so they must be live before the
+  // first admission (including switch_to_compressed's re-encode).
+  if (policy_.scrub != ScrubMode::Off) compressed_.enable_checksums();
 }
 
 RRRStore::~RRRStore() {
@@ -110,6 +154,11 @@ std::size_t RRRStore::estimate_bytes(std::uint64_t count) const {
 void RRRStore::extend_window(std::uint64_t from, std::uint64_t to,
                              const WindowGenerator &generate) {
   MemoryTracker &tracker = MemoryTracker::instance();
+  // Scrub repair replays admissions through the generator that produced
+  // them, so keep one copy per extend_window call (drivers enabling scrub
+  // pass replay-safe generators — pure functions of the window, with any
+  // mutable driver state captured by value).
+  if (policy_.scrub != ScrubMode::Off) generators_.push_back(generate);
   std::uint64_t next = from;
   while (next < to) {
     std::uint64_t count = std::min<std::uint64_t>(policy_.chunk, to - next);
@@ -134,6 +183,9 @@ void RRRStore::extend_window(std::uint64_t from, std::uint64_t to,
     }
     RRRCollection scratch;
     generate(scratch, next, count);
+    if (policy_.scrub != ScrubMode::Off)
+      journal_.push_back({next, count, size(), scratch.size(),
+                          generators_.size() - 1});
     admit(scratch, count);
     tracker.release(reserved);
     reconcile();
@@ -189,8 +241,64 @@ void RRRStore::stop_or_throw(std::size_t refused_bytes) {
   throw BudgetEarlyStop{size()};
 }
 
+std::size_t RRRStore::scrub() {
+  if (policy_.scrub == ScrubMode::Off || !compressed_active_) return 0;
+  if (metrics::enabled()) scrub_passes_counter().add(1);
+  const std::vector<std::size_t> corrupt = compressed_.verify_blocks();
+  if (corrupt.empty()) return 0;
+  if (metrics::enabled()) scrub_corrupt_counter().add(corrupt.size());
+  for (const std::size_t block : corrupt) {
+    trace::instant("mem", "rrr.scrub_corrupt", "block", block);
+    const auto [set_first, set_last] = compressed_.block_set_range(block);
+    // Reassemble the block's samples from the admission journal: every
+    // overlapping window replays through the generator that produced it,
+    // bit-identical by the counter-stream contract.
+    std::vector<RRRSet> sets(set_last - set_first);
+    std::vector<std::uint8_t> have(set_last - set_first, 0);
+    for (const AdmissionWindow &window : journal_) {
+      const std::uint64_t window_last = window.set_first + window.set_count;
+      if (window.set_first >= set_last || window_last <= set_first) continue;
+      RRRCollection scratch;
+      generators_[window.generator](scratch, window.first, window.count);
+      if (scratch.size() != window.set_count)
+        throw std::runtime_error(
+            "RRR scrub: window replay produced " +
+            std::to_string(scratch.size()) + " sets where the admission "
+            "journal recorded " + std::to_string(window.set_count) +
+            " — the generator is not replay-safe");
+      const std::uint64_t lo = std::max<std::uint64_t>(set_first,
+                                                       window.set_first);
+      const std::uint64_t hi = std::min<std::uint64_t>(set_last, window_last);
+      for (std::uint64_t j = lo; j < hi; ++j) {
+        sets[j - set_first] =
+            std::move(scratch.mutable_sets()[j - window.set_first]);
+        have[j - set_first] = 1;
+      }
+    }
+    if (std::find(have.begin(), have.end(), std::uint8_t{0}) != have.end())
+      throw std::runtime_error(
+          "RRR scrub: damaged block " + std::to_string(block) +
+          " has samples missing from the admission journal");
+    compressed_.repair_block(block, sets);
+    if (metrics::enabled()) scrub_repaired_counter().add(1);
+    trace::instant("mem", "rrr.scrub_repair", "block", block);
+  }
+  if (!compressed_.verify_blocks().empty())
+    throw std::runtime_error(
+        "RRR scrub: a repaired block still fails verification");
+  return corrupt.size();
+}
+
+bool RRRStore::flip_stored_bit(std::size_t bit) {
+  if (!compressed_active_ || compressed_.total_associations() == 0)
+    return false;
+  compressed_.flip_payload_bit(bit);
+  return true;
+}
+
 SelectionResult RRRStore::select(vertex_t num_vertices, std::uint32_t k,
-                                 unsigned num_threads) const {
+                                 unsigned num_threads) {
+  scrub();
   if (compressed_active_)
     return select_seeds_compressed(num_vertices, k, compressed_);
   if (num_threads > 1)
@@ -199,7 +307,8 @@ SelectionResult RRRStore::select(vertex_t num_vertices, std::uint32_t k,
   return select_seeds(num_vertices, k, plain_.sets());
 }
 
-void RRRStore::count_into(std::span<std::uint32_t> counters) const {
+void RRRStore::count_into(std::span<std::uint32_t> counters) {
+  if (policy_.scrub == ScrubMode::Paranoid) scrub();
   if (compressed_active_)
     count_memberships(compressed_, counters);
   else
@@ -207,7 +316,8 @@ void RRRStore::count_into(std::span<std::uint32_t> counters) const {
 }
 
 std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
-                               std::vector<std::uint8_t> &retired) const {
+                               std::vector<std::uint8_t> &retired) {
+  if (policy_.scrub == ScrubMode::Paranoid) scrub();
   return compressed_active_
              ? retire_samples_containing(seed, compressed_, counters, retired)
              : retire_samples_containing(seed, plain_.sets(), counters,
@@ -217,7 +327,8 @@ std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
 std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
                                std::vector<std::uint8_t> &retired,
                                std::span<std::uint32_t> pending_dec,
-                               std::vector<vertex_t> &pending_touched) const {
+                               std::vector<vertex_t> &pending_touched) {
+  if (policy_.scrub == ScrubMode::Paranoid) scrub();
   return compressed_active_
              ? retire_samples_containing(seed, compressed_, counters, retired,
                                          pending_dec, pending_touched)
@@ -226,7 +337,7 @@ std::uint64_t RRRStore::retire(vertex_t seed, std::span<std::uint32_t> counters,
                                          pending_touched);
 }
 
-void RRRStore::record_sizes(metrics::HistogramData &out) const {
+void RRRStore::record_sizes(metrics::HistogramData &out) {
   if (compressed_active_) {
     CompressedRRRCollection::Cursor cursor = compressed_.cursor();
     while (!cursor.at_end()) {

@@ -58,6 +58,23 @@ enum class CompressMode { Auto, Always, Off };
 /// non-numeric value terminates with a diagnostic.
 [[nodiscard]] std::size_t mem_budget_from_env();
 
+/// RRR-store scrubbing intensity (DESIGN.md §14).  `Off` pays nothing;
+/// `On` verifies the stored arena's checksums before every seed selection;
+/// `Paranoid` additionally verifies before every iterate kernel (the
+/// distributed counting/retirement passes).  A failed verification is
+/// repaired in place by regenerating the damaged block from its RNG
+/// coordinates (PR 3's healing machinery at storage granularity) and only
+/// escalates when regeneration is not byte-identical.
+enum class ScrubMode { Off, On, Paranoid };
+
+/// RIPPLES_SCRUB_RRR: `off` (default), `on`, or `paranoid`.  Any other
+/// value terminates with a diagnostic — a typo'd mode would silently turn a
+/// scrub test into a false pass.
+[[nodiscard]] ScrubMode scrub_mode_from_env();
+
+/// Spelling used by the CLI and the RunReport (off/on/paranoid).
+[[nodiscard]] const char *to_string(ScrubMode mode);
+
 namespace detail {
 
 /// Control-flow signal of ladder rung 3 on the shared-memory drivers: the
@@ -112,6 +129,13 @@ public:
     const char *consumer = "imm.rrr";
     /// Initial admission granularity in samples; halved on shed, floor 1.
     std::uint64_t chunk = 16384;
+    /// Storage scrubbing (DESIGN.md §14).  Checksums exist only on the
+    /// compressed arena, and repair replays admission windows through the
+    /// recorded generators, so drivers must only enable this when their
+    /// generators are pure functions of (first, count) — counter-sequence
+    /// RNG mode; the leapfrog engines are stateful and keep this Off, the
+    /// same silent-no-op rule as work stealing.
+    ScrubMode scrub = ScrubMode::Off;
   };
 
   explicit RRRStore(const Policy &policy);
@@ -147,22 +171,39 @@ public:
                      const WindowGenerator &generate);
 
   /// Seed selection over the active representation — identical seeds and
-  /// tie-breaking in either (the determinism tests assert it).
+  /// tie-breaking in either (the determinism tests assert it).  Under
+  /// ScrubMode::On/Paranoid a scrub pass runs first, so selection never
+  /// consumes unverified bytes.
   [[nodiscard]] SelectionResult select(vertex_t num_vertices, std::uint32_t k,
-                                       unsigned num_threads) const;
+                                       unsigned num_threads);
 
   // Kernels of the distributed selection protocol, dispatched to the active
-  // representation.
-  void count_into(std::span<std::uint32_t> counters) const;
+  // representation.  Under ScrubMode::Paranoid each one scrubs first.
+  void count_into(std::span<std::uint32_t> counters);
   std::uint64_t retire(vertex_t seed, std::span<std::uint32_t> counters,
-                       std::vector<std::uint8_t> &retired) const;
+                       std::vector<std::uint8_t> &retired);
   std::uint64_t retire(vertex_t seed, std::span<std::uint32_t> counters,
                        std::vector<std::uint8_t> &retired,
                        std::span<std::uint32_t> pending_dec,
-                       std::vector<vertex_t> &pending_touched) const;
+                       std::vector<vertex_t> &pending_touched);
 
   /// Records every stored sample's size into \p out (the report histogram).
-  void record_sizes(metrics::HistogramData &out) const;
+  void record_sizes(metrics::HistogramData &out);
+
+  /// One scrub pass over the active representation: verify block CRCs,
+  /// regenerate any damaged block's samples bit-identically from the
+  /// admission journal's (window, generator) coordinates, re-encode in
+  /// place, and re-verify.  Returns the number of blocks repaired.  A no-op
+  /// when scrubbing is Off or the plain representation is active (no
+  /// contiguous arena to checksum — the collective-level CRCs still cover
+  /// its exchanges).  Throws std::runtime_error when repair is impossible
+  /// (journal gap or non-identical regeneration).
+  std::size_t scrub();
+
+  /// Deterministic fault-injection surface for tests and DESIGN.md §14's
+  /// corruption drills: flips one bit of the compressed arena.  Returns
+  /// false when no compressed payload exists to damage.
+  bool flip_stored_bit(std::size_t bit);
 
 private:
   [[nodiscard]] std::size_t estimate_bytes(std::uint64_t count) const;
@@ -170,6 +211,17 @@ private:
   void switch_to_compressed();
   void reconcile();
   [[noreturn]] void stop_or_throw(std::size_t refused_bytes);
+
+  /// One budget-admitted chunk, journalled for scrub repair: the samples at
+  /// set indices [set_first, set_first + set_count) were produced by
+  /// generators_[generator] over the global window [first, first + count).
+  struct AdmissionWindow {
+    std::uint64_t first = 0;
+    std::uint64_t count = 0;
+    std::uint64_t set_first = 0;
+    std::uint64_t set_count = 0;
+    std::size_t generator = 0;
+  };
 
   Policy policy_;
   RRRCollection plain_;
@@ -181,6 +233,10 @@ private:
   /// bytes-per-index estimate (on the distributed driver a rank owns only
   /// ~1/p of each window; estimating per *window* index absorbs that).
   std::uint64_t window_units_ = 0;
+  /// Scrub repair state (empty unless policy_.scrub != Off): the admission
+  /// journal plus one stored copy of each extend_window generator.
+  std::vector<AdmissionWindow> journal_;
+  std::vector<WindowGenerator> generators_;
 };
 
 } // namespace detail

@@ -86,6 +86,8 @@ void finalize_run_report(ImmResult &result, const char *driver,
   report.steal = to_string(options.steal);
   report.steal_chunk = options.steal_chunk;
   report.steal_skew = options.steal_skew;
+  report.verify_collectives = options.verify_collectives;
+  report.scrub_rrr = to_string(options.scrub_rrr);
   report.degraded = result.degraded;
   report.epsilon_achieved = result.epsilon_achieved;
   report.graph_vertices = graph.num_vertices();
@@ -155,6 +157,12 @@ make_governed_store(const ImmOptions &options, const detail::ScopedBudget &budge
   policy.budget_bytes = options.mem_budget;
   policy.compress = options.rrr_compress;
   policy.consumer = consumer;
+  // Scrub repair replays stored windows from their counter coordinates;
+  // the leapfrog engines are stateful, so scrubbing stays off there (the
+  // stealing/fused silent-no-op rule).
+  policy.scrub = options.rng_mode == RngMode::CounterSequence
+                     ? options.scrub_rrr
+                     : ScrubMode::Off;
   return std::optional<detail::RRRStore>(std::in_place, policy);
 }
 

@@ -25,6 +25,7 @@
 #include "diffusion/model.hpp"
 #include "graph/csr.hpp"
 #include "imm/budget.hpp"
+#include "mpsim/integrity.hpp"
 #include "support/checkpoint.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
@@ -192,6 +193,21 @@ struct ImmOptions {
   /// on, thieves spread the same draws — byte-identical seeds either way.
   /// Counter mode, imm_distributed, ungoverned path only.
   bool steal_skew = steal_skew_from_env();
+
+  // End-to-end data integrity (DESIGN.md §14).
+  /// Checksum every collective payload, mailbox message, and steal-channel
+  /// item (`--verify-collectives`); a mismatch is retried against the
+  /// sender's still-live buffer with capped exponential backoff and
+  /// escalates to the shrink-and-heal path when the budget exhausts, so the
+  /// healed run's seeds equal a failure-free run's exactly.  Defaults from
+  /// RIPPLES_VERIFY_COLLECTIVES; imm_distributed only (the shared-memory
+  /// drivers have no exchanges to checksum).
+  bool verify_collectives = mpsim::verify_collectives_from_env();
+  /// RRR-store scrubbing (`--scrub-rrr off|on|paranoid`); defaults from
+  /// RIPPLES_SCRUB_RRR.  Applies to the budget-governed store's compressed
+  /// arena in counter rng mode (replayable coordinates); elsewhere it is a
+  /// silent no-op, the stealing/fused-engine precedent.
+  ScrubMode scrub_rrr = scrub_mode_from_env();
 };
 
 struct ImmResult {

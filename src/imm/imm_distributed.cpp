@@ -159,6 +159,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
   run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
   run_options.evict_stalled = options.evict_stalled;
   run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+  run_options.verify_collectives = options.verify_collectives;
 
   // Memory governance (DESIGN.md §12): the budget and kind=oom plan are
   // process-wide (ranks are threads sharing one MemoryTracker); fault sites
@@ -202,6 +203,11 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       policy.compress = options.rrr_compress;
       policy.hard_refusal = true;
       policy.consumer = "imm_distributed.rrr";
+      // Counter coordinates are replayable, leapfrog engines are not —
+      // scrub follows the same counter-mode-only rule as stealing.
+      policy.scrub = options.rng_mode == RngMode::CounterSequence
+                         ? options.scrub_rrr
+                         : ScrubMode::Off;
       store.emplace(policy);
     }
     auto local_size = [&] { return store ? store->size() : local.size(); };
@@ -212,6 +218,14 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
       return store ? store->total_associations() : local.total_associations();
     };
     std::uint64_t global_count = 0;
+    // The in-flight window's target: global_count only advances once a
+    // window completes, so when a failure surfaces *mid-window* (the steal
+    // drain loop can throw RankFailed the moment a thief's retry budget
+    // exhausts against a corrupted queue, long before the footprint
+    // allreduce) this records how far the interrupted window meant to go —
+    // healing completes the window instead of letting the replay re-execute
+    // chunks the survivors already hold.
+    std::uint64_t window_target = 0;
 
     // The streams this rank holds, each with its leap-frog engine
     // positioned at the stream's next unsampled index (the engine is
@@ -278,11 +292,36 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
 
     auto extend_to = [&](std::uint64_t target) {
       if (target <= global_count) return;
+      window_target = target;
       // Rank-local slice of the batch; the sets arg is attached at the end
       // because leap-frog generation doesn't know its count upfront.
       trace::Span batch_span("sampler", "sampler.dist_batch", "target", target);
       if (store) {
-        store->extend_window(global_count, target, generate_slice);
+        if (options.rng_mode == RngMode::LeapfrogLcg) {
+          store->extend_window(global_count, target, generate_slice);
+        } else {
+          // Counter mode goes through a per-call generator with the stream
+          // list captured *by value*: the store journals a copy of every
+          // generator for scrub repair, and healing grows `owned` — a
+          // by-reference capture would replay old windows with the new
+          // stream set and break the bit-identical-regeneration contract.
+          std::vector<std::uint64_t> streams;
+          streams.reserve(owned.size());
+          for (const OwnedStream &os : owned) streams.push_back(os.stream);
+          store->extend_window(
+              global_count, target,
+              [&, streams](RRRCollection &scratch, std::uint64_t lo,
+                           std::uint64_t count) {
+                const std::uint64_t hi = lo + count;
+                std::vector<std::uint64_t> indices;
+                for (std::uint64_t s : streams)
+                  for (std::uint64_t i = leapfrog_first_index(lo, s, stride);
+                       i < hi; i += stride)
+                    indices.push_back(i);
+                generate_counter_indices(graph, options, indices, scratch,
+                                         /*governed=*/true);
+              });
+        }
       } else if (options.rng_mode == RngMode::LeapfrogLcg) {
         for (OwnedStream &os : owned)
           sample_leapfrog_range(graph, options.model, os.engine, os.stream,
@@ -586,11 +625,19 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
             owned.push_back({s, Lcg64::leapfrog_stream(options.seed, s,
                                                        stride)});
         }
+        // Heal to the *in-flight* window target, not just the last completed
+        // one: a corruption escalation can abort the drain loop mid-window,
+        // leaving executed-but-unacknowledged chunks in the survivors'
+        // inventories and unexecuted ones in dead (or soon-cleared) queues.
+        // Regenerating every gap up to the interrupted target and advancing
+        // global_count turns the martingale replay's extend into a no-op —
+        // nothing is sampled twice and nothing is lost.
+        const std::uint64_t heal_target = std::max(global_count, window_target);
         const std::vector<std::uint64_t> flat = inventory.serialize();
         const std::vector<std::uint64_t> gathered =
             comm.allgatherv(std::span<const std::uint64_t>(flat));
         for (const detail::ChunkRange &m :
-             detail::missing_ranges(gathered, stride, global_count)) {
+             detail::missing_ranges(gathered, stride, heal_target)) {
           if (stream_owner[static_cast<std::size_t>(m.stream)] !=
               comm.world_rank())
             continue;
@@ -603,6 +650,7 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
                                                   local);
           inventory.add(m.stream, m.begin, m.end);
         }
+        global_count = heal_target;
         if (metrics::enabled()) regen_counter().add(regenerated);
         span.arg("regenerated", regenerated);
         trace::counter("rrr_sets", local_size());
@@ -619,24 +667,37 @@ ImmResult imm_distributed(const CsrGraph &graph, const ImmOptions &options) {
           // through the same budget-charged ladder as fresh sampling —
           // composition means an adopting rank can itself be refused, and
           // the refusal is the same diagnosed failure as anywhere else.
-          store->extend_window(
-              0, global_count,
-              [&](RRRCollection &scratch, std::uint64_t lo,
-                  std::uint64_t count) {
-                const std::uint64_t hi = lo + count;
-                if (options.rng_mode == RngMode::LeapfrogLcg) {
+          // Counter mode captures the stream id by value: the journalled
+          // generator copy outlives this loop iteration (scrub replay).
+          if (options.rng_mode == RngMode::LeapfrogLcg) {
+            store->extend_window(
+                0, global_count,
+                [&](RRRCollection &scratch, std::uint64_t lo,
+                    std::uint64_t count) {
                   regenerated += sample_leapfrog_range(graph, options.model,
                                                        engine, s, stride, lo,
-                                                       hi, scratch);
-                } else {
+                                                       lo + count, scratch);
+                });
+          } else {
+            // Pure function of the window — no capture of heal-scope
+            // locals beyond the value-copied stream id, so the journalled
+            // copy stays valid for scrub replay after heal() returns.
+            store->extend_window(
+                0, global_count,
+                [&graph, &options, s, stride](RRRCollection &scratch,
+                                              std::uint64_t lo,
+                                              std::uint64_t count) {
+                  const std::uint64_t hi = lo + count;
                   std::vector<std::uint64_t> indices;
                   for (std::uint64_t i = leapfrog_first_index(lo, s, stride);
                        i < hi; i += stride)
                     indices.push_back(i);
-                  regenerated += generate_counter_indices(
-                      graph, options, indices, scratch, /*governed=*/true);
-                }
-              });
+                  generate_counter_indices(graph, options, indices, scratch,
+                                           /*governed=*/true);
+                });
+            if (s < global_count)
+              regenerated += (global_count - s + stride - 1) / stride;
+          }
         } else if (options.rng_mode == RngMode::LeapfrogLcg) {
           regenerated += sample_leapfrog_range(graph, options.model, engine, s,
                                                stride, 0, global_count, local);

@@ -90,6 +90,9 @@ ImmResult imm_distributed_partitioned(const CsrGraph &graph,
   run_options.num_ranks = options.num_ranks;
   run_options.watchdog = std::chrono::milliseconds{options.watchdog_ms};
   run_options.faults = mpsim::parse_fault_plan(options.fault_plan);
+  // Checksummed exchanges compose with fail-stop: retries still mask
+  // transient flips, and exhaustion aborts with the diagnosed corrupter.
+  run_options.verify_collectives = options.verify_collectives;
 
   // Checkpoint/restart (DESIGN.md §9): every sample slice is a pure function
   // of (seed, sample index, vertex) via the per-(sample,vertex) Philox keys,

@@ -12,12 +12,23 @@
 ///  * RRRCollection       — the paper's compact representation (IMMOPT).
 ///  * HypergraphCollection — the dual-direction baseline (Tang et al.'s IMM),
 ///    built here to reproduce Table 2's time and memory comparison.
+///
+/// Scrubbing (DESIGN.md §14): the two arena representations optionally carry
+/// checksums over their contiguous payloads — per-block CRC-32 for the
+/// compressed arena, 64 KiB pages for the flat arena — maintained
+/// incrementally on append and verified before the selection kernels consume
+/// the bytes.  Because every stored sample is a pure function of its RNG
+/// coordinates, a damaged block is *repairable*: the owner regenerates the
+/// block's sets bit-identically and re-encodes them in place.  Checksums are
+/// opt-in (enable_checksums) so the default path pays nothing.
 #ifndef RIPPLES_IMM_RRR_COLLECTION_HPP
 #define RIPPLES_IMM_RRR_COLLECTION_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "imm/rrr.hpp"
@@ -62,6 +73,11 @@ private:
 /// ablation_storage.
 class FlatRRRCollection {
 public:
+  /// Scrub granularity: one CRC-32 per this many payload bytes.  Large
+  /// enough that the checksum array is negligible, small enough that one
+  /// flipped bit damages (and re-derives) a bounded byte range.
+  static constexpr std::size_t kPageBytes = 64 * 1024;
+
   [[nodiscard]] std::size_t size() const { return offsets_.size() - 1; }
 
   /// Sorted members of sample \p j.
@@ -77,7 +93,8 @@ public:
 
   [[nodiscard]] std::size_t footprint_bytes() const {
     return payload_.capacity() * sizeof(vertex_t) +
-           offsets_.capacity() * sizeof(std::uint64_t);
+           offsets_.capacity() * sizeof(std::uint64_t) +
+           page_crcs_.capacity() * sizeof(std::uint32_t);
   }
 
   [[nodiscard]] std::size_t total_associations() const {
@@ -88,11 +105,39 @@ public:
   void shrink_to_fit() {
     payload_.shrink_to_fit();
     offsets_.shrink_to_fit();
+    page_crcs_.shrink_to_fit();
   }
 
+  /// Turns on page checksums (idempotent).  Already-appended payload is
+  /// hashed on the spot; subsequent appends extend the page CRCs
+  /// incrementally.  Off by default so the ungoverned path pays nothing.
+  void enable_checksums();
+  [[nodiscard]] bool checksums_enabled() const { return checksums_; }
+
+  /// Recomputes every page CRC and returns the indices of pages whose
+  /// payload no longer matches.  Empty when checksums are disabled.
+  [[nodiscard]] std::vector<std::size_t> verify_pages() const;
+
+  /// Deterministic fault-injection surface (the storage-level analogue of
+  /// mpsim's kind=corrupt): flips one payload bit, leaving the stored page
+  /// CRC describing the clean bytes.
+  void flip_payload_bit(std::size_t bit);
+
+  /// Repair: overwrites payload vertices [offset, offset + values.size())
+  /// with regenerated (bit-identical) values and rehashes the touched
+  /// pages, so a subsequent verify_pages() reflects the restored bytes.
+  void overwrite(std::size_t offset, std::span<const vertex_t> values);
+
 private:
+  void extend_page_crcs();
+  void rehash_page(std::size_t page);
+
   std::vector<vertex_t> payload_;
   std::vector<std::uint64_t> offsets_{0};
+  std::vector<std::uint32_t> page_crcs_; // finalized (full) pages
+  std::uint32_t tail_crc_ = 0;           // running CRC of the partial page
+  std::size_t hashed_bytes_ = 0;
+  bool checksums_ = false;
 };
 
 /// Delta+varint compressed arena (DESIGN.md §12): each sample is one record
@@ -117,7 +162,8 @@ public:
   }
   [[nodiscard]] std::size_t footprint_bytes() const {
     return payload_.capacity() * sizeof(std::uint8_t) +
-           block_offsets_.capacity() * sizeof(std::uint64_t);
+           block_offsets_.capacity() * sizeof(std::uint64_t) +
+           block_crcs_.capacity() * sizeof(std::uint32_t);
   }
 
   /// Appends one sample (members sorted ascending, unique).  Throws
@@ -133,14 +179,51 @@ public:
   void shrink_to_fit() {
     payload_.shrink_to_fit();
     block_offsets_.shrink_to_fit();
+    block_crcs_.shrink_to_fit();
   }
 
   void clear() {
     payload_.clear();
     block_offsets_.clear();
+    block_crcs_.clear();
+    tail_crc_ = 0;
     num_sets_ = 0;
     total_associations_ = 0;
   }
+
+  /// Turns on per-block checksums (idempotent).  Already-encoded payload is
+  /// hashed on the spot; subsequent appends maintain a running CRC of the
+  /// open block, finalized when the block fills.  Off by default so the
+  /// budget-without-scrub path pays nothing.
+  void enable_checksums();
+  [[nodiscard]] bool checksums_enabled() const { return checksums_; }
+
+  [[nodiscard]] std::size_t num_blocks() const {
+    return block_offsets_.size();
+  }
+
+  /// The half-open set-index range [first, last) encoded by block \p b.
+  [[nodiscard]] std::pair<std::size_t, std::size_t>
+  block_set_range(std::size_t b) const {
+    return {b * kBlockSize, std::min(num_sets_, (b + 1) * kBlockSize)};
+  }
+
+  /// Recomputes every block CRC and returns the indices of blocks whose
+  /// encoded bytes no longer match.  Empty when checksums are disabled.
+  [[nodiscard]] std::vector<std::size_t> verify_blocks() const;
+
+  /// Repair: re-encodes block \p b from \p sets (the block's samples in
+  /// set-index order, regenerated bit-identically from their RNG
+  /// coordinates), overwrites the damaged bytes in place, and refreshes the
+  /// block CRC.  Throws std::runtime_error when the re-encoding does not
+  /// match the block's byte length — regeneration was not bit-identical, so
+  /// the damage is not repairable and must escalate.
+  void repair_block(std::size_t b, std::span<const RRRSet> sets);
+
+  /// Deterministic fault-injection surface (the storage-level analogue of
+  /// mpsim's kind=corrupt): flips one payload bit, leaving the stored block
+  /// CRC describing the clean bytes.
+  void flip_payload_bit(std::size_t bit);
 
   /// Sequential decode-on-iterate reader, the access pattern of every
   /// selection kernel.  next_header() positions at a record's members and
@@ -171,11 +254,29 @@ public:
 
 private:
   void put_varint(std::uint64_t value);
+  /// Encodes one record (count header + delta varints) into \p out —
+  /// shared by append and repair_block so a repaired block is byte-for-byte
+  /// what append would have produced.
+  static void encode_record(std::vector<std::uint8_t> &out,
+                            std::span<const vertex_t> members);
+  /// Byte range [begin, end) of block \p b in payload_.
+  [[nodiscard]] std::pair<std::size_t, std::size_t>
+  block_byte_range(std::size_t b) const {
+    return {block_offsets_[b], b + 1 < block_offsets_.size()
+                                   ? block_offsets_[b + 1]
+                                   : payload_.size()};
+  }
+  [[nodiscard]] std::uint32_t stored_block_crc(std::size_t b) const {
+    return b < block_crcs_.size() ? block_crcs_[b] : tail_crc_;
+  }
 
   std::vector<std::uint8_t> payload_;
   std::vector<std::uint64_t> block_offsets_; // byte offset of set kBlockSize*i
+  std::vector<std::uint32_t> block_crcs_;    // finalized (closed) blocks
+  std::uint32_t tail_crc_ = 0;               // running CRC of the open block
   std::size_t num_sets_ = 0;
   std::size_t total_associations_ = 0;
+  bool checksums_ = false;
 };
 
 /// Dual-direction storage: samples plus, per vertex, the ids of the samples

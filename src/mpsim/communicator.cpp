@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <deque>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
 
+#include "support/checkpoint.hpp"
 #include "support/timer.hpp"
 
 namespace ripples::mpsim {
@@ -77,6 +79,65 @@ metrics::Counter &evictions_counter() {
   static metrics::Counter &c =
       metrics::Registry::instance().counter("mpsim.faults.evicted_stalls");
   return c;
+}
+
+// Integrity instruments (DESIGN.md §14).  Event-gated like the fault
+// counters: a run that never verifies or injects never creates them, so
+// their very presence in a report marks an integrity-active run.
+metrics::Counter &integrity_checks_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("integrity.checks");
+  return c;
+}
+metrics::Counter &integrity_detections_counter() {
+  static metrics::Counter &c = metrics::Registry::instance().counter(
+      "integrity.corruptions_detected");
+  return c;
+}
+metrics::Counter &integrity_retries_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("integrity.retries");
+  return c;
+}
+metrics::Counter &integrity_escalations_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("integrity.escalations");
+  return c;
+}
+metrics::Counter &injected_corruptions_counter() {
+  static metrics::Counter &c = metrics::Registry::instance().counter(
+      "integrity.injected_corruptions");
+  return c;
+}
+metrics::Counter &injected_flaky_counter() {
+  static metrics::Counter &c =
+      metrics::Registry::instance().counter("integrity.injected_flaky");
+  return c;
+}
+
+/// CRC-32 over a raw payload; the empty payload (barriers, zero-length
+/// sections of an allgatherv) checksums to 0 on both sides by construction.
+std::uint32_t payload_crc(const void *data, std::size_t bytes) {
+  if (bytes == 0) return 0;
+  return checkpoint::crc32(
+      std::span<const std::uint8_t>(static_cast<const std::uint8_t *>(data),
+                                    bytes));
+}
+
+std::uint32_t item_crc(const Communicator::StealItem &item) {
+  static_assert(std::is_trivially_copyable_v<Communicator::StealItem>);
+  return checkpoint::crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t *>(&item), sizeof(item)));
+}
+
+/// The fatal error a rank raises when it discovers a peer declared it dead
+/// (payload-corruption escalation can evict a busy rank, unlike stall
+/// eviction which only ever marks parked ranks).  Fatal on purpose: a
+/// declared-dead rank must unwind as a casualty, never join a shrink.
+std::runtime_error declared_dead_error(int world_rank) {
+  return std::runtime_error(
+      "mpsim: rank " + std::to_string(world_rank) +
+      " was declared failed by a peer (payload-corruption escalation)");
 }
 
 std::string format_rank_list(const std::vector<int> &ranks) {
@@ -212,6 +273,15 @@ struct Mailbox {
   std::condition_variable cv;
   const void *data = nullptr;
   std::size_t bytes = 0;
+  /// Producer CRC over the posted payload (0 when integrity is inactive).
+  std::uint32_t crc = 0;
+  /// Injection directives riding with the current message, set by the
+  /// sender at post time: the receiver flips one bit of its copy while
+  /// attempt <= inject_corrupt_attempts, and treats the checksum as failed
+  /// while attempt <= inject_flaky_attempts — modelling a dirty link whose
+  /// retransmissions heal (or, when sticky, never do).
+  std::uint64_t inject_corrupt_attempts = 0;
+  std::uint64_t inject_flaky_attempts = 0;
   bool posted = false;
 };
 
@@ -220,8 +290,20 @@ struct Mailbox {
 /// steals are lock-then-go, and nobody ever waits on a queue — which is why
 /// a dead rank's queue stays safely readable for the rest of the window.
 struct StealQueue {
+  /// One stealable item plus the CRC its publisher computed; the CRC
+  /// travels with the item when a thief re-queues surplus locally.
+  struct Slot {
+    Communicator::StealItem item;
+    std::uint32_t crc = 0;
+  };
+
   std::mutex mutex;
-  std::deque<Communicator::StealItem> items;
+  std::deque<Slot> slots;
+  /// Publish-site injection: a dirty-link tag mask applied to (and consumed
+  /// by) the next read attempt, and a flaky budget decremented per failed
+  /// verification.  Sticky corruption instead flips the stored item itself.
+  std::uint64_t read_flip_mask = 0;
+  std::uint64_t flaky_remaining = 0;
 };
 
 struct SharedState {
@@ -229,6 +311,7 @@ struct SharedState {
       : options(run_options), world_size(run_options.num_ranks),
         pointers(static_cast<std::size_t>(world_size), nullptr),
         sizes(static_cast<std::size_t>(world_size), 0),
+        crcs(static_cast<std::size_t>(world_size), 0),
         mailboxes(static_cast<std::size_t>(world_size) *
                   static_cast<std::size_t>(world_size)),
         steal_queues(static_cast<std::size_t>(world_size)),
@@ -347,9 +430,13 @@ struct SharedState {
   const RunOptions options;
   const int world_size;
 
-  // Collective pointer exchange, indexed by world rank.
+  // Collective pointer exchange, indexed by world rank.  `crcs` carries each
+  // producer's CRC-32 alongside its payload pointer; stable (like the
+  // pointers) between the two rendezvous phases of an exchange, which is
+  // what lets every rank verify every payload without an agreement round.
   std::vector<const void *> pointers;
   std::vector<std::size_t> sizes;
+  std::vector<std::uint32_t> crcs;
   std::vector<Mailbox> mailboxes;
   std::vector<StealQueue> steal_queues;
 
@@ -415,6 +502,12 @@ std::uint64_t Communicator::begin_collective(Collective collective) {
       // communication sites; the communicator's site counter never matches
       // them by design, so skip rather than fall through to the stall path.
       if (fault.kind == FaultSpec::Kind::Oom) continue;
+      // Payload faults (corrupt/flaky) fire inside the exchange itself —
+      // post_payload and the mailbox/steal paths consult injection_at() —
+      // so the entry hook leaves them alone.
+      if (fault.kind == FaultSpec::Kind::Corrupt ||
+          fault.kind == FaultSpec::Kind::Flaky)
+        continue;
       if (fault.kind == FaultSpec::Kind::Crash) {
         if (metrics::enabled()) crashes_counter().increment();
         trace::instant("mpsim", "mpsim.fault_crash", "rank",
@@ -460,6 +553,12 @@ void Communicator::sync(Collective collective, std::uint64_t site, bool flow) {
 
   std::unique_lock<std::mutex> lock(shared_.mutex);
   if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+  // A corruption escalation can declare a *busy* rank dead (unlike stall
+  // eviction, which only marks parked ranks).  A declared-dead rank must
+  // unwind as a casualty — never observe RankFailed and join a shrink,
+  // where its arrival would overcount the barrier against `live`.
+  if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+    throw declared_dead_error(world_rank_);
   if (shared_.dead_order.size() > acked_deaths_)
     throw shared_.rank_failed_since_locked(acked_deaths_);
 
@@ -548,6 +647,8 @@ void Communicator::sync(Collective collective, std::uint64_t site, bool flow) {
     if (shared_.dead_order.size() > acked_deaths_) {
       --shared_.arrived;
       shared_.in_barrier[static_cast<std::size_t>(world_rank_)] = 0;
+      if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+        throw declared_dead_error(world_rank_);
       throw shared_.rank_failed_since_locked(acked_deaths_);
     }
   }
@@ -576,6 +677,8 @@ ShrinkResult Communicator::shrink() {
   trace::Span span("mpsim", "mpsim.shrink");
   std::unique_lock<std::mutex> lock(shared_.mutex);
   if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+  if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+    throw declared_dead_error(world_rank_);
 
   const std::uint64_t my_generation = shared_.shrink_generation;
   shared_.in_shrink[static_cast<std::size_t>(world_rank_)] = 1;
@@ -647,6 +750,127 @@ std::size_t Communicator::peer_size(int world_peer) const {
   return shared_.sizes[static_cast<std::size_t>(world_peer)];
 }
 
+// --- integrity layer ---------------------------------------------------------
+
+bool Communicator::verify_enabled() const {
+  return shared_.options.verify_collectives;
+}
+
+const FaultSpec *Communicator::injection_at(std::uint64_t site) const {
+  for (const FaultSpec &fault : shared_.options.faults) {
+    if (fault.rank != world_rank_ || fault.site != site) continue;
+    if (fault.kind == FaultSpec::Kind::Corrupt ||
+        fault.kind == FaultSpec::Kind::Flaky)
+      return &fault;
+  }
+  return nullptr;
+}
+
+void Communicator::post_payload(Collective collective, std::uint64_t site,
+                                int attempt, const void *data,
+                                std::size_t bytes) {
+  (void)collective;
+  staged_ = false;
+  const FaultSpec *fault = injection_at(site);
+  if (!verify_enabled() && fault == nullptr) {
+    post_pointer(data, bytes);
+    return;
+  }
+  const void *posted = data;
+  std::uint32_t crc = payload_crc(data, bytes);
+  if (fault != nullptr && fault->kind == FaultSpec::Kind::Corrupt &&
+      bytes > 0 && (attempt == 1 || fault->sticky)) {
+    // The flip lands in a staging copy published under the *clean* CRC: the
+    // caller's buffer is never touched, so a retransmit genuinely heals —
+    // unless the fault is sticky, in which case every repost re-corrupts.
+    staging_.assign(static_cast<const std::uint8_t *>(data),
+                    static_cast<const std::uint8_t *>(data) + bytes);
+    const std::uint64_t bit = site % (static_cast<std::uint64_t>(bytes) * 8);
+    staging_[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<std::uint8_t>(1u << (bit % 8));
+    posted = staging_.data();
+    staged_ = true;
+    if (metrics::enabled()) injected_corruptions_counter().increment();
+    trace::instant("mpsim", "mpsim.fault_corrupt", "rank",
+                   static_cast<std::uint64_t>(world_rank_), "site", site);
+  } else if (fault != nullptr && fault->kind == FaultSpec::Kind::Flaky &&
+             static_cast<std::uint64_t>(attempt) <= fault->attempts) {
+    // Clean bytes under a wrong checksum: the payload is fine, the "link"
+    // is not — retransmits heal once the configured budget is spent.
+    crc ^= 1u;
+    if (metrics::enabled()) injected_flaky_counter().increment();
+    trace::instant("mpsim", "mpsim.fault_flaky", "rank",
+                   static_cast<std::uint64_t>(world_rank_), "site", site);
+  }
+  shared_.crcs[static_cast<std::size_t>(world_rank_)] = crc;
+  post_pointer(posted, bytes);
+}
+
+std::vector<int> Communicator::verify_payloads(Collective collective,
+                                               std::uint64_t site,
+                                               int attempt) {
+  (void)collective;
+  std::vector<int> corrupters;
+  for (int member : members_) {
+    const auto m = static_cast<std::size_t>(member);
+    if (payload_crc(shared_.pointers[m], shared_.sizes[m]) != shared_.crcs[m])
+      corrupters.push_back(member);
+  }
+  if (metrics::enabled()) {
+    integrity_checks_counter().add(members_.size());
+    if (!corrupters.empty())
+      integrity_detections_counter().add(corrupters.size());
+  }
+  if (!corrupters.empty())
+    trace::instant("mpsim", "mpsim.payload_corrupt", "site", site, "attempt",
+                   static_cast<std::uint64_t>(attempt));
+  return corrupters;
+}
+
+void Communicator::escalate_corruption(Collective collective,
+                                       std::uint64_t site,
+                                       const std::vector<int> &corrupters,
+                                       int attempts) {
+  if (metrics::enabled()) integrity_escalations_counter().increment();
+  trace::instant("mpsim", "mpsim.corruption_escalated", "site", site, "rank",
+                 static_cast<std::uint64_t>(world_rank_));
+  // Every rank reaches this point with the same corrupter set (the posted
+  // buffers are stable between the rendezvous phases), so the roles need no
+  // agreement round: producers of bad bytes die with the diagnosis, their
+  // peers route them into the ledger (recovery on) or unwind (recovery off).
+  if (std::find(corrupters.begin(), corrupters.end(), world_rank_) !=
+      corrupters.end())
+    throw PayloadCorrupt(to_string(collective), site, world_rank_, attempts);
+  if (shared_.options.recover) {
+    std::unique_lock<std::mutex> lock(shared_.mutex);
+    for (int corrupter : corrupters) shared_.mark_dead_locked(corrupter);
+    RankFailed failure = shared_.rank_failed_since_locked(acked_deaths_);
+    lock.unlock();
+    shared_.wake_everyone();
+    throw failure;
+  }
+  throw RankAborted();
+}
+
+void Communicator::note_retry(Collective collective, std::uint64_t site,
+                              int attempt) {
+  (void)collective;
+  if (metrics::enabled()) integrity_retries_counter().increment();
+  trace::instant("mpsim", "mpsim.payload_retry", "site", site, "attempt",
+                 static_cast<std::uint64_t>(attempt));
+}
+
+void Communicator::finish_unverified(void *inplace_result, std::size_t bytes) {
+  if (!staged_) return;
+  staged_ = false;
+  // In-place reductions wrote the combined result into the *posted* buffers
+  // — for this rank, the corrupted staging copy.  The caller's view must
+  // adopt it: with verification off, injected corruption is deliberately
+  // silent, and silent means the wrong bytes reach the algorithm.
+  if (inplace_result != nullptr && bytes > 0)
+    std::memcpy(inplace_result, staging_.data(), bytes);
+}
+
 void Communicator::send_bytes(const void *data, std::size_t bytes,
                               int destination) {
   RIPPLES_ASSERT(destination >= 0 && destination < size());
@@ -664,10 +888,16 @@ void Communicator::send_bytes(const void *data, std::size_t bytes,
   // These loops hold only the mailbox mutex, so failure checks go through
   // the lock-free mirrors (aborted, dead_count); the central mutex is taken
   // — after dropping the box lock, to keep lock order acyclic — only to
-  // snapshot the dead set for the exception.
+  // snapshot the dead set for the exception.  The self-alive check matters
+  // here: a receiver that exhausted its retry budget against this sender's
+  // corruption declares *us* dead, and a declared-dead rank must unwind as
+  // a casualty, never join a shrink.
   auto throw_failed = [&] {
     lock.unlock();
-    throw shared_.rank_failed_since(acked_deaths_);
+    std::lock_guard<std::mutex> central(shared_.mutex);
+    if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+      throw declared_dead_error(world_rank_);
+    throw shared_.rank_failed_since_locked(acked_deaths_);
   };
   auto throw_timeout = [&] {
     if (metrics::enabled()) timeouts_counter().increment();
@@ -685,8 +915,23 @@ void Communicator::send_bytes(const void *data, std::size_t bytes,
   if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
   if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_)
     throw_failed();
+  const FaultSpec *injection = injection_at(site);
   box.data = data;
   box.bytes = bytes;
+  box.crc = (verify_enabled() || injection != nullptr)
+                ? payload_crc(data, bytes)
+                : 0;
+  // Sender-side injection rides with the message as a directive: the
+  // rendezvous gives the receiver the sender's *live* buffer, so a flip
+  // must happen on the receiving side (the sender's bytes stay clean for
+  // the retransmits that model the retry healing).
+  box.inject_corrupt_attempts = 0;
+  box.inject_flaky_attempts = 0;
+  if (injection != nullptr && injection->kind == FaultSpec::Kind::Corrupt)
+    box.inject_corrupt_attempts =
+        injection->sticky ? std::numeric_limits<std::uint64_t>::max() : 1;
+  else if (injection != nullptr && injection->kind == FaultSpec::Kind::Flaky)
+    box.inject_flaky_attempts = injection->attempts;
   box.posted = true;
   box.cv.notify_all();
   // Rendezvous: return only after the receiver copied the payload.  If the
@@ -720,29 +965,112 @@ void Communicator::recv_bytes(void *buffer, std::size_t bytes, int source) {
   record(Collective::Recv, bytes);
   trace::Span span("mpsim", "mpsim.recv", "bytes", bytes, "peer",
                    static_cast<std::uint64_t>(source_world));
+  const FaultSpec *own = injection_at(site);
   detail::Mailbox &box = shared_.mailbox(source_world, world_rank_);
   std::unique_lock<std::mutex> lock(box.mutex);
   detail::PollBackoff backoff;
   detail::WatchdogClock watchdog(shared_.options.watchdog);
-  while (!box.posted) {
-    if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
-    if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_) {
-      lock.unlock();
-      throw shared_.rank_failed_since(acked_deaths_);
+  for (int attempt = 1;; ++attempt) {
+    while (!box.posted) {
+      if (shared_.aborted.load(std::memory_order_acquire)) throw RankAborted();
+      if (shared_.dead_count.load(std::memory_order_acquire) > acked_deaths_) {
+        lock.unlock();
+        std::lock_guard<std::mutex> central(shared_.mutex);
+        if (!shared_.alive[static_cast<std::size_t>(world_rank_)])
+          throw declared_dead_error(world_rank_);
+        throw shared_.rank_failed_since_locked(acked_deaths_);
+      }
+      if (watchdog.expired()) {
+        if (metrics::enabled()) timeouts_counter().increment();
+        throw CollectiveTimeout("recv", site, {source_world},
+                                watchdog.elapsed());
+      }
+      box.cv.wait_for(lock, watchdog.clamp(backoff.next()));
     }
-    if (watchdog.expired()) {
-      if (metrics::enabled()) timeouts_counter().increment();
-      throw CollectiveTimeout("recv", site, {source_world},
-                              watchdog.elapsed());
+    RIPPLES_ASSERT_MSG(box.bytes == bytes,
+                       "recv buffer size must match the sent payload");
+    if (bytes > 0) std::memcpy(buffer, box.data, bytes);
+    // Dirty-link injection lands on the receiving copy: this rank's own
+    // planned corruption, or the sender's posted directive.  One flip even
+    // when both are active — two flips at the same bit would cancel.
+    const bool own_corrupt = own != nullptr &&
+                             own->kind == FaultSpec::Kind::Corrupt &&
+                             (attempt == 1 || own->sticky);
+    const bool link_corrupt =
+        static_cast<std::uint64_t>(attempt) <= box.inject_corrupt_attempts;
+    if ((own_corrupt || link_corrupt) && bytes > 0) {
+      const std::uint64_t bit = site % (static_cast<std::uint64_t>(bytes) * 8);
+      static_cast<std::uint8_t *>(buffer)[bit / 8] ^=
+          static_cast<std::uint8_t>(1u << (bit % 8));
+      if (metrics::enabled()) injected_corruptions_counter().increment();
+      trace::instant("mpsim", "mpsim.fault_corrupt", "rank",
+                     static_cast<std::uint64_t>(world_rank_), "site", site);
     }
-    box.cv.wait_for(lock, watchdog.clamp(backoff.next()));
+    auto consume = [&] {
+      box.posted = false;
+      box.data = nullptr;
+      box.cv.notify_all();
+    };
+    if (!verify_enabled()) {
+      // Unverified: whatever the copy now holds is the message.  Injected
+      // corruption is deliberately silent here — the wrong bytes reach the
+      // caller, which is exactly what the verification layer exists to stop.
+      consume();
+      return;
+    }
+    const bool own_flaky = own != nullptr &&
+                           own->kind == FaultSpec::Kind::Flaky &&
+                           static_cast<std::uint64_t>(attempt) <= own->attempts;
+    const bool link_flaky =
+        static_cast<std::uint64_t>(attempt) <= box.inject_flaky_attempts;
+    bool corrupt;
+    if (own_flaky || link_flaky) {
+      corrupt = true;
+      if (metrics::enabled()) injected_flaky_counter().increment();
+      trace::instant("mpsim", "mpsim.fault_flaky", "rank",
+                     static_cast<std::uint64_t>(world_rank_), "site", site);
+    } else {
+      if (metrics::enabled()) integrity_checks_counter().increment();
+      corrupt = payload_crc(buffer, bytes) != box.crc;
+    }
+    if (!corrupt) {
+      consume();
+      return;
+    }
+    if (metrics::enabled()) integrity_detections_counter().increment();
+    trace::instant("mpsim", "mpsim.payload_corrupt", "site", site, "attempt",
+                   static_cast<std::uint64_t>(attempt));
+    if (attempt == kMaxVerifyAttempts) {
+      if (metrics::enabled()) integrity_escalations_counter().increment();
+      trace::instant("mpsim", "mpsim.corruption_escalated", "site", site,
+                     "rank", static_cast<std::uint64_t>(world_rank_));
+      // Attribution: a sticky fault on this rank's own recv site (or its
+      // own still-failing flaky) is self-inflicted; otherwise the sender
+      // produced the bad bytes and is escalated like any corrupter.
+      const bool self_inflicted =
+          own_flaky || (own != nullptr &&
+                        own->kind == FaultSpec::Kind::Corrupt && own->sticky);
+      if (self_inflicted)
+        throw PayloadCorrupt("recv", site, world_rank_, attempt);
+      if (shared_.options.recover) {
+        lock.unlock();
+        std::unique_lock<std::mutex> central(shared_.mutex);
+        shared_.mark_dead_locked(source_world);
+        RankFailed failure = shared_.rank_failed_since_locked(acked_deaths_);
+        central.unlock();
+        shared_.wake_everyone();
+        throw failure;
+      }
+      throw PayloadCorrupt("send", site, source_world, attempt);
+    }
+    // Retry against the sender's still-posted buffer (the rendezvous keeps
+    // it live until we consume), off the lock so the sender's own failure
+    // checks stay responsive.
+    lock.unlock();
+    note_retry(Collective::Recv, site, attempt);
+    backoff_sleep(attempt);
+    lock.lock();
   }
-  RIPPLES_ASSERT_MSG(box.bytes == bytes,
-                     "recv buffer size must match the sent payload");
-  std::memcpy(buffer, box.data, bytes);
-  box.posted = false;
-  box.data = nullptr;
-  box.cv.notify_all();
 }
 
 // --- Steal channel ----------------------------------------------------------
@@ -759,25 +1087,89 @@ void Communicator::steal_publish(std::span<const StealItem> items) {
   record(Collective::Steal, items.size() * sizeof(StealItem));
   trace::Span span("mpsim", "mpsim.steal_publish", "items", items.size(),
                    "site", site);
+  const FaultSpec *injection = injection_at(site);
+  const bool checksum = verify_enabled() || injection != nullptr;
   detail::StealQueue &queue =
       shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
   std::lock_guard<std::mutex> lock(queue.mutex);
-  queue.items.assign(items.begin(), items.end());
+  queue.slots.clear();
+  for (const StealItem &item : items)
+    queue.slots.push_back({item, checksum ? item_crc(item) : 0});
+  queue.read_flip_mask = 0;
+  queue.flaky_remaining = 0;
+  if (injection == nullptr || queue.slots.empty()) return;
+  if (injection->kind == FaultSpec::Kind::Corrupt) {
+    if (injection->sticky) {
+      // Storage corruption: the stored item itself is damaged (its CRC was
+      // taken before the flip), so every read attempt fails until a
+      // consumer exhausts its budget and escalates against this rank.
+      queue.slots.front().item.tag ^= std::uint64_t{1} << (site % 64);
+      if (metrics::enabled()) injected_corruptions_counter().increment();
+      trace::instant("mpsim", "mpsim.fault_corrupt", "rank",
+                     static_cast<std::uint64_t>(world_rank_), "site", site);
+    } else {
+      // Dirty link: the next read attempt sees a flipped copy, once.
+      queue.read_flip_mask = std::uint64_t{1} << (site % 64);
+    }
+  } else {
+    queue.flaky_remaining = injection->attempts;
+  }
 }
 
 bool Communicator::steal_pop(StealItem &out) {
   detail::StealQueue &queue =
       shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
-  std::lock_guard<std::mutex> lock(queue.mutex);
-  if (queue.items.empty()) return false;
-  out = queue.items.front();
-  queue.items.pop_front();
-  return true;
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::lock_guard<std::mutex> lock(queue.mutex);
+      if (queue.slots.empty()) return false;
+      const detail::StealQueue::Slot &slot = queue.slots.front();
+      StealItem candidate = slot.item;
+      if (queue.read_flip_mask != 0) {
+        candidate.tag ^= queue.read_flip_mask;
+        queue.read_flip_mask = 0;
+        if (metrics::enabled()) injected_corruptions_counter().increment();
+        trace::instant("mpsim", "mpsim.fault_corrupt", "rank",
+                       static_cast<std::uint64_t>(world_rank_), "site",
+                       site_counter_);
+      }
+      bool corrupt = false;
+      if (verify_enabled()) {
+        if (queue.flaky_remaining > 0) {
+          --queue.flaky_remaining;
+          corrupt = true;
+          if (metrics::enabled()) injected_flaky_counter().increment();
+        } else {
+          if (metrics::enabled()) integrity_checks_counter().increment();
+          corrupt = item_crc(candidate) != slot.crc;
+        }
+      }
+      if (!corrupt) {
+        out = candidate;
+        queue.slots.pop_front();
+        return true;
+      }
+      if (metrics::enabled()) integrity_detections_counter().increment();
+      if (attempt == kMaxVerifyAttempts) {
+        // Whatever poisoned this rank's own queue — its own published
+        // storage corruption or still-failing flaky budget — is charged to
+        // this rank: it dies with the diagnosis and healing regenerates its
+        // unexecuted ranges from RNG coordinates.
+        if (metrics::enabled()) integrity_escalations_counter().increment();
+        trace::instant("mpsim", "mpsim.corruption_escalated", "site",
+                       site_counter_, "rank",
+                       static_cast<std::uint64_t>(world_rank_));
+        throw PayloadCorrupt("steal", site_counter_, world_rank_, attempt);
+      }
+    }
+    note_retry(Collective::Steal, site_counter_, attempt);
+    backoff_sleep(attempt);
+  }
 }
 
 bool Communicator::steal_acquire(StealItem &out, std::uint64_t victim_offset) {
   const std::uint64_t site = begin_collective(Collective::Steal);
-  (void)site; // fault hook only; the channel has no rendezvous to tag
+  const FaultSpec *own = injection_at(site);
   const std::size_t p = members_.size();
   if (p <= 1) return false;
   const auto me = static_cast<std::size_t>(my_index_);
@@ -786,37 +1178,121 @@ bool Communicator::steal_acquire(StealItem &out, std::uint64_t victim_offset) {
         (me + 1 + static_cast<std::size_t>(victim_offset % p) + off) % p;
     if (victim_index == me) continue;
     const int victim_world = members_[victim_index];
-    // Copy the split out of the victim's lock before touching our own
-    // queue; holding two queue mutexes at once would require a global
-    // locking order the thieves cannot agree on.
-    std::vector<StealItem> taken;
-    {
-      detail::StealQueue &victim =
-          shared_.steal_queues[static_cast<std::size_t>(victim_world)];
-      std::lock_guard<std::mutex> lock(victim.mutex);
-      const std::size_t n = victim.items.size();
-      if (n == 0) continue;
-      const std::size_t keep = n - (n + 1) / 2; // thief takes ceil(n/2)
-      taken.assign(victim.items.begin() + static_cast<std::ptrdiff_t>(keep),
-                   victim.items.end());
-      victim.items.erase(victim.items.begin() +
-                             static_cast<std::ptrdiff_t>(keep),
-                         victim.items.end());
+    detail::StealQueue &victim =
+        shared_.steal_queues[static_cast<std::size_t>(victim_world)];
+    for (int attempt = 1;; ++attempt) {
+      // Copy the split out of the victim's lock before touching our own
+      // queue; holding two queue mutexes at once would require a global
+      // locking order the thieves cannot agree on.  Verification happens
+      // under the same lock so the split is only erased once it verified —
+      // a corrupt read leaves the victim's queue intact for the retry.
+      std::vector<detail::StealQueue::Slot> taken;
+      bool empty = false;
+      bool corrupt = false;
+      bool self_inflicted = false;
+      {
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        const std::size_t n = victim.slots.size();
+        if (n == 0) {
+          empty = true;
+        } else {
+          const std::size_t keep = n - (n + 1) / 2; // thief takes ceil(n/2)
+          taken.assign(victim.slots.begin() + static_cast<std::ptrdiff_t>(keep),
+                       victim.slots.end());
+          // Dirty-link injection on the thief's copy: this rank's own
+          // planned corruption or the victim's one-shot publish directive
+          // (consumed by this attempt).  One flip even when both are live.
+          const bool own_corrupt = own != nullptr &&
+                                   own->kind == FaultSpec::Kind::Corrupt &&
+                                   (attempt == 1 || own->sticky);
+          const bool link_corrupt = victim.read_flip_mask != 0;
+          if (own_corrupt || link_corrupt) {
+            const std::uint64_t mask = link_corrupt
+                                           ? victim.read_flip_mask
+                                           : std::uint64_t{1} << (site % 64);
+            victim.read_flip_mask = 0;
+            taken.front().item.tag ^= mask;
+            if (metrics::enabled()) injected_corruptions_counter().increment();
+            trace::instant("mpsim", "mpsim.fault_corrupt", "rank",
+                           static_cast<std::uint64_t>(world_rank_), "site",
+                           site);
+          }
+          if (verify_enabled()) {
+            bool flaky = false;
+            if (victim.flaky_remaining > 0) {
+              --victim.flaky_remaining;
+              flaky = true;
+            } else if (own != nullptr &&
+                       own->kind == FaultSpec::Kind::Flaky &&
+                       static_cast<std::uint64_t>(attempt) <= own->attempts) {
+              flaky = true;
+              self_inflicted = true;
+            }
+            if (flaky) {
+              corrupt = true;
+              if (metrics::enabled()) injected_flaky_counter().increment();
+              trace::instant("mpsim", "mpsim.fault_flaky", "rank",
+                             static_cast<std::uint64_t>(world_rank_), "site",
+                             site);
+            } else {
+              if (metrics::enabled())
+                integrity_checks_counter().add(taken.size());
+              for (const detail::StealQueue::Slot &slot : taken)
+                if (item_crc(slot.item) != slot.crc) corrupt = true;
+              self_inflicted = own != nullptr &&
+                               own->kind == FaultSpec::Kind::Corrupt &&
+                               own->sticky;
+            }
+          }
+          if (!corrupt)
+            victim.slots.erase(
+                victim.slots.begin() + static_cast<std::ptrdiff_t>(keep),
+                victim.slots.end());
+        }
+      }
+      if (empty) break; // next victim
+      if (!corrupt) {
+        record(Collective::Steal, taken.size() * sizeof(StealItem));
+        trace::instant("mpsim", "mpsim.steal_acquire", "victim",
+                       static_cast<std::uint64_t>(victim_world), "items",
+                       static_cast<std::uint64_t>(taken.size()));
+        out = taken.front().item;
+        if (taken.size() > 1) {
+          detail::StealQueue &mine =
+              shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
+          std::lock_guard<std::mutex> lock(mine.mutex);
+          // Back of our queue: peers split from the back, so the surplus
+          // stays re-stealable ahead of our own front-pop order.  The CRCs
+          // travel with the items for later verification.
+          mine.slots.insert(mine.slots.end(), taken.begin() + 1, taken.end());
+        }
+        return true;
+      }
+      if (metrics::enabled()) integrity_detections_counter().increment();
+      trace::instant("mpsim", "mpsim.payload_corrupt", "site", site, "attempt",
+                     static_cast<std::uint64_t>(attempt));
+      if (attempt == kMaxVerifyAttempts) {
+        if (metrics::enabled()) integrity_escalations_counter().increment();
+        trace::instant("mpsim", "mpsim.corruption_escalated", "site", site,
+                       "rank", static_cast<std::uint64_t>(world_rank_));
+        if (self_inflicted)
+          throw PayloadCorrupt("steal", site, world_rank_, attempt);
+        // The victim's stored items are damaged: charge the victim.  Its
+        // queue drops out of the scan at the next shrink, and healing
+        // regenerates the unexecuted ranges from RNG coordinates.
+        if (shared_.options.recover) {
+          std::unique_lock<std::mutex> central(shared_.mutex);
+          shared_.mark_dead_locked(victim_world);
+          RankFailed failure = shared_.rank_failed_since_locked(acked_deaths_);
+          central.unlock();
+          shared_.wake_everyone();
+          throw failure;
+        }
+        throw PayloadCorrupt("steal", site, victim_world, attempt);
+      }
+      note_retry(Collective::Steal, site, attempt);
+      backoff_sleep(attempt);
     }
-    record(Collective::Steal, taken.size() * sizeof(StealItem));
-    trace::instant("mpsim", "mpsim.steal_acquire", "victim",
-                   static_cast<std::uint64_t>(victim_world), "items",
-                   static_cast<std::uint64_t>(taken.size()));
-    out = taken.front();
-    if (taken.size() > 1) {
-      detail::StealQueue &mine =
-          shared_.steal_queues[static_cast<std::size_t>(world_rank_)];
-      std::lock_guard<std::mutex> lock(mine.mutex);
-      // Back of our queue: peers split from the back, so the surplus stays
-      // re-stealable ahead of our own front-pop order.
-      mine.items.insert(mine.items.end(), taken.begin() + 1, taken.end());
-    }
-    return true;
   }
   return false;
 }
@@ -836,6 +1312,8 @@ void Context::run(const RunOptions &options_in,
   RIPPLES_ASSERT(options.num_ranks >= 1);
   if (options.faults.empty()) options.faults = fault_plan_from_env();
   if (options.watchdog.count() == 0) options.watchdog = watchdog_from_env();
+  if (!options.verify_collectives)
+    options.verify_collectives = verify_collectives_from_env();
 
   detail::SharedState shared(options);
 

@@ -44,6 +44,15 @@
 ///     wait carries a deadline; a stalled peer converts the wait into a
 ///     diagnosed `CollectiveTimeout` naming the site, the laggard ranks,
 ///     and the elapsed time instead of blocking forever.
+///  4. *Integrity* (RunOptions::verify_collectives, default off): every
+///     payload — collective buffers, mailbox messages, steal items —
+///     carries a CRC-32 published by its producer and recomputed by every
+///     consumer before any byte is acted on.  A mismatch triggers a
+///     bounded, deterministic retry with capped exponential backoff
+///     (integrity.hpp); exhaustion escalates — `PayloadCorrupt` for the
+///     producer of the bad bytes, the level-2 shrink/heal ledger for its
+///     peers — so silent data corruption becomes either a healed transient
+///     or a diagnosed rank death, never a wrong answer.
 ///
 /// Deterministic fault injection (`RunOptions::faults`, `RIPPLES_FAULTS`)
 /// turns each of these paths into a reproducible test; see fault.hpp.
@@ -62,6 +71,7 @@
 #include <vector>
 
 #include "mpsim/fault.hpp"
+#include "mpsim/integrity.hpp"
 #include "support/assert.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -223,6 +233,11 @@ struct RunOptions {
   /// watchdog; only the generation-barrier waits evict (the shrink and
   /// mailbox watchdogs stay diagnose-only — see sync()).
   bool evict_stalled = false;
+  /// Checksummed exchanges: every payload carries a producer CRC-32 that
+  /// consumers recompute before use, with retry/backoff on mismatch and
+  /// escalation to the failure model on exhaustion (DESIGN.md §14).  Also
+  /// read from RIPPLES_VERIFY_COLLECTIVES when left false.
+  bool verify_collectives = false;
   /// Deterministic fault plan; merged with RIPPLES_FAULTS when empty.
   FaultPlan faults;
 };
@@ -267,10 +282,10 @@ public:
     record(Collective::Allreduce, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.allreduce", "bytes",
                      buffer.size() * sizeof(T));
-    post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Allreduce, site, /*flow=*/true);
-    combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
-    sync(Collective::Allreduce, site);
+    exchange(Collective::Allreduce, site, buffer.data(),
+             buffer.size() * sizeof(T), buffer.data(), [&] {
+               combine_slices<T>(buffer, op, /*all_ranks_receive=*/true);
+             });
   }
 
   /// MPI_Reduce: as allreduce, but only \p root's buffer receives the result;
@@ -282,10 +297,10 @@ public:
     record(Collective::Reduce, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.reduce", "bytes",
                      buffer.size() * sizeof(T));
-    post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Reduce, site, /*flow=*/true);
-    combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
-    sync(Collective::Reduce, site);
+    exchange(Collective::Reduce, site, buffer.data(), buffer.size() * sizeof(T),
+             my_index_ == root ? buffer.data() : nullptr, [&] {
+               combine_slices<T>(buffer, op, /*all_ranks_receive=*/false, root);
+             });
   }
 
   /// MPI_Bcast: copies \p root's buffer into every rank's buffer.
@@ -296,13 +311,14 @@ public:
     record(Collective::Broadcast, buffer.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.broadcast", "bytes",
                      buffer.size() * sizeof(T));
-    post_pointer(buffer.data(), buffer.size() * sizeof(T));
-    sync(Collective::Broadcast, site, /*flow=*/true);
-    if (my_index_ != root) {
-      const void *src = peer_pointer(members_[static_cast<std::size_t>(root)]);
-      std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
-    }
-    sync(Collective::Broadcast, site);
+    exchange(Collective::Broadcast, site, buffer.data(),
+             buffer.size() * sizeof(T), nullptr, [&] {
+               if (my_index_ != root) {
+                 const void *src =
+                     peer_pointer(members_[static_cast<std::size_t>(root)]);
+                 std::memcpy(buffer.data(), src, buffer.size() * sizeof(T));
+               }
+             });
   }
 
   /// MPI_Allgather of a single value per rank; returns the values indexed by
@@ -312,12 +328,11 @@ public:
     const std::uint64_t site = begin_collective(Collective::Allgather);
     record(Collective::Allgather, sizeof(T));
     trace::Span span("mpsim", "mpsim.allgather", "bytes", sizeof(T));
-    post_pointer(&value, sizeof(T));
-    sync(Collective::Allgather, site, /*flow=*/true);
     std::vector<T> gathered(members_.size());
-    for (std::size_t i = 0; i < members_.size(); ++i)
-      std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
-    sync(Collective::Allgather, site);
+    exchange(Collective::Allgather, site, &value, sizeof(T), nullptr, [&] {
+      for (std::size_t i = 0; i < members_.size(); ++i)
+        std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
+    });
     return gathered;
   }
 
@@ -329,15 +344,14 @@ public:
     const std::uint64_t site = begin_collective(Collective::Gather);
     record(Collective::Gather, sizeof(T));
     trace::Span span("mpsim", "mpsim.gather", "bytes", sizeof(T));
-    post_pointer(&value, sizeof(T));
-    sync(Collective::Gather, site, /*flow=*/true);
     std::vector<T> gathered;
-    if (my_index_ == root) {
-      gathered.resize(members_.size());
-      for (std::size_t i = 0; i < members_.size(); ++i)
-        std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
-    }
-    sync(Collective::Gather, site);
+    exchange(Collective::Gather, site, &value, sizeof(T), nullptr, [&] {
+      if (my_index_ == root) {
+        gathered.resize(members_.size());
+        for (std::size_t i = 0; i < members_.size(); ++i)
+          std::memcpy(&gathered[i], peer_pointer(members_[i]), sizeof(T));
+      }
+    });
     return gathered;
   }
 
@@ -352,16 +366,16 @@ public:
     const std::uint64_t site = begin_collective(Collective::Scatter);
     record(Collective::Scatter, sizeof(T));
     trace::Span span("mpsim", "mpsim.scatter", "bytes", sizeof(T));
-    post_pointer(values.data(), values.size() * sizeof(T));
-    sync(Collective::Scatter, site, /*flow=*/true);
     T mine;
-    std::memcpy(
-        &mine,
-        static_cast<const T *>(
-            peer_pointer(members_[static_cast<std::size_t>(root)])) +
-            my_index_,
-        sizeof(T));
-    sync(Collective::Scatter, site);
+    exchange(Collective::Scatter, site, values.data(),
+             values.size() * sizeof(T), nullptr, [&] {
+               std::memcpy(
+                   &mine,
+                   static_cast<const T *>(peer_pointer(
+                       members_[static_cast<std::size_t>(root)])) +
+                       my_index_,
+                   sizeof(T));
+             });
     return mine;
   }
 
@@ -390,18 +404,19 @@ public:
     record(Collective::Allgatherv, local.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
                      local.size() * sizeof(T));
-    post_pointer(local.data(), local.size() * sizeof(T));
-    sync(Collective::Allgatherv, site, /*flow=*/true);
     std::vector<T> gathered;
-    for (int member : members_) {
-      std::size_t bytes = peer_size(member);
-      std::size_t count = bytes / sizeof(T);
-      std::size_t offset = gathered.size();
-      gathered.resize(offset + count);
-      if (count > 0)
-        std::memcpy(gathered.data() + offset, peer_pointer(member), bytes);
-    }
-    sync(Collective::Allgatherv, site);
+    exchange(Collective::Allgatherv, site, local.data(),
+             local.size() * sizeof(T), nullptr, [&] {
+               for (int member : members_) {
+                 std::size_t bytes = peer_size(member);
+                 std::size_t count = bytes / sizeof(T);
+                 std::size_t offset = gathered.size();
+                 gathered.resize(offset + count);
+                 if (count > 0)
+                   std::memcpy(gathered.data() + offset, peer_pointer(member),
+                               bytes);
+               }
+             });
     return gathered;
   }
 
@@ -416,16 +431,17 @@ public:
     record(Collective::Allgatherv, local.size() * sizeof(T));
     trace::Span span("mpsim", "mpsim.allgatherv", "bytes",
                      local.size() * sizeof(T));
-    post_pointer(local.data(), local.size() * sizeof(T));
-    sync(Collective::Allgatherv, site, /*flow=*/true);
     std::vector<std::vector<T>> sections(members_.size());
-    for (std::size_t i = 0; i < members_.size(); ++i) {
-      const std::size_t bytes = peer_size(members_[i]);
-      sections[i].resize(bytes / sizeof(T));
-      if (bytes > 0)
-        std::memcpy(sections[i].data(), peer_pointer(members_[i]), bytes);
-    }
-    sync(Collective::Allgatherv, site);
+    exchange(Collective::Allgatherv, site, local.data(),
+             local.size() * sizeof(T), nullptr, [&] {
+               for (std::size_t i = 0; i < members_.size(); ++i) {
+                 const std::size_t bytes = peer_size(members_[i]);
+                 sections[i].resize(bytes / sizeof(T));
+                 if (bytes > 0)
+                   std::memcpy(sections[i].data(), peer_pointer(members_[i]),
+                               bytes);
+               }
+             });
     return sections;
   }
 
@@ -497,6 +513,96 @@ private:
   void send_bytes(const void *data, std::size_t bytes, int destination);
   void recv_bytes(void *buffer, std::size_t bytes, int source);
 
+  // --- integrity layer (DESIGN.md §14) ---------------------------------------
+
+  [[nodiscard]] bool verify_enabled() const;
+
+  /// The planned corrupt/flaky injection for this rank at \p site, or null.
+  [[nodiscard]] const FaultSpec *injection_at(std::uint64_t site) const;
+
+  /// Posts this rank's payload pointer, size, and CRC for \p attempt of the
+  /// exchange at \p site, applying any planned corrupt/flaky injection:
+  /// `corrupt` posts a bit-flipped staging copy under the clean CRC (the
+  /// caller's buffer is never touched, so a retransmit heals), `flaky`
+  /// posts clean bytes under a wrong CRC for its first `attempts` tries.
+  /// Fast path (verification off, no planned injection): plain post_pointer.
+  void post_payload(Collective collective, std::uint64_t site, int attempt,
+                    const void *data, std::size_t bytes);
+
+  /// Recomputes every live member's payload CRC against its posted value;
+  /// returns the world ranks whose payloads failed.  Identical on every
+  /// rank: the buffers are shared and stable between the rendezvous phases,
+  /// so each rank reaches the same retry-or-escalate decision without any
+  /// extra agreement round.
+  [[nodiscard]] std::vector<int> verify_payloads(Collective collective,
+                                                 std::uint64_t site,
+                                                 int attempt);
+
+  /// Retry budget exhausted: the producer of the bad bytes throws
+  /// PayloadCorrupt; its peers route the corrupters into the shrink/heal
+  /// ledger (recovery on) or unwind with RankAborted, letting the
+  /// producer's diagnosis surface (recovery off).
+  [[noreturn]] void escalate_corruption(Collective collective,
+                                        std::uint64_t site,
+                                        const std::vector<int> &corrupters,
+                                        int attempts);
+
+  void note_retry(Collective collective, std::uint64_t site, int attempt);
+
+  /// Verification-off epilogue: when injection posted a corrupted staging
+  /// copy and the op reduces in place, the caller's buffer adopts the
+  /// (corruption-tainted) result from staging — silent corruption must
+  /// reach the caller's view, not vanish into a scratch buffer.
+  void finish_unverified(void *inplace_result, std::size_t bytes);
+
+  /// One checksummed exchange: post, rendezvous, verify, rendezvous (the
+  /// verdict quiesce — verification happens strictly between two barriers,
+  /// so every rank judges the same stable bytes), then read, rendezvous —
+  /// retried with capped exponential backoff while any payload fails its
+  /// CRC, escalating when kMaxVerifyAttempts exhaust.  \p read runs exactly
+  /// once, only after every live payload verified (no byte of a corrupt
+  /// payload is ever combined or copied).  With verification off this is
+  /// the historical two-phase exchange plus the injection epilogue.
+  template <typename ReadFn>
+  void exchange(Collective collective, std::uint64_t site, const void *data,
+                std::size_t bytes, void *inplace_result, ReadFn &&read) {
+    if (!verify_enabled()) {
+      post_payload(collective, site, 1, data, bytes);
+      sync(collective, site, /*flow=*/true);
+      read();
+      sync(collective, site);
+      finish_unverified(inplace_result, bytes);
+      return;
+    }
+    for (int attempt = 1;; ++attempt) {
+      post_payload(collective, site, attempt, data, bytes);
+      sync(collective, site, /*flow=*/true);
+      const std::vector<int> corrupters =
+          verify_payloads(collective, site, attempt);
+      // Quiesce verification before anything acts on the verdict: read()
+      // mutates the posted buffers (in-place reduction slices, broadcast
+      // targets), a retry reposts them, and an escalating rank unwinds —
+      // destroying them — all while a slower peer may still be hashing.
+      // Because every rank verifies between the same two rendezvous, the
+      // verdicts are computed over stable bytes and are therefore
+      // identical on every rank, which keeps the per-branch sync counts
+      // aligned; without this barrier a fast rank's next move corrupts a
+      // slow rank's verdict and the barrier protocol itself diverges.
+      sync(collective, site);
+      if (corrupters.empty()) {
+        read();
+        sync(collective, site);
+        return;
+      }
+      if (attempt == kMaxVerifyAttempts)
+        escalate_corruption(collective, site, corrupters, attempt);
+      // Back off and retransmit from the still-live inputs: every producer
+      // reposts, so a transient flip heals.
+      note_retry(collective, site, attempt);
+      backoff_sleep(attempt);
+    }
+  }
+
   /// Each rank reduces a disjoint slice of the index space across all live
   /// rank buffers and writes the result into the receiving buffers.  Safe
   /// without locks: slices are disjoint and a barrier precedes/follows.
@@ -541,6 +647,11 @@ private:
   std::size_t acked_deaths_ = 0;
   /// Per-rank communication-entry ordinal (the fault injector's "site").
   std::uint64_t site_counter_ = 0;
+  /// Staging copy for injected payload corruption: the flip lands here, the
+  /// caller's buffer stays clean, so a retry genuinely retransmits.  Set
+  /// while a staged pointer is the posted one (finish_unverified clears it).
+  std::vector<std::uint8_t> staging_;
+  bool staged_ = false;
   detail::SharedState &shared_;
 };
 

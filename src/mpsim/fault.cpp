@@ -40,11 +40,20 @@ FaultSpec parse_one(const std::string &spec) {
   FaultSpec fault;
   bool have_rank = false;
   bool have_site = false;
+  bool have_sticky = false;
+  bool have_attempts = false;
   for (const std::string &field : split(spec, ',')) {
     std::size_t equals = field.find('=');
-    if (equals == std::string::npos)
+    if (equals == std::string::npos) {
+      // `sticky` is the one bare modifier: corrupt-only, no value.
+      if (field == "sticky") {
+        fault.sticky = true;
+        have_sticky = true;
+        continue;
+      }
       throw std::invalid_argument("fault plan: expected key=value, got '" +
                                   field + "' in '" + spec + "'");
+    }
     const std::string key = field.substr(0, equals);
     const std::string value = field.substr(equals + 1);
     if (key == "rank") {
@@ -53,6 +62,12 @@ FaultSpec parse_one(const std::string &spec) {
     } else if (key == "site") {
       fault.site = parse_number(value, spec);
       have_site = true;
+    } else if (key == "attempts") {
+      fault.attempts = parse_number(value, spec);
+      if (fault.attempts == 0)
+        throw std::invalid_argument("fault plan: attempts must be >= 1 in '" +
+                                    spec + "'");
+      have_attempts = true;
     } else if (key == "kind") {
       if (value == "crash") {
         fault.kind = FaultSpec::Kind::Crash;
@@ -60,9 +75,14 @@ FaultSpec parse_one(const std::string &spec) {
         fault.kind = FaultSpec::Kind::Stall;
       } else if (value == "oom") {
         fault.kind = FaultSpec::Kind::Oom;
+      } else if (value == "corrupt") {
+        fault.kind = FaultSpec::Kind::Corrupt;
+      } else if (value == "flaky") {
+        fault.kind = FaultSpec::Kind::Flaky;
       } else {
-        throw std::invalid_argument("fault plan: kind must be crash|stall|oom, "
-                                    "got '" + value + "'");
+        throw std::invalid_argument(
+            "fault plan: kind must be crash|stall|oom|corrupt|flaky, got '" +
+            value + "'");
       }
     } else {
       throw std::invalid_argument("fault plan: unknown key '" + key +
@@ -72,6 +92,12 @@ FaultSpec parse_one(const std::string &spec) {
   if (!have_rank || !have_site)
     throw std::invalid_argument("fault plan: '" + spec +
                                 "' must set rank= and site=");
+  if (have_sticky && fault.kind != FaultSpec::Kind::Corrupt)
+    throw std::invalid_argument(
+        "fault plan: 'sticky' applies only to kind=corrupt in '" + spec + "'");
+  if (have_attempts && fault.kind != FaultSpec::Kind::Flaky)
+    throw std::invalid_argument(
+        "fault plan: 'attempts' applies only to kind=flaky in '" + spec + "'");
   return fault;
 }
 
@@ -82,7 +108,20 @@ FaultPlan parse_fault_plan(const std::string &spec) {
   if (spec.empty()) return plan;
   for (const std::string &one : split(spec, ';')) {
     if (one.empty()) continue;
-    plan.push_back(parse_one(one));
+    FaultSpec fault = parse_one(one);
+    // Two faults at one (rank, site) coordinate in the same counting space
+    // are ambiguous: which fires first would depend on plan order, not the
+    // coordinate.  Oom sites count memory reservations, every other kind
+    // counts communication entries, so the two spaces never collide.
+    for (const FaultSpec &existing : plan) {
+      const bool same_space = (existing.kind == FaultSpec::Kind::Oom) ==
+                              (fault.kind == FaultSpec::Kind::Oom);
+      if (same_space && existing.rank == fault.rank &&
+          existing.site == fault.site)
+        throw std::invalid_argument("fault plan: duplicate (rank, site) in '" +
+                                    one + "'");
+    }
+    plan.push_back(fault);
   }
   return plan;
 }

@@ -25,13 +25,30 @@
 ///    (DESIGN.md §12): compress, shed, and finally a certified early stop
 ///    or a diagnosed MemoryBudgetExceeded.  The communicator ignores oom
 ///    entries; MemoryTracker::install_oom_faults consumes them.
+///  * `corrupt` — the rank's payload at the site has one bit flipped after
+///    the CRC is published, modelling silent data corruption in transit or
+///    in a NIC buffer.  With `--verify-collectives` the mismatch is
+///    detected, retried (the flip is transient: the repost is clean), or —
+///    with the optional bare `sticky` token, which makes every attempt
+///    corrupt — escalated to the shrink-and-heal path.  Without
+///    verification the corruption propagates silently, which is exactly
+///    the baseline the integrity tests measure against (DESIGN.md §14).
+///  * `flaky` — the rank publishes a deliberately wrong checksum for its
+///    first `attempts=M` tries at the site (default 1) and a clean one
+///    afterwards, modelling a transient link that heals itself.  Only
+///    observable under `--verify-collectives`; M at or above the retry
+///    budget degenerates into an escalation, like `sticky` corruption.
 ///
-/// Plans are written `rank=R,site=N[,kind=crash|stall|oom]`, multiple faults
-/// separated by `;`.  They arrive programmatically (RunOptions::faults,
-/// ImmOptions::fault_plan, imm_cli --inject-fault) or via the
-/// `RIPPLES_FAULTS` environment variable.  Because site counting is
+/// Plans are written `rank=R,site=N[,kind=crash|stall|oom|corrupt|flaky]`
+/// (plus `,sticky` for corrupt and `,attempts=M` for flaky), multiple
+/// faults separated by `;`.  They arrive programmatically
+/// (RunOptions::faults, ImmOptions::fault_plan, imm_cli --inject-fault) or
+/// via the `RIPPLES_FAULTS` environment variable.  Because site counting is
 /// per-rank and deterministic, the same plan hits the same operation on
-/// every run — the property the determinism tests assert.
+/// every run — the property the determinism tests assert.  Two entries
+/// naming the same (rank, site) coordinate in the same counting space
+/// (communication sites, or reservation sites for oom) are ambiguous and
+/// rejected at parse time.
 #ifndef RIPPLES_MPSIM_FAULT_HPP
 #define RIPPLES_MPSIM_FAULT_HPP
 
@@ -47,20 +64,27 @@ namespace ripples::mpsim {
 /// entry (0-based, counted per rank over collectives and point-to-point
 /// operations alike).
 struct FaultSpec {
-  enum class Kind { Crash, Stall, Oom };
+  enum class Kind { Crash, Stall, Oom, Corrupt, Flaky };
 
   int rank = 0;
   std::uint64_t site = 0;
   Kind kind = Kind::Crash;
+  /// kind=corrupt only: every retry attempt is corrupted too, forcing the
+  /// retry budget to exhaust and the escalation path to run.
+  bool sticky = false;
+  /// kind=flaky only: the number of leading attempts that fail (>= 1).
+  std::uint64_t attempts = 1;
 
   friend bool operator==(const FaultSpec &, const FaultSpec &) = default;
 };
 
 using FaultPlan = std::vector<FaultSpec>;
 
-/// Parses `rank=R,site=N[,kind=crash|stall|oom][;rank=...]`.  The empty string
-/// yields an empty plan; malformed specs throw std::invalid_argument with a
-/// message naming the offending token.
+/// Parses `rank=R,site=N[,kind=crash|stall|oom|corrupt|flaky][,sticky]
+/// [,attempts=M][;rank=...]`.  The empty string yields an empty plan;
+/// malformed specs — unknown keys, unknown kinds, modifiers on the wrong
+/// kind, or duplicate (rank, site) coordinates — throw std::invalid_argument
+/// with a message naming the offending token.
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string &spec);
 
 /// The plan from the RIPPLES_FAULTS environment variable (empty when unset).

@@ -225,6 +225,8 @@ void RunReport::to_json(JsonWriter &w) const {
   w.member("steal", steal);
   w.member("steal_chunk", steal_chunk);
   w.member("steal_skew", steal_skew);
+  w.member("verify_collectives", verify_collectives);
+  w.member("scrub_rrr", scrub_rrr);
   w.end_object();
 
   w.key("graph");

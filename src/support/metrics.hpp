@@ -275,7 +275,10 @@ struct RunReport {
   /// v7: added "options.steal" / "options.steal_chunk" /
   /// "options.steal_skew" — the work-stealing sampler's placement knobs
   /// (DESIGN.md §13).
-  static constexpr std::uint32_t kSchemaVersion = 7;
+  /// v8: added "options.verify_collectives" / "options.scrub_rrr" — the
+  /// end-to-end data-integrity knobs (DESIGN.md §14); their runtime
+  /// activity lands in the "integrity.*" counter family.
+  static constexpr std::uint32_t kSchemaVersion = 8;
 
   std::string driver;
 
@@ -306,6 +309,10 @@ struct RunReport {
   std::string steal;
   std::uint64_t steal_chunk = 0;
   bool steal_skew = false;
+  /// Data-integrity knobs (v8): checksummed collectives and the RRR-store
+  /// scrub mode ("off"/"on"/"paranoid"), DESIGN.md §14.
+  bool verify_collectives = false;
+  std::string scrub_rrr = "off";
 
   /// True when the memory budget forced a certified early stop (v6): the
   /// seeds are valid at accuracy epsilon_achieved rather than the

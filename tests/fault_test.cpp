@@ -60,6 +60,76 @@ TEST(FaultPlan, ParsesOomKind) {
   EXPECT_EQ(plan[0].site, 6u);
 }
 
+TEST(FaultPlan, ParsesCorruptKindWithTheStickyModifier) {
+  FaultPlan plan =
+      parse_fault_plan("rank=1,site=4,kind=corrupt;"
+                       "rank=2,site=7,kind=corrupt,sticky");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].kind, FaultSpec::Kind::Corrupt);
+  EXPECT_FALSE(plan[0].sticky);
+  EXPECT_EQ(plan[1].kind, FaultSpec::Kind::Corrupt);
+  EXPECT_TRUE(plan[1].sticky);
+}
+
+TEST(FaultPlan, ParsesFlakyKindWithAttempts) {
+  FaultPlan plan =
+      parse_fault_plan("rank=0,site=2,kind=flaky;"
+                       "rank=1,site=3,kind=flaky,attempts=5");
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan[0].kind, FaultSpec::Kind::Flaky);
+  EXPECT_EQ(plan[0].attempts, 1u); // default: fail the first attempt only
+  EXPECT_EQ(plan[1].attempts, 5u);
+}
+
+TEST(FaultPlan, StickyOnANonCorruptKindThrowsNamingTheSpec) {
+  try {
+    (void)parse_fault_plan("rank=0,site=1,kind=crash,sticky");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    EXPECT_NE(std::string(error.what()).find("sticky"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("kind=crash,sticky"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPlan, AttemptsOnANonFlakyKindThrowsNamingTheSpec) {
+  try {
+    (void)parse_fault_plan("rank=0,site=1,kind=corrupt,attempts=2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    EXPECT_NE(std::string(error.what()).find("attempts"), std::string::npos);
+  }
+}
+
+TEST(FaultPlan, ZeroAttemptsThrows) {
+  EXPECT_THROW((void)parse_fault_plan("rank=0,site=1,kind=flaky,attempts=0"),
+               std::invalid_argument);
+}
+
+TEST(FaultPlan, DuplicateRankSitePairThrowsNamingTheSpec) {
+  try {
+    (void)parse_fault_plan("rank=1,site=4;rank=1,site=4,kind=stall");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    EXPECT_NE(std::string(error.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("rank=1,site=4,kind=stall"),
+              std::string::npos);
+  }
+}
+
+TEST(FaultPlan, UnknownKindNamesTheAlternatives) {
+  try {
+    (void)parse_fault_plan("rank=1,site=3,kind=vanish");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument &error) {
+    EXPECT_NE(
+        std::string(error.what()).find("crash|stall|oom|corrupt|flaky"),
+        std::string::npos)
+        << error.what();
+    EXPECT_NE(std::string(error.what()).find("vanish"), std::string::npos);
+  }
+}
+
 TEST(FaultPlan, EmptyStringYieldsEmptyPlan) {
   EXPECT_TRUE(parse_fault_plan("").empty());
 }

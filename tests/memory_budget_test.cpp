@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <random>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -102,6 +104,34 @@ TEST(CompressedRRR, CursorDecodeAndSkipAgreeWithRandomAccess) {
     }
   }
   EXPECT_TRUE(cursor.at_end());
+}
+
+TEST(CompressedRRR, TruncatedVarintIsDiagnosedNotReadPastTheArena) {
+  // Regression: a flipped continuation bit on the final byte of a record
+  // used to march the cursor past the end of the payload (an out-of-bounds
+  // read); the decoder must bound-check every byte and throw instead.
+  CompressedRRRCollection compressed;
+  const RRRSet set = {5};
+  compressed.append(set);
+  // Payload is [0x01 0x05] (count, first member); setting bit 7 of the last
+  // byte turns the member varint into a continuation that never terminates.
+  compressed.flip_payload_bit(15);
+
+  std::vector<vertex_t> decoded;
+  try {
+    compressed.decode_set(0, decoded);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error &error) {
+    EXPECT_NE(std::string(error.what()).find("truncated or corrupt"),
+              std::string::npos)
+        << error.what();
+  }
+
+  // The skip path (retired sets) takes the same guard.
+  auto cursor = compressed.cursor();
+  const std::uint32_t count = cursor.next_header();
+  ASSERT_EQ(count, 1u);
+  EXPECT_THROW(cursor.skip_members(count), std::runtime_error);
 }
 
 TEST(CompressedRRR, EmptyCollectionHasEmptyCursor) {
